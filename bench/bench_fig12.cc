@@ -1,0 +1,180 @@
+// Figure 12 of the paper: execution time.
+//   (a) training time per epoch vs series length and vs number of dimensions,
+//       for every architecture family;
+//   (b) dCAM computation time vs number of dimensions, series length, and
+//       number of permutations k;
+//   (c) training convergence — epochs and seconds to reach 90% of the best
+//       validation loss for base / c- / d- architectures.
+// Parts (a) and (b) use google-benchmark; part (c) is printed first.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_utils.h"
+#include "core/dcam.h"
+#include "eval/trainer.h"
+#include "nn/adam.h"
+#include "nn/loss.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+using namespace dcam;
+
+namespace {
+
+const std::vector<std::string>& ArchNames() {
+  static const auto* names = new std::vector<std::string>{
+      "MTEX", "CNN",  "cCNN",    "dCNN",          "ResNet",
+      "RNN",  "LSTM", "cResNet", "dResNet",       "GRU",
+      "InceptionTime", "cInceptionTime", "dInceptionTime"};
+  return *names;
+}
+
+// One optimizer step over a single batch (forward + backward + ADAM).
+void BM_TrainStep(benchmark::State& state) {
+  const std::string name = ArchNames()[state.range(0)];
+  const int D = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  const int B = 4;
+  Rng rng(1);
+  auto model = models::MakeModel(name, D, n, 2, dcam_bench::ModelScale(),
+                                 &rng);
+  Tensor batch({B, D, n});
+  batch.FillNormal(&rng, 0.0f, 1.0f);
+  std::vector<int> labels = {0, 1, 0, 1};
+  nn::Adam adam(model->Params(), 1e-3f);
+  nn::SoftmaxCrossEntropy loss;
+  for (auto _ : state) {
+    adam.ZeroGrad();
+    Tensor logits = model->Forward(model->PrepareInput(batch), true);
+    loss.Forward(logits, labels);
+    model->Backward(loss.Backward());
+    adam.Step();
+  }
+  state.SetLabel(name + " D=" + std::to_string(D) + " n=" + std::to_string(n));
+}
+
+// dCAM computation for one series.
+void BM_DcamCompute(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  Rng rng(2);
+  auto model = models::MakeGapModel("dCNN", D, 2, dcam_bench::ModelScale(),
+                                    &rng);
+  Tensor series({D, n});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  core::DcamOptions opts;
+  opts.k = k;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeDcam(model.get(), series, 0, opts).dcam.data());
+  }
+  state.SetLabel("D=" + std::to_string(D) + " n=" + std::to_string(n) +
+                 " k=" + std::to_string(k));
+}
+
+void RegisterBenches() {
+  const bool full = dcam_bench::FullMode();
+  // (a.1) vary series length at fixed D=10 (paper Figure 12(a.1)).
+  const std::vector<int> lengths =
+      full ? std::vector<int>{64, 128, 256, 512} : std::vector<int>{64, 128};
+  // (a.2) vary dimensions at fixed n=100 (paper Figure 12(a.2)).
+  const std::vector<int> dims =
+      full ? std::vector<int>{10, 20, 40} : std::vector<int>{4, 10};
+  for (size_t m = 0; m < ArchNames().size(); ++m) {
+    for (int n : lengths) {
+      benchmark::RegisterBenchmark("Fig12a_TrainStep_vs_length", BM_TrainStep)
+          ->Args({static_cast<int64_t>(m), 10, n})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(full ? 3 : 1);
+    }
+    for (int D : dims) {
+      benchmark::RegisterBenchmark("Fig12a_TrainStep_vs_dims", BM_TrainStep)
+          ->Args({static_cast<int64_t>(m), D, 100})
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(full ? 3 : 1);
+    }
+  }
+  // (b) dCAM execution time sweeps (paper Figure 12(b.1)-(b.3)).
+  for (int D : dims) {
+    benchmark::RegisterBenchmark("Fig12b_Dcam_vs_dims", BM_DcamCompute)
+        ->Args({D, 400, 10})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  for (int n : lengths) {
+    benchmark::RegisterBenchmark("Fig12b_Dcam_vs_length", BM_DcamCompute)
+        ->Args({10, n, 10})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  for (int k : full ? std::vector<int>{10, 50, 100, 200}
+                    : std::vector<int>{5, 25, 100}) {
+    benchmark::RegisterBenchmark("Fig12b_Dcam_vs_k", BM_DcamCompute)
+        ->Args({10, 100, k})
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+// (c) convergence: epochs and seconds to reach within 10% of the best
+// validation loss (the paper's "90% of best loss" criterion).
+void PrintConvergence() {
+  std::printf("--- Figure 12(c): training convergence ---\n");
+  dcam_bench::PaperNote(
+      "expected shape: c- and d-variants need similar wall-clock; the "
+      "d-variants converge in fewer epochs than their base architectures.");
+  TableWriter table({"model", "epochs@90%", "secs@90%", "best_val_loss"});
+  const std::vector<std::string> names =
+      dcam_bench::FullMode()
+          ? std::vector<std::string>{"CNN", "cCNN", "dCNN", "ResNet",
+                                     "cResNet", "dResNet"}
+          : std::vector<std::string>{"CNN", "cCNN", "dCNN"};
+  const dcam_bench::SyntheticPair pair = dcam_bench::MakeSyntheticPair(
+      data::SeedType::kShapes, 1, /*dims=*/6, /*seed=*/777);
+  for (const auto& name : names) {
+    Rng rng(1);
+    auto model = models::MakeModel(name, static_cast<int>(pair.train.dims()),
+                                   static_cast<int>(pair.train.length()), 2,
+                                   dcam_bench::ModelScale(), &rng);
+    eval::TrainConfig tc = dcam_bench::BenchTrainConfig();
+    tc.patience = 0;
+    Stopwatch watch;
+    const eval::TrainResult tr = eval::Train(model.get(), pair.train, tc);
+    const double total_secs = watch.ElapsedSeconds();
+    double best = tr.best_val_loss;
+    int epochs_at = tr.epochs_run;
+    for (size_t e = 0; e < tr.val_loss_history.size(); ++e) {
+      if (tr.val_loss_history[e] <= 1.1 * best) {
+        epochs_at = static_cast<int>(e + 1);
+        break;
+      }
+    }
+    table.BeginRow();
+    table.Cell(name);
+    table.Cell(epochs_at);
+    table.Cell(total_secs * epochs_at / tr.epochs_run, 2);
+    table.Cell(best, 4);
+  }
+  table.WriteAligned(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Figure 12: execution time ===\n");
+  dcam_bench::PaperNote(
+      "expected shape: training time grows linearly with series length; "
+      "d/c-architecture epochs cost more than 1-D baselines and grow with D "
+      "(the cube is DxDxn); dCAM time grows superlinearly with D, linearly "
+      "with length and k.");
+  PrintConvergence();
+  RegisterBenches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 8 of the paper: per-dataset C-acc scatter of each d-architecture
+// against its base architecture, its c-variant, and MTEX. The paper's claim:
+// most points lie above the diagonal (the d-variant wins), decisively so
+// against the c-variants.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_utils.h"
+#include "data/uea_like.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+using namespace dcam;
+
+int main() {
+  std::printf("=== Figure 8: C-acc scatter, d-variants vs baselines ===\n");
+  dcam_bench::PaperNote(
+      "expected shape: dCNN/dResNet above the diagonal against cCNN/cResNet "
+      "on most datasets and at least even against CNN/ResNet; "
+      "dInceptionTime ~ even with InceptionTime.");
+
+  struct Pairing {
+    const char* d_model;
+    std::vector<const char*> baselines;
+  };
+  const std::vector<Pairing> pairings = {
+      {"dCNN", {"CNN", "cCNN", "MTEX"}},
+      {"dResNet", {"ResNet", "cResNet"}},
+  };
+
+  const auto& registry = data::UeaLikeRegistry();
+  const size_t num_datasets = dcam_bench::FullMode() ? registry.size() : 5;
+
+  TableWriter table({"dataset", "pair", "d C-acc", "base C-acc", "winner"});
+  Stopwatch total;
+  int d_wins = 0, base_wins = 0, ties = 0;
+
+  for (size_t i = 0; i < num_datasets && i < registry.size(); ++i) {
+    const data::UeaLikeSpec& spec = registry[i];
+    const data::Dataset train = data::BuildUeaLike(spec, 1);
+    const data::Dataset test = data::BuildUeaLike(spec, 2);
+    for (const Pairing& pairing : pairings) {
+      const dcam_bench::RunOutcome d_run = dcam_bench::TrainOnce(
+          pairing.d_model, train, test, 11, dcam_bench::BenchTrainConfig());
+      for (const char* base : pairing.baselines) {
+        const dcam_bench::RunOutcome b_run = dcam_bench::TrainOnce(
+            base, train, test, 11, dcam_bench::BenchTrainConfig());
+        table.BeginRow();
+        table.Cell(spec.name);
+        table.Cell(std::string(pairing.d_model) + " vs " + base);
+        table.Cell(d_run.test_acc, 2);
+        table.Cell(b_run.test_acc, 2);
+        const char* winner = d_run.test_acc > b_run.test_acc   ? pairing.d_model
+                             : d_run.test_acc < b_run.test_acc ? base
+                                                               : "tie";
+        table.Cell(winner);
+        if (d_run.test_acc > b_run.test_acc) {
+          ++d_wins;
+        } else if (d_run.test_acc < b_run.test_acc) {
+          ++base_wins;
+        } else {
+          ++ties;
+        }
+        std::fprintf(stderr, "[fig8] %s %s=%.2f %s=%.2f\n", spec.name.c_str(),
+                     pairing.d_model, d_run.test_acc, base, b_run.test_acc);
+      }
+    }
+  }
+
+  table.WriteAligned(std::cout);
+  std::printf("\nsummary: d-variant wins %d, baseline wins %d, ties %d\n",
+              d_wins, base_wins, ties);
+  std::printf("total time: %.1fs\n", total.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Micro-benchmarks of the substrate: convolution, batchnorm, recurrent cells,
+// cube construction, CAM extraction, and PR-AUC. These are not paper figures;
+// they track the performance of the building blocks every experiment uses.
+
+#include <benchmark/benchmark.h>
+
+#include "cam/cam.h"
+#include "core/cube.h"
+#include "eval/metrics.h"
+#include "nn/batchnorm.h"
+#include "nn/conv1d.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/recurrent.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+using namespace dcam;
+
+namespace {
+
+void BM_Conv1dForward(benchmark::State& state) {
+  const int C = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Conv1d conv(C, C, 3, 1, &rng);
+  Tensor in({8, C, 256});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(in, true).data());
+  }
+}
+BENCHMARK(BM_Conv1dForward)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_Conv2dForwardBackward(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Conv2d conv(D, 16, 1, 3, 0, 1, &rng);
+  Tensor in({4, D, D, 128});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    Tensor out = conv.Forward(in, true);
+    benchmark::DoNotOptimize(conv.Backward(out).data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardBackward)
+    ->Arg(4)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchNorm(benchmark::State& state) {
+  Rng rng(1);
+  nn::BatchNorm bn(32);
+  Tensor in({8, 32, 256});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn.Forward(in, true).data());
+  }
+}
+BENCHMARK(BM_BatchNorm)->Unit(benchmark::kMicrosecond);
+
+void BM_DenseForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Dense dense(256, 128, &rng);
+  Tensor in({16, 256});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.Forward(in, true).data());
+  }
+}
+BENCHMARK(BM_DenseForward)->Unit(benchmark::kMicrosecond);
+
+void BM_RecurrentForward(benchmark::State& state) {
+  const auto type = static_cast<nn::CellType>(state.range(0));
+  Rng rng(1);
+  nn::Recurrent cell(type, 8, 64, &rng);
+  Tensor in({4, 8, 128});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Forward(in, true).data());
+  }
+  state.SetLabel(nn::CellTypeName(type));
+}
+BENCHMARK(BM_RecurrentForward)
+    ->Arg(static_cast<int>(nn::CellType::kRnn))
+    ->Arg(static_cast<int>(nn::CellType::kLstm))
+    ->Arg(static_cast<int>(nn::CellType::kGru))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildCube(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor series({D, 256});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BuildCube(series).data());
+  }
+}
+BENCHMARK(BM_BuildCube)->Arg(10)->Arg(40)->Unit(benchmark::kMicrosecond);
+
+void BM_CamFromActivation(benchmark::State& state) {
+  Rng rng(1);
+  nn::Dense head(64, 2, &rng);
+  Tensor act({1, 64, 10, 256});
+  act.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam::CamFromActivation(act, head, 0).data());
+  }
+}
+BENCHMARK(BM_CamFromActivation)->Unit(benchmark::kMicrosecond);
+
+void BM_PrAuc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<float> scores(n);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Uniform() < 0.05 ? 1 : 0;
+  }
+  labels[0] = 1;  // guarantee a positive
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::PrAuc(scores, labels));
+  }
+}
+BENCHMARK(BM_PrAuc)->Arg(1000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  a.FillNormal(&rng, 0.0f, 1.0f);
+  b.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b).data());
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

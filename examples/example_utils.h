@@ -1,0 +1,47 @@
+// Small shared helpers for the example programs: ASCII heat-map rendering of
+// (D, n) activation maps and simple console banners.
+
+#ifndef DCAM_EXAMPLES_EXAMPLE_UTILS_H_
+#define DCAM_EXAMPLES_EXAMPLE_UTILS_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace dcam_examples {
+
+inline void Banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Renders a (D, n) map as rows of density characters (one char per bucket of
+/// timesteps), normalized to the map's own min/max.
+inline void PrintHeatmap(const dcam::Tensor& map, int width = 64,
+                         const std::vector<std::string>* row_labels = nullptr) {
+  static const char kShades[] = " .:-=+*#%@";
+  const int64_t D = map.dim(0), n = map.dim(1);
+  const float lo = map.Min(), hi = map.Max();
+  const float span = hi - lo > 1e-12f ? hi - lo : 1.0f;
+  const int cols = static_cast<int>(std::min<int64_t>(width, n));
+  for (int64_t d = 0; d < D; ++d) {
+    std::string row;
+    for (int c = 0; c < cols; ++c) {
+      const int64_t t0 = c * n / cols, t1 = std::max(t0 + 1, (c + 1) * n / cols);
+      float v = map.at(d, t0);
+      for (int64_t t = t0; t < t1; ++t) v = std::max(v, map.at(d, t));
+      const int level = static_cast<int>((v - lo) / span * 9.0f);
+      row.push_back(kShades[std::clamp(level, 0, 9)]);
+    }
+    if (row_labels != nullptr && d < static_cast<int64_t>(row_labels->size())) {
+      std::printf("%-22s |%s|\n", (*row_labels)[d].c_str(), row.c_str());
+    } else {
+      std::printf("row %-3lld |%s|\n", static_cast<long long>(d), row.c_str());
+    }
+  }
+}
+
+}  // namespace dcam_examples
+
+#endif  // DCAM_EXAMPLES_EXAMPLE_UTILS_H_

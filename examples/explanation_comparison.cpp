@@ -1,0 +1,105 @@
+// Side-by-side comparison of every explanation method in the library on the
+// same trained model and instance:
+//
+//   dCAM (the paper's contribution), occlusion, gradient saliency,
+//   gradient x input, and SmoothGrad — each scored by Dr-acc (PR-AUC
+//   against the known injected ground truth) exactly as in Table 3.
+//
+// Also demonstrates the adaptive-k variant: how many permutations dCAM
+// actually needs before the map stops changing.
+
+#include <cstdio>
+
+#include "cam/occlusion.h"
+#include "cam/saliency.h"
+#include "core/dcam.h"
+#include "core/variants.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "examples/example_utils.h"
+#include "models/cnn.h"
+#include "util/rng.h"
+
+using namespace dcam;
+
+int main() {
+  dcam_examples::Banner("explanation method comparison");
+
+  data::SyntheticSpec spec;
+  spec.type = 1;
+  spec.dims = 6;
+  spec.length = 128;
+  spec.pattern_len = 32;
+  spec.instances_per_class = 24;
+  spec.seed = 7;
+  data::Dataset train = data::BuildSynthetic(spec);
+  spec.seed = 8;
+  spec.instances_per_class = 8;
+  data::Dataset test = data::BuildSynthetic(spec);
+
+  Rng rng(1);
+  models::ConvNetConfig cfg;
+  cfg.filters = {8, 8, 8};
+  models::ConvNet model(models::InputMode::kCube, spec.dims, 2, cfg, &rng);
+  eval::TrainConfig tc;
+  tc.max_epochs = 80;
+  tc.lr = 3e-3f;
+  tc.patience = 25;
+  const eval::TrainResult tr = eval::Train(&model, train, tc);
+  std::printf("dCNN: val C-acc %.2f after %d epochs\n", tr.val_acc,
+              tr.epochs_run);
+
+  // Pick a class-1 instance with its ground-truth mask.
+  int64_t target = 0;
+  while (target < test.size() && test.y[target] != 1) ++target;
+  const Tensor instance = test.Instance(target);
+  const Tensor mask = test.InstanceMask(target);
+  const double random = eval::RandomBaseline(mask);
+
+  std::printf("\n%-18s %8s\n", "method", "Dr-acc");
+  std::printf("%-18s %8.3f  (chance level)\n", "random", random);
+
+  core::DcamOptions dopt;
+  dopt.k = 100;
+  const core::DcamResult dres = core::ComputeDcam(&model, instance, 1, dopt);
+  std::printf("%-18s %8.3f  (n_g/k = %.2f)\n", "dCAM",
+              eval::DrAcc(dres.dcam, mask), dres.CorrectRatio());
+
+  cam::OcclusionOptions oopt;
+  oopt.window = spec.pattern_len / 2;
+  oopt.stride = spec.pattern_len / 4;
+  const Tensor occ = cam::OcclusionMap(&model, instance, 1, oopt);
+  std::printf("%-18s %8.3f\n", "occlusion", eval::DrAcc(occ, mask));
+
+  const Tensor sal = cam::GradientSaliency(&model, instance, 1);
+  std::printf("%-18s %8.3f\n", "gradient", eval::DrAcc(sal, mask));
+
+  const Tensor gxi = cam::GradientTimesInput(&model, instance, 1);
+  std::printf("%-18s %8.3f\n", "grad*input", eval::DrAcc(gxi, mask));
+
+  cam::SmoothGradOptions sgopt;
+  sgopt.samples = 15;
+  const Tensor sg = cam::SmoothGrad(&model, instance, 1, sgopt);
+  std::printf("%-18s %8.3f\n", "SmoothGrad", eval::DrAcc(sg, mask));
+
+  dcam_examples::Banner("adaptive k (stop when the map stabilizes)");
+  core::AdaptiveDcamOptions aopt;
+  aopt.batch = 10;
+  aopt.max_k = 200;
+  aopt.tolerance = 0.05;
+  const core::AdaptiveDcamResult ares =
+      core::ComputeDcamAdaptive(&model, instance, 1, aopt);
+  std::printf("converged=%s after k=%d permutations (fixed default: 100); "
+              "Dr-acc %.3f\n",
+              ares.converged ? "yes" : "no", ares.k_used,
+              eval::DrAcc(ares.result.dcam, mask));
+
+  dcam_examples::Banner("dCAM heat map");
+  dcam_examples::PrintHeatmap(dres.dcam);
+  dcam_examples::Banner("occlusion heat map");
+  dcam_examples::PrintHeatmap(occ);
+  dcam_examples::Banner("ground truth");
+  dcam_examples::PrintHeatmap(mask);
+  return 0;
+}

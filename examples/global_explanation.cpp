@@ -1,0 +1,91 @@
+// Dataset-level (global) explanations, Section 4.6 of the paper: compute
+// dCAM per instance, then aggregate across a whole class to find globally
+// discriminant dimensions — more robust than any single-instance view.
+//
+// The scenario: Type 1 data where the generator always injects into random
+// dimensions; aggregation over many instances shows which TIME region is
+// systematically discriminant while per-dimension attribution varies per
+// instance (the injections move), illustrating when global and local
+// explanations agree and disagree.
+
+#include <cstdio>
+
+#include "core/dcam.h"
+#include "core/global.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "examples/example_utils.h"
+#include "models/cnn.h"
+#include "util/rng.h"
+
+using namespace dcam;
+
+int main() {
+  dcam_examples::Banner("global explanations via dCAM aggregation");
+
+  data::SyntheticSpec spec;
+  spec.seed_type = data::SeedType::kShapes;
+  spec.type = 1;
+  spec.dims = 6;
+  spec.length = 128;
+  spec.pattern_len = 32;
+  spec.instances_per_class = 24;
+  spec.seed = 11;
+  data::Dataset train = data::BuildSynthetic(spec);
+
+  Rng rng(2);
+  models::ConvNetConfig cfg;
+  cfg.filters = {8, 8, 8};
+  models::ConvNet model(models::InputMode::kCube, spec.dims, 2, cfg, &rng);
+  eval::TrainConfig tc;
+  tc.max_epochs = 80;
+  tc.lr = 3e-3f;
+  tc.patience = 25;
+  const eval::TrainResult tr = eval::Train(&model, train, tc);
+  std::printf("trained: val C-acc %.2f after %d epochs\n", tr.val_acc,
+              tr.epochs_run);
+
+  // Explain all class-1 instances; segment the series into 4 equal phases to
+  // aggregate temporal structure.
+  const int kPhases = 4;
+  std::vector<Tensor> dcams;
+  std::vector<std::vector<int>> segments;
+  double mean_dr = 0.0, mean_ng = 0.0;
+  for (int64_t i = 0; i < train.size(); ++i) {
+    if (train.y[i] != 1) continue;
+    core::DcamOptions opts;
+    opts.k = 40;
+    opts.seed = 500 + i;
+    const core::DcamResult res =
+        core::ComputeDcam(&model, train.Instance(i), 1, opts);
+    mean_dr += eval::DrAcc(res.dcam, train.InstanceMask(i));
+    mean_ng += res.CorrectRatio();
+    dcams.push_back(res.dcam);
+    std::vector<int> seg(train.length());
+    for (int64_t t = 0; t < train.length(); ++t) {
+      seg[t] = static_cast<int>(t * kPhases / train.length());
+    }
+    segments.push_back(std::move(seg));
+  }
+  mean_dr /= dcams.size();
+  mean_ng /= dcams.size();
+  std::printf("%zu instances explained: mean Dr-acc %.3f, mean n_g/k %.2f\n",
+              dcams.size(), mean_dr, mean_ng);
+
+  const core::GlobalExplanation global =
+      core::AggregateDcams(dcams, segments, kPhases);
+
+  dcam_examples::Banner("mean activation per dimension (rows) per phase");
+  dcam_examples::PrintHeatmap(global.mean_per_sensor_segment, kPhases);
+
+  dcam_examples::Banner("max activation per instance (rows) per dimension");
+  dcam_examples::PrintHeatmap(global.max_per_sensor,
+                              static_cast<int>(train.dims()));
+
+  std::printf(
+      "\nNote: injections land in random dimensions per instance, so global\n"
+      "per-dimension means flatten out while per-instance maxima stay sharp —\n"
+      "the aggregation trade-off Section 4.6 discusses.\n");
+  return 0;
+}

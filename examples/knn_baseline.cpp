@@ -1,0 +1,86 @@
+// The classical baseline vs the deep models: 1-NN under Euclidean and DTW
+// distances (the method the paper's introduction calls the "popular baseline
+// method [12]") cross-validated against a dCNN on the paper's two synthetic
+// regimes.
+//
+// Type 1 (pattern in individual dimensions) is winnable by distances when
+// the pattern is large; Type 2 (the signal is cross-dimension co-occurrence)
+// defeats them — the regime that motivates dCNN.
+
+#include <cstdio>
+
+#include "baselines/knn.h"
+#include "data/synthetic.h"
+#include "eval/crossval.h"
+#include "eval/trainer.h"
+#include "examples/example_utils.h"
+#include "models/cnn.h"
+#include "util/rng.h"
+
+using namespace dcam;
+
+namespace {
+
+double DcnnScore(const data::Dataset& train, const data::Dataset& test,
+                 int dims) {
+  Rng rng(5);
+  models::ConvNetConfig cfg;
+  cfg.filters = {8, 8, 8};
+  models::ConvNet model(models::InputMode::kCube, dims, 2, cfg, &rng);
+  eval::TrainConfig tc;
+  tc.max_epochs = 40;
+  tc.lr = 3e-3f;
+  tc.verbose = false;
+  eval::Train(&model, train, tc);
+  return eval::Evaluate(&model, test).accuracy;
+}
+
+void RunRegime(int type) {
+  data::SyntheticSpec spec;
+  spec.type = type;
+  spec.dims = 6;
+  spec.length = 128;
+  spec.pattern_len = 32;
+  spec.instances_per_class = 20;
+  spec.seed = 11;
+  data::Dataset ds = data::BuildSynthetic(spec);
+
+  std::printf("\nType %d synthetic (D=%d, n=%d), 4-fold cross-validation:\n",
+              type, spec.dims, spec.length);
+  std::printf("  %-12s %8s %8s\n", "classifier", "mean", "stddev");
+
+  for (baselines::Metric m :
+       {baselines::Metric::kEuclidean, baselines::Metric::kDtwIndependent,
+        baselines::Metric::kDtwDependent}) {
+    const eval::CrossValidationResult r = eval::CrossValidate(
+        ds, 4, 17, [&](const data::Dataset& tr, const data::Dataset& te) {
+          baselines::KnnOptions opt;
+          opt.metric = m;
+          opt.band = spec.length / 10;  // UCR-suite convention
+          baselines::KnnClassifier knn(opt);
+          knn.Fit(tr);
+          return knn.Score(te);
+        });
+    std::printf("  1-NN %-7s %8.3f %8.3f\n",
+                baselines::MetricName(m).c_str(), r.mean, r.stddev);
+  }
+
+  const eval::CrossValidationResult r = eval::CrossValidate(
+      ds, 4, 17, [&](const data::Dataset& tr, const data::Dataset& te) {
+        return DcnnScore(tr, te, spec.dims);
+      });
+  std::printf("  %-12s %8.3f %8.3f\n", "dCNN", r.mean, r.stddev);
+}
+
+}  // namespace
+
+int main() {
+  dcam_examples::Banner("1-NN distance baselines vs dCNN");
+  RunRegime(1);
+  RunRegime(2);
+  std::printf(
+      "\n[expected shape] distances are competitive on Type 1 and near \n"
+      "chance on Type 2, where the discriminant feature is the cross-\n"
+      "dimension alignment only architectures that compare dimensions see.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Train once, explain forever: persist a trained dCNN to disk, reload it in
+// a fresh process (simulated here by a second model object), and verify the
+// reloaded model classifies and explains identically.
+//
+// Also shows the dataset side of the io module: the synthetic benchmark
+// dataset is exported to the UEA/sktime ".ts" format and read back, so the
+// same workload can be shared with Python tooling.
+
+#include <cstdio>
+
+#include "core/dcam.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "examples/example_utils.h"
+#include "io/serialize.h"
+#include "io/ts_format.h"
+#include "models/cnn.h"
+#include "util/rng.h"
+
+using namespace dcam;
+
+int main() {
+  dcam_examples::Banner("model persistence round trip");
+
+  // Train a small dCNN on a Type 1 synthetic problem.
+  data::SyntheticSpec spec;
+  spec.type = 1;
+  spec.dims = 4;
+  spec.length = 128;
+  spec.pattern_len = 32;
+  spec.instances_per_class = 16;
+  spec.seed = 3;
+  data::Dataset train = data::BuildSynthetic(spec);
+
+  Rng rng(1);
+  models::ConvNetConfig cfg;
+  cfg.filters = {8, 8, 8};
+  models::ConvNet model(models::InputMode::kCube, spec.dims, 2, cfg, &rng);
+  eval::TrainConfig tc;
+  tc.max_epochs = 40;
+  tc.lr = 3e-3f;
+  const eval::TrainResult tr = eval::Train(&model, train, tc);
+  std::printf("trained %d epochs, val C-acc %.2f\n", tr.epochs_run,
+              tr.val_acc);
+
+  // Save weights; restore into a freshly-initialized twin.
+  const std::string weights_path = "/tmp/dcam_example_weights.bin";
+  io::Status s = io::SaveModelWeights(&model, weights_path);
+  std::printf("save -> %s: %s\n", weights_path.c_str(), s.ToString().c_str());
+
+  Rng rng2(999);  // different init: contents must come from the file
+  models::ConvNet restored(models::InputMode::kCube, spec.dims, 2, cfg, &rng2);
+  s = io::LoadModelWeights(&restored, weights_path);
+  std::printf("load <- %s: %s\n", weights_path.c_str(), s.ToString().c_str());
+
+  // The twin must agree with the original on predictions AND explanations.
+  spec.seed = 4;
+  spec.instances_per_class = 6;
+  data::Dataset test = data::BuildSynthetic(spec);
+  const double acc_a = eval::Evaluate(&model, test).accuracy;
+  const double acc_b = eval::Evaluate(&restored, test).accuracy;
+  std::printf("test C-acc: original %.3f, restored %.3f\n", acc_a, acc_b);
+
+  core::DcamOptions opts;
+  opts.k = 50;
+  const Tensor instance = test.Instance(0);
+  const core::DcamResult da = core::ComputeDcam(&model, instance, 1, opts);
+  const core::DcamResult db = core::ComputeDcam(&restored, instance, 1, opts);
+  double max_diff = 0.0;
+  for (int64_t i = 0; i < da.dcam.size(); ++i) {
+    max_diff = std::max(max_diff,
+                        static_cast<double>(std::abs(da.dcam[i] - db.dcam[i])));
+  }
+  std::printf("max |dCAM difference| original vs restored: %.2e\n", max_diff);
+
+  // Dataset export: .ts out, .ts back in.
+  dcam_examples::Banner("dataset .ts export");
+  const std::string ts_path = "/tmp/dcam_example.ts";
+  s = io::WriteTsFile(train, ts_path, {"background", "injected"});
+  std::printf("write %s: %s\n", ts_path.c_str(), s.ToString().c_str());
+  data::Dataset reread;
+  std::vector<std::string> labels;
+  s = io::ReadTsFile(ts_path, &reread, &labels);
+  std::printf("read back: %s (%lld instances, D=%lld, n=%lld, labels",
+              s.ToString().c_str(), static_cast<long long>(reread.size()),
+              static_cast<long long>(reread.dims()),
+              static_cast<long long>(reread.length()));
+  for (const std::string& l : labels) std::printf(" %s", l.c_str());
+  std::printf(")\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: the full dCAM workflow in ~80 lines.
+//
+//   1. Build a synthetic multivariate dataset with known discriminant
+//      patterns (Type 1 of the paper: patterns injected into 2 of 6
+//      dimensions of class-2 instances).
+//   2. Train a dCNN — a CNN fed the C(T) cube so its kernels compare
+//      dimensions (Section 4.2 of the paper).
+//   3. Compute dCAM for a test instance and render which dimensions, at
+//      which times, drove the classification.
+
+#include <cstdio>
+
+#include "core/dcam.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "examples/example_utils.h"
+#include "models/cnn.h"
+#include "util/rng.h"
+
+using namespace dcam;
+
+int main() {
+  dcam_examples::Banner("dCAM quickstart");
+
+  // 1. Data: 6-dimensional series of length 128; class 1 carries two
+  // injected patterns at random positions (ground truth in dataset.mask).
+  data::SyntheticSpec spec;
+  spec.seed_type = data::SeedType::kStarLight;
+  spec.type = 1;
+  spec.dims = 6;
+  spec.length = 128;
+  spec.pattern_len = 32;
+  spec.instances_per_class = 24;
+  spec.seed = 7;
+  data::Dataset train = data::BuildSynthetic(spec);
+  spec.seed = 8;
+  spec.instances_per_class = 8;
+  data::Dataset test = data::BuildSynthetic(spec);
+  std::printf("dataset: %s, %lld train / %lld test instances, D=%lld n=%lld\n",
+              train.name.c_str(), static_cast<long long>(train.size()),
+              static_cast<long long>(test.size()),
+              static_cast<long long>(train.dims()),
+              static_cast<long long>(train.length()));
+
+  // 2. Model: dCNN = ConvNet over the C(T) cube (InputMode::kCube).
+  Rng rng(1);
+  models::ConvNetConfig cfg;
+  cfg.filters = {8, 8, 8};  // reduced widths; paper uses (64,128,256,256,256)
+  models::ConvNet model(models::InputMode::kCube, spec.dims, 2, cfg, &rng);
+  std::printf("model: %s with %lld parameters\n", model.name().c_str(),
+              static_cast<long long>(model.NumParams()));
+
+  eval::TrainConfig tc;
+  tc.max_epochs = 80;
+  tc.lr = 3e-3f;
+  tc.patience = 25;
+  const eval::TrainResult tr = eval::Train(&model, train, tc);
+  const double test_acc = eval::Evaluate(&model, test).accuracy;
+  std::printf("trained %d epochs in %.1fs: val C-acc %.2f, test C-acc %.2f\n",
+              tr.epochs_run, tr.seconds, tr.val_acc, test_acc);
+
+  // 3. Explain a class-1 test instance.
+  int64_t target = -1;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    if (test.y[i] == 1) {
+      target = i;
+      break;
+    }
+  }
+  core::DcamOptions opts;
+  opts.k = 100;  // number of random dimension permutations (paper default)
+  const core::DcamResult res =
+      core::ComputeDcam(&model, test.Instance(target), /*class_idx=*/1, opts);
+
+  std::printf("\nn_g/k = %d/%d permutations classified as the target class\n",
+              res.num_correct, res.k);
+  std::printf("Dr-acc (PR-AUC vs ground truth) = %.3f (random baseline %.3f)\n",
+              eval::DrAcc(res.dcam, test.InstanceMask(target)),
+              eval::RandomBaseline(test.InstanceMask(target)));
+
+  dcam_examples::Banner("dCAM heat map (rows = dimensions, time left-right)");
+  dcam_examples::PrintHeatmap(res.dcam);
+  dcam_examples::Banner("ground-truth injected patterns");
+  dcam_examples::PrintHeatmap(test.InstanceMask(target));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Surgeon-skill explanation (the paper's Section 5.8 use case).
+//
+// A dCNN is trained to classify surgeon skill (novice / intermediate /
+// expert) from multivariate kinematics, then dCAM explains the novice class:
+// which sensors, during which surgical gestures, betray a novice. The
+// generator plants tremor/overshoot artifacts on the MTM gripper-angle and
+// tooltip-rotation sensors during gestures G6 and G9 — exactly the sensors
+// and gestures the paper's analysis attributes to novices — so a correct
+// explanation should rank those sensors on top.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/dcam.h"
+#include "core/global.h"
+#include "data/jigsaws_like.h"
+#include "eval/trainer.h"
+#include "examples/example_utils.h"
+#include "models/cnn.h"
+#include "util/rng.h"
+
+using namespace dcam;
+
+int main() {
+  dcam_examples::Banner("Surgeon skill explanation (JIGSAWS-like)");
+
+  data::JigsawsLikeConfig cfg;
+  cfg.sensors_per_group = 5;  // 20 sensors total (full dataset: 76)
+  cfg.length = 110;
+  data::JigsawsLike jig = data::BuildJigsawsLike(cfg);
+  std::printf("dataset: %lld instances, %lld sensors, %d gestures\n",
+              static_cast<long long>(jig.dataset.size()),
+              static_cast<long long>(jig.dataset.dims()), data::kNumGestures);
+
+  Rng rng(5);
+  models::ConvNetConfig mcfg;
+  mcfg.filters = {8, 8, 8};
+  models::ConvNet model(models::InputMode::kCube,
+                        static_cast<int>(jig.dataset.dims()), 3, mcfg, &rng);
+  eval::TrainConfig tc;
+  tc.max_epochs = 60;
+  tc.lr = 3e-3f;
+  tc.patience = 20;
+  const eval::TrainResult tr = eval::Train(&model, jig.dataset, tc);
+  std::printf("trained %d epochs in %.1fs: train C-acc %.2f, val C-acc %.2f\n",
+              tr.epochs_run, tr.seconds, tr.train_acc, tr.val_acc);
+
+  // dCAM for every novice instance.
+  std::vector<Tensor> dcams;
+  std::vector<std::vector<int>> segments;
+  for (int64_t i = 0; i < jig.dataset.size(); ++i) {
+    if (jig.dataset.y[i] != 0) continue;  // novice class only
+    core::DcamOptions opts;
+    opts.k = 40;
+    opts.seed = 100 + i;
+    dcams.push_back(
+        core::ComputeDcam(&model, jig.dataset.Instance(i), 0, opts).dcam);
+    segments.push_back(jig.gestures[i]);
+  }
+  std::printf("explained %zu novice instances with dCAM (k=40)\n",
+              dcams.size());
+
+  const core::GlobalExplanation global =
+      core::AggregateDcams(dcams, segments, data::kNumGestures);
+
+  // Rank sensors by mean maximal activation (Figure 13(c)).
+  const int64_t D = jig.dataset.dims();
+  std::vector<double> sensor_score(D, 0.0);
+  for (int64_t i = 0; i < global.max_per_sensor.dim(0); ++i) {
+    for (int64_t d = 0; d < D; ++d) {
+      sensor_score[d] += global.max_per_sensor.at(i, d) /
+                         global.max_per_sensor.dim(0);
+    }
+  }
+  std::vector<int> order(D);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return sensor_score[a] > sensor_score[b]; });
+
+  dcam_examples::Banner("top discriminant sensors for the novice class");
+  for (int r = 0; r < 6; ++r) {
+    const int d = order[r];
+    bool planted = false;
+    for (int a : jig.artifact_sensors) planted |= (a == d);
+    std::printf("%d. %-22s score %.4f%s\n", r + 1,
+                jig.sensor_names[d].c_str(), sensor_score[d],
+                planted ? "   <- planted artifact sensor" : "");
+  }
+
+  // Mean activation per sensor per gesture (Figure 13(d)).
+  dcam_examples::Banner(
+      "mean activation per sensor (rows) per gesture G1..G11 (cols)");
+  dcam_examples::PrintHeatmap(global.mean_per_sensor_segment,
+                              data::kNumGestures, &jig.sensor_names);
+
+  // Which gestures light up the planted sensors?
+  dcam_examples::Banner("gesture ranking on the planted artifact sensors");
+  std::vector<double> gesture_score(data::kNumGestures, 0.0);
+  for (int g = 0; g < data::kNumGestures; ++g) {
+    for (int a : jig.artifact_sensors) {
+      gesture_score[g] += global.mean_per_sensor_segment.at(a, g);
+    }
+  }
+  const auto top_gesture =
+      std::max_element(gesture_score.begin(), gesture_score.end()) -
+      gesture_score.begin();
+  for (int g = 0; g < data::kNumGestures; ++g) {
+    bool planted = false;
+    for (int a : jig.artifact_gestures) planted |= (a == g);
+    std::printf("G%-2d mean activation %.4f%s%s\n", g + 1, gesture_score[g],
+                g == top_gesture ? "   <- highest" : "",
+                planted ? "   (artifact gesture)" : "");
+  }
+  return 0;
+}

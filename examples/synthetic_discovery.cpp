@@ -1,0 +1,101 @@
+// Discriminant-feature discovery on Type 2 data — the regime that motivates
+// dCAM (Sections 2.3 and 5.4 of the paper).
+//
+// In Type 2 datasets BOTH classes contain injected patterns; the only
+// discriminant feature is that class-2 injections co-occur at the same
+// timestamp across dimensions. A per-dimension model (cCNN) cannot compare
+// dimensions and stays at chance; the dCNN separates the classes, and dCAM
+// localizes the co-occurring patterns.
+
+#include <cstdio>
+
+#include "cam/cam.h"
+#include "core/dcam.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "examples/example_utils.h"
+#include "models/cnn.h"
+#include "util/rng.h"
+
+using namespace dcam;
+
+namespace {
+
+double TrainAndEvaluate(models::InputMode mode, const data::Dataset& train,
+                        const data::Dataset& test, models::ConvNet** out,
+                        Rng* rng) {
+  models::ConvNetConfig cfg;
+  cfg.filters = {12, 12, 12};
+  auto* model = new models::ConvNet(mode, static_cast<int>(train.dims()), 2,
+                                    cfg, rng);
+  eval::TrainConfig tc;
+  tc.max_epochs = 100;
+  tc.lr = 3e-3f;
+  tc.patience = 0;
+  const eval::TrainResult tr = eval::Train(model, train, tc);
+  const double acc = eval::Evaluate(model, test).accuracy;
+  std::printf("%-6s: %3d epochs, train C-acc %.2f, test C-acc %.2f\n",
+              model->name().c_str(), tr.epochs_run, tr.train_acc, acc);
+  if (out != nullptr) {
+    *out = model;
+  } else {
+    delete model;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  dcam_examples::Banner("Type 2 discovery: co-occurrence is the only signal");
+
+  data::SyntheticSpec spec;
+  spec.seed_type = data::SeedType::kStarLight;
+  spec.type = 2;
+  spec.dims = 4;
+  spec.length = 128;
+  spec.pattern_len = 32;
+  spec.instances_per_class = 32;
+  spec.seed = 41;
+  data::Dataset train = data::BuildSynthetic(spec);
+  spec.seed = 42;
+  spec.instances_per_class = 8;
+  data::Dataset test = data::BuildSynthetic(spec);
+
+  Rng rng(3);
+  models::ConvNet* dcnn = nullptr;
+  const double d_acc =
+      TrainAndEvaluate(models::InputMode::kCube, train, test, &dcnn, &rng);
+  const double c_acc =
+      TrainAndEvaluate(models::InputMode::kSeparate, train, test, nullptr,
+                       &rng);
+  std::printf("\n=> dCNN %.2f vs cCNN %.2f: only the dimension-comparing "
+              "architecture solves Type 2 (paper Table 3)\n",
+              d_acc, c_acc);
+
+  // Explain one class-2 (co-occurring) instance with dCAM.
+  int64_t target = -1;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    if (test.y[i] == 1) {
+      target = i;
+      break;
+    }
+  }
+  core::DcamOptions opts;
+  opts.k = 100;
+  const core::DcamResult res =
+      core::ComputeDcam(dcnn, test.Instance(target), 1, opts);
+  std::printf("\nn_g/k = %d/%d, Dr-acc = %.3f (random %.3f)\n",
+              res.num_correct, res.k,
+              eval::DrAcc(res.dcam, test.InstanceMask(target)),
+              eval::RandomBaseline(test.InstanceMask(target)));
+
+  dcam_examples::Banner("dCAM (rows = dimensions)");
+  dcam_examples::PrintHeatmap(res.dcam);
+  dcam_examples::Banner("ground truth (co-occurring injections)");
+  dcam_examples::PrintHeatmap(test.InstanceMask(target));
+
+  delete dcnn;
+  return 0;
+}

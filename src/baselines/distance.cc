@@ -1,0 +1,147 @@
+#include "baselines/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dcam {
+namespace baselines {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void CheckPair(const Tensor& a, const Tensor& b) {
+  DCAM_CHECK_EQ(a.rank(), 2);
+  DCAM_CHECK_EQ(b.rank(), 2);
+  DCAM_CHECK_EQ(a.dim(0), b.dim(0));
+  DCAM_CHECK_EQ(a.dim(1), b.dim(1));
+}
+
+// Rolling two-row DTW over a cost functor; cost(i, j) is the squared local
+// distance between frame i of the query and frame j of the candidate.
+template <typename CostFn>
+double DtwCore(int64_t n, int64_t band, double early_abandon, CostFn cost) {
+  const int64_t w = band < 0 ? n : std::max<int64_t>(band, 0);
+  std::vector<double> prev(static_cast<size_t>(n), kInf);
+  std::vector<double> cur(static_cast<size_t>(n), kInf);
+  for (int64_t i = 0; i < n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const int64_t j_lo = std::max<int64_t>(0, i - w);
+    const int64_t j_hi = std::min<int64_t>(n - 1, i + w);
+    double row_min = kInf;
+    for (int64_t j = j_lo; j <= j_hi; ++j) {
+      const double c = cost(i, j);
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, prev[static_cast<size_t>(j)]);
+        if (j > 0) best = std::min(best, cur[static_cast<size_t>(j - 1)]);
+        if (i > 0 && j > 0) {
+          best = std::min(best, prev[static_cast<size_t>(j - 1)]);
+        }
+      }
+      const double v = c + best;
+      cur[static_cast<size_t>(j)] = v;
+      row_min = std::min(row_min, v);
+    }
+    if (row_min > early_abandon) return kInf;
+    std::swap(prev, cur);
+  }
+  return prev[static_cast<size_t>(n - 1)];
+}
+
+}  // namespace
+
+double SquaredEuclidean(const Tensor& a, const Tensor& b) {
+  CheckPair(a, b);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  double s = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - pb[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double Euclidean(const Tensor& a, const Tensor& b) {
+  return std::sqrt(SquaredEuclidean(a, b));
+}
+
+double DtwUnivariate(const Tensor& a, const Tensor& b, int64_t dim,
+                     int64_t band, double early_abandon) {
+  CheckPair(a, b);
+  DCAM_CHECK_GE(dim, 0);
+  DCAM_CHECK_LT(dim, a.dim(0));
+  const int64_t n = a.dim(1);
+  const float* ra = a.data() + dim * n;
+  const float* rb = b.data() + dim * n;
+  return DtwCore(n, band, early_abandon, [&](int64_t i, int64_t j) {
+    const double d = static_cast<double>(ra[i]) - rb[j];
+    return d * d;
+  });
+}
+
+double DtwIndependent(const Tensor& a, const Tensor& b, int64_t band,
+                      double early_abandon) {
+  CheckPair(a, b);
+  const int64_t d = a.dim(0);
+  double total = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    total += DtwUnivariate(a, b, j, band, early_abandon - total);
+    if (total > early_abandon) return kInf;
+  }
+  return total;
+}
+
+double DtwDependent(const Tensor& a, const Tensor& b, int64_t band,
+                    double early_abandon) {
+  CheckPair(a, b);
+  const int64_t d = a.dim(0);
+  const int64_t n = a.dim(1);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  return DtwCore(n, band, early_abandon, [&](int64_t i, int64_t j) {
+    double c = 0.0;
+    for (int64_t k = 0; k < d; ++k) {
+      const double diff = static_cast<double>(pa[k * n + i]) - pb[k * n + j];
+      c += diff * diff;
+    }
+    return c;
+  });
+}
+
+double LbKeogh(const Tensor& query, const Tensor& candidate, int64_t band) {
+  CheckPair(query, candidate);
+  const int64_t d = query.dim(0);
+  const int64_t n = query.dim(1);
+  const int64_t w = band < 0 ? n : std::max<int64_t>(band, 0);
+  double total = 0.0;
+  for (int64_t k = 0; k < d; ++k) {
+    const float* q = query.data() + k * n;
+    const float* c = candidate.data() + k * n;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t lo = std::max<int64_t>(0, i - w);
+      const int64_t hi = std::min<int64_t>(n - 1, i + w);
+      float u = c[lo];
+      float l = c[lo];
+      for (int64_t j = lo + 1; j <= hi; ++j) {
+        u = std::max(u, c[j]);
+        l = std::min(l, c[j]);
+      }
+      if (q[i] > u) {
+        const double diff = static_cast<double>(q[i]) - u;
+        total += diff * diff;
+      } else if (q[i] < l) {
+        const double diff = static_cast<double>(q[i]) - l;
+        total += diff * diff;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace baselines
+}  // namespace dcam

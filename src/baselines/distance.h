@@ -1,0 +1,58 @@
+// Elastic and lock-step distances between multivariate data series.
+//
+// The paper's introduction names k-NN classification under the Euclidean and
+// Dynamic Time Warping distances as the standard data-series classification
+// baseline [12]; this module implements both so the deep models of Tables 2-3
+// can be compared against the classical approach (bench_knn).
+//
+// Multivariate DTW comes in two standard flavours (Shokoohi-Yekta et al.):
+//   * dependent ("DTW_D")   — one warping path over R^D points, cost is the
+//     squared L2 distance between D-dimensional frames;
+//   * independent ("DTW_I") — one univariate DTW per dimension, summed.
+// Both are provided, together with the Sakoe-Chiba band constraint and the
+// LB_Keogh lower bound used to prune nearest-neighbour scans.
+
+#ifndef DCAM_BASELINES_DISTANCE_H_
+#define DCAM_BASELINES_DISTANCE_H_
+
+#include <limits>
+
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace baselines {
+
+/// Squared Euclidean (lock-step) distance between two (D, n) series.
+double SquaredEuclidean(const Tensor& a, const Tensor& b);
+
+/// Euclidean distance (sqrt of the above).
+double Euclidean(const Tensor& a, const Tensor& b);
+
+/// Univariate DTW between rows `dim` of two (D, n) series with a Sakoe-Chiba
+/// band of half-width `band` (band < 0 means unconstrained). Returns the
+/// summed squared pointwise costs along the optimal path. `early_abandon`:
+/// if every cell of a row exceeds it, returns +inf immediately.
+double DtwUnivariate(const Tensor& a, const Tensor& b, int64_t dim,
+                     int64_t band,
+                     double early_abandon =
+                         std::numeric_limits<double>::infinity());
+
+/// Dimension-independent DTW: sum of per-dimension univariate DTWs.
+double DtwIndependent(const Tensor& a, const Tensor& b, int64_t band,
+                      double early_abandon =
+                          std::numeric_limits<double>::infinity());
+
+/// Dimension-dependent DTW: single path over D-dimensional frames.
+double DtwDependent(const Tensor& a, const Tensor& b, int64_t band,
+                    double early_abandon =
+                        std::numeric_limits<double>::infinity());
+
+/// LB_Keogh lower bound for the dependent DTW between (D, n) series under a
+/// Sakoe-Chiba band: per-dimension envelope bound summed over dimensions.
+/// Guaranteed <= DtwDependent(a, b, band) and <= DtwIndependent(a, b, band).
+double LbKeogh(const Tensor& query, const Tensor& candidate, int64_t band);
+
+}  // namespace baselines
+}  // namespace dcam
+
+#endif  // DCAM_BASELINES_DISTANCE_H_

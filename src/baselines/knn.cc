@@ -1,0 +1,137 @@
+#include "baselines/knn.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "baselines/distance.h"
+#include "util/parallel.h"
+
+namespace dcam {
+namespace baselines {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::string MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kEuclidean:
+      return "ED";
+    case Metric::kDtwIndependent:
+      return "DTW_I";
+    case Metric::kDtwDependent:
+      return "DTW_D";
+  }
+  return "?";
+}
+
+KnnClassifier::KnnClassifier(const KnnOptions& options) : options_(options) {
+  DCAM_CHECK_GE(options.k, 1);
+}
+
+void KnnClassifier::Fit(const data::Dataset& train) {
+  DCAM_CHECK_GT(train.size(), 0) << "empty training set";
+  DCAM_CHECK_GE(train.num_classes, 2);
+  train_ = train;
+  pruned_.store(0, std::memory_order_relaxed);
+}
+
+double KnnClassifier::Distance(const Tensor& a, const Tensor& b,
+                               double cutoff) const {
+  switch (options_.metric) {
+    case Metric::kEuclidean:
+      return SquaredEuclidean(a, b);
+    case Metric::kDtwIndependent:
+      return DtwIndependent(a, b, options_.band,
+                            options_.prune ? cutoff : kInf);
+    case Metric::kDtwDependent:
+      return DtwDependent(a, b, options_.band,
+                          options_.prune ? cutoff : kInf);
+  }
+  return kInf;
+}
+
+int KnnClassifier::Predict(const Tensor& series) const {
+  DCAM_CHECK_GT(train_.size(), 0) << "Predict before Fit";
+  DCAM_CHECK_EQ(series.rank(), 2);
+  DCAM_CHECK_EQ(series.dim(0), train_.dims());
+  DCAM_CHECK_EQ(series.dim(1), train_.length());
+
+  const int64_t n_train = train_.size();
+  const bool dtw = options_.metric != Metric::kEuclidean;
+
+  // Scan order: ascending LB_Keogh for DTW metrics so the k-NN cutoff
+  // tightens as early as possible; natural order otherwise.
+  std::vector<int64_t> order(static_cast<size_t>(n_train));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> lb;
+  if (dtw && options_.prune) {
+    lb.resize(static_cast<size_t>(n_train));
+    for (int64_t i = 0; i < n_train; ++i) {
+      lb[static_cast<size_t>(i)] =
+          LbKeogh(series, train_.Instance(i), options_.band);
+    }
+    std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return lb[static_cast<size_t>(a)] < lb[static_cast<size_t>(b)];
+    });
+  }
+
+  // (distance, label) heap of the current k best.
+  std::vector<std::pair<double, int>> best;  // sorted ascending by distance
+  auto worst = [&]() {
+    return best.size() < static_cast<size_t>(options_.k) ? kInf
+                                                         : best.back().first;
+  };
+  for (int64_t idx : order) {
+    const double cutoff = worst();
+    if (dtw && options_.prune && lb[static_cast<size_t>(idx)] >= cutoff) {
+      pruned_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const double d = Distance(series, train_.Instance(idx), cutoff);
+    if (d >= cutoff) continue;
+    best.emplace_back(d, train_.y[static_cast<size_t>(idx)]);
+    std::sort(best.begin(), best.end());
+    if (best.size() > static_cast<size_t>(options_.k)) best.pop_back();
+  }
+
+  DCAM_CHECK(!best.empty());
+  // Majority vote; ties resolved toward the nearest member of the tied
+  // classes (scan `best` ascending).
+  std::map<int, int> votes;
+  int top_votes = 0;
+  for (const auto& [dist, label] : best) {
+    (void)dist;
+    top_votes = std::max(top_votes, ++votes[label]);
+  }
+  for (const auto& [dist, label] : best) {
+    (void)dist;
+    if (votes[label] == top_votes) return label;
+  }
+  return best.front().second;
+}
+
+std::vector<int> KnnClassifier::PredictAll(const data::Dataset& test) const {
+  std::vector<int> preds(static_cast<size_t>(test.size()), 0);
+  ParallelFor(0, test.size(), [&](int64_t i) {
+    preds[static_cast<size_t>(i)] = Predict(test.Instance(i));
+  });
+  return preds;
+}
+
+double KnnClassifier::Score(const data::Dataset& test) const {
+  DCAM_CHECK_GT(test.size(), 0);
+  const std::vector<int> preds = PredictAll(test);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    if (preds[static_cast<size_t>(i)] == test.y[static_cast<size_t>(i)]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace baselines
+}  // namespace dcam

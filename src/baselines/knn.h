@@ -1,0 +1,78 @@
+// k-nearest-neighbour classifier over multivariate data series — the
+// classical baseline the paper's introduction cites ("k-NN classification
+// (using the Euclidean or Dynamic Time Warping (DTW) distances) being a
+// popular baseline method [12]").
+//
+// Lazy learner: Fit stores the training set; Predict scans it per query.
+// DTW scans prune with LB_Keogh ordered by lower bound (the standard
+// UCR-suite trick), which typically skips the large majority of full DTW
+// evaluations.
+
+#ifndef DCAM_BASELINES_KNN_H_
+#define DCAM_BASELINES_KNN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/series.h"
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace baselines {
+
+enum class Metric {
+  kEuclidean,
+  kDtwIndependent,
+  kDtwDependent,
+};
+
+std::string MetricName(Metric metric);
+
+struct KnnOptions {
+  int k = 1;
+  Metric metric = Metric::kEuclidean;
+  /// Sakoe-Chiba half-width for the DTW metrics; < 0 = unconstrained. The
+  /// UCR-suite convention of ~10% of the series length is a good default.
+  int64_t band = -1;
+  /// Use LB_Keogh + early abandoning to prune DTW scans.
+  bool prune = true;
+};
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(const KnnOptions& options = {});
+
+  /// Stores (a reference-counted copy of) the training set.
+  void Fit(const data::Dataset& train);
+
+  /// Predicts the class of one (D, n) series by majority vote among the k
+  /// nearest training instances (ties break toward the nearer neighbour).
+  int Predict(const Tensor& series) const;
+
+  /// Predicts every instance of `test`; returns predictions in order.
+  std::vector<int> PredictAll(const data::Dataset& test) const;
+
+  /// Classification accuracy over `test` (C-acc in the paper's terms).
+  double Score(const data::Dataset& test) const;
+
+  /// Number of full distance evaluations avoided by pruning since Fit
+  /// (diagnostic; 0 for the Euclidean metric). Thread-safe: PredictAll
+  /// increments it from worker threads.
+  int64_t pruned_count() const {
+    return pruned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double Distance(const Tensor& a, const Tensor& b, double cutoff) const;
+
+  KnnOptions options_;
+  data::Dataset train_;
+  mutable std::atomic<int64_t> pruned_{0};
+};
+
+}  // namespace baselines
+}  // namespace dcam
+
+#endif  // DCAM_BASELINES_KNN_H_

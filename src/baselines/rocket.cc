@@ -1,0 +1,285 @@
+#include "baselines/rocket.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace baselines {
+namespace {
+
+// Solves (A + lambda I) X = B for symmetric positive definite A via Cholesky.
+// A is n x n row-major and is overwritten by its factor; B is n x nrhs and
+// is overwritten by the solution.
+void SolveRidge(std::vector<double>* a, int n, std::vector<double>* b,
+                int nrhs, double lambda) {
+  std::vector<double>& A = *a;
+  std::vector<double>& B = *b;
+  for (int i = 0; i < n; ++i) A[static_cast<size_t>(i) * n + i] += lambda;
+
+  // Cholesky: A = L L^T, stored in the lower triangle.
+  for (int j = 0; j < n; ++j) {
+    double d = A[static_cast<size_t>(j) * n + j];
+    for (int k = 0; k < j; ++k) {
+      const double v = A[static_cast<size_t>(j) * n + k];
+      d -= v * v;
+    }
+    DCAM_CHECK_GT(d, 0.0) << "ridge system not positive definite";
+    const double ljj = std::sqrt(d);
+    A[static_cast<size_t>(j) * n + j] = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double s = A[static_cast<size_t>(i) * n + j];
+      for (int k = 0; k < j; ++k) {
+        s -= A[static_cast<size_t>(i) * n + k] *
+             A[static_cast<size_t>(j) * n + k];
+      }
+      A[static_cast<size_t>(i) * n + j] = s / ljj;
+    }
+  }
+  // Forward then backward substitution per right-hand side.
+  for (int r = 0; r < nrhs; ++r) {
+    for (int i = 0; i < n; ++i) {
+      double s = B[static_cast<size_t>(i) * nrhs + r];
+      for (int k = 0; k < i; ++k) {
+        s -= A[static_cast<size_t>(i) * n + k] *
+             B[static_cast<size_t>(k) * nrhs + r];
+      }
+      B[static_cast<size_t>(i) * nrhs + r] =
+          s / A[static_cast<size_t>(i) * n + i];
+    }
+    for (int i = n - 1; i >= 0; --i) {
+      double s = B[static_cast<size_t>(i) * nrhs + r];
+      for (int k = i + 1; k < n; ++k) {
+        s -= A[static_cast<size_t>(k) * n + i] *
+             B[static_cast<size_t>(k) * nrhs + r];
+      }
+      B[static_cast<size_t>(i) * nrhs + r] =
+          s / A[static_cast<size_t>(i) * n + i];
+    }
+  }
+}
+
+}  // namespace
+
+RocketClassifier::RocketClassifier(const RocketOptions& options)
+    : options_(options) {
+  DCAM_CHECK_GE(options.num_kernels, 1);
+  DCAM_CHECK_GT(options.lambda, 0.0);
+}
+
+void RocketClassifier::Fit(const data::Dataset& train) {
+  DCAM_CHECK_GT(train.size(), 0);
+  DCAM_CHECK_GE(train.num_classes, 2);
+  dims_ = train.dims();
+  length_ = train.length();
+  num_classes_ = train.num_classes;
+
+  // --- sample the kernel bank (reference hyperparameters) ---
+  Rng rng(options_.seed);
+  kernels_.clear();
+  kernels_.reserve(static_cast<size_t>(options_.num_kernels));
+  const int kLengths[3] = {7, 9, 11};
+  for (int k = 0; k < options_.num_kernels; ++k) {
+    Kernel kern;
+    kern.length = kLengths[rng.UniformInt(3)];
+    // Random channel subset: |subset| = 2^U[0, log2(D)] rounded, per the
+    // multivariate reference implementation.
+    const double max_exp =
+        std::log2(static_cast<double>(std::max<int64_t>(dims_, 1)));
+    const int num_ch = std::max(
+        1, static_cast<int>(std::round(std::pow(2.0, rng.Uniform(0, max_exp)))));
+    std::vector<int> all(static_cast<size_t>(dims_));
+    for (int64_t i = 0; i < dims_; ++i) all[static_cast<size_t>(i)] =
+        static_cast<int>(i);
+    rng.Shuffle(&all);
+    kern.channels.assign(all.begin(), all.begin() + num_ch);
+
+    kern.weights.resize(kern.channels.size() * static_cast<size_t>(kern.length));
+    // N(0,1) weights, mean-centered per channel.
+    for (size_t c = 0; c < kern.channels.size(); ++c) {
+      double mean = 0.0;
+      for (int i = 0; i < kern.length; ++i) {
+        const double w = rng.Normal();
+        kern.weights[c * static_cast<size_t>(kern.length) +
+                     static_cast<size_t>(i)] = static_cast<float>(w);
+        mean += w;
+      }
+      mean /= kern.length;
+      for (int i = 0; i < kern.length; ++i) {
+        kern.weights[c * static_cast<size_t>(kern.length) +
+                     static_cast<size_t>(i)] -= static_cast<float>(mean);
+      }
+    }
+    kern.bias = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    const double max_dil_exp = std::log2(
+        static_cast<double>(length_ - 1) / static_cast<double>(kern.length - 1));
+    kern.dilation = static_cast<int>(
+        std::pow(2.0, rng.Uniform(0.0, std::max(0.0, max_dil_exp))));
+    kern.padding = rng.UniformInt(2) == 0;
+    kernels_.push_back(std::move(kern));
+  }
+
+  // --- transform the training set ---
+  const int64_t n_inst = train.size();
+  const int num_feat = 2 * options_.num_kernels;
+  std::vector<std::vector<double>> feats(static_cast<size_t>(n_inst));
+  ParallelFor(0, n_inst, [&](int64_t i) {
+    feats[static_cast<size_t>(i)] = Transform(train.Instance(i));
+  });
+
+  // Standardize features (ridge is scale-sensitive).
+  feat_mean_.assign(static_cast<size_t>(num_feat), 0.0);
+  feat_inv_std_.assign(static_cast<size_t>(num_feat), 1.0);
+  for (const auto& f : feats) {
+    for (int j = 0; j < num_feat; ++j) feat_mean_[static_cast<size_t>(j)] += f[static_cast<size_t>(j)];
+  }
+  for (double& m : feat_mean_) m /= static_cast<double>(n_inst);
+  std::vector<double> var(static_cast<size_t>(num_feat), 0.0);
+  for (const auto& f : feats) {
+    for (int j = 0; j < num_feat; ++j) {
+      const double d = f[static_cast<size_t>(j)] - feat_mean_[static_cast<size_t>(j)];
+      var[static_cast<size_t>(j)] += d * d;
+    }
+  }
+  for (int j = 0; j < num_feat; ++j) {
+    const double v = var[static_cast<size_t>(j)] / static_cast<double>(n_inst);
+    feat_inv_std_[static_cast<size_t>(j)] = v > 1e-12 ? 1.0 / std::sqrt(v) : 0.0;
+  }
+
+  // --- ridge regression, one-vs-rest with targets +/-1 ---
+  // Solve in the dual when instances < features: (G + lambda I) alpha = Y
+  // with G = Z Z^T, then W = Z^T alpha. Z is the standardized feature matrix.
+  std::vector<std::vector<double>> z(static_cast<size_t>(n_inst));
+  for (int64_t i = 0; i < n_inst; ++i) {
+    z[static_cast<size_t>(i)].resize(static_cast<size_t>(num_feat));
+    for (int j = 0; j < num_feat; ++j) {
+      z[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          (feats[static_cast<size_t>(i)][static_cast<size_t>(j)] -
+           feat_mean_[static_cast<size_t>(j)]) *
+          feat_inv_std_[static_cast<size_t>(j)];
+    }
+  }
+  const int n = static_cast<int>(n_inst);
+  std::vector<double> gram(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double s = 0.0;
+      for (int f = 0; f < num_feat; ++f) {
+        s += z[static_cast<size_t>(i)][static_cast<size_t>(f)] *
+             z[static_cast<size_t>(j)][static_cast<size_t>(f)];
+      }
+      gram[static_cast<size_t>(i) * n + j] = s;
+      gram[static_cast<size_t>(j) * n + i] = s;
+    }
+  }
+  std::vector<double> targets(static_cast<size_t>(n) * num_classes_, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < num_classes_; ++c) {
+      targets[static_cast<size_t>(i) * num_classes_ + c] =
+          train.y[static_cast<size_t>(i)] == c ? 1.0 : -1.0;
+    }
+  }
+  SolveRidge(&gram, n, &targets, num_classes_, options_.lambda);
+
+  head_.assign(static_cast<size_t>(num_classes_),
+               std::vector<double>(static_cast<size_t>(num_feat) + 1, 0.0));
+  for (int c = 0; c < num_classes_; ++c) {
+    for (int f = 0; f < num_feat; ++f) {
+      double w = 0.0;
+      for (int i = 0; i < n; ++i) {
+        w += targets[static_cast<size_t>(i) * num_classes_ + c] *
+             z[static_cast<size_t>(i)][static_cast<size_t>(f)];
+      }
+      head_[static_cast<size_t>(c)][static_cast<size_t>(f)] = w;
+    }
+    // Features are centered, so the intercept is the class-target mean.
+    double b = 0.0;
+    for (int i = 0; i < n; ++i) {
+      b += train.y[static_cast<size_t>(i)] == c ? 1.0 : -1.0;
+    }
+    head_[static_cast<size_t>(c)].back() = b / n;
+  }
+}
+
+std::vector<double> RocketClassifier::Transform(const Tensor& series) const {
+  DCAM_CHECK(!kernels_.empty()) << "Transform before Fit";
+  DCAM_CHECK_EQ(series.rank(), 2);
+  DCAM_CHECK_EQ(series.dim(0), dims_);
+  DCAM_CHECK_EQ(series.dim(1), length_);
+
+  std::vector<double> feats;
+  feats.reserve(kernels_.size() * 2);
+  for (const Kernel& k : kernels_) {
+    const int span = (k.length - 1) * k.dilation;
+    const int pad = k.padding ? span / 2 : 0;
+    const int64_t out_len = length_ - span + 2 * pad;
+    int64_t positives = 0;
+    double maxv = -1e30;
+    for (int64_t o = 0; o < out_len; ++o) {
+      const int64_t start = o - pad;
+      double s = k.bias;
+      for (size_t c = 0; c < k.channels.size(); ++c) {
+        const float* row = series.data() +
+                           static_cast<int64_t>(k.channels[c]) * length_;
+        const float* w = k.weights.data() + c * static_cast<size_t>(k.length);
+        for (int i = 0; i < k.length; ++i) {
+          const int64_t t = start + static_cast<int64_t>(i) * k.dilation;
+          if (t < 0 || t >= length_) continue;
+          s += static_cast<double>(w[i]) * row[t];
+        }
+      }
+      if (s > 0.0) ++positives;
+      maxv = std::max(maxv, s);
+    }
+    feats.push_back(out_len > 0 ? static_cast<double>(positives) /
+                                      static_cast<double>(out_len)
+                                : 0.0);
+    feats.push_back(out_len > 0 ? maxv : 0.0);
+  }
+  return feats;
+}
+
+int RocketClassifier::Predict(const Tensor& series) const {
+  DCAM_CHECK(!head_.empty()) << "Predict before Fit";
+  const std::vector<double> f = Transform(series);
+  int best = 0;
+  double best_score = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto& w = head_[static_cast<size_t>(c)];
+    double s = w.back();
+    for (size_t j = 0; j < f.size(); ++j) {
+      s += w[j] * (f[j] - feat_mean_[j]) * feat_inv_std_[j];
+    }
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<int> RocketClassifier::PredictAll(
+    const data::Dataset& test) const {
+  std::vector<int> preds(static_cast<size_t>(test.size()), 0);
+  ParallelFor(0, test.size(), [&](int64_t i) {
+    preds[static_cast<size_t>(i)] = Predict(test.Instance(i));
+  });
+  return preds;
+}
+
+double RocketClassifier::Score(const data::Dataset& test) const {
+  DCAM_CHECK_GT(test.size(), 0);
+  const std::vector<int> preds = PredictAll(test);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    if (preds[static_cast<size_t>(i)] == test.y[static_cast<size_t>(i)]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace baselines
+}  // namespace dcam

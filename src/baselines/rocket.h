@@ -1,0 +1,84 @@
+// ROCKET (Dempster et al., 2020) — RandOm Convolutional KErnel Transform —
+// the fast non-deep classifier the paper's introduction cites among the
+// recent advances ("ROCKET: exceptionally fast and accurate time series
+// classification using random convolutional kernels" [14]).
+//
+// Pipeline: a fixed bank of random, dilated convolutional kernels (never
+// trained) maps each series to two features per kernel — PPV, the proportion
+// of positive convolution outputs, and the maximum output — and a ridge
+// classifier separates the classes in that feature space. Multivariate
+// series are handled as in the reference implementation: every kernel draws
+// a random subset of the dimensions and sums their responses.
+//
+// ROCKET gives the repository a strong classical yardstick for the C-acc
+// tables: accurate like the deep models and trained in seconds, but with no
+// activation structure for CAM/dCAM to explain — classification strength
+// alone does not buy explainability.
+
+#ifndef DCAM_BASELINES_ROCKET_H_
+#define DCAM_BASELINES_ROCKET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/series.h"
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace baselines {
+
+struct RocketOptions {
+  /// Number of random kernels (2 features each). The reference default is
+  /// 10000; a few hundred already separate easy problems.
+  int num_kernels = 1000;
+  /// Ridge regularization strength.
+  double lambda = 1.0;
+  uint64_t seed = 6;
+};
+
+class RocketClassifier {
+ public:
+  explicit RocketClassifier(const RocketOptions& options = {});
+
+  /// Samples the kernel bank for `train`'s shape, transforms the training
+  /// set and fits the ridge head (one-vs-rest, closed form).
+  void Fit(const data::Dataset& train);
+
+  /// Predicted class of one (D, n) series.
+  int Predict(const Tensor& series) const;
+
+  std::vector<int> PredictAll(const data::Dataset& test) const;
+
+  /// Classification accuracy over `test`.
+  double Score(const data::Dataset& test) const;
+
+  /// The 2 * num_kernels feature vector of one series (PPV and max per
+  /// kernel), exposed for tests and for reuse as generic features.
+  std::vector<double> Transform(const Tensor& series) const;
+
+ private:
+  struct Kernel {
+    std::vector<int> channels;   // dimension indices this kernel reads
+    std::vector<float> weights;  // channels.size() * length, row-major
+    float bias = 0.0f;
+    int length = 9;
+    int dilation = 1;
+    bool padding = false;
+  };
+
+  RocketOptions options_;
+  std::vector<Kernel> kernels_;
+  int64_t dims_ = 0;
+  int64_t length_ = 0;
+  int num_classes_ = 0;
+  /// Ridge weights, (num_classes) x (2 * num_kernels + 1) with bias column.
+  std::vector<std::vector<double>> head_;
+  /// Per-feature standardization (mean, inv_std) fitted on train.
+  std::vector<double> feat_mean_;
+  std::vector<double> feat_inv_std_;
+};
+
+}  // namespace baselines
+}  // namespace dcam
+
+#endif  // DCAM_BASELINES_ROCKET_H_

@@ -1,0 +1,43 @@
+#include "cam/grad_cam.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcam {
+namespace cam {
+
+Tensor GradCamFromActivation(const Tensor& activation,
+                             const Tensor& gradient) {
+  DCAM_CHECK_EQ(activation.rank(), 4);
+  DCAM_CHECK(activation.shape() == gradient.shape());
+  DCAM_CHECK_EQ(activation.dim(0), 1);
+  const int64_t nf = activation.dim(1), H = activation.dim(2),
+                W = activation.dim(3);
+  const int64_t plane = H * W;
+
+  std::vector<float> alpha(nf, 0.0f);
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (int64_t m = 0; m < nf; ++m) {
+    double acc = 0.0;
+    const float* g = gradient.data() + m * plane;
+    for (int64_t i = 0; i < plane; ++i) acc += g[i];
+    alpha[m] = static_cast<float>(acc) * inv;
+  }
+
+  Tensor out({H, W});
+  float* dst = out.data();
+  for (int64_t m = 0; m < nf; ++m) {
+    const float a = alpha[m];
+    if (a == 0.0f) continue;
+    const float* src = activation.data() + m * plane;
+    for (int64_t i = 0; i < plane; ++i) dst[i] += a * src[i];
+  }
+  for (int64_t i = 0; i < plane; ++i) {
+    if (dst[i] < 0.0f) dst[i] = 0.0f;
+  }
+  return out;
+}
+
+}  // namespace cam
+}  // namespace dcam

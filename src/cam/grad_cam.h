@@ -1,0 +1,21 @@
+// grad-CAM (Selvaraju et al. 2017): activation maps weighted by the mean of
+// the gradient of the class score w.r.t. each map, followed by ReLU. Used by
+// the MTEX-grad baseline (models/mtex.h wires it into both MTEX-CNN blocks);
+// exposed here as a standalone helper over any (activation, gradient) pair.
+
+#ifndef DCAM_CAM_GRAD_CAM_H_
+#define DCAM_CAM_GRAD_CAM_H_
+
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace cam {
+
+/// activation and gradient both (1, nf, H, W) -> grad-CAM map (H, W):
+///   alpha_m = mean_{h,w} grad[m];   map = ReLU(sum_m alpha_m * act[m]).
+Tensor GradCamFromActivation(const Tensor& activation, const Tensor& gradient);
+
+}  // namespace cam
+}  // namespace dcam
+
+#endif  // DCAM_CAM_GRAD_CAM_H_

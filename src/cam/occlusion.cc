@@ -1,0 +1,127 @@
+#include "cam/occlusion.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dcam {
+namespace cam {
+
+Tensor OcclusionMap(models::Model* model, const Tensor& series, int class_idx,
+                    const OcclusionOptions& options) {
+  DCAM_CHECK(model != nullptr);
+  DCAM_CHECK_EQ(series.rank(), 2);
+  DCAM_CHECK_GE(class_idx, 0);
+  DCAM_CHECK_LT(class_idx, model->num_classes());
+  DCAM_CHECK_GE(options.window, 1);
+  DCAM_CHECK_GE(options.stride, 1);
+  DCAM_CHECK_GE(options.batch, 1);
+
+  const int64_t d = series.dim(0);
+  const int64_t n = series.dim(1);
+  const int64_t window = std::min(options.window, n);
+
+  // Baseline logit of the unmodified series.
+  const Tensor one = series.Reshape({1, d, n});
+  const Tensor base_logits =
+      model->Forward(model->PrepareInput(one), /*training=*/false);
+  const float base = base_logits.at(0, class_idx);
+
+  // Per-dimension fill values.
+  std::vector<float> fill(static_cast<size_t>(d), 0.0f);
+  if (options.fill == OcclusionOptions::Fill::kDimensionMean) {
+    for (int64_t j = 0; j < d; ++j) {
+      double s = 0.0;
+      for (int64_t t = 0; t < n; ++t) s += series.at(j, t);
+      fill[static_cast<size_t>(j)] = static_cast<float>(s / n);
+    }
+  }
+
+  // Enumerate (dimension, start) cells.
+  std::vector<int64_t> starts;
+  for (int64_t s = 0; s + window <= n; s += options.stride) starts.push_back(s);
+  if (starts.empty() || starts.back() + window < n) {
+    starts.push_back(n - window);  // cover the tail
+  }
+
+  struct Cell {
+    int64_t dim;
+    int64_t start;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(static_cast<size_t>(d) * starts.size());
+  for (int64_t j = 0; j < d; ++j) {
+    for (int64_t s : starts) cells.push_back({j, s});
+  }
+
+  Tensor drop_sum({d, n});
+  Tensor cover({d, n});
+
+  for (size_t begin = 0; begin < cells.size();
+       begin += static_cast<size_t>(options.batch)) {
+    const size_t end =
+        std::min(cells.size(), begin + static_cast<size_t>(options.batch));
+    const int64_t b = static_cast<int64_t>(end - begin);
+
+    Tensor batch({b, d, n});
+    for (int64_t i = 0; i < b; ++i) {
+      std::copy(series.data(), series.data() + d * n,
+                batch.data() + i * d * n);
+      const Cell& cell = cells[begin + static_cast<size_t>(i)];
+      float* row = batch.data() + i * d * n + cell.dim * n;
+      for (int64_t t = cell.start; t < cell.start + window; ++t) {
+        row[t] = fill[static_cast<size_t>(cell.dim)];
+      }
+    }
+    const Tensor logits =
+        model->Forward(model->PrepareInput(batch), /*training=*/false);
+    for (int64_t i = 0; i < b; ++i) {
+      const Cell& cell = cells[begin + static_cast<size_t>(i)];
+      const float drop = base - logits.at(i, class_idx);
+      for (int64_t t = cell.start; t < cell.start + window; ++t) {
+        drop_sum.at(cell.dim, t) += drop;
+        cover.at(cell.dim, t) += 1.0f;
+      }
+    }
+  }
+
+  for (int64_t i = 0; i < drop_sum.size(); ++i) {
+    drop_sum[i] = cover[i] > 0.0f ? drop_sum[i] / cover[i] : 0.0f;
+  }
+  return drop_sum;
+}
+
+Tensor DimensionOcclusion(models::Model* model, const Tensor& series,
+                          int class_idx) {
+  DCAM_CHECK(model != nullptr);
+  DCAM_CHECK_EQ(series.rank(), 2);
+  DCAM_CHECK_GE(class_idx, 0);
+  DCAM_CHECK_LT(class_idx, model->num_classes());
+  const int64_t d = series.dim(0);
+  const int64_t n = series.dim(1);
+
+  const Tensor one = series.Reshape({1, d, n});
+  const float base =
+      model->Forward(model->PrepareInput(one), /*training=*/false)
+          .at(0, class_idx);
+
+  // One batch holding all D single-dimension-ablated variants.
+  Tensor batch({d, d, n});
+  for (int64_t v = 0; v < d; ++v) {
+    std::copy(series.data(), series.data() + d * n, batch.data() + v * d * n);
+    double mean = 0.0;
+    for (int64_t t = 0; t < n; ++t) mean += series.at(v, t);
+    mean /= static_cast<double>(n);
+    float* row = batch.data() + v * d * n + v * n;
+    for (int64_t t = 0; t < n; ++t) row[t] = static_cast<float>(mean);
+  }
+  const Tensor logits =
+      model->Forward(model->PrepareInput(batch), /*training=*/false);
+  Tensor drops({d});
+  for (int64_t v = 0; v < d; ++v) {
+    drops[v] = base - logits.at(v, class_idx);
+  }
+  return drops;
+}
+
+}  // namespace cam
+}  // namespace dcam

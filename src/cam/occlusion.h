@@ -1,0 +1,53 @@
+// Occlusion-based explanation baseline: slide a masking window over every
+// (dimension, time-window) cell, re-run the model, and record how much the
+// target class logit drops. A model-agnostic perturbation method (Zeiler &
+// Fergus) that works for ANY classifier — including the recurrent baselines
+// that CAM cannot explain — at the cost of one forward pass per occluded
+// window.
+//
+// The per-point map averages the logit drops of every window covering the
+// point, so overlapping strides yield smooth maps. Positive values mark
+// evidence FOR the class (occluding it hurts the logit).
+
+#ifndef DCAM_CAM_OCCLUSION_H_
+#define DCAM_CAM_OCCLUSION_H_
+
+#include <cstdint>
+
+#include "models/model.h"
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace cam {
+
+struct OcclusionOptions {
+  /// Window length in time steps.
+  int64_t window = 8;
+  /// Stride between window starts; <= window gives full coverage.
+  int64_t stride = 4;
+  /// What the occluded window is replaced with.
+  enum class Fill {
+    kZero,           // literal zeros
+    kDimensionMean,  // the mean of the occluded dimension
+  };
+  Fill fill = Fill::kDimensionMean;
+  /// Number of occluded variants evaluated per forward pass.
+  int batch = 32;
+};
+
+/// Returns the (D, n) occlusion map of `series` for `class_idx`.
+Tensor OcclusionMap(models::Model* model, const Tensor& series, int class_idx,
+                    const OcclusionOptions& options = {});
+
+/// Dimension-level importance: logit drop when each whole dimension is
+/// replaced by its mean, shape (D). One forward pass per dimension — the
+/// cheap first pass before a windowed OcclusionMap, and a direct answer to
+/// the paper's "which sensor matters" question (Figure 13(c)) for models
+/// without a CAM surface.
+Tensor DimensionOcclusion(models::Model* model, const Tensor& series,
+                          int class_idx);
+
+}  // namespace cam
+}  // namespace dcam
+
+#endif  // DCAM_CAM_OCCLUSION_H_

@@ -1,0 +1,71 @@
+// Gradient-based saliency baselines: vanilla gradient, gradient x input, and
+// SmoothGrad.
+//
+// The saliency benchmark the paper cites [25] (Ismail et al., NeurIPS 2020)
+// evaluates exactly this family on multivariate series; providing them here
+// lets dCAM be compared against gradient explanations on equal footing
+// (bench_ablation prints the Dr-acc of each).
+//
+// All maps are (D, n) over the RAW series: the gradient w.r.t. the model's
+// prepared input is folded back through the input reorganization
+// (models::PrepareConvInput). For d-variants each raw point T[j][t] appears
+// in D cells of the C(T) cube (cube[p][r][t] with (p+r) % D == j), so its
+// raw gradient is the sum over those cells.
+
+#ifndef DCAM_CAM_SALIENCY_H_
+#define DCAM_CAM_SALIENCY_H_
+
+#include <cstdint>
+
+#include "models/model.h"
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace cam {
+
+/// d logit[class_idx] / d T — signed gradient of the class logit w.r.t. the
+/// raw (D, n) series, folded back through the model's input layout.
+Tensor InputGradient(models::Model* model, const Tensor& series,
+                     int class_idx);
+
+/// |d logit / d T| — the classic saliency map (Simonyan et al.).
+Tensor GradientSaliency(models::Model* model, const Tensor& series,
+                        int class_idx);
+
+/// grad * input — sharper attribution for inputs whose scale carries
+/// meaning.
+Tensor GradientTimesInput(models::Model* model, const Tensor& series,
+                          int class_idx);
+
+struct SmoothGradOptions {
+  /// Number of noisy replicas averaged.
+  int samples = 25;
+  /// Noise scale as a fraction of the series' value range.
+  float noise_fraction = 0.1f;
+  uint64_t seed = 77;
+};
+
+/// SmoothGrad (Smilkov et al.): mean absolute gradient over Gaussian-noised
+/// copies of the series.
+Tensor SmoothGrad(models::Model* model, const Tensor& series, int class_idx,
+                  const SmoothGradOptions& options = {});
+
+struct IntegratedGradientsOptions {
+  /// Steps of the Riemann midpoint sum along the baseline->input path.
+  int steps = 32;
+  /// Baseline series; empty means the all-zeros series (after
+  /// z-normalization, the per-dimension mean).
+  Tensor baseline;
+};
+
+/// Integrated gradients (Sundararajan et al.): (x - x0) * mean over the
+/// straight-line path of d logit / d x. Satisfies completeness: the map sums
+/// to logit(x) - logit(x0) up to discretization error.
+Tensor IntegratedGradients(models::Model* model, const Tensor& series,
+                           int class_idx,
+                           const IntegratedGradientsOptions& options = {});
+
+}  // namespace cam
+}  // namespace dcam
+
+#endif  // DCAM_CAM_SALIENCY_H_

@@ -1,0 +1,42 @@
+#include "core/cube.h"
+
+#include "models/model.h"
+
+namespace dcam {
+namespace core {
+
+Tensor BuildCube(const Tensor& series) {
+  DCAM_CHECK_EQ(series.rank(), 2);
+  const int64_t D = series.dim(0), n = series.dim(1);
+  Tensor batch = series.Reshape({1, D, n});
+  Tensor cube = models::PrepareConvInput(batch, models::InputMode::kCube);
+  return cube.Reshape({D, D, n});
+}
+
+Tensor ApplyPermutation(const Tensor& series, const std::vector<int>& perm) {
+  DCAM_CHECK_EQ(series.rank(), 2);
+  const int64_t D = series.dim(0), n = series.dim(1);
+  DCAM_CHECK_EQ(static_cast<int64_t>(perm.size()), D);
+  Tensor out({D, n});
+  for (int64_t q = 0; q < D; ++q) {
+    const int src = perm[q];
+    DCAM_CHECK_GE(src, 0);
+    DCAM_CHECK_LT(src, D);
+    const float* s = series.data() + src * n;
+    float* d = out.data() + q * n;
+    std::copy(s, s + n, d);
+  }
+  return out;
+}
+
+int RowIndex(int dim_in_s, int pos, int dims) {
+  DCAM_CHECK_GT(dims, 0);
+  DCAM_CHECK_GE(dim_in_s, 0);
+  DCAM_CHECK_LT(dim_in_s, dims);
+  DCAM_CHECK_GE(pos, 0);
+  DCAM_CHECK_LT(pos, dims);
+  return ((dim_in_s - pos) % dims + dims) % dims;
+}
+
+}  // namespace core
+}  // namespace dcam

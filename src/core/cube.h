@@ -1,0 +1,36 @@
+// The C(T) input data structure of dCNN (Section 4.2) and the row-index
+// function idx (Definition 1) that dCAM's M transformation relies on.
+//
+// Layout convention (matches models::PrepareConvInput(kCube)):
+//   cube[p][r][t] = series[(p + r) % D][t]
+// i.e. axis 0 is the position within a row (the Conv2d channel), axis 1 is
+// the row of C(T) (the Conv2d height), axis 2 is time. Row r holds the
+// dimensions cyclically shifted by r, so every row and every column contains
+// each dimension exactly once, and a given dimension is never at the same
+// position in two rows — the property Definition 1 inverts.
+
+#ifndef DCAM_CORE_CUBE_H_
+#define DCAM_CORE_CUBE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace core {
+
+/// Builds C(T) for a single (D, n) series -> (D, D, n).
+Tensor BuildCube(const Tensor& series);
+
+/// Reorders the dimensions of a (D, n) series: out[q] = in[perm[q]].
+Tensor ApplyPermutation(const Tensor& series, const std::vector<int>& perm);
+
+/// Definition 1: the row of C(S) in which dimension-index `dim_in_s` of the
+/// (already permuted) series S appears at position `pos`. With the cyclic
+/// construction this is r = (dim_in_s - pos) mod D.
+int RowIndex(int dim_in_s, int pos, int dims);
+
+}  // namespace core
+}  // namespace dcam
+
+#endif  // DCAM_CORE_CUBE_H_

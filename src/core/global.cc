@@ -1,0 +1,57 @@
+#include "core/global.h"
+
+#include "util/check.h"
+
+namespace dcam {
+namespace core {
+
+GlobalExplanation AggregateDcams(const std::vector<Tensor>& dcams,
+                                 const std::vector<std::vector<int>>& segments,
+                                 int num_segments) {
+  DCAM_CHECK(!dcams.empty());
+  DCAM_CHECK_EQ(dcams.size(), segments.size());
+  DCAM_CHECK_GT(num_segments, 0);
+  const int64_t N = static_cast<int64_t>(dcams.size());
+  const int64_t D = dcams[0].dim(0);
+
+  GlobalExplanation out;
+  out.max_per_sensor = Tensor({N, D});
+  out.mean_per_sensor_segment = Tensor({D, num_segments});
+  out.segment_support.assign(num_segments, 0);
+
+  Tensor sums({D, num_segments});
+  std::vector<int64_t> counts(num_segments, 0);
+
+  for (int64_t i = 0; i < N; ++i) {
+    const Tensor& m = dcams[i];
+    DCAM_CHECK_EQ(m.rank(), 2);
+    DCAM_CHECK_EQ(m.dim(0), D);
+    const int64_t n = m.dim(1);
+    DCAM_CHECK_EQ(static_cast<int64_t>(segments[i].size()), n);
+    for (int64_t d = 0; d < D; ++d) {
+      float mx = m.at(d, 0);
+      for (int64_t t = 1; t < n; ++t) mx = std::max(mx, m.at(d, t));
+      out.max_per_sensor.at(i, d) = mx;
+    }
+    for (int64_t t = 0; t < n; ++t) {
+      const int g = segments[i][t];
+      DCAM_CHECK_GE(g, 0);
+      DCAM_CHECK_LT(g, num_segments);
+      ++counts[g];
+      for (int64_t d = 0; d < D; ++d) sums.at(d, g) += m.at(d, t);
+    }
+  }
+  for (int g = 0; g < num_segments; ++g) {
+    out.segment_support[g] = counts[g];
+  }
+  for (int64_t d = 0; d < D; ++d) {
+    for (int g = 0; g < num_segments; ++g) {
+      out.mean_per_sensor_segment.at(d, g) =
+          counts[g] > 0 ? sums.at(d, g) / static_cast<float>(counts[g]) : 0.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace dcam

@@ -1,0 +1,193 @@
+#include "core/variants.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace dcam {
+namespace core {
+namespace {
+
+// mu_t = sum_{d,p} mbar[d][p][t] / (2 * D) (Section 4.4.3).
+Tensor ComputeMu(const Tensor& mbar) {
+  const int64_t D = mbar.dim(0), n = mbar.dim(2);
+  Tensor mu({n});
+  for (int64_t d = 0; d < D; ++d) {
+    for (int64_t p = 0; p < D; ++p) {
+      const float* row = mbar.data() + (d * D + p) * n;
+      for (int64_t t = 0; t < n; ++t) mu[t] += row[t];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(2 * D);
+  for (int64_t t = 0; t < n; ++t) mu[t] *= inv;
+  return mu;
+}
+
+double RelativeL2Delta(const Tensor& a, const Tensor& b) {
+  double num = 0.0, den = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    num += d * d;
+    den += static_cast<double>(b[i]) * b[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(num / den);
+}
+
+}  // namespace
+
+std::string ExtractionRuleName(ExtractionRule rule) {
+  switch (rule) {
+    case ExtractionRule::kVarianceTimesMu:
+      return "var*mu";
+    case ExtractionRule::kVarianceOnly:
+      return "var";
+    case ExtractionRule::kMeanOnly:
+      return "mean";
+    case ExtractionRule::kMadTimesMu:
+      return "mad*mu";
+  }
+  return "?";
+}
+
+const std::vector<ExtractionRule>& AllExtractionRules() {
+  static const std::vector<ExtractionRule> kAll = {
+      ExtractionRule::kVarianceTimesMu, ExtractionRule::kVarianceOnly,
+      ExtractionRule::kMeanOnly, ExtractionRule::kMadTimesMu};
+  return kAll;
+}
+
+Tensor ExtractWithRule(const Tensor& mbar, ExtractionRule rule) {
+  DCAM_CHECK_EQ(mbar.rank(), 3);
+  const int64_t D = mbar.dim(0), n = mbar.dim(2);
+  DCAM_CHECK_EQ(mbar.dim(1), D);
+
+  if (rule == ExtractionRule::kVarianceTimesMu) {
+    Tensor map, mu;
+    ExtractDcam(mbar, &map, &mu);
+    return map;
+  }
+
+  const Tensor mu = ComputeMu(mbar);
+  Tensor map({D, n});
+  for (int64_t d = 0; d < D; ++d) {
+    for (int64_t t = 0; t < n; ++t) {
+      double sum = 0.0, sq = 0.0;
+      for (int64_t p = 0; p < D; ++p) {
+        const double v = mbar.at(d, p, t);
+        sum += v;
+        sq += v * v;
+      }
+      const double mean = sum / D;
+      switch (rule) {
+        case ExtractionRule::kVarianceOnly: {
+          double var = sq / D - mean * mean;
+          if (var < 0.0) var = 0.0;
+          map.at(d, t) = static_cast<float>(var);
+          break;
+        }
+        case ExtractionRule::kMeanOnly:
+          map.at(d, t) = static_cast<float>(mean);
+          break;
+        case ExtractionRule::kMadTimesMu: {
+          double mad = 0.0;
+          for (int64_t p = 0; p < D; ++p) {
+            mad += std::fabs(mbar.at(d, p, t) - mean);
+          }
+          mad /= D;
+          map.at(d, t) = static_cast<float>(mad) * mu[t];
+          break;
+        }
+        case ExtractionRule::kVarianceTimesMu:
+          break;  // handled above
+      }
+    }
+  }
+  return map;
+}
+
+AdaptiveDcamResult ComputeDcamAdaptive(models::GapModel* model,
+                                       const Tensor& series, int class_idx,
+                                       const AdaptiveDcamOptions& options) {
+  DCAM_CHECK(model != nullptr);
+  DCAM_CHECK_EQ(series.rank(), 2);
+  DCAM_CHECK_GE(options.batch, 1);
+  DCAM_CHECK_GE(options.max_k, options.batch);
+  DCAM_CHECK_GT(options.tolerance, 0.0);
+  DCAM_CHECK_GE(options.stable_batches, 1);
+  const int64_t D = series.dim(0), n = series.dim(1);
+
+  Rng rng(options.seed);
+  std::vector<int> identity(static_cast<size_t>(D));
+  std::iota(identity.begin(), identity.end(), 0);
+
+  AdaptiveDcamResult out;
+  Tensor msum({D, D, n});
+  Tensor prev_map;
+  int stable = 0;
+  int num_correct = 0;
+  int k = 0;
+
+  while (k < options.max_k) {
+    const int take = std::min(options.batch, options.max_k - k);
+    for (int i = 0; i < take; ++i) {
+      const std::vector<int> perm = (k == 0 && options.include_identity)
+                                        ? identity
+                                        : rng.Permutation(static_cast<int>(D));
+      if (AccumulatePermutation(model, series, class_idx, perm, &msum)) {
+        ++num_correct;
+      }
+      ++k;
+    }
+
+    // Current M-bar = msum / k; extraction is scale-covariant in a way that
+    // does not affect the relative-delta criterion, but use the true average
+    // so result.mbar is exactly the paper's object.
+    Tensor mbar = msum.Clone();
+    const float inv = 1.0f / static_cast<float>(k);
+    for (int64_t i = 0; i < mbar.size(); ++i) mbar[i] *= inv;
+    Tensor map, mu;
+    ExtractDcam(mbar, &map, &mu);
+
+    if (!prev_map.empty()) {
+      const double delta = RelativeL2Delta(map, prev_map);
+      out.deltas.push_back(delta);
+      if (delta < options.tolerance) {
+        if (++stable >= options.stable_batches) {
+          out.converged = true;
+          out.result.dcam = std::move(map);
+          out.result.mbar = std::move(mbar);
+          out.result.mu = std::move(mu);
+          break;
+        }
+      } else {
+        stable = 0;
+      }
+    }
+    prev_map = map;
+    out.result.dcam = std::move(map);
+    out.result.mbar = std::move(mbar);
+    out.result.mu = std::move(mu);
+  }
+
+  out.k_used = k;
+  out.result.k = k;
+  out.result.num_correct = num_correct;
+  return out;
+}
+
+Tensor ContrastiveDcam(models::GapModel* model, const Tensor& series,
+                       int class_a, int class_b, const DcamOptions& options) {
+  DCAM_CHECK_NE(class_a, class_b);
+  const DcamResult a = ComputeDcam(model, series, class_a, options);
+  const DcamResult b = ComputeDcam(model, series, class_b, options);
+  Tensor diff(a.dcam.shape());
+  for (int64_t i = 0; i < diff.size(); ++i) {
+    diff[i] = a.dcam[i] - b.dcam[i];
+  }
+  return diff;
+}
+
+}  // namespace core
+}  // namespace dcam

@@ -1,0 +1,178 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dcam {
+namespace data {
+namespace {
+
+void CheckSeries(const Tensor& series) {
+  DCAM_CHECK_EQ(series.rank(), 2);
+  DCAM_CHECK_GT(series.dim(0), 0);
+  DCAM_CHECK_GT(series.dim(1), 0);
+}
+
+// Linear resample of one row from `src` positions [0, len) to `out_len`
+// points.
+void ResampleRow(const float* src, int64_t len, float* dst, int64_t out_len) {
+  for (int64_t i = 0; i < out_len; ++i) {
+    const double pos = out_len == 1
+                           ? 0.0
+                           : static_cast<double>(i) * (len - 1) / (out_len - 1);
+    const int64_t lo = static_cast<int64_t>(pos);
+    const int64_t hi = std::min(lo + 1, len - 1);
+    const double frac = pos - static_cast<double>(lo);
+    dst[i] = static_cast<float>((1.0 - frac) * src[lo] + frac * src[hi]);
+  }
+}
+
+}  // namespace
+
+Tensor Jitter(const Tensor& series, float stddev, Rng* rng) {
+  CheckSeries(series);
+  DCAM_CHECK_GE(stddev, 0.0f);
+  DCAM_CHECK(rng != nullptr);
+  Tensor out = series.Clone();
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out[i] += static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& series, float stddev, Rng* rng) {
+  CheckSeries(series);
+  DCAM_CHECK_GE(stddev, 0.0f);
+  DCAM_CHECK(rng != nullptr);
+  const int64_t d = series.dim(0), n = series.dim(1);
+  Tensor out = series.Clone();
+  for (int64_t j = 0; j < d; ++j) {
+    const float f = static_cast<float>(rng->Normal(1.0, stddev));
+    float* row = out.data() + j * n;
+    for (int64_t t = 0; t < n; ++t) row[t] *= f;
+  }
+  return out;
+}
+
+Tensor TimeMask(const Tensor& series, int64_t mask_len, int num_masks,
+                Rng* rng) {
+  CheckSeries(series);
+  DCAM_CHECK_GE(num_masks, 0);
+  DCAM_CHECK(rng != nullptr);
+  const int64_t d = series.dim(0), n = series.dim(1);
+  DCAM_CHECK_GE(mask_len, 1);
+  DCAM_CHECK_LE(mask_len, n);
+  Tensor out = series.Clone();
+  for (int m = 0; m < num_masks; ++m) {
+    const int64_t dim = rng->UniformInt(d);
+    const int64_t start = rng->UniformInt(n - mask_len + 1);
+    float* row = out.data() + dim * n;
+    for (int64_t t = start; t < start + mask_len; ++t) row[t] = 0.0f;
+  }
+  return out;
+}
+
+Tensor WindowWarp(const Tensor& series, int64_t window, float factor,
+                  Rng* rng, Tensor* mask) {
+  CheckSeries(series);
+  DCAM_CHECK(rng != nullptr);
+  DCAM_CHECK_GT(factor, 0.0f);
+  const int64_t d = series.dim(0), n = series.dim(1);
+  DCAM_CHECK_GE(window, 2);
+  DCAM_CHECK_LE(window, n);
+  if (mask != nullptr && !mask->empty()) {
+    DCAM_CHECK(mask->shape() == series.shape());
+  }
+
+  const int64_t start = rng->UniformInt(n - window + 1);
+  const int64_t warped_len =
+      std::max<int64_t>(2, static_cast<int64_t>(std::lround(
+                               static_cast<double>(window) * factor)));
+  const int64_t mid_len = (start) + warped_len + (n - start - window);
+
+  auto warp_rows = [&](const Tensor& src, Tensor* dst, bool binary) {
+    std::vector<float> scratch(static_cast<size_t>(mid_len));
+    std::vector<float> warped(static_cast<size_t>(warped_len));
+    for (int64_t j = 0; j < d; ++j) {
+      const float* row = src.data() + j * n;
+      // 1. stretch/squeeze the window
+      ResampleRow(row + start, window, warped.data(), warped_len);
+      // 2. concatenate prefix + warped + suffix
+      std::copy(row, row + start, scratch.data());
+      std::copy(warped.begin(), warped.end(), scratch.data() + start);
+      std::copy(row + start + window, row + n,
+                scratch.data() + start + warped_len);
+      // 3. resample the whole thing back to n
+      float* out_row = dst->data() + j * n;
+      ResampleRow(scratch.data(), mid_len, out_row, n);
+      if (binary) {
+        for (int64_t t = 0; t < n; ++t) {
+          out_row[t] = out_row[t] >= 0.5f ? 1.0f : 0.0f;
+        }
+      }
+    }
+  };
+
+  Tensor out({d, n});
+  warp_rows(series, &out, /*binary=*/false);
+  if (mask != nullptr && !mask->empty()) {
+    Tensor warped_mask({d, n});
+    warp_rows(*mask, &warped_mask, /*binary=*/true);
+    *mask = std::move(warped_mask);
+  }
+  return out;
+}
+
+Dataset Augment(const Dataset& dataset, const AugmentOptions& options) {
+  DCAM_CHECK_GT(dataset.size(), 0);
+  DCAM_CHECK_GE(options.copies, 0);
+  const int64_t n_orig = dataset.size();
+  const int64_t d = dataset.dims(), n = dataset.length();
+  const int64_t n_out = n_orig * (1 + options.copies);
+  const bool has_mask = !dataset.mask.empty();
+
+  Rng rng(options.seed);
+  Dataset out;
+  out.name = dataset.name + "+aug";
+  out.num_classes = dataset.num_classes;
+  out.X = Tensor({n_out, d, n});
+  if (has_mask) out.mask = Tensor({n_out, d, n});
+  out.y.reserve(static_cast<size_t>(n_out));
+
+  int64_t row = 0;
+  auto emit = [&](const Tensor& series, const Tensor& mask, int label) {
+    std::copy(series.data(), series.data() + d * n, out.X.data() + row * d * n);
+    if (has_mask) {
+      std::copy(mask.data(), mask.data() + d * n,
+                out.mask.data() + row * d * n);
+    }
+    out.y.push_back(label);
+    ++row;
+  };
+
+  for (int64_t i = 0; i < n_orig; ++i) {
+    const Tensor series = dataset.Instance(i);
+    const Tensor mask = has_mask ? dataset.InstanceMask(i) : Tensor();
+    emit(series, mask, dataset.y[static_cast<size_t>(i)]);
+    for (int c = 0; c < options.copies; ++c) {
+      Tensor aug = Jitter(series, options.jitter_stddev, &rng);
+      aug = Scale(aug, options.scale_stddev, &rng);
+      Tensor aug_mask = has_mask ? mask.Clone() : Tensor();
+      if (rng.Uniform() < options.warp_probability) {
+        const float factor = static_cast<float>(rng.Uniform(
+            options.warp_factor_low, options.warp_factor_high));
+        aug = WindowWarp(aug, std::min(options.warp_window, n), factor, &rng,
+                         has_mask ? &aug_mask : nullptr);
+      }
+      emit(aug, aug_mask, dataset.y[static_cast<size_t>(i)]);
+    }
+  }
+  DCAM_CHECK_EQ(row, n_out);
+  return out;
+}
+
+}  // namespace data
+}  // namespace dcam

@@ -1,0 +1,64 @@
+// Time-series data augmentation (Le Guennec et al., the paper's reference
+// [32]): label-preserving transforms that expand a training set so the
+// convolutional models generalize from the small per-class counts typical of
+// the UCR/UEA problems.
+//
+// All transforms are (D, n) -> (D, n) and mask-aware: when an instance
+// carries a ground-truth discriminant mask, the mask undergoes exactly the
+// same temporal transform, so Dr-acc evaluation stays valid on augmented
+// data.
+
+#ifndef DCAM_DATA_AUGMENT_H_
+#define DCAM_DATA_AUGMENT_H_
+
+#include <cstdint>
+
+#include "data/series.h"
+#include "tensor/tensor.h"
+
+namespace dcam {
+
+class Rng;
+
+namespace data {
+
+/// Adds N(0, stddev) noise to every point.
+Tensor Jitter(const Tensor& series, float stddev, Rng* rng);
+
+/// Multiplies each dimension by an independent N(1, stddev) factor.
+Tensor Scale(const Tensor& series, float stddev, Rng* rng);
+
+/// Zeroes `num_masks` random windows of length `mask_len` in random
+/// dimensions (time cutout).
+Tensor TimeMask(const Tensor& series, int64_t mask_len, int num_masks,
+                Rng* rng);
+
+/// Window warping: a random window of `window` steps is stretched by
+/// `factor` (> 1) or squeezed (< 1) via linear interpolation and the whole
+/// series resampled back to length n. Writes the warped 0/1 mask through
+/// `mask` when non-null (same index mapping, threshold 0.5).
+Tensor WindowWarp(const Tensor& series, int64_t window, float factor,
+                  Rng* rng, Tensor* mask = nullptr);
+
+struct AugmentOptions {
+  /// Augmented copies generated per original instance.
+  int copies = 1;
+  float jitter_stddev = 0.05f;
+  float scale_stddev = 0.1f;
+  /// Probability that a copy is window-warped (with the settings below).
+  double warp_probability = 0.5;
+  int64_t warp_window = 16;
+  float warp_factor_low = 0.75f;
+  float warp_factor_high = 1.25f;
+  uint64_t seed = 1234;
+};
+
+/// Returns `dataset` plus `copies` augmented variants of every instance
+/// (jitter + scale, optionally window-warped). Labels are preserved; masks,
+/// when present, are transformed alongside.
+Dataset Augment(const Dataset& dataset, const AugmentOptions& options = {});
+
+}  // namespace data
+}  // namespace dcam
+
+#endif  // DCAM_DATA_AUGMENT_H_

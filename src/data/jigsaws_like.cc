@@ -1,0 +1,144 @@
+#include "data/jigsaws_like.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace data {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+const char* kGroupNames[kNumGroups] = {"PSM-L", "PSM-R", "MTM-L", "MTM-R"};
+
+// Role of sensor j within a group of s sensors.
+enum class Role { kPosition, kRotation, kVelocity, kGripper };
+
+Role SensorRole(int j, int s) {
+  if (j == s - 1) return Role::kGripper;
+  if (j < 3) return Role::kPosition;
+  // Remaining sensors split ~60/40 between rotation and velocity, mirroring
+  // the real 9 rotation + 6 velocity layout.
+  const int non_fixed = s - 4;
+  const int rot = std::max(1, non_fixed * 3 / 5);
+  return (j - 3) < rot ? Role::kRotation : Role::kVelocity;
+}
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kPosition:
+      return "pos";
+    case Role::kRotation:
+      return "rot";
+    case Role::kVelocity:
+      return "vel";
+    case Role::kGripper:
+      return "gripper";
+  }
+  return "?";
+}
+
+}  // namespace
+
+JigsawsLike BuildJigsawsLike(const JigsawsLikeConfig& config) {
+  DCAM_CHECK_GE(config.sensors_per_group, 4);
+  DCAM_CHECK_LE(config.sensors_per_group, kSensorsPerGroup);
+  DCAM_CHECK_GE(config.length, kNumGestures * 4)
+      << "need a few steps per gesture";
+  const int s = config.sensors_per_group;
+  const int D = s * kNumGroups;
+  const int n = config.length;
+  const int N = config.novices + config.intermediates + config.experts;
+  DCAM_CHECK_GT(N, 0);
+  const int seg = n / kNumGestures;
+
+  JigsawsLike out;
+  out.dataset.name = "JIGSAWS-like";
+  out.dataset.num_classes = 3;
+  out.dataset.X = Tensor({N, D, n});
+  out.dataset.y.resize(N);
+  out.gestures.resize(N);
+
+  // Sensor names and the artifact ground truth: MTM gripper angles plus the
+  // leading tooltip-rotation sensors of PSM-R / MTM-R.
+  for (int g = 0; g < kNumGroups; ++g) {
+    for (int j = 0; j < s; ++j) {
+      const Role role = SensorRole(j, s);
+      out.sensor_names.push_back(std::string(kGroupNames[g]) + "/" +
+                                 RoleName(role) + "_" + std::to_string(j));
+    }
+  }
+  auto sensor_index = [&](int group, int j) { return group * s + j; };
+  out.artifact_sensors = {
+      sensor_index(2, s - 1),  // MTM-L gripper angle
+      sensor_index(3, s - 1),  // MTM-R gripper angle
+      sensor_index(1, 3),      // PSM-R tooltip rotation
+      sensor_index(3, 3),      // MTM-R tooltip rotation
+  };
+  out.artifact_gestures = {5, 8};  // G6 and G9 (0-based ids)
+
+  auto is_artifact_sensor = [&](int d) {
+    for (int a : out.artifact_sensors) {
+      if (a == d) return true;
+    }
+    return false;
+  };
+  auto is_artifact_gesture = [&](int g) {
+    for (int a : out.artifact_gestures) {
+      if (a == g) return true;
+    }
+    return false;
+  };
+
+  Rng rng(config.seed);
+  for (int i = 0; i < N; ++i) {
+    const int cls = i < config.novices
+                        ? 0
+                        : (i < config.novices + config.intermediates ? 1 : 2);
+    out.dataset.y[i] = cls;
+    out.gestures[i].resize(n);
+    for (int t = 0; t < n; ++t) {
+      out.gestures[i][t] = std::min(kNumGestures - 1, t / seg);
+    }
+
+    float* inst = out.dataset.X.data() + static_cast<int64_t>(i) * D * n;
+    for (int d = 0; d < D; ++d) {
+      const Role role = SensorRole(d % s, s);
+      float* row = inst + d * n;
+      // Smooth baseline motion: two slow sinusoids with per-gesture offsets.
+      const double f1 = rng.Uniform(0.8, 2.0), f2 = rng.Uniform(2.0, 4.0);
+      const double ph1 = rng.Uniform(0.0, kTwoPi), ph2 = rng.Uniform(0.0, kTwoPi);
+      const double amp = role == Role::kVelocity ? 0.4 : 1.0;
+      std::vector<double> gesture_offset(kNumGestures);
+      for (double& o : gesture_offset) o = rng.Uniform(-0.5, 0.5);
+      for (int t = 0; t < n; ++t) {
+        const double x = static_cast<double>(t) / n;
+        double v = amp * (std::sin(kTwoPi * f1 * x + ph1) +
+                          0.4 * std::sin(kTwoPi * f2 * x + ph2));
+        v += gesture_offset[out.gestures[i][t]];
+        v += rng.Normal(0.0, 0.05);
+        row[t] = static_cast<float>(v);
+      }
+      // Skill-dependent artifact: tremor + gripper overshoot on the artifact
+      // sensors during G6/G9. Novices: strong, both gestures. Intermediates:
+      // mild, G9 only. Experts: none.
+      if (is_artifact_sensor(d) && cls != 2) {
+        const double strength = cls == 0 ? 1.6 : 0.6;
+        for (int t = 0; t < n; ++t) {
+          const int g = out.gestures[i][t];
+          if (!is_artifact_gesture(g)) continue;
+          if (cls == 1 && g != 8) continue;  // intermediates: G9 only
+          const double tremor =
+              strength * std::sin(kTwoPi * 9.0 * t / seg) * 0.5;
+          row[t] += static_cast<float>(tremor + rng.Normal(0.0, 0.2 * strength));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace dcam

@@ -1,0 +1,104 @@
+#include "data/seeds.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace data {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+std::vector<float> StarLight(int cls, int len, Rng* rng) {
+  // Smooth periodic light curve: one full period over the instance.
+  const double phase = rng->Uniform(0.0, kTwoPi);
+  const double amp = rng->Uniform(0.8, 1.2);
+  std::vector<float> out(len);
+  for (int t = 0; t < len; ++t) {
+    const double x = kTwoPi * t / len + phase;
+    double v = amp * std::sin(x) + 0.25 * amp * std::sin(2.0 * x);
+    if (cls == 1) {
+      // Eclipse-style dip: a localized gaussian notch at mid-phase, wide
+      // enough (~1/4 of the instance) to be visible through convolution.
+      const double center = len * 0.5;
+      const double width = len * 0.12;
+      const double dt = (t - center) / width;
+      v -= 2.5 * amp * std::exp(-dt * dt);
+    }
+    out[t] = static_cast<float>(v + rng->Normal(0.0, 0.05));
+  }
+  return out;
+}
+
+std::vector<float> Shapes(int cls, int len, Rng* rng) {
+  // Outline-style profile. Class 0: plateau (square), class 1: ramp
+  // (triangle). Plateau/apex position jitters per instance.
+  const double amp = rng->Uniform(0.8, 1.2);
+  const int start = static_cast<int>(rng->UniformInt(std::max(1, len / 8)));
+  const int span = len / 2;
+  std::vector<float> out(len);
+  for (int t = 0; t < len; ++t) {
+    double v = -0.5 * amp;
+    if (t >= start && t < start + span) {
+      if (cls == 0) {
+        v = 0.5 * amp;  // plateau
+      } else {
+        const double u = static_cast<double>(t - start) / span;  // 0..1
+        v = amp * (u < 0.5 ? 2.0 * u : 2.0 * (1.0 - u)) - 0.5 * amp;
+      }
+    }
+    out[t] = static_cast<float>(v + rng->Normal(0.0, 0.05));
+  }
+  return out;
+}
+
+std::vector<float> Fish(int cls, int len, Rng* rng) {
+  // Band-limited double-bump contour; class 1 skews the mass to the right.
+  const double amp = rng->Uniform(0.8, 1.2);
+  const double skew = cls == 0 ? 0.35 : 0.65;
+  std::vector<float> out(len);
+  for (int t = 0; t < len; ++t) {
+    const double u = static_cast<double>(t) / len;
+    const double d1 = (u - skew) / 0.10;
+    const double d2 = (u - (1.0 - skew)) / 0.18;
+    const double v =
+        amp * std::exp(-d1 * d1) + 0.5 * amp * std::exp(-d2 * d2) - 0.3 * amp;
+    out[t] = static_cast<float>(v + rng->Normal(0.0, 0.05));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SeedTypeName(SeedType type) {
+  switch (type) {
+    case SeedType::kStarLight:
+      return "StarLightCurve";
+    case SeedType::kShapes:
+      return "ShapesAll";
+    case SeedType::kFish:
+      return "Fish";
+  }
+  return "?";
+}
+
+std::vector<float> SeedInstance(SeedType type, int cls, int len, Rng* rng) {
+  DCAM_CHECK(cls == 0 || cls == 1) << "seed families are two-class";
+  DCAM_CHECK_GT(len, 4);
+  DCAM_CHECK(rng != nullptr);
+  switch (type) {
+    case SeedType::kStarLight:
+      return StarLight(cls, len, rng);
+    case SeedType::kShapes:
+      return Shapes(cls, len, rng);
+    case SeedType::kFish:
+      return Fish(cls, len, rng);
+  }
+  DCAM_CHECK(false) << "unreachable";
+  return {};
+}
+
+}  // namespace data
+}  // namespace dcam

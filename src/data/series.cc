@@ -1,0 +1,103 @@
+#include "data/series.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace data {
+
+Tensor Dataset::Instance(int64_t i) const {
+  DCAM_CHECK_GE(i, 0);
+  DCAM_CHECK_LT(i, size());
+  const int64_t D = dims(), n = length();
+  Tensor out({D, n});
+  std::copy(X.data() + i * D * n, X.data() + (i + 1) * D * n, out.data());
+  return out;
+}
+
+Tensor Dataset::InstanceMask(int64_t i) const {
+  DCAM_CHECK(!mask.empty()) << "dataset has no ground-truth mask";
+  DCAM_CHECK_GE(i, 0);
+  DCAM_CHECK_LT(i, size());
+  const int64_t D = dims(), n = length();
+  Tensor out({D, n});
+  std::copy(mask.data() + i * D * n, mask.data() + (i + 1) * D * n,
+            out.data());
+  return out;
+}
+
+Dataset Dataset::Subset(const std::vector<int64_t>& indices) const {
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  const int64_t D = dims(), n = length();
+  const int64_t N = static_cast<int64_t>(indices.size());
+  DCAM_CHECK_GT(N, 0);
+  out.X = Tensor({N, D, n});
+  out.y.resize(N);
+  if (!mask.empty()) out.mask = Tensor({N, D, n});
+  for (int64_t j = 0; j < N; ++j) {
+    const int64_t i = indices[j];
+    DCAM_CHECK_GE(i, 0);
+    DCAM_CHECK_LT(i, size());
+    std::copy(X.data() + i * D * n, X.data() + (i + 1) * D * n,
+              out.X.data() + j * D * n);
+    out.y[j] = y[i];
+    if (!mask.empty()) {
+      std::copy(mask.data() + i * D * n, mask.data() + (i + 1) * D * n,
+                out.mask.data() + j * D * n);
+    }
+  }
+  return out;
+}
+
+void StratifiedSplit(const Dataset& all, double train_fraction, Rng* rng,
+                     Dataset* train, Dataset* rest) {
+  DCAM_CHECK(rng != nullptr);
+  DCAM_CHECK(train != nullptr);
+  DCAM_CHECK(rest != nullptr);
+  DCAM_CHECK_GT(train_fraction, 0.0);
+  DCAM_CHECK_LT(train_fraction, 1.0);
+  std::vector<std::vector<int64_t>> by_class(all.num_classes);
+  for (int64_t i = 0; i < all.size(); ++i) by_class[all.y[i]].push_back(i);
+  std::vector<int64_t> train_idx, rest_idx;
+  for (auto& idx : by_class) {
+    rng->Shuffle(&idx);
+    const int64_t cut = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(train_fraction * idx.size())));
+    for (int64_t j = 0; j < static_cast<int64_t>(idx.size()); ++j) {
+      (j < cut ? train_idx : rest_idx).push_back(idx[j]);
+    }
+  }
+  DCAM_CHECK(!rest_idx.empty())
+      << "split leaves no held-out instances; reduce train_fraction";
+  rng->Shuffle(&train_idx);
+  rng->Shuffle(&rest_idx);
+  *train = all.Subset(train_idx);
+  *rest = all.Subset(rest_idx);
+}
+
+void ZNormalize(Dataset* dataset) {
+  DCAM_CHECK(dataset != nullptr);
+  const int64_t N = dataset->size(), D = dataset->dims(), n = dataset->length();
+  for (int64_t i = 0; i < N * D; ++i) {
+    float* row = dataset->X.data() + i * n;
+    double sum = 0.0, sq = 0.0;
+    for (int64_t t = 0; t < n; ++t) {
+      sum += row[t];
+      sq += static_cast<double>(row[t]) * row[t];
+    }
+    const double mean = sum / n;
+    double var = sq / n - mean * mean;
+    if (var < 1e-12) var = 1e-12;
+    const float inv = static_cast<float>(1.0 / std::sqrt(var));
+    for (int64_t t = 0; t < n; ++t) {
+      row[t] = (row[t] - static_cast<float>(mean)) * inv;
+    }
+  }
+}
+
+}  // namespace data
+}  // namespace dcam

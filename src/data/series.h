@@ -1,0 +1,55 @@
+// Dataset container for multivariate data series classification.
+
+#ifndef DCAM_DATA_SERIES_H_
+#define DCAM_DATA_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dcam {
+
+class Rng;
+
+namespace data {
+
+/// A labelled collection of fixed-length multivariate series.
+struct Dataset {
+  std::string name;
+  /// Instances, shape (N, D, n).
+  Tensor X;
+  /// Class labels in [0, num_classes).
+  std::vector<int> y;
+  int num_classes = 0;
+  /// Optional (N, D, n) ground-truth mask: 1 where a point belongs to an
+  /// injected discriminant pattern, 0 elsewhere. Empty when unavailable.
+  Tensor mask;
+
+  int64_t size() const { return X.empty() ? 0 : X.dim(0); }
+  int64_t dims() const { return X.empty() ? 0 : X.dim(1); }
+  int64_t length() const { return X.empty() ? 0 : X.dim(2); }
+
+  /// Instance i as a (D, n) tensor (shares storage).
+  Tensor Instance(int64_t i) const;
+
+  /// Ground-truth mask of instance i as (D, n); requires a mask.
+  Tensor InstanceMask(int64_t i) const;
+
+  /// Subset by indices (copies).
+  Dataset Subset(const std::vector<int64_t>& indices) const;
+};
+
+/// Splits into (train, rest) with `train_fraction` of each class in train,
+/// shuffled by `rng` (the paper's 80/20 class-balanced split, Section 5.2).
+void StratifiedSplit(const Dataset& all, double train_fraction, Rng* rng,
+                     Dataset* train, Dataset* rest);
+
+/// Z-normalizes every (instance, dimension) row in place.
+void ZNormalize(Dataset* dataset);
+
+}  // namespace data
+}  // namespace dcam
+
+#endif  // DCAM_DATA_SERIES_H_

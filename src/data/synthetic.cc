@@ -1,0 +1,138 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace data {
+namespace {
+
+// Fills row `dst` (length n) with concatenated class-0 seed instances.
+void FillBackground(SeedType seed_type, int n, int seg_len, Rng* rng,
+                    float* dst) {
+  for (int start = 0; start < n; start += seg_len) {
+    const int len = std::min(seg_len, n - start);
+    std::vector<float> seg = SeedInstance(seed_type, 0, seg_len, rng);
+    std::copy(seg.begin(), seg.begin() + len, dst + start);
+  }
+}
+
+// Overwrites dst[pos, pos+len) with a class-1 seed pattern and marks mask.
+void Inject(SeedType seed_type, int pos, int len, Rng* rng, float* dst,
+            float* mask_row) {
+  std::vector<float> pattern = SeedInstance(seed_type, 1, len, rng);
+  std::copy(pattern.begin(), pattern.end(), dst + pos);
+  for (int t = pos; t < pos + len; ++t) mask_row[t] = 1.0f;
+}
+
+// Picks `count` distinct dimensions out of D.
+std::vector<int> PickDims(int D, int count, Rng* rng) {
+  std::vector<int> perm = rng->Permutation(D);
+  perm.resize(count);
+  return perm;
+}
+
+// Picks `count` pattern start positions pairwise separated by >= len.
+// Samples whole candidate sets with restart: greedy appending can wedge
+// itself (two early picks can jointly block the entire remaining range).
+std::vector<int> PickDistantPositions(int n, int len, int count, Rng* rng) {
+  DCAM_CHECK_LE(static_cast<int64_t>(count) * len, n)
+      << "cannot place " << count << " separated patterns of length " << len
+      << " in a series of length " << n;
+  for (int restart = 0; restart < 10000; ++restart) {
+    std::vector<int> positions;
+    for (int j = 0; j < count; ++j) {
+      const int pos = static_cast<int>(rng->UniformInt(n - len + 1));
+      bool ok = true;
+      for (int other : positions) {
+        if (std::abs(other - pos) < len) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+      positions.push_back(pos);
+    }
+    if (static_cast<int>(positions.size()) == count) return positions;
+  }
+  // Deterministic fallback: evenly spaced placement always satisfies the
+  // separation constraint given the size check above.
+  std::vector<int> positions(count);
+  const int stride = count > 1 ? (n - len) / (count - 1) : 0;
+  for (int j = 0; j < count; ++j) positions[j] = j * stride;
+  return positions;
+}
+
+}  // namespace
+
+std::string SyntheticSpec::Name() const {
+  return SeedTypeName(seed_type) + "-Type" + std::to_string(type) + "-D" +
+         std::to_string(dims);
+}
+
+Dataset BuildSynthetic(const SyntheticSpec& spec) {
+  DCAM_CHECK(spec.type == 1 || spec.type == 2);
+  DCAM_CHECK_GT(spec.dims, 1);
+  DCAM_CHECK_GE(spec.num_inject, 1);
+  DCAM_CHECK_LE(spec.num_inject, spec.dims);
+  DCAM_CHECK_GT(spec.pattern_len, 4);
+  DCAM_CHECK_GE(spec.length, 2 * spec.pattern_len)
+      << "need room for patterns at distinct positions";
+  DCAM_CHECK_GT(spec.instances_per_class, 0);
+
+  Rng rng(spec.seed);
+  const int N = 2 * spec.instances_per_class;
+  const int D = spec.dims, n = spec.length, plen = spec.pattern_len;
+
+  Dataset out;
+  out.name = spec.Name();
+  out.num_classes = 2;
+  out.X = Tensor({N, D, n});
+  out.mask = Tensor({N, D, n});
+  out.y.resize(N);
+
+  for (int i = 0; i < N; ++i) {
+    const int cls = i < spec.instances_per_class ? 0 : 1;
+    out.y[i] = cls;
+    float* inst = out.X.data() + static_cast<int64_t>(i) * D * n;
+    float* mask = out.mask.data() + static_cast<int64_t>(i) * D * n;
+    for (int d = 0; d < D; ++d) {
+      FillBackground(spec.seed_type, n, plen, &rng, inst + d * n);
+    }
+
+    if (spec.type == 1) {
+      // Class 0: pure background. Class 1: independent injections.
+      if (cls == 1) {
+        for (int d : PickDims(D, spec.num_inject, &rng)) {
+          const int pos = static_cast<int>(rng.UniformInt(n - plen + 1));
+          Inject(spec.seed_type, pos, plen, &rng, inst + d * n,
+                 mask + d * n);
+        }
+      }
+    } else {
+      // Type 2: both classes are injected; only co-occurrence differs.
+      const std::vector<int> dims = PickDims(D, spec.num_inject, &rng);
+      if (cls == 0) {
+        const std::vector<int> positions =
+            PickDistantPositions(n, plen, spec.num_inject, &rng);
+        for (int j = 0; j < spec.num_inject; ++j) {
+          Inject(spec.seed_type, positions[j], plen, &rng,
+                 inst + dims[j] * n, mask + dims[j] * n);
+        }
+      } else {
+        const int pos = static_cast<int>(rng.UniformInt(n - plen + 1));
+        for (int j = 0; j < spec.num_inject; ++j) {
+          Inject(spec.seed_type, pos, plen, &rng, inst + dims[j] * n,
+                 mask + dims[j] * n);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace dcam

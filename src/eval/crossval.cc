@@ -1,0 +1,77 @@
+#include "eval/crossval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dcam {
+namespace eval {
+
+std::vector<FoldIndices> StratifiedKFold(const data::Dataset& dataset,
+                                         int folds, uint64_t seed) {
+  DCAM_CHECK_GE(folds, 2);
+  DCAM_CHECK_LE(folds, dataset.size());
+  DCAM_CHECK_GE(dataset.num_classes, 2);
+
+  // Shuffle indices within each class, then deal them round-robin into
+  // folds so every fold keeps the class proportions.
+  Rng rng(seed);
+  std::vector<std::vector<int64_t>> by_class(
+      static_cast<size_t>(dataset.num_classes));
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const int y = dataset.y[static_cast<size_t>(i)];
+    DCAM_CHECK_GE(y, 0);
+    DCAM_CHECK_LT(y, dataset.num_classes);
+    by_class[static_cast<size_t>(y)].push_back(i);
+  }
+
+  std::vector<std::vector<int64_t>> fold_members(static_cast<size_t>(folds));
+  for (auto& members : by_class) {
+    DCAM_CHECK(!members.empty()) << "a class has no instances";
+    rng.Shuffle(&members);
+    for (size_t j = 0; j < members.size(); ++j) {
+      fold_members[j % static_cast<size_t>(folds)].push_back(members[j]);
+    }
+  }
+
+  std::vector<FoldIndices> out(static_cast<size_t>(folds));
+  for (int f = 0; f < folds; ++f) {
+    auto& fold = out[static_cast<size_t>(f)];
+    fold.test = fold_members[static_cast<size_t>(f)];
+    std::sort(fold.test.begin(), fold.test.end());
+    for (int g = 0; g < folds; ++g) {
+      if (g == f) continue;
+      fold.train.insert(fold.train.end(),
+                        fold_members[static_cast<size_t>(g)].begin(),
+                        fold_members[static_cast<size_t>(g)].end());
+    }
+    std::sort(fold.train.begin(), fold.train.end());
+  }
+  return out;
+}
+
+CrossValidationResult CrossValidate(
+    const data::Dataset& dataset, int folds, uint64_t seed,
+    const std::function<double(const data::Dataset& train,
+                               const data::Dataset& test)>& evaluate) {
+  DCAM_CHECK(evaluate != nullptr);
+  const std::vector<FoldIndices> plan = StratifiedKFold(dataset, folds, seed);
+
+  CrossValidationResult out;
+  for (const FoldIndices& fold : plan) {
+    const data::Dataset train = dataset.Subset(fold.train);
+    const data::Dataset test = dataset.Subset(fold.test);
+    out.fold_scores.push_back(evaluate(train, test));
+  }
+  double sum = 0.0;
+  for (double s : out.fold_scores) sum += s;
+  out.mean = sum / static_cast<double>(out.fold_scores.size());
+  double sq = 0.0;
+  for (double s : out.fold_scores) sq += (s - out.mean) * (s - out.mean);
+  out.stddev = std::sqrt(sq / static_cast<double>(out.fold_scores.size()));
+  return out;
+}
+
+}  // namespace eval
+}  // namespace dcam

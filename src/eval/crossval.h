@@ -1,0 +1,51 @@
+// Stratified k-fold cross-validation over data::Dataset.
+//
+// The paper reports averages over 10 random 80/20 splits (Section 5.2);
+// k-fold CV is the systematic alternative a downstream user will reach for
+// when the dataset is too small for a held-out test set. Folds are
+// stratified so each keeps the class balance, and the whole procedure is
+// deterministic given the seed.
+
+#ifndef DCAM_EVAL_CROSSVAL_H_
+#define DCAM_EVAL_CROSSVAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/series.h"
+
+namespace dcam {
+namespace eval {
+
+/// Index sets of one fold: `test` is the held-out fold, `train` the rest.
+struct FoldIndices {
+  std::vector<int64_t> train;
+  std::vector<int64_t> test;
+};
+
+/// Splits [0, dataset.size()) into `folds` stratified folds. Every index
+/// appears in exactly one test set. Requires 2 <= folds <= size and at least
+/// one instance of every class.
+std::vector<FoldIndices> StratifiedKFold(const data::Dataset& dataset,
+                                         int folds, uint64_t seed);
+
+struct CrossValidationResult {
+  /// Per-fold scores as returned by the evaluation callback.
+  std::vector<double> fold_scores;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Runs `evaluate(train, test)` for every fold and aggregates the scores.
+/// The callback typically trains a fresh model on `train` and returns its
+/// accuracy on `test`.
+CrossValidationResult CrossValidate(
+    const data::Dataset& dataset, int folds, uint64_t seed,
+    const std::function<double(const data::Dataset& train,
+                               const data::Dataset& test)>& evaluate);
+
+}  // namespace eval
+}  // namespace dcam
+
+#endif  // DCAM_EVAL_CROSSVAL_H_

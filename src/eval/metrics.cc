@@ -1,0 +1,88 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dcam {
+namespace eval {
+
+double Accuracy(const std::vector<int>& preds,
+                const std::vector<int>& labels) {
+  DCAM_CHECK_EQ(preds.size(), labels.size());
+  DCAM_CHECK(!preds.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / preds.size();
+}
+
+double PrAuc(const std::vector<float>& scores, const std::vector<int>& labels) {
+  DCAM_CHECK_EQ(scores.size(), labels.size());
+  DCAM_CHECK(!scores.empty());
+  int64_t total_pos = 0;
+  for (int l : labels) {
+    DCAM_CHECK(l == 0 || l == 1);
+    total_pos += l;
+  }
+  if (total_pos == 0) return 0.0;
+
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  // Average precision with tie handling: advance through groups of equal
+  // score, updating precision/recall once per group.
+  double ap = 0.0;
+  int64_t tp = 0, seen = 0;
+  double prev_recall = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    int64_t group_pos = 0;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) {
+      group_pos += labels[order[j]];
+      ++j;
+    }
+    tp += group_pos;
+    seen += static_cast<int64_t>(j - i);
+    const double precision = static_cast<double>(tp) / seen;
+    const double recall = static_cast<double>(tp) / total_pos;
+    ap += (recall - prev_recall) * precision;
+    prev_recall = recall;
+    i = j;
+  }
+  return ap;
+}
+
+double DrAcc(const Tensor& explanation, const Tensor& mask) {
+  DCAM_CHECK(explanation.shape() == mask.shape())
+      << ShapeToString(explanation.shape()) << " vs "
+      << ShapeToString(mask.shape());
+  std::vector<float> scores(explanation.size());
+  std::vector<int> labels(mask.size());
+  for (int64_t i = 0; i < explanation.size(); ++i) {
+    scores[i] = explanation[i];
+    labels[i] = mask[i] > 0.5f ? 1 : 0;
+  }
+  return PrAuc(scores, labels);
+}
+
+double RandomBaseline(const Tensor& mask) {
+  DCAM_CHECK_GT(mask.size(), 0);
+  double pos = 0.0;
+  for (int64_t i = 0; i < mask.size(); ++i) pos += mask[i] > 0.5f ? 1.0 : 0.0;
+  return pos / static_cast<double>(mask.size());
+}
+
+double HarmonicMean(double a, double b) {
+  if (a + b <= 0.0) return 0.0;
+  return 2.0 * a * b / (a + b);
+}
+
+}  // namespace eval
+}  // namespace dcam

@@ -1,0 +1,39 @@
+// Evaluation measures of Section 5.1.2:
+//   C-acc  — classification accuracy on held-out instances.
+//   Dr-acc — discriminant-features accuracy: the PR-AUC of an explanation
+//            heat map scored against the 0/1 ground-truth injection mask
+//            (PR-AUC rather than ROC-AUC because the positives are rare).
+
+#ifndef DCAM_EVAL_METRICS_H_
+#define DCAM_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace eval {
+
+/// Fraction of positions where preds[i] == labels[i].
+double Accuracy(const std::vector<int>& preds, const std::vector<int>& labels);
+
+/// Area under the precision-recall curve computed as average precision:
+/// AP = sum_i (R_i - R_{i-1}) * P_i over the descending-score sweep.
+/// `labels` are 0/1. Returns 0 if there are no positives.
+double PrAuc(const std::vector<float>& scores, const std::vector<int>& labels);
+
+/// Dr-acc: PR-AUC of a (D, n) explanation map against a (D, n) 0/1 mask.
+double DrAcc(const Tensor& explanation, const Tensor& mask);
+
+/// Expected Dr-acc of a random explanation = positive rate of the mask
+/// (the paper's "Random" column in Table 3).
+double RandomBaseline(const Tensor& mask);
+
+/// Harmonic mean, the paper's F(Type1, Type2) combination (Figure 9):
+/// F = 2ab / (a + b); 0 when a + b == 0.
+double HarmonicMean(double a, double b);
+
+}  // namespace eval
+}  // namespace dcam
+
+#endif  // DCAM_EVAL_METRICS_H_

@@ -1,0 +1,60 @@
+#include "eval/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dcam {
+namespace eval {
+
+std::vector<double> RankRow(const std::vector<double>& scores) {
+  const size_t m = scores.size();
+  DCAM_CHECK_GT(m, 0u);
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<double> ranks(m, 0.0);
+  size_t i = 0;
+  while (i < m) {
+    size_t j = i;
+    while (j < m && scores[order[j]] == scores[order[i]]) ++j;
+    // Entries [i, j) are tied: assign the average of ranks i+1..j.
+    const double avg = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) ranks[order[k]] = avg;
+    i = j;
+  }
+  return ranks;
+}
+
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& scores) {
+  DCAM_CHECK(!scores.empty());
+  const size_t m = scores[0].size();
+  std::vector<double> sum(m, 0.0);
+  for (const auto& row : scores) {
+    DCAM_CHECK_EQ(row.size(), m);
+    const std::vector<double> ranks = RankRow(row);
+    for (size_t k = 0; k < m; ++k) sum[k] += ranks[k];
+  }
+  for (double& s : sum) s /= static_cast<double>(scores.size());
+  return sum;
+}
+
+std::vector<double> ColumnMeans(
+    const std::vector<std::vector<double>>& scores) {
+  DCAM_CHECK(!scores.empty());
+  const size_t m = scores[0].size();
+  std::vector<double> sum(m, 0.0);
+  for (const auto& row : scores) {
+    DCAM_CHECK_EQ(row.size(), m);
+    for (size_t k = 0; k < m; ++k) sum[k] += row[k];
+  }
+  for (double& s : sum) s /= static_cast<double>(scores.size());
+  return sum;
+}
+
+}  // namespace eval
+}  // namespace dcam

@@ -1,0 +1,28 @@
+// Average-rank computation across datasets (the "Rank" row of the paper's
+// Tables 2 and 3): for each dataset, methods are ranked by score (1 = best,
+// ties receive the average of the tied ranks); the summary is the mean rank
+// of each method over all datasets.
+
+#ifndef DCAM_EVAL_RANKING_H_
+#define DCAM_EVAL_RANKING_H_
+
+#include <vector>
+
+namespace dcam {
+namespace eval {
+
+/// Ranks one score row (higher is better). Returns rank per entry.
+std::vector<double> RankRow(const std::vector<double>& scores);
+
+/// scores[dataset][method] -> mean rank per method.
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& scores);
+
+/// Column means of scores[dataset][method].
+std::vector<double> ColumnMeans(
+    const std::vector<std::vector<double>>& scores);
+
+}  // namespace eval
+}  // namespace dcam
+
+#endif  // DCAM_EVAL_RANKING_H_

@@ -1,0 +1,181 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dcam {
+namespace eval {
+
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<int>& labels) {
+  DCAM_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  int64_t pos = 0;
+  for (int y : labels) {
+    DCAM_CHECK(y == 0 || y == 1);
+    pos += y;
+  }
+  const int64_t neg = static_cast<int64_t>(n) - pos;
+  if (pos == 0 || neg == 0) return 0.5;
+
+  // Midranks of the scores.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t t = i; t <= j; ++t) rank[order[t]] = mid;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    if (labels[t] == 1) rank_sum_pos += rank[t];
+  }
+  const double auc =
+      (rank_sum_pos - static_cast<double>(pos) * (pos + 1) / 2.0) /
+      (static_cast<double>(pos) * static_cast<double>(neg));
+  return auc;
+}
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) * num_classes, 0) {
+  DCAM_CHECK_GE(num_classes, 2);
+}
+
+ConfusionMatrix ConfusionMatrix::From(const std::vector<int>& preds,
+                                      const std::vector<int>& labels,
+                                      int num_classes) {
+  DCAM_CHECK_EQ(preds.size(), labels.size());
+  ConfusionMatrix m(num_classes);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    m.Add(labels[i], preds[i]);
+  }
+  return m;
+}
+
+void ConfusionMatrix::Add(int actual, int predicted, int64_t count) {
+  DCAM_CHECK_GE(actual, 0);
+  DCAM_CHECK_LT(actual, num_classes_);
+  DCAM_CHECK_GE(predicted, 0);
+  DCAM_CHECK_LT(predicted, num_classes_);
+  counts_[static_cast<size_t>(actual) * num_classes_ + predicted] += count;
+}
+
+int64_t ConfusionMatrix::at(int actual, int predicted) const {
+  DCAM_CHECK_GE(actual, 0);
+  DCAM_CHECK_LT(actual, num_classes_);
+  DCAM_CHECK_GE(predicted, 0);
+  DCAM_CHECK_LT(predicted, num_classes_);
+  return counts_[static_cast<size_t>(actual) * num_classes_ + predicted];
+}
+
+int64_t ConfusionMatrix::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), int64_t{0});
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const int64_t n = total();
+  if (n == 0) return 0.0;
+  int64_t diag = 0;
+  for (int c = 0; c < num_classes_; ++c) diag += at(c, c);
+  return static_cast<double>(diag) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision(int c) const {
+  int64_t col = 0;
+  for (int a = 0; a < num_classes_; ++a) col += at(a, c);
+  return col == 0 ? 0.0 : static_cast<double>(at(c, c)) / col;
+}
+
+double ConfusionMatrix::Recall(int c) const {
+  int64_t row = 0;
+  for (int p = 0; p < num_classes_; ++p) row += at(c, p);
+  return row == 0 ? 0.0 : static_cast<double>(at(c, c)) / row;
+}
+
+double ConfusionMatrix::F1(int c) const {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double s = 0.0;
+  for (int c = 0; c < num_classes_; ++c) s += F1(c);
+  return s / num_classes_;
+}
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  DCAM_CHECK_EQ(a.size(), b.size());
+  WilcoxonResult out;
+
+  std::vector<double> diffs;
+  double mean_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    mean_diff += d;
+    if (d != 0.0) diffs.push_back(d);
+  }
+  out.mean_difference = a.empty() ? 0.0 : mean_diff / a.size();
+  out.n = static_cast<int>(diffs.size());
+  if (out.n == 0) return out;  // all pairs tied: p = 1
+
+  // Rank |d| with midranks; accumulate the tie correction term.
+  std::vector<size_t> order(diffs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return std::fabs(diffs[x]) < std::fabs(diffs[y]);
+  });
+  std::vector<double> rank(diffs.size());
+  double tie_term = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           std::fabs(diffs[order[j + 1]]) == std::fabs(diffs[order[i]])) {
+      ++j;
+    }
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;
+    const double t = static_cast<double>(j - i + 1);
+    tie_term += t * t * t - t;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+
+  double w_pos = 0.0;
+  double w_neg = 0.0;
+  for (size_t k = 0; k < diffs.size(); ++k) {
+    if (diffs[k] > 0.0) {
+      w_pos += rank[k];
+    } else {
+      w_neg += rank[k];
+    }
+  }
+  out.w = std::min(w_pos, w_neg);
+
+  const double n = static_cast<double>(out.n);
+  const double mean = n * (n + 1.0) / 4.0;
+  const double var = n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_term / 48.0;
+  if (var <= 0.0) {
+    out.p_value = 1.0;
+    return out;
+  }
+  // Continuity-corrected z; two-sided p from the normal tail.
+  const double z = (std::fabs(out.w - mean) - 0.5) / std::sqrt(var);
+  out.p_value = std::erfc(std::max(z, 0.0) / std::sqrt(2.0));
+  if (out.p_value > 1.0) out.p_value = 1.0;
+  return out;
+}
+
+}  // namespace eval
+}  // namespace dcam

@@ -1,0 +1,73 @@
+// Additional evaluation statistics beyond Section 5.1.2's two measures:
+// ROC-AUC (the alternative the paper argues against for rare positives, kept
+// so the comparison is reproducible), confusion-matrix summaries, and the
+// Wilcoxon signed-rank test used throughout the TSC literature to decide
+// whether two classifiers differ significantly across datasets.
+
+#ifndef DCAM_EVAL_STATS_H_
+#define DCAM_EVAL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dcam {
+namespace eval {
+
+/// Area under the ROC curve via the rank statistic (equivalent to the
+/// probability a random positive outscores a random negative; ties count
+/// half). Returns 0.5 when either class is empty.
+double RocAuc(const std::vector<float>& scores, const std::vector<int>& labels);
+
+/// Row-major confusion matrix C where C[actual][predicted] counts instances.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Builds from parallel prediction / label vectors.
+  static ConfusionMatrix From(const std::vector<int>& preds,
+                              const std::vector<int>& labels, int num_classes);
+
+  void Add(int actual, int predicted, int64_t count = 1);
+
+  int64_t at(int actual, int predicted) const;
+  int num_classes() const { return num_classes_; }
+  int64_t total() const;
+
+  /// Trace / total.
+  double Accuracy() const;
+  /// Per-class precision: C[c][c] / column-sum(c). 0 when undefined.
+  double Precision(int c) const;
+  /// Per-class recall: C[c][c] / row-sum(c). 0 when undefined.
+  double Recall(int c) const;
+  /// Per-class F1 (harmonic mean of precision and recall).
+  double F1(int c) const;
+  /// Unweighted mean of per-class F1 scores.
+  double MacroF1() const;
+
+ private:
+  int num_classes_;
+  std::vector<int64_t> counts_;
+};
+
+/// Result of the two-sided Wilcoxon signed-rank test on paired samples.
+struct WilcoxonResult {
+  /// Smaller of the positive/negative rank sums.
+  double w = 0.0;
+  /// Number of non-zero differences actually ranked.
+  int n = 0;
+  /// Two-sided p-value from the normal approximation with tie and
+  /// continuity corrections. Exact for n = 0 (p = 1).
+  double p_value = 1.0;
+  /// Mean difference a - b (positive: a scored higher on average).
+  double mean_difference = 0.0;
+};
+
+/// Tests whether paired scores `a` and `b` (e.g. two classifiers' per-dataset
+/// accuracies, as in Table 2) come from the same distribution.
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+}  // namespace eval
+}  // namespace dcam
+
+#endif  // DCAM_EVAL_STATS_H_

@@ -1,0 +1,244 @@
+#include "eval/trainer.h"
+
+#include <cstdio>
+#include <limits>
+
+#include <cmath>
+
+#include "nn/adam.h"
+#include "nn/sgd.h"
+#include "nn/loss.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace dcam {
+namespace eval {
+namespace {
+
+// Copies rows `indices` of the dataset into a (B, D, n) batch + labels.
+void MakeBatch(const data::Dataset& ds, const std::vector<int64_t>& indices,
+               size_t begin, size_t end, Tensor* batch,
+               std::vector<int>* labels) {
+  const int64_t B = static_cast<int64_t>(end - begin);
+  const int64_t D = ds.dims(), n = ds.length();
+  *batch = Tensor({B, D, n});
+  labels->resize(B);
+  for (int64_t j = 0; j < B; ++j) {
+    const int64_t i = indices[begin + j];
+    std::copy(ds.X.data() + i * D * n, ds.X.data() + (i + 1) * D * n,
+              batch->data() + j * D * n);
+    (*labels)[j] = ds.y[i];
+  }
+}
+
+// Full model state: parameters AND buffers (BatchNorm running statistics).
+// Early stopping must restore both, or the best-epoch weights run with
+// final-epoch normalization statistics.
+struct StateSnapshot {
+  std::vector<Tensor> params;
+  std::vector<Tensor> buffers;
+  bool empty() const { return params.empty() && buffers.empty(); }
+};
+
+StateSnapshot SnapshotState(models::Model* model) {
+  StateSnapshot out;
+  for (nn::Parameter* p : model->Params()) {
+    out.params.push_back(p->value.Clone());
+  }
+  for (auto& [name, tensor] : model->Buffers()) {
+    out.buffers.push_back(tensor->Clone());
+  }
+  return out;
+}
+
+void RestoreState(models::Model* model, const StateSnapshot& snapshot) {
+  const std::vector<nn::Parameter*> params = model->Params();
+  DCAM_CHECK_EQ(params.size(), snapshot.params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::copy(snapshot.params[i].data(),
+              snapshot.params[i].data() + snapshot.params[i].size(),
+              params[i]->value.data());
+  }
+  const auto buffers = model->Buffers();
+  DCAM_CHECK_EQ(buffers.size(), snapshot.buffers.size());
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    std::copy(snapshot.buffers[i].data(),
+              snapshot.buffers[i].data() + snapshot.buffers[i].size(),
+              buffers[i].second->data());
+  }
+}
+
+// Uniform handle over the two optimizer families.
+struct OptimizerHandle {
+  std::unique_ptr<nn::Adam> adam;
+  std::unique_ptr<nn::Sgd> sgd;
+
+  static OptimizerHandle Make(const TrainConfig& config,
+                              std::vector<nn::Parameter*> params) {
+    OptimizerHandle h;
+    if (config.optimizer == Optimizer::kAdam) {
+      h.adam = std::make_unique<nn::Adam>(std::move(params), config.lr);
+    } else {
+      h.sgd = std::make_unique<nn::Sgd>(std::move(params), config.lr,
+                                        config.momentum);
+    }
+    return h;
+  }
+  void ZeroGrad() { adam ? adam->ZeroGrad() : sgd->ZeroGrad(); }
+  void Step() { adam ? adam->Step() : sgd->Step(); }
+  void SetLr(float lr) { adam ? adam->set_lr(lr) : sgd->set_lr(lr); }
+};
+
+}  // namespace
+
+float ScheduledLr(const TrainConfig& config, int epoch) {
+  DCAM_CHECK_GE(epoch, 1);
+  switch (config.schedule) {
+    case LrSchedule::kConstant:
+      return config.lr;
+    case LrSchedule::kStepDecay: {
+      DCAM_CHECK_GT(config.step_epochs, 0);
+      const int drops = (epoch - 1) / config.step_epochs;
+      float lr = config.lr;
+      for (int i = 0; i < drops; ++i) lr *= config.step_gamma;
+      return lr;
+    }
+    case LrSchedule::kCosine: {
+      const double progress = static_cast<double>(epoch - 1) /
+                              std::max(1, config.max_epochs - 1);
+      return static_cast<float>(config.lr * 0.5 *
+                                (1.0 + std::cos(3.14159265358979 * progress)));
+    }
+  }
+  return config.lr;
+}
+
+double ClipGradientNorm(const std::vector<nn::Parameter*>& params,
+                        double max_norm) {
+  DCAM_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (const nn::Parameter* p : params) {
+    for (int64_t i = 0; i < p->grad.size(); ++i) {
+      sq += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const nn::Parameter* p : params) {
+      float* g = const_cast<nn::Parameter*>(p)->grad.data();
+      for (int64_t i = 0; i < p->grad.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+EvalResult Evaluate(models::Model* model, const data::Dataset& dataset,
+                    int batch_size) {
+  DCAM_CHECK(model != nullptr);
+  DCAM_CHECK_GT(dataset.size(), 0);
+  nn::SoftmaxCrossEntropy loss;
+  std::vector<int64_t> indices(dataset.size());
+  for (int64_t i = 0; i < dataset.size(); ++i) indices[i] = i;
+
+  double loss_sum = 0.0;
+  int64_t correct = 0;
+  for (size_t begin = 0; begin < indices.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(indices.size(), begin + static_cast<size_t>(batch_size));
+    Tensor batch;
+    std::vector<int> labels;
+    MakeBatch(dataset, indices, begin, end, &batch, &labels);
+    Tensor logits =
+        model->Forward(model->PrepareInput(batch), /*training=*/false);
+    loss_sum += loss.Forward(logits, labels) * static_cast<double>(end - begin);
+    for (size_t j = 0; j < labels.size(); ++j) {
+      int64_t best = 0;
+      for (int64_t c = 1; c < logits.dim(1); ++c) {
+        if (logits.at(j, c) > logits.at(j, best)) best = c;
+      }
+      if (best == labels[j]) ++correct;
+    }
+  }
+  EvalResult out;
+  out.loss = loss_sum / static_cast<double>(dataset.size());
+  out.accuracy = static_cast<double>(correct) / dataset.size();
+  return out;
+}
+
+TrainResult Train(models::Model* model, const data::Dataset& dataset,
+                  const TrainConfig& config) {
+  DCAM_CHECK(model != nullptr);
+  DCAM_CHECK_GT(config.max_epochs, 0);
+  DCAM_CHECK_GT(config.batch_size, 0);
+
+  Rng rng(config.seed);
+  data::Dataset train, val;
+  data::StratifiedSplit(dataset, config.train_fraction, &rng, &train, &val);
+
+  std::vector<nn::Parameter*> params = model->Params();
+  OptimizerHandle optimizer = OptimizerHandle::Make(config, params);
+  nn::SoftmaxCrossEntropy loss;
+
+  TrainResult result;
+  double best_val = std::numeric_limits<double>::infinity();
+  StateSnapshot best_snapshot;
+  int since_best = 0;
+  Stopwatch watch;
+
+  std::vector<int64_t> order(train.size());
+  for (int64_t i = 0; i < train.size(); ++i) order[i] = i;
+
+  for (int epoch = 1; epoch <= config.max_epochs; ++epoch) {
+    optimizer.SetLr(ScheduledLr(config, epoch));
+    rng.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config.batch_size));
+      Tensor batch;
+      std::vector<int> labels;
+      MakeBatch(train, order, begin, end, &batch, &labels);
+      optimizer.ZeroGrad();
+      Tensor logits =
+          model->Forward(model->PrepareInput(batch), /*training=*/true);
+      loss.Forward(logits, labels);
+      model->Backward(loss.Backward());
+      if (config.max_grad_norm > 0.0) {
+        ClipGradientNorm(params, config.max_grad_norm);
+      }
+      optimizer.Step();
+    }
+
+    const EvalResult val_eval = Evaluate(model, val, config.batch_size);
+    result.val_loss_history.push_back(val_eval.loss);
+    result.epochs_run = epoch;
+    if (config.verbose) {
+      std::fprintf(stderr, "[train] %s epoch %d val_loss=%.4f val_acc=%.3f\n",
+                   model->name().c_str(), epoch, val_eval.loss,
+                   val_eval.accuracy);
+    }
+    if (val_eval.loss < best_val - 1e-6) {
+      best_val = val_eval.loss;
+      result.best_epoch = epoch;
+      // Snapshot only when early stopping is on: restoring a "best" epoch
+      // chosen by a small validation split is noise, not selection, when the
+      // caller asked to train to the end.
+      if (config.patience > 0) best_snapshot = SnapshotState(model);
+      since_best = 0;
+    } else if (config.patience > 0 && ++since_best >= config.patience) {
+      break;
+    }
+  }
+
+  if (!best_snapshot.empty()) RestoreState(model, best_snapshot);
+  result.best_val_loss = best_val;
+  result.train_acc = Evaluate(model, train, config.batch_size).accuracy;
+  result.val_acc = Evaluate(model, val, config.batch_size).accuracy;
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace eval
+}  // namespace dcam

@@ -1,0 +1,259 @@
+#include "io/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace dcam {
+namespace io {
+namespace {
+
+constexpr char kMagic[8] = {'D', 'C', 'A', 'M', 'W', 'T', 'S', '1'};
+
+// FNV-1a, the simplest checksum that reliably catches truncation and bit rot
+// in a file this small. Not a substitute for storage-level integrity.
+class Fnv1a {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ULL;
+};
+
+// Buffered writer that hashes everything it emits.
+class HashingWriter {
+ public:
+  explicit HashingWriter(std::ofstream* out) : out_(out) {}
+
+  void Write(const void* data, size_t n) {
+    hash_.Update(data, n);
+    out_->write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  }
+  template <typename T>
+  void WriteScalar(T value) {
+    Write(&value, sizeof(T));
+  }
+  uint64_t digest() const { return hash_.digest(); }
+
+ private:
+  std::ofstream* out_;
+  Fnv1a hash_;
+};
+
+class HashingReader {
+ public:
+  explicit HashingReader(std::ifstream* in) : in_(in) {}
+
+  bool Read(void* data, size_t n) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (!in_->good() && !(in_->eof() && in_->gcount() ==
+                          static_cast<std::streamsize>(n))) {
+      return false;
+    }
+    hash_.Update(data, n);
+    return true;
+  }
+  template <typename T>
+  bool ReadScalar(T* value) {
+    return Read(value, sizeof(T));
+  }
+  uint64_t digest() const { return hash_.digest(); }
+
+ private:
+  std::ifstream* in_;
+  Fnv1a hash_;
+};
+
+/// A serializable entry: a (name, tensor) view into model state. Covers both
+/// trainable parameters and non-trainable buffers.
+struct Entry {
+  std::string name;
+  Tensor* tensor;
+};
+
+std::vector<Entry> ModelEntries(models::Model* model) {
+  std::vector<Entry> entries;
+  for (nn::Parameter* p : model->Params()) {
+    entries.push_back({p->name, &p->value});
+  }
+  // Buffer names can repeat across layers ("running_mean"); make them unique
+  // and order-stable by appending their index.
+  size_t buffer_idx = 0;
+  for (auto& [name, tensor] : model->Buffers()) {
+    entries.push_back({name + "#" + std::to_string(buffer_idx++), tensor});
+  }
+  return entries;
+}
+
+Status WriteEntries(const std::vector<Entry>& entries,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+
+  HashingWriter w(&out);
+  w.Write(kMagic, sizeof(kMagic));
+  w.WriteScalar<uint32_t>(static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    const std::string& name = e.name;
+    w.WriteScalar<uint32_t>(static_cast<uint32_t>(name.size()));
+    w.Write(name.data(), name.size());
+    const Shape& shape = e.tensor->shape();
+    w.WriteScalar<uint32_t>(static_cast<uint32_t>(shape.size()));
+    for (int64_t d : shape) w.WriteScalar<int64_t>(d);
+    w.Write(e.tensor->data(),
+            sizeof(float) * static_cast<size_t>(e.tensor->size()));
+  }
+  const uint64_t digest = w.digest();
+  out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status ReadEntries(const std::string& path,
+                   const std::vector<Entry>& entries) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  HashingReader r(&in);
+  char magic[sizeof(kMagic)];
+  if (!r.Read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint32_t count = 0;
+  if (!r.ReadScalar(&count)) return Status::Corruption("truncated header");
+  if (count != entries.size()) {
+    return Status::InvalidArgument(
+        "entry count mismatch: file has " + std::to_string(count) +
+        ", model has " + std::to_string(entries.size()));
+  }
+  // Stage into temporaries so a failed load never leaves the model half
+  // overwritten.
+  std::vector<Tensor> staged;
+  staged.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const Entry& e = entries[i];
+    uint32_t name_len = 0;
+    if (!r.ReadScalar(&name_len) || name_len > 4096) {
+      return Status::Corruption("bad entry name length");
+    }
+    std::string name(name_len, '\0');
+    if (!r.Read(name.data(), name_len)) {
+      return Status::Corruption("truncated entry name");
+    }
+    if (name != e.name) {
+      return Status::InvalidArgument("entry name mismatch at index " +
+                                     std::to_string(i) + ": file has '" +
+                                     name + "', model has '" + e.name + "'");
+    }
+    uint32_t rank = 0;
+    if (!r.ReadScalar(&rank) || rank == 0 || rank > 8) {
+      return Status::Corruption("bad rank for entry " + name);
+    }
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!r.ReadScalar(&shape[d]) || shape[d] <= 0) {
+        return Status::Corruption("bad dimension for entry " + name);
+      }
+    }
+    if (shape != e.tensor->shape()) {
+      return Status::InvalidArgument("shape mismatch for entry " + name +
+                                     ": file has " + ShapeToString(shape) +
+                                     ", model has " +
+                                     ShapeToString(e.tensor->shape()));
+    }
+    Tensor t(shape);
+    if (!r.Read(t.data(), sizeof(float) * static_cast<size_t>(t.size()))) {
+      return Status::Corruption("truncated data for entry " + name);
+    }
+    staged.push_back(std::move(t));
+  }
+  const uint64_t computed = r.digest();
+  uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in.good() && !in.eof()) return Status::Corruption("truncated checksum");
+  if (in.gcount() != sizeof(stored)) {
+    return Status::Corruption("truncated checksum");
+  }
+  if (stored != computed) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(entries[i].tensor->data(), staged[i].data(),
+                sizeof(float) * static_cast<size_t>(staged[i].size()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveModelWeights(models::Model* model, const std::string& path) {
+  DCAM_CHECK(model != nullptr);
+  return WriteEntries(ModelEntries(model), path);
+}
+
+Status LoadModelWeights(models::Model* model, const std::string& path) {
+  DCAM_CHECK(model != nullptr);
+  return ReadEntries(path, ModelEntries(model));
+}
+
+Status SaveTensor(const Tensor& tensor, const std::string& path) {
+  DCAM_CHECK(!tensor.empty());
+  Tensor copy = tensor.Clone();
+  return WriteEntries({{"tensor", &copy}}, path);
+}
+
+Status LoadTensor(const std::string& path, Tensor* tensor) {
+  DCAM_CHECK(tensor != nullptr);
+  // Peek the shape first: LoadTensor has no a-priori shape to validate
+  // against, so read the header manually and then delegate.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (count != 1) {
+    return Status::InvalidArgument("expected a single-tensor file, found " +
+                                   std::to_string(count) + " entries");
+  }
+  uint32_t name_len = 0;
+  in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+  if (!in.good() || name_len > 4096) {
+    return Status::Corruption("bad entry name");
+  }
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  uint32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in.good() || rank == 0 || rank > 8) {
+    return Status::Corruption("bad rank in " + path);
+  }
+  Shape shape(rank);
+  for (uint32_t d = 0; d < rank; ++d) {
+    in.read(reinterpret_cast<char*>(&shape[d]), sizeof(int64_t));
+    if (!in.good() || shape[d] <= 0) return Status::Corruption("bad dims");
+  }
+  in.close();
+
+  Tensor staging(shape);
+  Status s = ReadEntries(path, {{name, &staging}});
+  if (!s.ok()) return s;
+  *tensor = std::move(staging);
+  return Status::Ok();
+}
+
+}  // namespace io
+}  // namespace dcam

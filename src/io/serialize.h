@@ -1,0 +1,51 @@
+// Binary persistence for trained models and tensors.
+//
+// The paper's workflow is train once, explain many times (Section 4: "our
+// method requires only a single training phase"); persisting the trained
+// weights lets the expensive phase run once and every later dCAM analysis
+// reload in milliseconds (see examples/model_persistence).
+//
+// Weight-file layout (little-endian, the only byte order we target):
+//   magic   "DCAMWTS1"                      8 bytes
+//   count   uint32                          number of entries
+//   per entry:
+//     name_len uint32, name bytes
+//     rank     uint32, dims int64[rank]
+//     data     float32[product(dims)]
+//   hash    uint64                          FNV-1a over everything above
+// Entries are every trainable parameter (Model::Params) followed by every
+// non-trainable buffer (Model::Buffers — BatchNorm running statistics),
+// without which a restored model would normalize with fresh statistics and
+// predict differently. Loading verifies the magic, the checksum, and that
+// entry names and shapes match the destination model exactly — a weight
+// file only makes sense for the architecture that produced it.
+
+#ifndef DCAM_IO_SERIALIZE_H_
+#define DCAM_IO_SERIALIZE_H_
+
+#include <string>
+
+#include "io/status.h"
+#include "models/model.h"
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace io {
+
+/// Writes all trainable parameters of `model` to `path`.
+Status SaveModelWeights(models::Model* model, const std::string& path);
+
+/// Restores parameters saved by SaveModelWeights into `model`. The model must
+/// have the same architecture (same parameter names and shapes, in order).
+Status LoadModelWeights(models::Model* model, const std::string& path);
+
+/// Writes a single tensor (same container format with one unnamed entry).
+Status SaveTensor(const Tensor& tensor, const std::string& path);
+
+/// Reads a tensor written by SaveTensor.
+Status LoadTensor(const std::string& path, Tensor* tensor);
+
+}  // namespace io
+}  // namespace dcam
+
+#endif  // DCAM_IO_SERIALIZE_H_

@@ -1,0 +1,76 @@
+// Minimal Status type for operations that can fail at runtime for reasons
+// outside the program's control (missing files, corrupt bytes, foreign
+// formats).
+//
+// Convention in this library: programming errors (shape mismatches, calling
+// Backward before Forward) abort via DCAM_CHECK; environment errors travel as
+// Status so callers can recover or report. This mirrors the Arrow / RocksDB
+// split between DCHECK and Status.
+
+#ifndef DCAM_IO_STATUS_H_
+#define DCAM_IO_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dcam {
+namespace io {
+
+class Status {
+ public:
+  /// Success.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status IoError(std::string message) {
+    return Status(Code::kIoError, std::move(message));
+  }
+  static Status Corruption(std::string message) {
+    return Status(Code::kCorruption, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kIoError:
+        return "IO error: " + message_;
+      case Code::kCorruption:
+        return "Corruption: " + message_;
+      case Code::kInvalidArgument:
+        return "Invalid argument: " + message_;
+      case Code::kNotFound:
+        return "Not found: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  enum class Code { kOk, kIoError, kCorruption, kInvalidArgument, kNotFound };
+
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace io
+}  // namespace dcam
+
+#endif  // DCAM_IO_STATUS_H_

@@ -1,0 +1,292 @@
+#include "io/ts_format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace dcam {
+namespace io {
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> SplitWs(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool ParseInt(const std::string& tok, int64_t* value) {
+  const std::string t = Trim(tok);
+  if (t.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  if (end != t.c_str() + t.size()) return false;
+  *value = v;
+  return true;
+}
+
+bool ParseFloat(const std::string& tok, float* value) {
+  const std::string t = Trim(tok);
+  if (t.empty()) return false;
+  // std::from_chars<float> is not available everywhere; strtof is fine here.
+  char* end = nullptr;
+  const float v = std::strtof(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) return false;
+  *value = v;
+  return true;
+}
+
+struct Header {
+  std::string problem_name = "ts";
+  bool univariate = true;
+  int64_t dimensions = 1;
+  bool equal_length = true;
+  int64_t series_length = -1;
+  bool has_class_label = false;
+  std::vector<std::string> labels;
+  bool timestamps = false;
+};
+
+Status ParseHeaderLine(const std::string& line, Header* h) {
+  const std::vector<std::string> toks = SplitWs(line);
+  const std::string key = ToLower(toks[0]);
+  auto need_value = [&]() -> Status {
+    if (toks.size() < 2) {
+      return Status::Corruption("header tag without value: " + line);
+    }
+    return Status::Ok();
+  };
+  if (key == "@problemname") {
+    Status s = need_value();
+    if (!s.ok()) return s;
+    h->problem_name = toks[1];
+  } else if (key == "@univariate") {
+    Status s = need_value();
+    if (!s.ok()) return s;
+    h->univariate = ToLower(toks[1]) == "true";
+    if (!h->univariate && h->dimensions == 1) h->dimensions = -1;
+  } else if (key == "@dimensions") {
+    Status s = need_value();
+    if (!s.ok()) return s;
+    if (!ParseInt(toks[1], &h->dimensions) || h->dimensions <= 0) {
+      return Status::Corruption("bad @dimensions value: " + toks[1]);
+    }
+    h->univariate = h->dimensions == 1;
+  } else if (key == "@equallength") {
+    Status s = need_value();
+    if (!s.ok()) return s;
+    h->equal_length = ToLower(toks[1]) == "true";
+  } else if (key == "@serieslength") {
+    Status s = need_value();
+    if (!s.ok()) return s;
+    if (!ParseInt(toks[1], &h->series_length) || h->series_length <= 0) {
+      return Status::Corruption("bad @seriesLength value: " + toks[1]);
+    }
+  } else if (key == "@timestamps") {
+    Status s = need_value();
+    if (!s.ok()) return s;
+    h->timestamps = ToLower(toks[1]) == "true";
+  } else if (key == "@classlabel") {
+    Status s = need_value();
+    if (!s.ok()) return s;
+    h->has_class_label = ToLower(toks[1]) == "true";
+    for (size_t i = 2; i < toks.size(); ++i) h->labels.push_back(toks[i]);
+  }
+  // Unknown tags (@missing, @targetlabel, ...) are ignored, matching sktime.
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReadTs(std::istream& in, data::Dataset* dataset,
+              std::vector<std::string>* label_names) {
+  DCAM_CHECK(dataset != nullptr);
+  Header h;
+  std::string line;
+  bool in_data = false;
+  std::vector<std::vector<float>> values;  // one flat (D*n) row per instance
+  std::vector<int> ys;
+  int64_t expected_len = -1;
+
+  while (std::getline(in, line)) {
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (!in_data) {
+      if (line[0] == '@') {
+        if (ToLower(line) == "@data") {
+          if (h.timestamps) {
+            return Status::InvalidArgument(
+                "timestamped .ts files are not supported");
+          }
+          if (!h.equal_length) {
+            return Status::InvalidArgument(
+                "unequal-length .ts files are not supported");
+          }
+          if (!h.has_class_label || h.labels.empty()) {
+            return Status::InvalidArgument(
+                "classification requires @classLabel true <labels...>");
+          }
+          in_data = true;
+          continue;
+        }
+        Status s = ParseHeaderLine(line, &h);
+        if (!s.ok()) return s;
+        continue;
+      }
+      return Status::Corruption("unexpected line before @data: " + line);
+    }
+
+    // Data line: dim1:dim2:...:dimD:label
+    std::vector<std::string> parts = Split(line, ':');
+    if (parts.size() < 2) {
+      return Status::Corruption("data line without label separator: " + line);
+    }
+    const std::string label = Trim(parts.back());
+    parts.pop_back();
+    const int64_t d_here = static_cast<int64_t>(parts.size());
+    if (h.dimensions <= 0) h.dimensions = d_here;
+    if (d_here != h.dimensions) {
+      return Status::Corruption(
+          "instance has " + std::to_string(d_here) + " dimensions, expected " +
+          std::to_string(h.dimensions));
+    }
+    std::vector<float> flat;
+    for (const std::string& dim : parts) {
+      const std::vector<std::string> toks = Split(dim, ',');
+      const int64_t len = static_cast<int64_t>(toks.size());
+      if (expected_len < 0) {
+        expected_len = h.series_length > 0 ? h.series_length : len;
+      }
+      if (len != expected_len) {
+        return Status::Corruption("series length " + std::to_string(len) +
+                                  " != expected " +
+                                  std::to_string(expected_len));
+      }
+      for (const std::string& tok : toks) {
+        float v = 0.0f;
+        if (!ParseFloat(tok, &v)) {
+          return Status::Corruption("bad numeric value '" + tok + "'");
+        }
+        flat.push_back(v);
+      }
+    }
+    const auto it = std::find(h.labels.begin(), h.labels.end(), label);
+    if (it == h.labels.end()) {
+      return Status::Corruption("label '" + label +
+                                "' not declared in @classLabel");
+    }
+    ys.push_back(static_cast<int>(it - h.labels.begin()));
+    values.push_back(std::move(flat));
+  }
+
+  if (!in_data) return Status::Corruption("no @data section found");
+  if (values.empty()) return Status::Corruption("empty @data section");
+
+  const int64_t n_inst = static_cast<int64_t>(values.size());
+  const int64_t d = h.dimensions;
+  const int64_t n = expected_len;
+  Tensor x({n_inst, d, n});
+  for (int64_t i = 0; i < n_inst; ++i) {
+    std::copy(values[i].begin(), values[i].end(),
+              x.data() + i * d * n);
+  }
+  dataset->name = h.problem_name;
+  dataset->X = std::move(x);
+  dataset->y = std::move(ys);
+  dataset->num_classes = static_cast<int>(h.labels.size());
+  dataset->mask = Tensor();
+  if (label_names != nullptr) *label_names = h.labels;
+  return Status::Ok();
+}
+
+Status ReadTsFile(const std::string& path, data::Dataset* dataset,
+                  std::vector<std::string>* label_names) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  return ReadTs(in, dataset, label_names);
+}
+
+Status WriteTs(const data::Dataset& dataset, std::ostream& out,
+               const std::vector<std::string>& label_names) {
+  if (dataset.size() == 0) {
+    return Status::InvalidArgument("cannot write an empty dataset");
+  }
+  if (!label_names.empty() &&
+      static_cast<int>(label_names.size()) < dataset.num_classes) {
+    return Status::InvalidArgument("label_names does not cover all classes");
+  }
+  auto label_of = [&](int y) {
+    return label_names.empty() ? std::to_string(y) : label_names[y];
+  };
+
+  out << "# Exported by dcam::io::WriteTs\n";
+  out << "@problemName " << (dataset.name.empty() ? "dcam" : dataset.name)
+      << "\n";
+  out << "@timeStamps false\n";
+  out << "@missing false\n";
+  out << "@univariate " << (dataset.dims() == 1 ? "true" : "false") << "\n";
+  if (dataset.dims() != 1) out << "@dimensions " << dataset.dims() << "\n";
+  out << "@equalLength true\n";
+  out << "@seriesLength " << dataset.length() << "\n";
+  out << "@classLabel true";
+  for (int c = 0; c < dataset.num_classes; ++c) out << " " << label_of(c);
+  out << "\n@data\n";
+
+  const int64_t d = dataset.dims();
+  const int64_t n = dataset.length();
+  out.precision(9);
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    const Tensor inst = dataset.Instance(i);
+    for (int64_t j = 0; j < d; ++j) {
+      if (j > 0) out << ':';
+      for (int64_t t = 0; t < n; ++t) {
+        if (t > 0) out << ',';
+        out << inst.at(j, t);
+      }
+    }
+    out << ':' << label_of(dataset.y[static_cast<size_t>(i)]) << "\n";
+  }
+  if (!out) return Status::IoError("stream write failed");
+  return Status::Ok();
+}
+
+Status WriteTsFile(const data::Dataset& dataset, const std::string& path,
+                   const std::vector<std::string>& label_names) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return WriteTs(dataset, out, label_names);
+}
+
+}  // namespace io
+}  // namespace dcam

@@ -1,0 +1,72 @@
+#include "models/model.h"
+
+namespace dcam {
+namespace models {
+
+std::string InputModeName(InputMode mode) {
+  switch (mode) {
+    case InputMode::kStandard:
+      return "standard";
+    case InputMode::kSeparate:
+      return "separate";
+    case InputMode::kCube:
+      return "cube";
+  }
+  return "?";
+}
+
+Tensor PrepareConvInput(const Tensor& batch, InputMode mode) {
+  DCAM_CHECK_EQ(batch.rank(), 3);
+  const int64_t B = batch.dim(0), D = batch.dim(1), n = batch.dim(2);
+  switch (mode) {
+    case InputMode::kStandard:
+      return batch.Reshape({B, D, 1, n});
+    case InputMode::kSeparate:
+      return batch.Reshape({B, 1, D, n});
+    case InputMode::kCube: {
+      // cube[b][p][r][t] = batch[b][(p + r) % D][t]: row r of C(T) holds the
+      // dimensions cyclically shifted by r, so every row and every column of
+      // C(T) contains all D dimensions exactly once (Section 4.2).
+      Tensor cube({B, D, D, n});
+      const float* in = batch.data();
+      float* o = cube.data();
+      for (int64_t b = 0; b < B; ++b) {
+        const float* src = in + b * D * n;
+        for (int64_t p = 0; p < D; ++p) {
+          for (int64_t r = 0; r < D; ++r) {
+            const int64_t d = (p + r) % D;
+            float* dst = o + ((b * D + p) * D + r) * n;
+            const float* row = src + d * n;
+            for (int64_t t = 0; t < n; ++t) dst[t] = row[t];
+          }
+        }
+      }
+      return cube;
+    }
+  }
+  DCAM_CHECK(false) << "unreachable";
+  return Tensor();
+}
+
+int64_t Model::NumParams() {
+  int64_t total = 0;
+  for (nn::Parameter* p : Params()) total += p->value.size();
+  return total;
+}
+
+std::vector<int> Model::Predict(const Tensor& raw_batch) {
+  Tensor logits = Forward(PrepareInput(raw_batch), /*training=*/false);
+  const int64_t B = logits.dim(0), C = logits.dim(1);
+  std::vector<int> out(B);
+  for (int64_t b = 0; b < B; ++b) {
+    int best = 0;
+    for (int64_t c = 1; c < C; ++c) {
+      if (logits.at(b, c) > logits.at(b, best)) best = static_cast<int>(c);
+    }
+    out[b] = best;
+  }
+  return out;
+}
+
+}  // namespace models
+}  // namespace dcam

@@ -1,0 +1,88 @@
+// Model interface shared by every architecture in the paper's benchmark:
+// CNN / ResNet / InceptionTime, their c- and d- variants, MTEX-CNN, and the
+// recurrent baselines.
+//
+// Input convention: raw batches are (B, D, n) multivariate series. Each model
+// declares how the raw batch is reorganized via PrepareInput:
+//   * standard models  -> (B, D, 1, n)   (channels = dimensions; 1-D conv)
+//   * c-variants       -> (B, 1, D, n)   (each dimension convolved alone)
+//   * d-variants       -> (B, D, D, n)   (the C(T) cube of Section 4.2)
+//   * recurrent models -> (B, D, n)      (unchanged)
+// A 1-D convolution is realized as a 2-D convolution with a (1, l) kernel, so
+// the three convolutional layouts share one implementation per architecture.
+
+#ifndef DCAM_MODELS_MODEL_H_
+#define DCAM_MODELS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/dense.h"
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace models {
+
+/// Input layout of a convolutional model (see file comment).
+enum class InputMode {
+  kStandard,  // (B, D, 1, n): classic CNN/ResNet/InceptionTime
+  kSeparate,  // (B, 1, D, n): cCNN/cResNet/cInceptionTime
+  kCube,      // (B, D, D, n): dCNN/dResNet/dInceptionTime
+};
+
+std::string InputModeName(InputMode mode);
+
+/// Reorganizes a raw (B, D, n) batch according to `mode`. For kCube the
+/// dimension order of each instance is kept as-is (training uses the natural
+/// order; dCAM permutes at explanation time).
+Tensor PrepareConvInput(const Tensor& batch, InputMode mode);
+
+/// Base interface.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_classes() const = 0;
+
+  /// Reorganizes a raw (B, D, n) batch into this model's input format.
+  virtual Tensor PrepareInput(const Tensor& batch) const = 0;
+
+  /// Prepared input -> logits (B, num_classes).
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Gradient of the loss w.r.t. logits -> gradient w.r.t. prepared input.
+  /// Accumulates parameter gradients.
+  virtual Tensor Backward(const Tensor& grad_logits) = 0;
+
+  virtual std::vector<nn::Parameter*> Params() = 0;
+
+  /// Named non-trainable state (BatchNorm running statistics and the like),
+  /// persisted by io::SaveModelWeights alongside Params().
+  virtual std::vector<std::pair<std::string, Tensor*>> Buffers() { return {}; }
+
+  /// Total number of trainable scalars.
+  int64_t NumParams();
+
+  /// Convenience: argmax class predictions for a raw batch (eval mode).
+  std::vector<int> Predict(const Tensor& raw_batch);
+};
+
+/// A model whose classifier head is GAP + Dense — the precondition for CAM
+/// (Section 2.2). Exposes the last conv activation and the dense head.
+class GapModel : public Model {
+ public:
+  /// Activation A of the last convolutional block from the most recent
+  /// Forward, shape (B, nf, H, W).
+  virtual const Tensor& last_activation() const = 0;
+
+  /// The dense layer mapping GAP output to class logits.
+  virtual const nn::Dense& head() const = 0;
+};
+
+}  // namespace models
+}  // namespace dcam
+
+#endif  // DCAM_MODELS_MODEL_H_

@@ -1,0 +1,66 @@
+// MTEX-CNN baseline (Assaf et al., ICDM 2019), the representative "two-block"
+// explainable architecture the paper compares against (Sections 2.3, 5.2).
+//
+// Block 1 convolves each dimension independently (like cCNN); block 2 merges
+// all dimensions with a (D, 1) kernel into a univariate stream and classifies
+// through flatten + dense (no GAP, hence CAM does not apply and explanations
+// use grad-CAM). The per-dimension explanation comes from grad-CAM on the
+// last conv of block 1; the temporal explanation from grad-CAM on the last
+// conv of block 2 ("MTEX-grad" in the paper's tables combines both).
+
+#ifndef DCAM_MODELS_MTEX_H_
+#define DCAM_MODELS_MTEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/sequential.h"
+
+namespace dcam {
+namespace models {
+
+struct MtexConfig {
+  int block1_filters1 = 16;
+  int block1_filters2 = 32;
+  int block2_filters = 64;
+
+  MtexConfig Scaled(int factor) const;
+};
+
+class MtexCnn : public Model {
+ public:
+  /// `length` (the series length n) must be fixed at construction because the
+  /// classifier head flattens the temporal axis.
+  MtexCnn(int dims, int length, int num_classes, const MtexConfig& config,
+          Rng* rng);
+
+  std::string name() const override { return "MTEX"; }
+  int num_classes() const override { return num_classes_; }
+  Tensor PrepareInput(const Tensor& batch) const override;
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_logits) override;
+  std::vector<nn::Parameter*> Params() override;
+  std::vector<std::pair<std::string, Tensor*>> Buffers() override;
+
+  /// grad-CAM explanation map of shape (D, n) for one raw series (D, n):
+  /// the block-1 per-dimension map modulated by the block-2 temporal map,
+  /// both nearest-neighbour upsampled back to the input resolution.
+  Tensor Explain(const Tensor& series, int class_idx);
+
+ private:
+  int dims_;
+  int length_;
+  int num_classes_;
+  nn::Sequential block1_;
+  nn::Sequential block2_;
+  int block1_cam_layer_ = -1;  // index in block1_ of the explained activation
+  int block2_cam_layer_ = -1;  // index in block2_ of the explained activation
+  Tensor cached_block1_out_;
+};
+
+}  // namespace models
+}  // namespace dcam
+
+#endif  // DCAM_MODELS_MTEX_H_

@@ -1,0 +1,33 @@
+#include "models/recurrent_models.h"
+
+#include "util/rng.h"
+
+namespace dcam {
+namespace models {
+
+RecurrentClassifier::RecurrentClassifier(nn::CellType type, int dims,
+                                         int num_classes, int hidden, Rng* rng)
+    : type_(type), num_classes_(num_classes) {
+  DCAM_CHECK(rng != nullptr);
+  cell_ = std::make_unique<nn::Recurrent>(type, dims, hidden, rng);
+  dense_ = std::make_unique<nn::Dense>(hidden, num_classes, rng);
+}
+
+Tensor RecurrentClassifier::Forward(const Tensor& input, bool training) {
+  Tensor h = cell_->Forward(input, training);
+  return dense_->Forward(h, training);
+}
+
+Tensor RecurrentClassifier::Backward(const Tensor& grad_logits) {
+  Tensor g = dense_->Backward(grad_logits);
+  return cell_->Backward(g);
+}
+
+std::vector<nn::Parameter*> RecurrentClassifier::Params() {
+  std::vector<nn::Parameter*> params = cell_->Params();
+  for (nn::Parameter* p : dense_->Params()) params.push_back(p);
+  return params;
+}
+
+}  // namespace models
+}  // namespace dcam

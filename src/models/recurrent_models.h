@@ -1,0 +1,41 @@
+// Recurrent classification baselines of the paper's study (Section 5.2):
+// one recurrent hidden layer (RNN / LSTM / GRU, 128 units in the paper)
+// whose final hidden state feeds a dense classifier.
+
+#ifndef DCAM_MODELS_RECURRENT_MODELS_H_
+#define DCAM_MODELS_RECURRENT_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "nn/dense.h"
+#include "nn/recurrent.h"
+
+namespace dcam {
+namespace models {
+
+class RecurrentClassifier : public Model {
+ public:
+  RecurrentClassifier(nn::CellType type, int dims, int num_classes,
+                      int hidden = 128, Rng* rng = nullptr);
+
+  std::string name() const override { return nn::CellTypeName(type_); }
+  int num_classes() const override { return num_classes_; }
+  Tensor PrepareInput(const Tensor& batch) const override { return batch; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_logits) override;
+  std::vector<nn::Parameter*> Params() override;
+
+ private:
+  nn::CellType type_;
+  int num_classes_;
+  std::unique_ptr<nn::Recurrent> cell_;
+  std::unique_ptr<nn::Dense> dense_;
+};
+
+}  // namespace models
+}  // namespace dcam
+
+#endif  // DCAM_MODELS_RECURRENT_MODELS_H_

@@ -1,0 +1,82 @@
+#include "models/zoo.h"
+
+#include "models/cnn.h"
+#include "models/inception.h"
+#include "models/mtex.h"
+#include "models/recurrent_models.h"
+#include "models/resnet.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace models {
+namespace {
+
+InputMode ModeFor(const std::string& name) {
+  if (!name.empty() && name[0] == 'c') return InputMode::kSeparate;
+  if (!name.empty() && name[0] == 'd') return InputMode::kCube;
+  return InputMode::kStandard;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllModelNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>({
+      "RNN", "GRU", "LSTM", "MTEX", "CNN", "ResNet", "InceptionTime", "cCNN",
+      "cResNet", "cInceptionTime", "dCNN", "dResNet", "dInceptionTime",
+  });
+  return *names;
+}
+
+bool IsGapModel(const std::string& name) {
+  return name.find("CNN") != std::string::npos ||
+         name.find("ResNet") != std::string::npos ||
+         name.find("InceptionTime") != std::string::npos;
+}
+
+bool IsCubeModel(const std::string& name) {
+  return !name.empty() && name[0] == 'd' && IsGapModel(name);
+}
+
+std::unique_ptr<Model> MakeModel(const std::string& name, int dims, int length,
+                                 int num_classes, int scale, Rng* rng) {
+  DCAM_CHECK(rng != nullptr);
+  DCAM_CHECK_GE(scale, 1);
+  if (name == "RNN" || name == "GRU" || name == "LSTM") {
+    const nn::CellType type = name == "RNN"   ? nn::CellType::kRnn
+                              : name == "GRU" ? nn::CellType::kGru
+                                              : nn::CellType::kLstm;
+    const int hidden = std::max(4, 128 / scale);
+    return std::make_unique<RecurrentClassifier>(type, dims, num_classes,
+                                                 hidden, rng);
+  }
+  if (name == "MTEX") {
+    return std::make_unique<MtexCnn>(dims, length, num_classes,
+                                     MtexConfig().Scaled(scale), rng);
+  }
+  if (IsGapModel(name)) {
+    return MakeGapModel(name, dims, num_classes, scale, rng);
+  }
+  DCAM_CHECK(false) << "unknown model name: " << name;
+  return nullptr;
+}
+
+std::unique_ptr<GapModel> MakeGapModel(const std::string& name, int dims,
+                                       int num_classes, int scale, Rng* rng) {
+  DCAM_CHECK(rng != nullptr);
+  DCAM_CHECK(IsGapModel(name)) << name << " has no GAP head";
+  const InputMode mode = ModeFor(name);
+  if (name.find("ResNet") != std::string::npos) {
+    return std::make_unique<ResNet>(mode, dims, num_classes,
+                                    ResNetConfig().Scaled(scale), rng);
+  }
+  if (name.find("InceptionTime") != std::string::npos) {
+    return std::make_unique<InceptionTime>(mode, dims, num_classes,
+                                           InceptionConfig().Scaled(scale),
+                                           rng);
+  }
+  return std::make_unique<ConvNet>(mode, dims, num_classes,
+                                   ConvNetConfig().Scaled(scale), rng);
+}
+
+}  // namespace models
+}  // namespace dcam

@@ -1,0 +1,44 @@
+// Factory for every architecture in the paper's benchmark, addressed by the
+// names used in Tables 2 and 3. Width scaling (`scale`) divides all filter
+// counts / hidden sizes so the same topologies run quickly in tests and
+// benches; scale=1 reproduces the paper's configuration.
+
+#ifndef DCAM_MODELS_ZOO_H_
+#define DCAM_MODELS_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+
+namespace dcam {
+
+class Rng;
+
+namespace models {
+
+/// Names accepted by MakeModel, in the paper's Table 2 column order:
+/// "RNN", "GRU", "LSTM", "MTEX", "CNN", "ResNet", "InceptionTime",
+/// "cCNN", "cResNet", "cInceptionTime", "dCNN", "dResNet", "dInceptionTime".
+const std::vector<std::string>& AllModelNames();
+
+/// True for the GAP-headed conv architectures (CAM applies).
+bool IsGapModel(const std::string& name);
+
+/// True for the d-variants (dCAM applies).
+bool IsCubeModel(const std::string& name);
+
+/// Builds the named model. `length` is only required by "MTEX" (flattening
+/// head); other models ignore it. `scale` >= 1 divides widths.
+std::unique_ptr<Model> MakeModel(const std::string& name, int dims, int length,
+                                 int num_classes, int scale, Rng* rng);
+
+/// As MakeModel but for GAP-headed names, returned with the GapModel type.
+std::unique_ptr<GapModel> MakeGapModel(const std::string& name, int dims,
+                                       int num_classes, int scale, Rng* rng);
+
+}  // namespace models
+}  // namespace dcam
+
+#endif  // DCAM_MODELS_ZOO_H_

@@ -1,0 +1,46 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace dcam {
+namespace nn {
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    DCAM_CHECK(p != nullptr);
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const float alpha = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p->value.size();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      w[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace dcam

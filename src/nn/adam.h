@@ -1,0 +1,44 @@
+// ADAM optimizer (Kingma & Ba, 2015) — the optimizer the paper trains every
+// architecture with (Section 2, "Learning Phase").
+
+#ifndef DCAM_NN_ADAM_H_
+#define DCAM_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dcam {
+namespace nn {
+
+class Adam {
+ public:
+  /// `params` must outlive the optimizer.
+  explicit Adam(std::vector<Parameter*> params, float lr = 1e-3f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Applies one ADAM update from the accumulated gradients.
+  void Step();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  int64_t steps() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+};
+
+}  // namespace nn
+}  // namespace dcam
+
+#endif  // DCAM_NN_ADAM_H_

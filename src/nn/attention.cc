@@ -1,0 +1,128 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+
+TemporalAttention::TemporalAttention(int channels, int hidden, Rng* rng)
+    : channels_(channels),
+      hidden_(hidden),
+      w_("attn_w", {hidden, channels}),
+      b_("attn_b", {hidden}),
+      v_("attn_v", {hidden}) {
+  DCAM_CHECK_GE(channels, 1);
+  DCAM_CHECK_GE(hidden, 1);
+  DCAM_CHECK(rng != nullptr);
+  GlorotUniformInit(&w_.value, channels, hidden, rng);
+  GlorotUniformInit(&v_.value, hidden, 1, rng);
+}
+
+Tensor TemporalAttention::Forward(const Tensor& input, bool /*training*/) {
+  DCAM_CHECK_EQ(input.rank(), 3);
+  DCAM_CHECK_EQ(input.dim(1), channels_);
+  const int64_t B = input.dim(0), C = input.dim(1), n = input.dim(2);
+  cached_input_ = input;
+  cached_u_ = Tensor({B, n, hidden_});
+  cached_alpha_ = Tensor({B, n});
+  Tensor out({B, C});
+
+  for (int64_t i = 0; i < B; ++i) {
+    // Scores s_t = v . tanh(W x_t + b).
+    std::vector<double> scores(static_cast<size_t>(n));
+    double max_score = -1e300;
+    for (int64_t t = 0; t < n; ++t) {
+      double s = 0.0;
+      for (int h = 0; h < hidden_; ++h) {
+        double z = b_.value[h];
+        for (int64_t c = 0; c < C; ++c) {
+          z += w_.value.at(h, c) * input.at(i, c, t);
+        }
+        const float u = std::tanh(static_cast<float>(z));
+        cached_u_.at(i, t, h) = u;
+        s += static_cast<double>(v_.value[h]) * u;
+      }
+      scores[static_cast<size_t>(t)] = s;
+      max_score = std::max(max_score, s);
+    }
+    // Softmax over time.
+    double denom = 0.0;
+    for (int64_t t = 0; t < n; ++t) {
+      const double e = std::exp(scores[static_cast<size_t>(t)] - max_score);
+      cached_alpha_.at(i, t) = static_cast<float>(e);
+      denom += e;
+    }
+    for (int64_t t = 0; t < n; ++t) {
+      cached_alpha_.at(i, t) /= static_cast<float>(denom);
+    }
+    // Weighted average of frames.
+    for (int64_t c = 0; c < C; ++c) {
+      double s = 0.0;
+      for (int64_t t = 0; t < n; ++t) {
+        s += static_cast<double>(cached_alpha_.at(i, t)) * input.at(i, c, t);
+      }
+      out.at(i, c) = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+Tensor TemporalAttention::Backward(const Tensor& grad_output) {
+  DCAM_CHECK(!cached_input_.empty()) << "Backward before Forward";
+  const Tensor& x = cached_input_;
+  const int64_t B = x.dim(0), C = x.dim(1), n = x.dim(2);
+  DCAM_CHECK(grad_output.shape() == (Shape{B, C}));
+
+  Tensor grad_in({B, C, n});
+  for (int64_t i = 0; i < B; ++i) {
+    // d out / d alpha_t = x_t; chain to ds via softmax Jacobian.
+    std::vector<double> dalpha(static_cast<size_t>(n), 0.0);
+    for (int64_t t = 0; t < n; ++t) {
+      double g = 0.0;
+      for (int64_t c = 0; c < C; ++c) {
+        g += static_cast<double>(grad_output.at(i, c)) * x.at(i, c, t);
+      }
+      dalpha[static_cast<size_t>(t)] = g;
+    }
+    double avg = 0.0;
+    for (int64_t t = 0; t < n; ++t) {
+      avg += dalpha[static_cast<size_t>(t)] * cached_alpha_.at(i, t);
+    }
+    std::vector<double> dscore(static_cast<size_t>(n));
+    for (int64_t t = 0; t < n; ++t) {
+      dscore[static_cast<size_t>(t)] =
+          cached_alpha_.at(i, t) * (dalpha[static_cast<size_t>(t)] - avg);
+    }
+
+    for (int64_t t = 0; t < n; ++t) {
+      const double ds = dscore[static_cast<size_t>(t)];
+      // Direct path: out = sum_t alpha_t x_t.
+      for (int64_t c = 0; c < C; ++c) {
+        grad_in.at(i, c, t) +=
+            cached_alpha_.at(i, t) * grad_output.at(i, c);
+      }
+      // Score path: s_t = v . tanh(W x_t + b).
+      for (int h = 0; h < hidden_; ++h) {
+        const double u = cached_u_.at(i, t, h);
+        const double du = ds * v_.value[h] * (1.0 - u * u);
+        v_.grad[h] += static_cast<float>(ds * u);
+        b_.grad[h] += static_cast<float>(du);
+        for (int64_t c = 0; c < C; ++c) {
+          w_.grad.at(h, c) += static_cast<float>(du * x.at(i, c, t));
+          grad_in.at(i, c, t) +=
+              static_cast<float>(du * w_.value.at(h, c));
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> TemporalAttention::Params() {
+  return {&w_, &b_, &v_};
+}
+
+}  // namespace nn
+}  // namespace dcam

@@ -1,0 +1,55 @@
+// Additive temporal-attention pooling (Bahdanau-style), the mechanism behind
+// the attention-based series classifiers the paper's Section 2.1 surveys
+// (e.g. TapNet).
+//
+// Input (B, C, n) -> output (B, C): each timestep t is scored by
+//   s_t = v . tanh(W x_t + b),          x_t in R^C
+// the scores are softmax-normalized over time, and the output is the
+// attention-weighted average of the frames. A drop-in alternative to Global
+// Average Pooling that learns WHERE to look; unlike GAP it does not admit
+// CAM (the paper's precondition), which is precisely why the CAM-family
+// methods target GAP-headed networks.
+
+#ifndef DCAM_NN_ATTENTION_H_
+#define DCAM_NN_ATTENTION_H_
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace dcam {
+
+class Rng;
+
+namespace nn {
+
+class TemporalAttention : public Layer {
+ public:
+  /// `channels` is the input feature count C, `hidden` the attention width a.
+  TemporalAttention(int channels, int hidden, Rng* rng);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override;
+  std::string name() const override { return "TemporalAttention"; }
+
+  /// Attention weights (B, n) of the most recent Forward — the layer's own
+  /// (purely temporal) explanation surface.
+  const Tensor& last_attention() const { return cached_alpha_; }
+
+ private:
+  int channels_;
+  int hidden_;
+  Parameter w_;  // (hidden, C)
+  Parameter b_;  // (hidden)
+  Parameter v_;  // (hidden)
+
+  Tensor cached_input_;  // (B, C, n)
+  Tensor cached_u_;      // (B, n, hidden) = tanh(W x + b)
+  Tensor cached_alpha_;  // (B, n)
+};
+
+}  // namespace nn
+}  // namespace dcam
+
+#endif  // DCAM_NN_ATTENTION_H_

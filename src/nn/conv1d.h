@@ -1,0 +1,51 @@
+// 1-D convolution over (batch, channels, length) tensors.
+//
+// Used by the standard CNN/ResNet/InceptionTime baselines, which mix all
+// input dimensions in their first layer (Section 2.1 of the paper).
+
+#ifndef DCAM_NN_CONV1D_H_
+#define DCAM_NN_CONV1D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dcam {
+namespace nn {
+
+/// Conv1d with stride 1 and symmetric zero padding.
+/// Input (B, Cin, L) -> output (B, Cout, L + 2*padding - kernel + 1).
+class Conv1d : public Layer {
+ public:
+  Conv1d(int in_channels, int out_channels, int kernel, int padding, Rng* rng,
+         bool use_bias = true);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override;
+  std::string name() const override { return "Conv1d"; }
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+  int padding() const { return padding_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int padding_;
+  bool use_bias_;
+  Parameter weight_;  // (Cout, Cin, K)
+  Parameter bias_;    // (Cout)
+  Tensor cached_input_;
+};
+
+}  // namespace nn
+}  // namespace dcam
+
+#endif  // DCAM_NN_CONV1D_H_

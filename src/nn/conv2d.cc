@@ -1,0 +1,158 @@
+#include "nn/conv2d.h"
+
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel_h, int kernel_w,
+               int pad_h, int pad_w, Rng* rng, bool use_bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_h_(kernel_h),
+      kernel_w_(kernel_w),
+      pad_h_(pad_h),
+      pad_w_(pad_w),
+      use_bias_(use_bias),
+      weight_("conv2d.w", {out_channels, in_channels, kernel_h, kernel_w}),
+      bias_("conv2d.b", {out_channels}) {
+  DCAM_CHECK_GT(in_channels, 0);
+  DCAM_CHECK_GT(out_channels, 0);
+  DCAM_CHECK_GT(kernel_h, 0);
+  DCAM_CHECK_GT(kernel_w, 0);
+  HeUniformInit(&weight_.value,
+                static_cast<int64_t>(in_channels) * kernel_h * kernel_w, rng);
+}
+
+Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
+  DCAM_CHECK_EQ(input.rank(), 4);
+  DCAM_CHECK_EQ(input.dim(1), in_channels_);
+  const int64_t B = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const int64_t Hout = H + 2 * pad_h_ - kernel_h_ + 1;
+  const int64_t Wout = W + 2 * pad_w_ - kernel_w_ + 1;
+  DCAM_CHECK_GT(Hout, 0);
+  DCAM_CHECK_GT(Wout, 0);
+  cached_input_ = input;
+
+  Tensor out({B, out_channels_, Hout, Wout});
+  const float* w = weight_.value.data();
+  const float* bias = bias_.value.data();
+  const float* in = input.data();
+  float* o = out.data();
+  const int64_t Cin = in_channels_, Cout = out_channels_;
+  const int64_t KH = kernel_h_, KW = kernel_w_, PH = pad_h_, PW = pad_w_;
+
+  ParallelFor(0, B * Cout, [&](int64_t idx) {
+    const int64_t b = idx / Cout;
+    const int64_t co = idx % Cout;
+    const float* inb = in + b * Cin * H * W;
+    float* oplane = o + (b * Cout + co) * Hout * Wout;
+    if (use_bias_) {
+      for (int64_t i = 0; i < Hout * Wout; ++i) oplane[i] = bias[co];
+    }
+    for (int64_t ci = 0; ci < Cin; ++ci) {
+      const float* iplane = inb + ci * H * W;
+      const float* wk = w + ((co * Cin + ci) * KH) * KW;
+      for (int64_t kh = 0; kh < KH; ++kh) {
+        const int64_t ylo = std::max<int64_t>(0, PH - kh);
+        const int64_t yhi = std::min<int64_t>(Hout, H + PH - kh);
+        for (int64_t kw = 0; kw < KW; ++kw) {
+          const float wv = wk[kh * KW + kw];
+          if (wv == 0.0f) continue;
+          const int64_t xlo = std::max<int64_t>(0, PW - kw);
+          const int64_t xhi = std::min<int64_t>(Wout, W + PW - kw);
+          for (int64_t y = ylo; y < yhi; ++y) {
+            const float* irow = iplane + (y + kh - PH) * W + xlo + kw - PW;
+            float* orow = oplane + y * Wout + xlo;
+            for (int64_t x = xlo; x < xhi; ++x) *orow++ += wv * *irow++;
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  DCAM_CHECK(!cached_input_.empty()) << "Backward before Forward";
+  const Tensor& input = cached_input_;
+  const int64_t B = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const int64_t Hout = grad_output.dim(2), Wout = grad_output.dim(3);
+  DCAM_CHECK_EQ(grad_output.dim(0), B);
+  DCAM_CHECK_EQ(grad_output.dim(1), out_channels_);
+  const int64_t Cin = in_channels_, Cout = out_channels_;
+  const int64_t KH = kernel_h_, KW = kernel_w_, PH = pad_h_, PW = pad_w_;
+  const float* w = weight_.value.data();
+  const float* in = input.data();
+  const float* go = grad_output.data();
+
+  Tensor grad_in(input.shape());
+  float* gi = grad_in.data();
+  ParallelFor(0, B, [&](int64_t b) {
+    const float* gob = go + b * Cout * Hout * Wout;
+    float* gib = gi + b * Cin * H * W;
+    for (int64_t co = 0; co < Cout; ++co) {
+      const float* gplane = gob + co * Hout * Wout;
+      for (int64_t ci = 0; ci < Cin; ++ci) {
+        float* iplane = gib + ci * H * W;
+        const float* wk = w + ((co * Cin + ci) * KH) * KW;
+        for (int64_t kh = 0; kh < KH; ++kh) {
+          const int64_t ylo = std::max<int64_t>(0, PH - kh);
+          const int64_t yhi = std::min<int64_t>(Hout, H + PH - kh);
+          for (int64_t kw = 0; kw < KW; ++kw) {
+            const float wv = wk[kh * KW + kw];
+            if (wv == 0.0f) continue;
+            const int64_t xlo = std::max<int64_t>(0, PW - kw);
+            const int64_t xhi = std::min<int64_t>(Wout, W + PW - kw);
+            for (int64_t y = ylo; y < yhi; ++y) {
+              const float* gr = gplane + y * Wout + xlo;
+              float* ir = iplane + (y + kh - PH) * W + xlo + kw - PW;
+              for (int64_t x = xlo; x < xhi; ++x) *ir++ += wv * *gr++;
+            }
+          }
+        }
+      }
+    }
+  });
+
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  ParallelFor(0, Cout, [&](int64_t co) {
+    double bias_acc = 0.0;
+    for (int64_t b = 0; b < B; ++b) {
+      const float* gplane = go + (b * Cout + co) * Hout * Wout;
+      const float* inb = in + b * Cin * H * W;
+      for (int64_t i = 0; i < Hout * Wout; ++i) bias_acc += gplane[i];
+      for (int64_t ci = 0; ci < Cin; ++ci) {
+        const float* iplane = inb + ci * H * W;
+        float* gwk = gw + ((co * Cin + ci) * KH) * KW;
+        for (int64_t kh = 0; kh < KH; ++kh) {
+          const int64_t ylo = std::max<int64_t>(0, PH - kh);
+          const int64_t yhi = std::min<int64_t>(Hout, H + PH - kh);
+          for (int64_t kw = 0; kw < KW; ++kw) {
+            const int64_t xlo = std::max<int64_t>(0, PW - kw);
+            const int64_t xhi = std::min<int64_t>(Wout, W + PW - kw);
+            double acc = 0.0;
+            for (int64_t y = ylo; y < yhi; ++y) {
+              const float* gr = gplane + y * Wout + xlo;
+              const float* ir = iplane + (y + kh - PH) * W + xlo + kw - PW;
+              for (int64_t x = xlo; x < xhi; ++x) acc += *gr++ * *ir++;
+            }
+            gwk[kh * KW + kw] += static_cast<float>(acc);
+          }
+        }
+      }
+    }
+    if (use_bias_) gb[co] += static_cast<float>(bias_acc);
+  });
+  return grad_in;
+}
+
+std::vector<Parameter*> Conv2d::Params() {
+  if (use_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace nn
+}  // namespace dcam

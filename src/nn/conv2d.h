@@ -1,0 +1,53 @@
+// 2-D convolution over (batch, channels, height, width) tensors.
+//
+// This is the workhorse of the paper's proposal: the dCNN/dResNet/
+// dInceptionTime architectures feed the C(T) cube as a (B, D, D, n) tensor
+// (channels = dimensions of one row-permutation, height = the D cyclic rows,
+// width = time) through Conv2d layers with (1, l) kernels, realizing the
+// paper's kernels of size (D, l, 1). The cCNN baselines use (B, 1, D, n)
+// inputs, and MTEX-CNN uses (l, 1) kernels.
+
+#ifndef DCAM_NN_CONV2D_H_
+#define DCAM_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dcam {
+namespace nn {
+
+/// Conv2d with stride 1 and symmetric zero padding per axis.
+/// Input (B, Cin, H, W) -> (B, Cout, H + 2*ph - kh + 1, W + 2*pw - kw + 1).
+class Conv2d : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel_h, int kernel_w,
+         int pad_h, int pad_w, Rng* rng, bool use_bias = true);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override;
+  std::string name() const override { return "Conv2d"; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  int out_channels() const { return out_channels_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_h_;
+  int kernel_w_;
+  int pad_h_;
+  int pad_w_;
+  bool use_bias_;
+  Parameter weight_;  // (Cout, Cin, KH, KW)
+  Parameter bias_;    // (Cout)
+  Tensor cached_input_;
+};
+
+}  // namespace nn
+}  // namespace dcam
+
+#endif  // DCAM_NN_CONV2D_H_

@@ -1,0 +1,60 @@
+#include "nn/dense.h"
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+
+Dense::Dense(int in_features, int out_features, Rng* rng, bool use_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias),
+      weight_("dense.w", {out_features, in_features}),
+      bias_("dense.b", {out_features}) {
+  GlorotUniformInit(&weight_.value, in_features, out_features, rng);
+}
+
+Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
+  DCAM_CHECK_EQ(input.rank(), 2);
+  DCAM_CHECK_EQ(input.dim(1), in_features_);
+  cached_input_ = input;
+  // (B, in) x (out, in)^T -> (B, out)
+  Tensor out = ops::MatMulBT(input, weight_.value);
+  if (use_bias_) {
+    const int64_t B = out.dim(0);
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t j = 0; j < out_features_; ++j) {
+        out.at(b, j) += bias_.value[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  DCAM_CHECK(!cached_input_.empty()) << "Backward before Forward";
+  DCAM_CHECK_EQ(grad_output.rank(), 2);
+  DCAM_CHECK_EQ(grad_output.dim(1), out_features_);
+  // dW = dY^T X : (out, B)^T x ... -> use MatMulAT(grad, input): (B,out)^T(B,in)
+  Tensor dw = ops::MatMulAT(grad_output, cached_input_);  // (out, in)
+  ops::AddInPlace(&weight_.grad, dw);
+  if (use_bias_) {
+    const int64_t B = grad_output.dim(0);
+    for (int64_t j = 0; j < out_features_; ++j) {
+      double acc = 0.0;
+      for (int64_t b = 0; b < B; ++b) acc += grad_output.at(b, j);
+      bias_.grad[j] += static_cast<float>(acc);
+    }
+  }
+  // dX = dY W : (B, out) x (out, in) -> (B, in)
+  return ops::MatMul(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Dense::Params() {
+  if (use_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace nn
+}  // namespace dcam

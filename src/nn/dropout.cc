@@ -1,0 +1,45 @@
+#include "nn/dropout.h"
+
+namespace dcam {
+namespace nn {
+
+Dropout::Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  DCAM_CHECK_GE(rate, 0.0f);
+  DCAM_CHECK_LT(rate, 1.0f);
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training) {
+  forwarded_ = true;
+  last_training_ = training;
+  if (!training || rate_ == 0.0f) {
+    mask_ = Tensor();
+    return input;
+  }
+  const float scale = 1.0f / (1.0f - rate_);
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* m = mask_.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < input.size(); ++i) {
+    const bool keep = rng_.Uniform() >= rate_;
+    m[i] = keep ? scale : 0.0f;
+    o[i] = in[i] * m[i];
+  }
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  DCAM_CHECK(forwarded_) << "Backward before Forward";
+  if (!last_training_ || rate_ == 0.0f) return grad_output;
+  DCAM_CHECK(grad_output.shape() == mask_.shape());
+  Tensor grad_in(grad_output.shape());
+  const float* g = grad_output.data();
+  const float* m = mask_.data();
+  float* q = grad_in.data();
+  for (int64_t i = 0; i < grad_output.size(); ++i) q[i] = g[i] * m[i];
+  return grad_in;
+}
+
+}  // namespace nn
+}  // namespace dcam

@@ -1,0 +1,44 @@
+// Inverted dropout (Srivastava et al., 2014).
+//
+// During training each element is zeroed with probability `rate` and the
+// survivors are scaled by 1/(1-rate), so the expected activation is unchanged
+// and evaluation mode is the identity. The mask is drawn from an explicitly
+// seeded Rng owned by the layer, keeping training runs reproducible like
+// every other stochastic component of the library.
+
+#ifndef DCAM_NN_DROPOUT_H_
+#define DCAM_NN_DROPOUT_H_
+
+#include <string>
+
+#include "nn/layer.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+
+class Dropout : public Layer {
+ public:
+  /// `rate` is the probability of zeroing an element; must be in [0, 1).
+  explicit Dropout(float rate, uint64_t seed = 0x5eedULL);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  /// Scaled keep mask of the last training-mode Forward (empty after an
+  /// eval-mode Forward, where Backward is the identity).
+  Tensor mask_;
+  bool last_training_ = false;
+  bool forwarded_ = false;
+};
+
+}  // namespace nn
+}  // namespace dcam
+
+#endif  // DCAM_NN_DROPOUT_H_

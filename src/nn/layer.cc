@@ -1,0 +1,23 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+
+void HeUniformInit(Tensor* w, int64_t fan_in, Rng* rng) {
+  DCAM_CHECK_GT(fan_in, 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  w->FillUniform(rng, -bound, bound);
+}
+
+void GlorotUniformInit(Tensor* w, int64_t fan_in, int64_t fan_out, Rng* rng) {
+  DCAM_CHECK_GT(fan_in + fan_out, 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  w->FillUniform(rng, -bound, bound);
+}
+
+}  // namespace nn
+}  // namespace dcam

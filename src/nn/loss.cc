@@ -1,0 +1,44 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/check.h"
+
+namespace dcam {
+namespace nn {
+
+double SoftmaxCrossEntropy::Forward(const Tensor& logits,
+                                    const std::vector<int>& labels) {
+  DCAM_CHECK_EQ(logits.rank(), 2);
+  DCAM_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
+  probs_ = ops::Softmax2d(logits);
+  labels_ = labels;
+  const int64_t B = logits.dim(0);
+  double loss = 0.0;
+  for (int64_t b = 0; b < B; ++b) {
+    DCAM_CHECK_GE(labels[b], 0);
+    DCAM_CHECK_LT(labels[b], logits.dim(1));
+    const double p = std::max(1e-12, static_cast<double>(probs_.at(b, labels[b])));
+    loss -= std::log(p);
+  }
+  return loss / static_cast<double>(B);
+}
+
+Tensor SoftmaxCrossEntropy::Backward() const {
+  DCAM_CHECK(!probs_.empty()) << "Backward before Forward";
+  const int64_t B = probs_.dim(0), C = probs_.dim(1);
+  Tensor grad(probs_.shape());
+  const float inv_b = 1.0f / static_cast<float>(B);
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t c = 0; c < C; ++c) {
+      float g = probs_.at(b, c);
+      if (c == labels_[b]) g -= 1.0f;
+      grad.at(b, c) = g * inv_b;
+    }
+  }
+  return grad;
+}
+
+}  // namespace nn
+}  // namespace dcam

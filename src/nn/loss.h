@@ -1,0 +1,34 @@
+// Softmax cross-entropy loss (the loss used throughout the paper, Section 2).
+
+#ifndef DCAM_NN_LOSS_H_
+#define DCAM_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace nn {
+
+/// Combined softmax + negative log-likelihood over a batch.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (B, num_classes); labels: B class indices.
+  /// Returns the mean loss over the batch.
+  double Forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Gradient of the mean loss w.r.t. the logits, shape (B, num_classes).
+  Tensor Backward() const;
+
+  /// Softmax probabilities from the last Forward, shape (B, num_classes).
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace nn
+}  // namespace dcam
+
+#endif  // DCAM_NN_LOSS_H_

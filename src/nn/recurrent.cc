@@ -1,0 +1,259 @@
+#include "nn/recurrent.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+namespace {
+
+inline float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Extracts timestep t of a (B, D, n) tensor as (B, D).
+Tensor TimeSlice(const Tensor& input, int64_t t) {
+  const int64_t B = input.dim(0), D = input.dim(1), n = input.dim(2);
+  Tensor x({B, D});
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t d = 0; d < D; ++d) x.at(b, d) = input.at(b, d, t);
+  }
+  (void)n;
+  return x;
+}
+
+}  // namespace
+
+std::string CellTypeName(CellType type) {
+  switch (type) {
+    case CellType::kRnn:
+      return "RNN";
+    case CellType::kLstm:
+      return "LSTM";
+    case CellType::kGru:
+      return "GRU";
+  }
+  return "?";
+}
+
+Recurrent::Recurrent(CellType type, int input_size, int hidden_size, Rng* rng)
+    : type_(type),
+      input_(input_size),
+      hidden_(hidden_size),
+      wx_("rec.wx", {NumGates() * hidden_size, input_size}),
+      wh_("rec.wh", {NumGates() * hidden_size, hidden_size}),
+      bias_x_("rec.bx", {NumGates() * hidden_size}),
+      bias_h_("rec.bh", {NumGates() * hidden_size}) {
+  GlorotUniformInit(&wx_.value, input_size, hidden_size, rng);
+  GlorotUniformInit(&wh_.value, hidden_size, hidden_size, rng);
+}
+
+int Recurrent::NumGates() const {
+  switch (type_) {
+    case CellType::kRnn:
+      return 1;
+    case CellType::kLstm:
+      return 4;  // i, f, g, o
+    case CellType::kGru:
+      return 3;  // r, z, n
+  }
+  return 1;
+}
+
+Tensor Recurrent::Forward(const Tensor& input, bool /*training*/) {
+  DCAM_CHECK_EQ(input.rank(), 3);
+  DCAM_CHECK_EQ(input.dim(1), input_);
+  const int64_t B = input.dim(0), n = input.dim(2);
+  const int64_t H = hidden_;
+  const int G = NumGates();
+  cached_input_ = input;
+  h_.assign(1, Tensor({B, H}));
+  c_.assign(1, Tensor({B, H}));
+  gates_.clear();
+  candidate_.clear();
+
+  for (int64_t t = 0; t < n; ++t) {
+    Tensor xt = TimeSlice(input, t);
+    // Pre-activations: (B, G*H) = x Wx^T + bx  and  h_{t-1} Wh^T + bh.
+    Tensor ax = ops::MatMulBT(xt, wx_.value);
+    Tensor ah = ops::MatMulBT(h_.back(), wh_.value);
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t j = 0; j < G * H; ++j) {
+        ax.at(b, j) += bias_x_.value[j];
+        ah.at(b, j) += bias_h_.value[j];
+      }
+    }
+    Tensor gate({B, static_cast<int64_t>(G) * H});
+    Tensor hnew({B, H});
+    const Tensor& hprev = h_.back();
+
+    switch (type_) {
+      case CellType::kRnn: {
+        for (int64_t b = 0; b < B; ++b) {
+          for (int64_t j = 0; j < H; ++j) {
+            const float v = std::tanh(ax.at(b, j) + ah.at(b, j));
+            gate.at(b, j) = v;
+            hnew.at(b, j) = v;
+          }
+        }
+        break;
+      }
+      case CellType::kLstm: {
+        Tensor cnew({B, H});
+        const Tensor& cprev = c_.back();
+        for (int64_t b = 0; b < B; ++b) {
+          for (int64_t j = 0; j < H; ++j) {
+            const float i = SigmoidF(ax.at(b, j) + ah.at(b, j));
+            const float f = SigmoidF(ax.at(b, H + j) + ah.at(b, H + j));
+            const float g = std::tanh(ax.at(b, 2 * H + j) + ah.at(b, 2 * H + j));
+            const float o = SigmoidF(ax.at(b, 3 * H + j) + ah.at(b, 3 * H + j));
+            const float cv = f * cprev.at(b, j) + i * g;
+            gate.at(b, j) = i;
+            gate.at(b, H + j) = f;
+            gate.at(b, 2 * H + j) = g;
+            gate.at(b, 3 * H + j) = o;
+            cnew.at(b, j) = cv;
+            hnew.at(b, j) = o * std::tanh(cv);
+          }
+        }
+        c_.push_back(cnew);
+        break;
+      }
+      case CellType::kGru: {
+        Tensor hn({B, H});  // Un h_{t-1} + bn_h — needed by backward
+        for (int64_t b = 0; b < B; ++b) {
+          for (int64_t j = 0; j < H; ++j) {
+            const float r = SigmoidF(ax.at(b, j) + ah.at(b, j));
+            const float z = SigmoidF(ax.at(b, H + j) + ah.at(b, H + j));
+            const float hn_v = ah.at(b, 2 * H + j);
+            const float nv = std::tanh(ax.at(b, 2 * H + j) + r * hn_v);
+            gate.at(b, j) = r;
+            gate.at(b, H + j) = z;
+            gate.at(b, 2 * H + j) = nv;
+            hn.at(b, j) = hn_v;
+            hnew.at(b, j) = (1.0f - z) * nv + z * hprev.at(b, j);
+          }
+        }
+        candidate_.push_back(hn);
+        break;
+      }
+    }
+    gates_.push_back(gate);
+    h_.push_back(hnew);
+  }
+  return h_.back();
+}
+
+Tensor Recurrent::Backward(const Tensor& grad_output) {
+  DCAM_CHECK(!cached_input_.empty()) << "Backward before Forward";
+  const Tensor& input = cached_input_;
+  const int64_t B = input.dim(0), n = input.dim(2);
+  const int64_t H = hidden_;
+  const int G = NumGates();
+  DCAM_CHECK_EQ(grad_output.dim(0), B);
+  DCAM_CHECK_EQ(grad_output.dim(1), H);
+
+  Tensor grad_in(input.shape());
+  Tensor dh = grad_output.Clone();
+  Tensor dc({B, H});
+
+  for (int64_t t = n - 1; t >= 0; --t) {
+    const Tensor& gate = gates_[t];
+    const Tensor& hprev = h_[t];
+    Tensor da({B, static_cast<int64_t>(G) * H});  // grad at Wx-side pre-acts
+    Tensor dah;  // grad at Wh-side pre-acts; same as da except for GRU's n
+    Tensor dh_prev({B, H});
+
+    switch (type_) {
+      case CellType::kRnn: {
+        for (int64_t b = 0; b < B; ++b) {
+          for (int64_t j = 0; j < H; ++j) {
+            const float y = gate.at(b, j);
+            da.at(b, j) = dh.at(b, j) * (1.0f - y * y);
+          }
+        }
+        dah = da;
+        break;
+      }
+      case CellType::kLstm: {
+        const Tensor& cprev = c_[t];
+        const Tensor& cnew = c_[t + 1];
+        Tensor dc_next({B, H});
+        for (int64_t b = 0; b < B; ++b) {
+          for (int64_t j = 0; j < H; ++j) {
+            const float i = gate.at(b, j);
+            const float f = gate.at(b, H + j);
+            const float g = gate.at(b, 2 * H + j);
+            const float o = gate.at(b, 3 * H + j);
+            const float tc = std::tanh(cnew.at(b, j));
+            float dct = dc.at(b, j) + dh.at(b, j) * o * (1.0f - tc * tc);
+            const float do_ = dh.at(b, j) * tc;
+            const float di = dct * g;
+            const float df = dct * cprev.at(b, j);
+            const float dg = dct * i;
+            dc_next.at(b, j) = dct * f;
+            da.at(b, j) = di * i * (1.0f - i);
+            da.at(b, H + j) = df * f * (1.0f - f);
+            da.at(b, 2 * H + j) = dg * (1.0f - g * g);
+            da.at(b, 3 * H + j) = do_ * o * (1.0f - o);
+          }
+        }
+        dc = dc_next;
+        dah = da;
+        break;
+      }
+      case CellType::kGru: {
+        dah = Tensor({B, static_cast<int64_t>(G) * H});
+        const Tensor& hn = candidate_[t];
+        for (int64_t b = 0; b < B; ++b) {
+          for (int64_t j = 0; j < H; ++j) {
+            const float r = gate.at(b, j);
+            const float z = gate.at(b, H + j);
+            const float nv = gate.at(b, 2 * H + j);
+            const float dhv = dh.at(b, j);
+            const float dn = dhv * (1.0f - z);
+            const float dz = dhv * (hprev.at(b, j) - nv);
+            dh_prev.at(b, j) += dhv * z;
+            const float dan = dn * (1.0f - nv * nv);
+            const float dr = dan * hn.at(b, j);
+            da.at(b, j) = dr * r * (1.0f - r);
+            da.at(b, H + j) = dz * z * (1.0f - z);
+            da.at(b, 2 * H + j) = dan;
+            dah.at(b, j) = da.at(b, j);
+            dah.at(b, H + j) = da.at(b, H + j);
+            dah.at(b, 2 * H + j) = dan * r;  // reset gate modulates Wh path
+          }
+        }
+        break;
+      }
+    }
+
+    // Parameter gradients.
+    Tensor xt = TimeSlice(input, t);
+    ops::AddInPlace(&wx_.grad, ops::MatMulAT(da, xt));
+    ops::AddInPlace(&wh_.grad, ops::MatMulAT(dah, hprev));
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t j = 0; j < G * H; ++j) {
+        bias_x_.grad[j] += da.at(b, j);
+        bias_h_.grad[j] += dah.at(b, j);
+      }
+    }
+
+    // Gradient w.r.t. x_t and h_{t-1}.
+    Tensor dx = ops::MatMul(da, wx_.value);        // (B, D)
+    Tensor dhp = ops::MatMul(dah, wh_.value);      // (B, H)
+    ops::AddInPlace(&dh_prev, dhp);
+    for (int64_t b = 0; b < B; ++b) {
+      for (int64_t d = 0; d < input_; ++d) grad_in.at(b, d, t) = dx.at(b, d);
+    }
+    dh = dh_prev;
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> Recurrent::Params() {
+  return {&wx_, &wh_, &bias_x_, &bias_h_};
+}
+
+}  // namespace nn
+}  // namespace dcam

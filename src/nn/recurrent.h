@@ -1,0 +1,61 @@
+// Recurrent sequence layers: vanilla RNN, LSTM, and GRU with full
+// backpropagation-through-time.
+//
+// The paper's experimental study includes RNN/LSTM/GRU baselines configured
+// as a single recurrent hidden layer of 128 units whose final hidden state
+// feeds a dense classifier (Section 5.2). Input is (B, D, n) — the time axis
+// is last — and the layer outputs the final hidden state (B, H).
+
+#ifndef DCAM_NN_RECURRENT_H_
+#define DCAM_NN_RECURRENT_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dcam {
+namespace nn {
+
+enum class CellType { kRnn, kLstm, kGru };
+
+/// Returns "RNN" / "LSTM" / "GRU".
+std::string CellTypeName(CellType type);
+
+class Recurrent : public Layer {
+ public:
+  Recurrent(CellType type, int input_size, int hidden_size, Rng* rng);
+
+  /// input (B, D, n) -> final hidden state (B, H).
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override;
+  std::string name() const override { return CellTypeName(type_); }
+
+  int hidden_size() const { return hidden_; }
+
+ private:
+  // Number of stacked gate blocks in the weight matrices.
+  int NumGates() const;
+
+  CellType type_;
+  int input_;
+  int hidden_;
+  Parameter wx_;      // (G*H, D)
+  Parameter wh_;      // (G*H, H)
+  Parameter bias_x_;  // (G*H)
+  Parameter bias_h_;  // (G*H) — used by GRU's reset-gated candidate; kept at
+                      // zero (and still trained) for RNN/LSTM for uniformity.
+
+  // Forward caches (per timestep).
+  Tensor cached_input_;            // (B, D, n)
+  std::vector<Tensor> h_;          // h_0..h_n, each (B, H); h_0 is zeros
+  std::vector<Tensor> c_;          // LSTM cell states c_0..c_n
+  std::vector<Tensor> gates_;      // activated gates per step (B, G*H)
+  std::vector<Tensor> candidate_;  // GRU: Un h + bn_h pre-reset term (B, H)
+};
+
+}  // namespace nn
+}  // namespace dcam
+
+#endif  // DCAM_NN_RECURRENT_H_

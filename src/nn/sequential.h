@@ -1,0 +1,59 @@
+// Sequential container of layers with per-layer activation and gradient
+// capture (needed by CAM, which reads the last conv activation, and by
+// grad-CAM, which reads the gradient flowing into an interior layer).
+
+#ifndef DCAM_NN_SEQUENTIAL_H_
+#define DCAM_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dcam {
+namespace nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a raw observer pointer for later inspection.
+  template <typename L, typename... Args>
+  L* Emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* ptr = layer.get();
+    layers_.push_back(std::move(layer));
+    return ptr;
+  }
+
+  /// Appends an already-constructed layer.
+  Layer* Add(std::unique_ptr<Layer> layer);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Params() override;
+  std::vector<std::pair<std::string, Tensor*>> Buffers() override;
+  std::string name() const override { return "Sequential"; }
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  Layer* layer(int i) { return layers_[i].get(); }
+
+  /// Output of layer i from the most recent Forward().
+  const Tensor& layer_output(int i) const;
+
+  /// Gradient w.r.t. the *output* of layer i from the most recent Backward()
+  /// (i.e., the gradient that entered layer i+1, or the top gradient for the
+  /// last layer).
+  const Tensor& layer_output_grad(int i) const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<Tensor> outputs_;
+  std::vector<Tensor> output_grads_;
+};
+
+}  // namespace nn
+}  // namespace dcam
+
+#endif  // DCAM_NN_SEQUENTIAL_H_

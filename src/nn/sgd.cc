@@ -1,0 +1,44 @@
+#include "nn/sgd.h"
+
+namespace dcam {
+namespace nn {
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  DCAM_CHECK_GT(lr, 0.0f);
+  DCAM_CHECK_GE(momentum, 0.0f);
+  DCAM_CHECK_LT(momentum, 1.0f);
+  DCAM_CHECK_GE(weight_decay, 0.0f);
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    DCAM_CHECK(p != nullptr);
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+void Sgd::Step() {
+  ++t_;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* v = velocity_[i].data();
+    const int64_t n = p->value.size();
+    for (int64_t j = 0; j < n; ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] + grad;
+      w[j] -= lr_ * v[j];
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace dcam

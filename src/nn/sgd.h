@@ -1,0 +1,48 @@
+// Stochastic gradient descent with classical momentum and optional L2 weight
+// decay.
+//
+// The paper trains everything with ADAM (Section 2, "Learning Phase"); SGD is
+// provided as the textbook alternative so the training pipeline can be
+// ablated against the optimizer choice (bench_ablation) and so downstream
+// users porting recipes that were tuned for SGD have a drop-in.
+
+#ifndef DCAM_NN_SGD_H_
+#define DCAM_NN_SGD_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dcam {
+namespace nn {
+
+class Sgd {
+ public:
+  /// `params` must outlive the optimizer. `momentum` = 0 recovers plain SGD;
+  /// `weight_decay` adds decay * w to every gradient before the update.
+  explicit Sgd(std::vector<Parameter*> params, float lr = 1e-2f,
+               float momentum = 0.0f, float weight_decay = 0.0f);
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  /// Applies one update: v <- momentum * v + g; w <- w - lr * v.
+  void Step();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  int64_t steps() const { return t_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  int64_t t_ = 0;
+};
+
+}  // namespace nn
+}  // namespace dcam
+
+#endif  // DCAM_NN_SGD_H_

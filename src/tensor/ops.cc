@@ -1,0 +1,159 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace dcam {
+namespace ops {
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  DCAM_CHECK(a.shape() == b.shape())
+      << ShapeToString(a.shape()) << " vs " << ShapeToString(b.shape());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  CheckSameShape(*a, b);
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] += pb[i];
+}
+
+void Axpy(Tensor* a, float s, const Tensor& b) {
+  CheckSameShape(*a, b);
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] += s * pb[i];
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DCAM_CHECK_EQ(a.rank(), 2);
+  DCAM_CHECK_EQ(b.rank(), 2);
+  DCAM_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulBT(const Tensor& a, const Tensor& b) {
+  DCAM_CHECK_EQ(a.rank(), 2);
+  DCAM_CHECK_EQ(b.rank(), 2);
+  DCAM_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      po[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor MatMulAT(const Tensor& a, const Tensor& b) {
+  DCAM_CHECK_EQ(a.rank(), 2);
+  DCAM_CHECK_EQ(b.rank(), 2);
+  DCAM_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Softmax2d(const Tensor& logits) {
+  DCAM_CHECK_EQ(logits.rank(), 2);
+  const int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int64_t r = 0; r < rows; ++r) {
+    float mx = logits.at(r, 0);
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, logits.at(r, c));
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      const double e = std::exp(static_cast<double>(logits.at(r, c)) - mx);
+      out.at(r, c) = static_cast<float>(e);
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t c = 0; c < cols; ++c) out.at(r, c) *= inv;
+  }
+  return out;
+}
+
+double MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  double mx = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return mx;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, double atol, double rtol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double diff = std::abs(static_cast<double>(a[i]) - b[i]);
+    if (diff > atol + rtol * std::abs(static_cast<double>(b[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace ops
+}  // namespace dcam

@@ -1,0 +1,53 @@
+// Elementwise and linear-algebra helpers over Tensor.
+//
+// Only the operations the NN stack actually needs; no broadcasting engine.
+
+#ifndef DCAM_TENSOR_OPS_H_
+#define DCAM_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace ops {
+
+/// out = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// out = a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// out = a * b elementwise (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// out = a * s.
+Tensor Scale(const Tensor& a, float s);
+
+/// a += b (same shape), in place.
+void AddInPlace(Tensor* a, const Tensor& b);
+
+/// a += s * b (axpy), in place.
+void Axpy(Tensor* a, float s, const Tensor& b);
+
+/// Matrix product: (m, k) x (k, n) -> (m, n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Matrix product with b transposed: (m, k) x (n, k)^T -> (m, n).
+Tensor MatMulBT(const Tensor& a, const Tensor& b);
+
+/// Matrix product with a transposed: (k, m)^T x (k, n) -> (m, n).
+Tensor MatMulAT(const Tensor& a, const Tensor& b);
+
+/// Row-wise softmax over the last dimension of a rank-2 tensor.
+Tensor Softmax2d(const Tensor& logits);
+
+/// Maximum absolute difference between two same-shaped tensors.
+double MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+/// True if every |a_i - b_i| <= atol + rtol * |b_i|.
+bool AllClose(const Tensor& a, const Tensor& b, double atol = 1e-5,
+              double rtol = 1e-4);
+
+}  // namespace ops
+}  // namespace dcam
+
+#endif  // DCAM_TENSOR_OPS_H_

@@ -1,0 +1,62 @@
+// Lightweight assertion macros used across the library.
+//
+// DCAM_CHECK is enabled in all build types: shape and invariant violations in
+// a numerical library are programming errors that must never be silently
+// ignored, and their cost is negligible relative to the surrounding
+// arithmetic.
+
+#ifndef DCAM_UTIL_CHECK_H_
+#define DCAM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dcam {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "DCAM_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::abort();
+}
+
+// Stream collector so call sites can write DCAM_CHECK(x) << "context".
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckStream() { CheckFailed(file_, line_, expr_, out_.str()); }
+
+  template <typename T>
+  CheckStream& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal
+}  // namespace dcam
+
+#define DCAM_CHECK(condition)                                       \
+  if (condition) {                                                  \
+  } else                                                            \
+    ::dcam::internal::CheckStream(__FILE__, __LINE__, #condition)
+
+#define DCAM_CHECK_EQ(a, b) DCAM_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DCAM_CHECK_NE(a, b) DCAM_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DCAM_CHECK_LT(a, b) DCAM_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DCAM_CHECK_LE(a, b) DCAM_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DCAM_CHECK_GT(a, b) DCAM_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DCAM_CHECK_GE(a, b) DCAM_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // DCAM_UTIL_CHECK_H_

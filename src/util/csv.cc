@@ -1,0 +1,75 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dcam {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return std::string(buf);
+}
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DCAM_CHECK(!header_.empty());
+}
+
+void TableWriter::BeginRow() { rows_.emplace_back(); }
+
+void TableWriter::Cell(const std::string& value) {
+  DCAM_CHECK(!rows_.empty()) << "call BeginRow() first";
+  DCAM_CHECK_LT(rows_.back().size(), header_.size());
+  rows_.back().push_back(value);
+}
+
+void TableWriter::Cell(const char* value) { Cell(std::string(value)); }
+
+void TableWriter::Cell(double value, int precision) {
+  Cell(FormatDouble(value, precision));
+}
+
+void TableWriter::Cell(int64_t value) { Cell(std::to_string(value)); }
+
+void TableWriter::Cell(int value) { Cell(std::to_string(value)); }
+
+void TableWriter::WriteCsv(std::ostream& os) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << header_[i];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  }
+}
+
+void TableWriter::WriteAligned(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+}  // namespace dcam

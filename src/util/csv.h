@@ -1,0 +1,47 @@
+// Tiny CSV/table emitter used by the benchmark harnesses to print the rows
+// and series the paper's tables and figures report.
+
+#ifndef DCAM_UTIL_CSV_H_
+#define DCAM_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dcam {
+
+/// Accumulates rows of strings and renders either CSV or an aligned text
+/// table. All cells are stored as strings; numeric helpers format with a
+/// fixed precision so benchmark output is stable across runs of equal data.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Starts a new row. Cells are appended with Cell().
+  void BeginRow();
+
+  void Cell(const std::string& value);
+  void Cell(const char* value);
+  void Cell(double value, int precision = 3);
+  void Cell(int64_t value);
+  void Cell(int value);
+
+  /// Renders as comma-separated values (header first).
+  void WriteCsv(std::ostream& os) const;
+
+  /// Renders as an aligned, human-readable table.
+  void WriteAligned(std::ostream& os) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace dcam
+
+#endif  // DCAM_UTIL_CSV_H_

@@ -1,0 +1,105 @@
+#include "util/parallel.h"
+
+#include <atomic>
+
+namespace dcam {
+namespace {
+
+thread_local bool inside_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  inside_parallel_region = true;
+  uint64_t seen_epoch = 0;
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      task = task_;
+      ++active_;
+    }
+    int64_t i;
+    while ((i = task.next->fetch_add(1, std::memory_order_relaxed)) <
+           task.end) {
+      (*task.fn)(i);
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (task.remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& fn) {
+  if (begin >= end) return;
+  std::atomic<int64_t> next(begin);
+  std::atomic<int> remaining(static_cast<int>(workers_.size()));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    task_.begin = begin;
+    task_.end = end;
+    task_.fn = &fn;
+    task_.next = &next;
+    task_.remaining = &remaining;
+    ++epoch_;
+  }
+  cv_.notify_all();
+  // The caller participates in the same iteration pool.
+  const bool was_inside = inside_parallel_region;
+  inside_parallel_region = true;
+  int64_t i;
+  while ((i = next.fetch_add(1, std::memory_order_relaxed)) < end) {
+    fn(i);
+  }
+  inside_parallel_region = was_inside;
+  // Wait for workers to drain; they may still be executing their last
+  // iteration even though the counter is exhausted.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& GlobalPool() {
+  static ThreadPool* pool = [] {
+    int n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 4;
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn) {
+  if (begin >= end) return;
+  if (inside_parallel_region || end - begin == 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  GlobalPool().ParallelFor(begin, end, fn);
+}
+
+}  // namespace dcam

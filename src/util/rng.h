@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (weight init, dataset synthesis,
+// permutation sampling, batch shuffling) draws from an explicitly seeded Rng
+// so that experiments are reproducible bit-for-bit across runs.
+
+#ifndef DCAM_UTIL_RNG_H_
+#define DCAM_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dcam {
+
+/// xoshiro256** generator seeded via SplitMix64. Small, fast, and good enough
+/// for weight initialization and workload synthesis; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t UniformInt(int64_t n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  /// Normal with the given mean / stddev.
+  double Normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of [0, n) indices.
+  std::vector<int> Permutation(int n);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (int i = static_cast<int>(v->size()) - 1; i > 0; --i) {
+      int j = static_cast<int>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-worker streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace dcam
+
+#endif  // DCAM_UTIL_RNG_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch used by the execution-time experiments (Figure 12).
+
+#ifndef DCAM_UTIL_STOPWATCH_H_
+#define DCAM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dcam {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dcam
+
+#endif  // DCAM_UTIL_STOPWATCH_H_

@@ -1,0 +1,112 @@
+// Tests for the temporal-attention pooling layer: gradient checks (the same
+// finite-difference harness every layer passes) and behavioral properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.h"
+#include "nn/attention.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+namespace {
+
+TEST(TemporalAttentionTest, OutputShapeAndWeightsSumToOne) {
+  Rng rng(1);
+  TemporalAttention attn(4, 3, &rng);
+  Tensor x({2, 4, 9});
+  Rng xr(2);
+  x.FillNormal(&xr, 0.0f, 1.0f);
+  const Tensor y = attn.Forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{2, 4}));
+  const Tensor& alpha = attn.last_attention();
+  ASSERT_EQ(alpha.shape(), (Shape{2, 9}));
+  for (int64_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int64_t t = 0; t < 9; ++t) {
+      EXPECT_GE(alpha.at(i, t), 0.0f);
+      sum += alpha.at(i, t);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(TemporalAttentionTest, OutputIsConvexCombinationOfFrames) {
+  // Every output channel lies within the [min, max] of that channel's frames
+  // (the attention weights are a convex combination).
+  Rng rng(3);
+  TemporalAttention attn(3, 4, &rng);
+  Tensor x({1, 3, 12});
+  Rng xr(4);
+  x.FillNormal(&xr, 0.0f, 2.0f);
+  const Tensor y = attn.Forward(x, false);
+  for (int64_t c = 0; c < 3; ++c) {
+    float lo = x.at(0, c, 0), hi = x.at(0, c, 0);
+    for (int64_t t = 1; t < 12; ++t) {
+      lo = std::min(lo, x.at(0, c, t));
+      hi = std::max(hi, x.at(0, c, t));
+    }
+    EXPECT_GE(y.at(0, c), lo - 1e-5f);
+    EXPECT_LE(y.at(0, c), hi + 1e-5f);
+  }
+}
+
+TEST(TemporalAttentionTest, ConstantSeriesGivesUniformAttention) {
+  // Identical frames receive identical scores -> uniform softmax.
+  Rng rng(5);
+  TemporalAttention attn(2, 3, &rng);
+  Tensor x({1, 2, 8});
+  for (int64_t c = 0; c < 2; ++c) {
+    for (int64_t t = 0; t < 8; ++t) x.at(0, c, t) = 1.5f;
+  }
+  attn.Forward(x, false);
+  const Tensor& alpha = attn.last_attention();
+  for (int64_t t = 0; t < 8; ++t) {
+    EXPECT_NEAR(alpha.at(0, t), 1.0f / 8.0f, 1e-6f);
+  }
+}
+
+TEST(TemporalAttentionTest, GradientMatchesFiniteDifference) {
+  Rng rng(6);
+  TemporalAttention attn(3, 2, &rng);
+  testing::CheckLayerGradients(&attn, {2, 3, 7}, /*training=*/true,
+                               /*eps=*/1e-2, /*tol=*/4e-2, /*seed=*/88);
+}
+
+TEST(TemporalAttentionTest, GradientCheckLargerShape) {
+  Rng rng(7);
+  TemporalAttention attn(5, 4, &rng);
+  testing::CheckLayerGradients(&attn, {1, 5, 11}, /*training=*/true,
+                               /*eps=*/1e-2, /*tol=*/4e-2, /*seed=*/99);
+}
+
+TEST(TemporalAttentionTest, BackwardBeforeForwardAborts) {
+  Rng rng(8);
+  TemporalAttention attn(2, 2, &rng);
+  Tensor g({1, 2});
+  EXPECT_DEATH(attn.Backward(g), "DCAM_CHECK failed");
+}
+
+TEST(TemporalAttentionTest, WrongChannelCountAborts) {
+  Rng rng(9);
+  TemporalAttention attn(3, 2, &rng);
+  Tensor x({1, 4, 8});
+  EXPECT_DEATH(attn.Forward(x, false), "DCAM_CHECK failed");
+}
+
+TEST(TemporalAttentionTest, HasThreeParameterTensors) {
+  Rng rng(10);
+  TemporalAttention attn(4, 5, &rng);
+  const auto params = attn.Params();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0]->value.shape(), (Shape{5, 4}));
+  EXPECT_EQ(params[1]->value.shape(), (Shape{5}));
+  EXPECT_EQ(params[2]->value.shape(), (Shape{5}));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dcam

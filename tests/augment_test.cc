@@ -1,0 +1,219 @@
+// Tests for data/augment: per-transform properties and the dataset-level
+// expansion (label preservation, mask co-transformation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/augment.h"
+#include "data/synthetic.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace data {
+namespace {
+
+Tensor Ramp(int64_t d, int64_t n) {
+  Tensor t({d, n});
+  for (int64_t j = 0; j < d; ++j) {
+    for (int64_t i = 0; i < n; ++i) {
+      t.at(j, i) = static_cast<float>(i + j * 100);
+    }
+  }
+  return t;
+}
+
+TEST(JitterTest, ZeroStddevIsIdentity) {
+  Rng rng(1);
+  const Tensor x = Ramp(2, 16);
+  const Tensor y = Jitter(x, 0.0f, &rng);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(JitterTest, NoiseHasRequestedScale) {
+  Rng rng(2);
+  Tensor x({1, 20000});
+  const Tensor y = Jitter(x, 0.5f, &rng);
+  double sq = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) sq += y[i] * y[i];
+  EXPECT_NEAR(std::sqrt(sq / static_cast<double>(y.size())), 0.5, 0.02);
+}
+
+TEST(ScaleTest, ScalesWholeDimensionsUniformly) {
+  Rng rng(3);
+  const Tensor x = Ramp(3, 8);
+  const Tensor y = Scale(x, 0.2f, &rng);
+  for (int64_t j = 0; j < 3; ++j) {
+    // Within one dimension the ratio is constant.
+    const float ratio = y.at(j, 1) / x.at(j, 1);
+    for (int64_t t = 1; t < 8; ++t) {
+      EXPECT_NEAR(y.at(j, t) / x.at(j, t), ratio, 1e-5f);
+    }
+  }
+}
+
+TEST(TimeMaskTest, MasksExactlyRequestedPoints) {
+  Rng rng(4);
+  Tensor x({2, 32}, 1.0f);
+  const Tensor y = TimeMask(x, 8, 1, &rng);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) ++zeros;
+  }
+  EXPECT_EQ(zeros, 8);
+}
+
+TEST(TimeMaskTest, ZeroMasksIsIdentity) {
+  Rng rng(5);
+  const Tensor x = Ramp(2, 16);
+  const Tensor y = TimeMask(x, 4, 0, &rng);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(WindowWarpTest, PreservesShapeAndEndpoints) {
+  Rng rng(6);
+  const Tensor x = Ramp(2, 64);
+  const Tensor y = WindowWarp(x, 16, 1.5f, &rng);
+  ASSERT_EQ(y.shape(), x.shape());
+  // Endpoints are fixed points of the resampling chain.
+  for (int64_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(y.at(j, 0), x.at(j, 0), 1e-4f);
+    EXPECT_NEAR(y.at(j, 63), x.at(j, 63), 1e-4f);
+  }
+}
+
+TEST(WindowWarpTest, FactorOneIsNearIdentity) {
+  Rng rng(7);
+  const Tensor x = Ramp(1, 48);
+  const Tensor y = WindowWarp(x, 12, 1.0f, &rng);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-3f);
+  }
+}
+
+TEST(WindowWarpTest, MonotoneSeriesStaysMonotone) {
+  // Linear interpolation of a monotone sequence is monotone.
+  Rng rng(8);
+  const Tensor x = Ramp(1, 64);
+  const Tensor y = WindowWarp(x, 20, 0.6f, &rng);
+  for (int64_t t = 1; t < 64; ++t) {
+    EXPECT_GE(y.at(0, t), y.at(0, t - 1) - 1e-4f);
+  }
+}
+
+TEST(WindowWarpTest, MaskStaysBinaryAndTracksSeries) {
+  Rng rng(9);
+  Tensor x({1, 64});
+  Tensor mask({1, 64});
+  // A plateau of ones in the series center, mirrored in the mask.
+  for (int64_t t = 24; t < 40; ++t) {
+    x.at(0, t) = 1.0f;
+    mask.at(0, t) = 1.0f;
+  }
+  Tensor warped_mask = mask.Clone();
+  const Tensor y = WindowWarp(x, 32, 1.4f, &rng, &warped_mask);
+  int64_t mask_ones = 0;
+  for (int64_t t = 0; t < 64; ++t) {
+    const float m = warped_mask.at(0, t);
+    EXPECT_TRUE(m == 0.0f || m == 1.0f);
+    if (m == 1.0f) {
+      ++mask_ones;
+      // Where the warped mask is on, the warped series is near its plateau.
+      EXPECT_GE(y.at(0, t), 0.45f);
+    }
+  }
+  EXPECT_GT(mask_ones, 8);  // the plateau survives the warp
+}
+
+TEST(AugmentTest, OutputSizeAndLabels) {
+  SyntheticSpec spec;
+  spec.dims = 3;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  spec.instances_per_class = 5;
+  spec.seed = 10;
+  const Dataset ds = BuildSynthetic(spec);
+
+  AugmentOptions opt;
+  opt.copies = 2;
+  const Dataset aug = Augment(ds, opt);
+  EXPECT_EQ(aug.size(), ds.size() * 3);
+  EXPECT_EQ(aug.num_classes, ds.num_classes);
+  // Each original is followed by its copies with the same label.
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(aug.y[static_cast<size_t>(i * 3 + c)],
+                ds.y[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(AugmentTest, OriginalsAreKeptVerbatim) {
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  spec.instances_per_class = 4;
+  spec.seed = 11;
+  const Dataset ds = BuildSynthetic(spec);
+  AugmentOptions opt;
+  opt.copies = 1;
+  const Dataset aug = Augment(ds, opt);
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    const Tensor orig = ds.Instance(i);
+    const Tensor kept = aug.Instance(i * 2);
+    for (int64_t j = 0; j < orig.size(); ++j) {
+      EXPECT_FLOAT_EQ(kept[j], orig[j]);
+    }
+  }
+}
+
+TEST(AugmentTest, MaskStaysAlignedAndBinary) {
+  SyntheticSpec spec;
+  spec.dims = 3;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  spec.instances_per_class = 4;
+  spec.seed = 12;
+  const Dataset ds = BuildSynthetic(spec);
+  AugmentOptions opt;
+  opt.copies = 3;
+  opt.warp_probability = 1.0;  // force the temporal transform
+  const Dataset aug = Augment(ds, opt);
+  ASSERT_FALSE(aug.mask.empty());
+  for (int64_t i = 0; i < aug.size(); ++i) {
+    const Tensor m = aug.InstanceMask(i);
+    double ones = 0;
+    for (int64_t j = 0; j < m.size(); ++j) {
+      ASSERT_TRUE(m[j] == 0.0f || m[j] == 1.0f);
+      ones += m[j];
+    }
+    // Class-1 instances keep a nonempty mask through augmentation.
+    if (aug.y[static_cast<size_t>(i)] == 1) {
+      EXPECT_GT(ones, 0.0);
+    }
+  }
+}
+
+TEST(AugmentTest, DeterministicGivenSeed) {
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  spec.instances_per_class = 3;
+  spec.seed = 13;
+  const Dataset ds = BuildSynthetic(spec);
+  AugmentOptions opt;
+  opt.copies = 2;
+  opt.seed = 77;
+  const Dataset a = Augment(ds, opt);
+  const Dataset b = Augment(ds, opt);
+  for (int64_t i = 0; i < a.X.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.X[i], b.X[i]);
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dcam

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "cam/cam.h"
+#include "cam/grad_cam.h"
+#include "models/cnn.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace cam {
+namespace {
+
+TEST(CamTest, WeightedSumOfMaps) {
+  Rng rng(1);
+  nn::Dense head(2, 2, &rng);
+  head.weight().value = Tensor({2, 2}, std::vector<float>{1, 2, -1, 3});
+  Tensor act({1, 2, 1, 3}, std::vector<float>{1, 1, 1, 2, 2, 2});
+  Tensor cam0 = CamFromActivation(act, head, 0);
+  // class 0 weights (1, 2): cam = 1*1 + 2*2 = 5 at each t.
+  for (int t = 0; t < 3; ++t) EXPECT_FLOAT_EQ(cam0.at(0, 0, t), 5.0f);
+  Tensor cam1 = CamFromActivation(act, head, 1);
+  for (int t = 0; t < 3; ++t) EXPECT_FLOAT_EQ(cam1.at(0, 0, t), 5.0f);
+}
+
+TEST(CamTest, ClassIndexValidated) {
+  Rng rng(2);
+  nn::Dense head(2, 2, &rng);
+  Tensor act({1, 2, 1, 3});
+  EXPECT_DEATH(CamFromActivation(act, head, 2), "DCAM_CHECK failed");
+  EXPECT_DEATH(CamFromActivation(act, head, -1), "DCAM_CHECK failed");
+}
+
+TEST(CamTest, FeatureCountMismatchAborts) {
+  Rng rng(3);
+  nn::Dense head(4, 2, &rng);
+  Tensor act({1, 2, 1, 3});
+  EXPECT_DEATH(CamFromActivation(act, head, 0), "DCAM_CHECK failed");
+}
+
+TEST(CamTest, GapIdentity) {
+  // Section 2.2: z_{C_j} = sum_i CAM_{C_j,i} / n + bias. Verify on a real
+  // ConvNet: the class logit equals the spatial mean of the CAM plus bias.
+  Rng rng(4);
+  models::ConvNetConfig cfg;
+  cfg.filters = {3, 4};
+  models::ConvNet model(models::InputMode::kStandard, 2, 2, cfg, &rng);
+  Tensor batch({1, 2, 10});
+  batch.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor logits = model.Forward(model.PrepareInput(batch), false);
+  for (int cls = 0; cls < 2; ++cls) {
+    Tensor cam = CamFromActivation(model.last_activation(), model.head(), cls);
+    const double mean_cam = cam.Mean();
+    const double bias = model.head().bias().value[cls];
+    EXPECT_NEAR(logits.at(0, cls), mean_cam + bias, 1e-4);
+  }
+}
+
+TEST(CamTest, ComputeCamShapes) {
+  Rng rng(5);
+  models::ConvNetConfig cfg;
+  cfg.filters = {2};
+  Tensor series({3, 8});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+
+  models::ConvNet cnn(models::InputMode::kStandard, 3, 2, cfg, &rng);
+  EXPECT_EQ(ComputeCam(&cnn, series, 0).shape(), (Shape{1, 8}));
+
+  models::ConvNet ccnn(models::InputMode::kSeparate, 3, 2, cfg, &rng);
+  EXPECT_EQ(ComputeCam(&ccnn, series, 0).shape(), (Shape{3, 8}));
+
+  models::ConvNet dcnn(models::InputMode::kCube, 3, 2, cfg, &rng);
+  EXPECT_EQ(ComputeCam(&dcnn, series, 1).shape(), (Shape{3, 8}));
+}
+
+TEST(BroadcastCamTest, ReplicatesUnivariateRows) {
+  Tensor cam({1, 4}, std::vector<float>{1, 2, 3, 4});
+  Tensor b = BroadcastCam(cam, 3);
+  EXPECT_EQ(b.shape(), (Shape{3, 4}));
+  for (int d = 0; d < 3; ++d) {
+    for (int t = 0; t < 4; ++t) EXPECT_EQ(b.at(d, t), cam.at(0, t));
+  }
+}
+
+TEST(BroadcastCamTest, PassthroughWhenAlreadyMultivariate) {
+  Tensor cam({3, 4}, 1.0f);
+  Tensor b = BroadcastCam(cam, 3);
+  EXPECT_EQ(b.shape(), cam.shape());
+}
+
+TEST(BroadcastCamTest, RejectsIncompatibleRows) {
+  Tensor cam({2, 4});
+  EXPECT_DEATH(BroadcastCam(cam, 3), "DCAM_CHECK failed");
+}
+
+TEST(GradCamTest, PositiveWeightedMapsSurvive) {
+  // One map with positive mean-gradient, one with negative: only the first
+  // contributes (after the final ReLU, given the second map is larger).
+  Tensor act({1, 2, 1, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor grad({1, 2, 1, 2}, std::vector<float>{1, 1, -1, -1});
+  Tensor map = GradCamFromActivation(act, grad);
+  EXPECT_EQ(map.shape(), (Shape{1, 2}));
+  // alpha = (1, -1): map = act0 - act1 = (-2, -2) -> ReLU -> 0.
+  EXPECT_FLOAT_EQ(map.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(map.at(0, 1), 0.0f);
+  Tensor grad2({1, 2, 1, 2}, std::vector<float>{1, 1, 0, 0});
+  Tensor map2 = GradCamFromActivation(act, grad2);
+  EXPECT_FLOAT_EQ(map2.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(map2.at(0, 1), 2.0f);
+}
+
+TEST(GradCamTest, ShapeMismatchAborts) {
+  Tensor act({1, 2, 1, 2});
+  Tensor grad({1, 2, 1, 3});
+  EXPECT_DEATH(GradCamFromActivation(act, grad), "DCAM_CHECK failed");
+}
+
+}  // namespace
+}  // namespace cam
+}  // namespace dcam

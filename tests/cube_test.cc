@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cube.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace core {
+namespace {
+
+Tensor MakeSeries(int D, int n) {
+  Tensor s({D, n});
+  for (int d = 0; d < D; ++d) {
+    for (int t = 0; t < n; ++t) {
+      s.at(d, t) = static_cast<float>(d * 100 + t);
+    }
+  }
+  return s;
+}
+
+TEST(CubeTest, ShapeIsDxDxN) {
+  Tensor cube = BuildCube(MakeSeries(4, 7));
+  EXPECT_EQ(cube.shape(), (Shape{4, 4, 7}));
+}
+
+TEST(CubeTest, CyclicConstruction) {
+  const int D = 5, n = 3;
+  Tensor s = MakeSeries(D, n);
+  Tensor cube = BuildCube(s);
+  for (int p = 0; p < D; ++p) {
+    for (int r = 0; r < D; ++r) {
+      for (int t = 0; t < n; ++t) {
+        EXPECT_EQ(cube.at(p, r, t), s.at((p + r) % D, t));
+      }
+    }
+  }
+}
+
+TEST(CubeTest, EveryRowContainsEveryDimensionOnce) {
+  const int D = 6;
+  Tensor cube = BuildCube(MakeSeries(D, 1));
+  for (int r = 0; r < D; ++r) {
+    std::set<float> dims;
+    for (int p = 0; p < D; ++p) dims.insert(cube.at(p, r, 0));
+    EXPECT_EQ(dims.size(), static_cast<size_t>(D)) << "row " << r;
+  }
+}
+
+TEST(CubeTest, EveryColumnContainsEveryDimensionOnce) {
+  const int D = 6;
+  Tensor cube = BuildCube(MakeSeries(D, 1));
+  for (int p = 0; p < D; ++p) {
+    std::set<float> dims;
+    for (int r = 0; r < D; ++r) dims.insert(cube.at(p, r, 0));
+    EXPECT_EQ(dims.size(), static_cast<size_t>(D)) << "position " << p;
+  }
+}
+
+TEST(CubeTest, DimensionNeverAtSamePositionTwice) {
+  // The crucial property for Definition 1: for each dimension d and position
+  // p there is exactly one row where d sits at p.
+  const int D = 7;
+  Tensor cube = BuildCube(MakeSeries(D, 1));
+  for (int d = 0; d < D; ++d) {
+    for (int p = 0; p < D; ++p) {
+      int count = 0;
+      for (int r = 0; r < D; ++r) {
+        if (cube.at(p, r, 0) == static_cast<float>(d * 100)) ++count;
+      }
+      EXPECT_EQ(count, 1) << "dim " << d << " pos " << p;
+    }
+  }
+}
+
+TEST(RowIndexTest, InvertsCubeConstruction) {
+  const int D = 8;
+  Tensor s = MakeSeries(D, 1);
+  Tensor cube = BuildCube(s);
+  for (int d = 0; d < D; ++d) {
+    for (int p = 0; p < D; ++p) {
+      const int r = RowIndex(d, p, D);
+      EXPECT_EQ(cube.at(p, r, 0), s.at(d, 0));
+    }
+  }
+}
+
+TEST(RowIndexTest, RangeChecks) {
+  EXPECT_DEATH(RowIndex(5, 0, 5), "DCAM_CHECK failed");
+  EXPECT_DEATH(RowIndex(0, -1, 5), "DCAM_CHECK failed");
+  EXPECT_EQ(RowIndex(0, 0, 1), 0);
+}
+
+TEST(ApplyPermutationTest, ReordersRows) {
+  Tensor s = MakeSeries(3, 2);
+  Tensor p = ApplyPermutation(s, {2, 0, 1});
+  EXPECT_EQ(p.at(0, 0), s.at(2, 0));
+  EXPECT_EQ(p.at(1, 1), s.at(0, 1));
+  EXPECT_EQ(p.at(2, 0), s.at(1, 0));
+}
+
+TEST(ApplyPermutationTest, IdentityIsNoop) {
+  Tensor s = MakeSeries(4, 3);
+  Tensor p = ApplyPermutation(s, {0, 1, 2, 3});
+  for (int64_t i = 0; i < s.size(); ++i) EXPECT_EQ(p[i], s[i]);
+}
+
+TEST(ApplyPermutationTest, WrongSizeAborts) {
+  Tensor s = MakeSeries(3, 2);
+  EXPECT_DEATH(ApplyPermutation(s, {0, 1}), "DCAM_CHECK failed");
+}
+
+TEST(ApplyPermutationTest, ComposesWithCube) {
+  // BuildCube(ApplyPermutation(T, perm)) row r position p must contain
+  // T[perm[(p + r) % D]] — the relation dCAM's scatter relies on.
+  const int D = 5;
+  Rng rng(3);
+  Tensor s = MakeSeries(D, 2);
+  const std::vector<int> perm = rng.Permutation(D);
+  Tensor cube = BuildCube(ApplyPermutation(s, perm));
+  for (int p = 0; p < D; ++p) {
+    for (int r = 0; r < D; ++r) {
+      EXPECT_EQ(cube.at(p, r, 1), s.at(perm[(p + r) % D], 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace dcam

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/jigsaws_like.h"
+#include "data/seeds.h"
+#include "data/series.h"
+#include "data/synthetic.h"
+#include "data/uea_like.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace data {
+namespace {
+
+TEST(SeedsTest, InstanceLengthAndVariation) {
+  Rng rng(1);
+  for (SeedType type :
+       {SeedType::kStarLight, SeedType::kShapes, SeedType::kFish}) {
+    std::vector<float> a = SeedInstance(type, 0, 64, &rng);
+    std::vector<float> b = SeedInstance(type, 0, 64, &rng);
+    EXPECT_EQ(a.size(), 64u);
+    double diff = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+    EXPECT_GT(diff, 0.0) << SeedTypeName(type) << " instances must vary";
+  }
+}
+
+TEST(SeedsTest, ClassesAreDistinguishable) {
+  // Mean absolute gap between class prototypes must exceed instance noise.
+  Rng rng(2);
+  for (SeedType type :
+       {SeedType::kStarLight, SeedType::kShapes, SeedType::kFish}) {
+    const int len = 64, reps = 20;
+    std::vector<double> mean0(len, 0.0), mean1(len, 0.0);
+    for (int i = 0; i < reps; ++i) {
+      auto a = SeedInstance(type, 0, len, &rng);
+      auto b = SeedInstance(type, 1, len, &rng);
+      for (int t = 0; t < len; ++t) {
+        mean0[t] += a[t] / reps;
+        mean1[t] += b[t] / reps;
+      }
+    }
+    double gap = 0.0;
+    for (int t = 0; t < len; ++t) gap += std::abs(mean0[t] - mean1[t]) / len;
+    EXPECT_GT(gap, 0.05) << SeedTypeName(type);
+  }
+}
+
+TEST(SeedsTest, InvalidClassAborts) {
+  Rng rng(3);
+  EXPECT_DEATH(SeedInstance(SeedType::kShapes, 2, 32, &rng),
+               "DCAM_CHECK failed");
+}
+
+TEST(SyntheticTest, ShapesAndLabels) {
+  SyntheticSpec spec;
+  spec.dims = 5;
+  spec.length = 96;
+  spec.pattern_len = 32;
+  spec.instances_per_class = 4;
+  Dataset ds = BuildSynthetic(spec);
+  EXPECT_EQ(ds.X.shape(), (Shape{8, 5, 96}));
+  EXPECT_EQ(ds.mask.shape(), ds.X.shape());
+  EXPECT_EQ(ds.num_classes, 2);
+  int c0 = 0, c1 = 0;
+  for (int y : ds.y) (y == 0 ? c0 : c1)++;
+  EXPECT_EQ(c0, 4);
+  EXPECT_EQ(c1, 4);
+}
+
+TEST(SyntheticTest, Type1MaskOnlyOnClassOne) {
+  SyntheticSpec spec;
+  spec.type = 1;
+  spec.dims = 6;
+  spec.length = 96;
+  spec.pattern_len = 32;
+  spec.num_inject = 2;
+  spec.instances_per_class = 5;
+  Dataset ds = BuildSynthetic(spec);
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    const Tensor m = ds.InstanceMask(i);
+    const double marked = m.Sum();
+    if (ds.y[i] == 0) {
+      EXPECT_EQ(marked, 0.0) << "class 0 must be injection-free";
+    } else {
+      EXPECT_EQ(marked, 2.0 * 32) << "two injected patterns";
+    }
+  }
+}
+
+TEST(SyntheticTest, Type2BothClassesInjected) {
+  SyntheticSpec spec;
+  spec.type = 2;
+  spec.dims = 6;
+  spec.length = 128;
+  spec.pattern_len = 32;
+  spec.num_inject = 2;
+  spec.instances_per_class = 5;
+  Dataset ds = BuildSynthetic(spec);
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.InstanceMask(i).Sum(), 2.0 * 32);
+  }
+}
+
+TEST(SyntheticTest, Type2ClassOnePatternsCooccur) {
+  SyntheticSpec spec;
+  spec.type = 2;
+  spec.dims = 8;
+  spec.length = 128;
+  spec.pattern_len = 32;
+  spec.instances_per_class = 6;
+  Dataset ds = BuildSynthetic(spec);
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    // Collect injected [start, end) per dimension.
+    const Tensor m = ds.InstanceMask(i);
+    std::vector<int> starts;
+    for (int64_t d = 0; d < ds.dims(); ++d) {
+      for (int64_t t = 0; t < ds.length(); ++t) {
+        if (m.at(d, t) > 0.5f && (t == 0 || m.at(d, t - 1) < 0.5f)) {
+          starts.push_back(static_cast<int>(t));
+        }
+      }
+    }
+    ASSERT_EQ(starts.size(), 2u);
+    if (ds.y[i] == 1) {
+      EXPECT_EQ(starts[0], starts[1]) << "class 1 injections share position";
+    } else {
+      EXPECT_GE(std::abs(starts[0] - starts[1]), spec.pattern_len)
+          << "class 0 injections are separated";
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.instances_per_class = 3;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  spec.dims = 4;
+  Dataset a = BuildSynthetic(spec);
+  Dataset b = BuildSynthetic(spec);
+  for (int64_t i = 0; i < a.X.size(); ++i) EXPECT_EQ(a.X[i], b.X[i]);
+  spec.seed = 8;
+  Dataset c = BuildSynthetic(spec);
+  double diff = 0.0;
+  for (int64_t i = 0; i < a.X.size(); ++i) diff += std::abs(a.X[i] - c.X[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(SyntheticTest, NameEncodesConfiguration) {
+  SyntheticSpec spec;
+  spec.seed_type = SeedType::kShapes;
+  spec.type = 2;
+  spec.dims = 40;
+  EXPECT_EQ(spec.Name(), "ShapesAll-Type2-D40");
+}
+
+TEST(DatasetTest, InstanceAndSubset) {
+  SyntheticSpec spec;
+  spec.instances_per_class = 3;
+  spec.dims = 4;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  Dataset ds = BuildSynthetic(spec);
+  Tensor inst = ds.Instance(2);
+  EXPECT_EQ(inst.shape(), (Shape{4, 64}));
+  Dataset sub = ds.Subset({0, 5});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.y[0], ds.y[0]);
+  EXPECT_EQ(sub.y[1], ds.y[5]);
+  EXPECT_EQ(sub.X.at(1, 0, 0), ds.X.at(5, 0, 0));
+  EXPECT_EQ(sub.mask.at(1, 3, 63), ds.mask.at(5, 3, 63));
+}
+
+TEST(DatasetTest, StratifiedSplitBalanced) {
+  SyntheticSpec spec;
+  spec.instances_per_class = 10;
+  spec.dims = 3;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  Dataset ds = BuildSynthetic(spec);
+  Rng rng(5);
+  Dataset train, test;
+  StratifiedSplit(ds, 0.8, &rng, &train, &test);
+  EXPECT_EQ(train.size(), 16);
+  EXPECT_EQ(test.size(), 4);
+  int train_c1 = 0;
+  for (int y : train.y) train_c1 += y;
+  EXPECT_EQ(train_c1, 8);
+}
+
+TEST(DatasetTest, ZNormalizeRows) {
+  SyntheticSpec spec;
+  spec.instances_per_class = 2;
+  spec.dims = 3;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  Dataset ds = BuildSynthetic(spec);
+  ZNormalize(&ds);
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    for (int64_t d = 0; d < ds.dims(); ++d) {
+      double sum = 0.0, sq = 0.0;
+      for (int64_t t = 0; t < ds.length(); ++t) {
+        const double v = ds.X.at(i, d, t);
+        sum += v;
+        sq += v * v;
+      }
+      EXPECT_NEAR(sum / ds.length(), 0.0, 1e-4);
+      EXPECT_NEAR(sq / ds.length(), 1.0, 1e-2);
+    }
+  }
+}
+
+TEST(UeaLikeTest, RegistryHasMetadata) {
+  const auto& reg = UeaLikeRegistry();
+  EXPECT_GE(reg.size(), 8u);
+  const UeaLikeSpec& rs = UeaLikeByName("RacketSports");
+  EXPECT_EQ(rs.classes, 4);
+  EXPECT_EQ(rs.dims, 6);
+  EXPECT_EQ(rs.length, 30);
+  EXPECT_DEATH(UeaLikeByName("NoSuchDataset"), "unknown");
+}
+
+TEST(UeaLikeTest, BuildMatchesSpec) {
+  const UeaLikeSpec& spec = UeaLikeByName("NATOPS");
+  Dataset ds = BuildUeaLike(spec, 1);
+  EXPECT_EQ(ds.num_classes, spec.classes);
+  EXPECT_EQ(ds.dims(), spec.dims);
+  EXPECT_EQ(ds.length(), spec.length);
+  EXPECT_EQ(ds.size(), spec.classes * spec.per_class);
+  std::set<int> classes(ds.y.begin(), ds.y.end());
+  EXPECT_EQ(classes.size(), static_cast<size_t>(spec.classes));
+}
+
+TEST(UeaLikeTest, ClassStructureStableAcrossSeeds) {
+  // Different generation seeds must sample the SAME class structure (so a
+  // model trained on seed A generalizes to seed B instances).
+  const UeaLikeSpec& spec = UeaLikeByName("PenDigits");
+  Dataset a = BuildUeaLike(spec, 1);
+  Dataset b = BuildUeaLike(spec, 2);
+  // Mean per-class waveforms should correlate across the two draws.
+  const int64_t D = spec.dims, n = spec.length;
+  for (int cls = 0; cls < spec.classes; ++cls) {
+    std::vector<double> ma(D * n, 0.0), mb(D * n, 0.0);
+    int ca = 0, cb = 0;
+    for (int64_t i = 0; i < a.size(); ++i) {
+      if (a.y[i] != cls) continue;
+      ++ca;
+      for (int64_t j = 0; j < D * n; ++j) ma[j] += a.X[i * D * n + j];
+    }
+    for (int64_t i = 0; i < b.size(); ++i) {
+      if (b.y[i] != cls) continue;
+      ++cb;
+      for (int64_t j = 0; j < D * n; ++j) mb[j] += b.X[i * D * n + j];
+    }
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (int64_t j = 0; j < D * n; ++j) {
+      ma[j] /= ca;
+      mb[j] /= cb;
+      dot += ma[j] * mb[j];
+      na += ma[j] * ma[j];
+      nb += mb[j] * mb[j];
+    }
+    EXPECT_GT(dot / std::sqrt(na * nb), 0.8) << "class " << cls;
+  }
+}
+
+TEST(JigsawsLikeTest, StructureAndLabels) {
+  JigsawsLikeConfig cfg;
+  cfg.novices = 4;
+  cfg.intermediates = 3;
+  cfg.experts = 3;
+  cfg.length = 110;
+  cfg.sensors_per_group = 5;
+  JigsawsLike jig = BuildJigsawsLike(cfg);
+  EXPECT_EQ(jig.dataset.size(), 10);
+  EXPECT_EQ(jig.dataset.dims(), 20);
+  EXPECT_EQ(jig.dataset.num_classes, 3);
+  EXPECT_EQ(jig.sensor_names.size(), 20u);
+  EXPECT_EQ(jig.gestures.size(), 10u);
+  for (const auto& g : jig.gestures) {
+    EXPECT_EQ(g.size(), 110u);
+    EXPECT_EQ(g.front(), 0);
+    EXPECT_EQ(g.back(), kNumGestures - 1);
+  }
+  // Classes ordered: novices, intermediates, experts.
+  EXPECT_EQ(jig.dataset.y[0], 0);
+  EXPECT_EQ(jig.dataset.y[4], 1);
+  EXPECT_EQ(jig.dataset.y[7], 2);
+}
+
+TEST(JigsawsLikeTest, FullSizeMatchesPaper) {
+  JigsawsLikeConfig cfg;
+  cfg.length = 110;
+  JigsawsLike jig = BuildJigsawsLike(cfg);
+  EXPECT_EQ(jig.dataset.dims(), kJigsawsDims);  // 76 sensors
+  EXPECT_EQ(jig.dataset.size(), 39);            // 19 + 10 + 10
+}
+
+TEST(JigsawsLikeTest, ArtifactSensorsDifferBetweenClasses) {
+  JigsawsLikeConfig cfg;
+  cfg.novices = 6;
+  cfg.intermediates = 0;
+  cfg.experts = 6;
+  cfg.length = 110;
+  cfg.sensors_per_group = 5;
+  JigsawsLike jig = BuildJigsawsLike(cfg);
+  // Variance of an artifact sensor during artifact gestures must be larger
+  // for novices than for experts.
+  const int sensor = jig.artifact_sensors[0];
+  auto var_during_artifact = [&](int64_t i) {
+    double sum = 0.0, sq = 0.0;
+    int cnt = 0;
+    for (int64_t t = 0; t < jig.dataset.length(); ++t) {
+      const int g = jig.gestures[i][t];
+      if (g != jig.artifact_gestures[0] && g != jig.artifact_gestures[1]) {
+        continue;
+      }
+      const double v = jig.dataset.X.at(i, sensor, t);
+      sum += v;
+      sq += v * v;
+      ++cnt;
+    }
+    const double mean = sum / cnt;
+    return sq / cnt - mean * mean;
+  };
+  double novice_var = 0.0, expert_var = 0.0;
+  for (int64_t i = 0; i < 6; ++i) novice_var += var_during_artifact(i);
+  for (int64_t i = 6; i < 12; ++i) expert_var += var_during_artifact(i);
+  EXPECT_GT(novice_var, 1.5 * expert_var);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dcam

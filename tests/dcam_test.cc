@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cube.h"
+#include "core/dcam.h"
+#include "core/global.h"
+#include "models/cnn.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace core {
+namespace {
+
+std::unique_ptr<models::ConvNet> TinyDcnn(int dims, Rng* rng) {
+  models::ConvNetConfig cfg;
+  cfg.filters = {3, 3};
+  return std::make_unique<models::ConvNet>(models::InputMode::kCube, dims, 2,
+                                           cfg, rng);
+}
+
+TEST(ExtractDcamTest, ConstantActivationPerPositionGivesZero) {
+  // If a dimension's M-bar rows are identical for every position, its
+  // variance term — hence its dCAM — must be zero (Section 4.4.3).
+  const int D = 4, n = 6;
+  Tensor mbar({D, D, n});
+  for (int d = 0; d < D; ++d) {
+    for (int p = 0; p < D; ++p) {
+      for (int t = 0; t < n; ++t) mbar.at(d, p, t) = 1.0f + d;
+    }
+  }
+  Tensor dcam, mu;
+  ExtractDcam(mbar, &dcam, &mu);
+  for (int64_t i = 0; i < dcam.size(); ++i) EXPECT_FLOAT_EQ(dcam[i], 0.0f);
+}
+
+TEST(ExtractDcamTest, MuIsSumOverTwoD) {
+  const int D = 3, n = 2;
+  Tensor mbar({D, D, n}, 1.0f);
+  Tensor dcam, mu;
+  ExtractDcam(mbar, &dcam, &mu);
+  // sum over D*D entries of 1.0, divided by 2D = 9 / 6.
+  for (int t = 0; t < n; ++t) EXPECT_FLOAT_EQ(mu[t], 1.5f);
+}
+
+TEST(ExtractDcamTest, VarianceTimesMu) {
+  const int D = 2, n = 1;
+  Tensor mbar({D, D, n});
+  // dim 0: positions (0, 2) -> mean 1, var 1. dim 1: positions (3, 3) -> 0.
+  mbar.at(0, 0, 0) = 0.0f;
+  mbar.at(0, 1, 0) = 2.0f;
+  mbar.at(1, 0, 0) = 3.0f;
+  mbar.at(1, 1, 0) = 3.0f;
+  Tensor dcam, mu;
+  ExtractDcam(mbar, &dcam, &mu);
+  const float expected_mu = (0 + 2 + 3 + 3) / 4.0f;  // / (2*D) with D=2
+  EXPECT_FLOAT_EQ(mu[0], expected_mu);
+  EXPECT_FLOAT_EQ(dcam.at(0, 0), 1.0f * expected_mu);
+  EXPECT_FLOAT_EQ(dcam.at(1, 0), 0.0f);
+}
+
+TEST(ComputeDcamTest, ShapesAndRanges) {
+  Rng rng(1);
+  const int D = 4, n = 12;
+  auto model = TinyDcnn(D, &rng);
+  Tensor series({D, n});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  DcamOptions opts;
+  opts.k = 5;
+  DcamResult res = ComputeDcam(model.get(), series, 0, opts);
+  EXPECT_EQ(res.dcam.shape(), (Shape{D, n}));
+  EXPECT_EQ(res.mbar.shape(), (Shape{D, D, n}));
+  EXPECT_EQ(res.mu.shape(), (Shape{n}));
+  EXPECT_EQ(res.k, 5);
+  EXPECT_GE(res.num_correct, 0);
+  EXPECT_LE(res.num_correct, 5);
+  EXPECT_GE(res.CorrectRatio(), 0.0);
+  EXPECT_LE(res.CorrectRatio(), 1.0);
+}
+
+TEST(ComputeDcamTest, DeterministicForSeed) {
+  Rng rng(2);
+  const int D = 3, n = 10;
+  auto model = TinyDcnn(D, &rng);
+  Tensor series({D, n});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  DcamOptions opts;
+  opts.k = 4;
+  opts.seed = 99;
+  DcamResult a = ComputeDcam(model.get(), series, 1, opts);
+  DcamResult b = ComputeDcam(model.get(), series, 1, opts);
+  EXPECT_TRUE(ops::AllClose(a.dcam, b.dcam, 0.0, 0.0));
+  EXPECT_EQ(a.num_correct, b.num_correct);
+}
+
+TEST(ComputeDcamTest, SingleIdentityPermutationMatchesManualScatter) {
+  // With k=1 and the identity permutation, M-bar[d][p] must equal the CAM row
+  // idx(d, p) of C(T) — Definition 2 applied by hand.
+  Rng rng(3);
+  const int D = 3, n = 8;
+  auto model = TinyDcnn(D, &rng);
+  Tensor series({D, n});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+
+  DcamOptions opts;
+  opts.k = 1;
+  opts.include_identity = true;
+  DcamResult res = ComputeDcam(model.get(), series, 0, opts);
+
+  // Manual CAM over the cube.
+  Tensor batch = series.Reshape({1, D, n});
+  model->Forward(model->PrepareInput(batch), false);
+  const Tensor& act = model->last_activation();
+  const Tensor& w = model->head().weight().value;
+  for (int d = 0; d < D; ++d) {
+    for (int p = 0; p < D; ++p) {
+      const int r = RowIndex(d, p, D);
+      for (int t = 0; t < n; ++t) {
+        float cam = 0.0f;
+        for (int64_t m = 0; m < act.dim(1); ++m) {
+          cam += w.at(0, m) * act.at(0, m, r, t);
+        }
+        EXPECT_NEAR(res.mbar.at(d, p, t), cam, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(ComputeDcamTest, PermutationInvariantDimensionSymmetry) {
+  // A series whose dimensions are all identical must produce (near-)identical
+  // dCAM rows: no dimension can be singled out.
+  Rng rng(4);
+  const int D = 4, n = 10;
+  auto model = TinyDcnn(D, &rng);
+  Tensor series({D, n});
+  for (int t = 0; t < n; ++t) {
+    const float v = static_cast<float>(std::sin(0.5 * t));
+    for (int d = 0; d < D; ++d) series.at(d, t) = v;
+  }
+  DcamOptions opts;
+  opts.k = 24;  // all 4! permutations covered in expectation
+  DcamResult res = ComputeDcam(model.get(), series, 0, opts);
+  for (int t = 0; t < n; ++t) {
+    for (int d = 1; d < D; ++d) {
+      EXPECT_NEAR(res.dcam.at(d, t), res.dcam.at(0, t),
+                  1e-2 + 0.35 * std::abs(res.dcam.at(0, t)))
+          << "d=" << d << " t=" << t;
+    }
+  }
+}
+
+TEST(ComputeDcamTest, InvalidArgumentsAbort) {
+  Rng rng(5);
+  auto model = TinyDcnn(3, &rng);
+  Tensor series({3, 8});
+  DcamOptions opts;
+  opts.k = 0;
+  EXPECT_DEATH(ComputeDcam(model.get(), series, 0, opts), "DCAM_CHECK failed");
+  DcamOptions opts2;
+  EXPECT_DEATH(ComputeDcam(model.get(), series, 5, opts2),
+               "DCAM_CHECK failed");
+}
+
+TEST(AggregateDcamsTest, MaxAndMeanPerSegment) {
+  Tensor a({2, 4}, std::vector<float>{1, 2, 3, 4,   // dim 0
+                                      0, 0, 9, 0});  // dim 1
+  std::vector<int> seg = {0, 0, 1, 1};
+  GlobalExplanation g = AggregateDcams({a}, {seg}, 2);
+  EXPECT_EQ(g.max_per_sensor.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(g.max_per_sensor.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(g.max_per_sensor.at(0, 1), 9.0f);
+  EXPECT_EQ(g.mean_per_sensor_segment.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(g.mean_per_sensor_segment.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(g.mean_per_sensor_segment.at(0, 1), 3.5f);
+  EXPECT_FLOAT_EQ(g.mean_per_sensor_segment.at(1, 1), 4.5f);
+  EXPECT_EQ(g.segment_support[0], 2);
+  EXPECT_EQ(g.segment_support[1], 2);
+}
+
+TEST(AggregateDcamsTest, EmptySegmentGetsZeroMean) {
+  Tensor a({1, 2}, std::vector<float>{1, 2});
+  GlobalExplanation g = AggregateDcams({a}, {{0, 0}}, 3);
+  EXPECT_FLOAT_EQ(g.mean_per_sensor_segment.at(0, 2), 0.0f);
+  EXPECT_EQ(g.segment_support[2], 0);
+}
+
+TEST(AggregateDcamsTest, MismatchedLengthsAbort) {
+  Tensor a({1, 3});
+  EXPECT_DEATH(AggregateDcams({a}, {{0, 0}}, 1), "DCAM_CHECK failed");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace dcam

@@ -1,0 +1,173 @@
+// Finite-difference gradient verification for every layer, in both training
+// and eval modes, across a sweep of shapes (parameterized property tests).
+// This is the correctness backbone of the from-scratch NN substrate: if these
+// pass, the training pipeline optimizes the true loss.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/conv1d.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tests/gradcheck.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+namespace {
+
+using dcam::testing::CheckLayerGradients;
+
+struct ConvCase {
+  int cin, cout, kernel, padding;
+  int64_t batch, length;
+};
+
+class Conv1dGradTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv1dGradTest, MatchesFiniteDifferences) {
+  const ConvCase c = GetParam();
+  Rng rng(100 + c.kernel);
+  Conv1d conv(c.cin, c.cout, c.kernel, c.padding, &rng);
+  CheckLayerGradients(&conv, {c.batch, c.cin, c.length}, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv1dGradTest,
+    ::testing::Values(ConvCase{1, 1, 3, 1, 1, 8}, ConvCase{2, 3, 3, 1, 2, 10},
+                      ConvCase{3, 2, 5, 2, 1, 12}, ConvCase{2, 2, 1, 0, 2, 6},
+                      ConvCase{1, 4, 7, 3, 1, 9},
+                      ConvCase{2, 2, 3, 0, 1, 7}));
+
+struct Conv2dCase {
+  int cin, cout, kh, kw, ph, pw;
+  int64_t batch, height, width;
+};
+
+class Conv2dGradTest : public ::testing::TestWithParam<Conv2dCase> {};
+
+TEST_P(Conv2dGradTest, MatchesFiniteDifferences) {
+  const Conv2dCase c = GetParam();
+  Rng rng(200 + c.kw);
+  Conv2d conv(c.cin, c.cout, c.kh, c.kw, c.ph, c.pw, &rng);
+  CheckLayerGradients(&conv, {c.batch, c.cin, c.height, c.width}, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv2dGradTest,
+    ::testing::Values(
+        Conv2dCase{1, 2, 1, 3, 0, 1, 1, 4, 8},   // the (1, l) dCNN kernel
+        Conv2dCase{3, 2, 1, 3, 0, 1, 2, 3, 6},   // multi-channel cube input
+        Conv2dCase{2, 2, 3, 1, 1, 0, 1, 5, 4},   // the (l, 1) MTEX kernel
+        Conv2dCase{2, 3, 3, 3, 1, 1, 1, 4, 4},   // square kernel
+        Conv2dCase{2, 2, 4, 1, 0, 0, 1, 4, 5},   // valid merge kernel (D, 1)
+        Conv2dCase{1, 1, 1, 1, 0, 0, 2, 3, 3}));  // 1x1 bottleneck
+
+TEST(DenseGradTest, MatchesFiniteDifferences) {
+  Rng rng(300);
+  Dense dense(5, 3, &rng);
+  CheckLayerGradients(&dense, {4, 5}, true);
+}
+
+TEST(DenseGradTest, NoBias) {
+  Rng rng(301);
+  Dense dense(4, 2, &rng, /*use_bias=*/false);
+  CheckLayerGradients(&dense, {3, 4}, true);
+}
+
+class BatchNormGradTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BatchNormGradTest, Rank3MatchesFiniteDifferences) {
+  const bool training = GetParam();
+  BatchNorm bn(3);
+  if (!training) {
+    // Populate running statistics first.
+    Rng rng(400);
+    Tensor warm({4, 3, 6});
+    warm.FillNormal(&rng, 0.5f, 1.5f);
+    bn.Forward(warm, true);
+  }
+  CheckLayerGradients(&bn, {4, 3, 6}, training);
+}
+
+TEST_P(BatchNormGradTest, Rank4MatchesFiniteDifferences) {
+  const bool training = GetParam();
+  BatchNorm bn(2);
+  if (!training) {
+    Rng rng(401);
+    Tensor warm({3, 2, 4, 5});
+    warm.FillNormal(&rng, 0.0f, 1.0f);
+    bn.Forward(warm, true);
+  }
+  CheckLayerGradients(&bn, {3, 2, 4, 5}, training);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BatchNormGradTest, ::testing::Bool());
+
+TEST(ActivationGradTest, ReLU) {
+  ReLU relu;
+  // Tiny eps so perturbations cannot cross the kink at zero.
+  CheckLayerGradients(&relu, {2, 3, 7}, true, /*eps=*/1e-4);
+}
+
+TEST(ActivationGradTest, Tanh) {
+  Tanh t;
+  CheckLayerGradients(&t, {2, 9}, true);
+}
+
+TEST(ActivationGradTest, Sigmoid) {
+  Sigmoid s;
+  CheckLayerGradients(&s, {3, 5}, true);
+}
+
+TEST(PoolingGradTest, GlobalAvgPoolRank3) {
+  GlobalAvgPool gap;
+  CheckLayerGradients(&gap, {2, 3, 8}, true);
+}
+
+TEST(PoolingGradTest, GlobalAvgPoolRank4) {
+  GlobalAvgPool gap;
+  CheckLayerGradients(&gap, {2, 3, 4, 5}, true);
+}
+
+TEST(PoolingGradTest, MaxPool1d) {
+  MaxPool1d pool(2, 2, 0);
+  // eps small so perturbations do not flip the argmax of distinct values.
+  CheckLayerGradients(&pool, {2, 2, 8}, true, /*eps=*/1e-3);
+}
+
+TEST(PoolingGradTest, MaxPool2dSamePadding) {
+  MaxPool2d pool(1, 3, 1, 1, 0, 1);
+  CheckLayerGradients(&pool, {1, 2, 3, 8}, true, /*eps=*/1e-3);
+}
+
+TEST(SequentialGradTest, ConvBnReluStack) {
+  Rng rng(500);
+  Sequential seq;
+  seq.Emplace<Conv2d>(2, 3, 1, 3, 0, 1, &rng);
+  seq.Emplace<BatchNorm>(3);
+  seq.Emplace<ReLU>();
+  seq.Emplace<Conv2d>(3, 2, 1, 3, 0, 1, &rng);
+  CheckLayerGradients(&seq, {2, 2, 3, 6}, true);
+}
+
+TEST(SequentialGradTest, MlpWithFlatten) {
+  Rng rng(501);
+  Sequential seq;
+  seq.Emplace<Flatten>();
+  seq.Emplace<Dense>(12, 6, &rng);
+  seq.Emplace<Tanh>();
+  seq.Emplace<Dense>(6, 2, &rng);
+  CheckLayerGradients(&seq, {2, 3, 4}, true);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dcam

@@ -1,0 +1,368 @@
+// Tests for src/io: weight-file round trips, corruption detection, and the
+// UEA .ts dataset format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/series.h"
+#include "data/synthetic.h"
+#include "io/serialize.h"
+#include "io/status.h"
+#include "io/ts_format.h"
+#include "models/zoo.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace io {
+namespace {
+
+std::string TempPath(const std::string& stem) {
+  return ::testing::TempDir() + "/" + stem;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status s = Status::Corruption("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_EQ(s.ToString(), "Corruption: boom");
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+}
+
+TEST(SerializeTest, TensorRoundTrip) {
+  Rng rng(3);
+  Tensor t({3, 5, 2});
+  t.FillNormal(&rng, 0.0f, 2.0f);
+  const std::string path = TempPath("tensor_rt.bin");
+  ASSERT_TRUE(SaveTensor(t, path).ok());
+  Tensor back;
+  ASSERT_TRUE(LoadTensor(path, &back).ok());
+  ASSERT_EQ(back.shape(), t.shape());
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_FLOAT_EQ(back[i], t[i]);
+}
+
+TEST(SerializeTest, ModelWeightsRoundTrip) {
+  Rng rng(7);
+  auto a = models::MakeModel("dCNN", /*dims=*/4, /*length=*/32,
+                             /*num_classes=*/3, /*scale=*/16, &rng);
+  Rng rng2(99);
+  auto b = models::MakeModel("dCNN", 4, 32, 3, 16, &rng2);
+
+  // Push model a's BatchNorm running statistics away from their initial
+  // values so the round trip exercises buffers, not just parameters.
+  {
+    Rng xr(55);
+    Tensor warm({4, 4, 32});
+    warm.FillNormal(&xr, 2.0f, 3.0f);
+    a->Forward(a->PrepareInput(warm), /*training=*/true);
+  }
+
+  const std::string path = TempPath("dcnn_weights.bin");
+  ASSERT_TRUE(SaveModelWeights(a.get(), path).ok());
+  ASSERT_TRUE(LoadModelWeights(b.get(), path).ok());
+
+  auto ba = a->Buffers();
+  auto bb = b->Buffers();
+  ASSERT_EQ(ba.size(), bb.size());
+  ASSERT_GT(ba.size(), 0u);  // dCNN has BatchNorm layers
+  for (size_t i = 0; i < ba.size(); ++i) {
+    for (int64_t j = 0; j < ba[i].second->size(); ++j) {
+      EXPECT_FLOAT_EQ((*ba[i].second)[j], (*bb[i].second)[j])
+          << ba[i].first;
+    }
+  }
+
+  auto pa = a->Params();
+  auto pb = b->Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.shape(), pb[i]->value.shape());
+    for (int64_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i]->value[j], pb[i]->value[j]) << pa[i]->name;
+    }
+  }
+
+  // Loaded model must predict identically.
+  Tensor batch({2, 4, 32});
+  Rng rng3(5);
+  batch.FillNormal(&rng3, 0.0f, 1.0f);
+  EXPECT_EQ(a->Predict(batch), b->Predict(batch));
+}
+
+TEST(SerializeTest, LoadIntoDifferentArchitectureFails) {
+  Rng rng(1);
+  auto a = models::MakeModel("CNN", 4, 32, 3, 16, &rng);
+  auto b = models::MakeModel("ResNet", 4, 32, 3, 16, &rng);
+  const std::string path = TempPath("cnn_weights.bin");
+  ASSERT_TRUE(SaveModelWeights(a.get(), path).ok());
+  const Status s = LoadModelWeights(b.get(), path);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Rng rng(1);
+  auto m = models::MakeModel("CNN", 2, 16, 2, 16, &rng);
+  const Status s = LoadModelWeights(m.get(), TempPath("does_not_exist.bin"));
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(SerializeTest, FlippedByteIsDetected) {
+  Rng rng(11);
+  Tensor t({64});
+  t.FillNormal(&rng, 0.0f, 1.0f);
+  const std::string path = TempPath("flip.bin");
+  ASSERT_TRUE(SaveTensor(t, path).ok());
+
+  std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 40u);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a payload bit
+  WriteAll(path, bytes);
+
+  Tensor back;
+  const Status s = LoadTensor(path, &back);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(SerializeTest, TruncatedFileIsDetected) {
+  Rng rng(13);
+  Tensor t({128});
+  t.FillUniform(&rng, -1.0f, 1.0f);
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveTensor(t, path).ok());
+  std::vector<char> bytes = ReadAll(path);
+  bytes.resize(bytes.size() / 2);
+  WriteAll(path, bytes);
+  Tensor back;
+  EXPECT_TRUE(LoadTensor(path, &back).IsCorruption());
+}
+
+TEST(SerializeTest, BadMagicIsDetected) {
+  const std::string path = TempPath("magic.bin");
+  WriteAll(path, std::vector<char>(64, 'x'));
+  Tensor back;
+  EXPECT_TRUE(LoadTensor(path, &back).IsCorruption());
+}
+
+TEST(SerializeTest, FailedLoadLeavesModelUntouched) {
+  Rng rng(17);
+  auto m = models::MakeModel("CNN", 2, 16, 2, 16, &rng);
+  const std::string path = TempPath("untouched.bin");
+  ASSERT_TRUE(SaveModelWeights(m.get(), path).ok());
+
+  // Snapshot, corrupt the tail (checksum area), attempt load.
+  std::vector<float> before;
+  for (nn::Parameter* p : m->Params()) {
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      before.push_back(p->value[i]);
+    }
+  }
+  std::vector<char> bytes = ReadAll(path);
+  bytes.back() ^= 0x1;
+  WriteAll(path, bytes);
+
+  // Scramble the live weights so we can tell whether load wrote anything.
+  for (nn::Parameter* p : m->Params()) p->value.Fill(-123.0f);
+  EXPECT_FALSE(LoadModelWeights(m.get(), path).ok());
+  for (nn::Parameter* p : m->Params()) {
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      EXPECT_FLOAT_EQ(p->value[i], -123.0f);
+    }
+  }
+  (void)before;
+}
+
+// ---------------------------------------------------------------------------
+// .ts format
+// ---------------------------------------------------------------------------
+
+constexpr char kTinyTs[] = R"(# a comment
+@problemName Tiny
+@timeStamps false
+@univariate false
+@dimensions 2
+@equalLength true
+@seriesLength 3
+@classLabel true up down
+@data
+1.0,2.0,3.0:4.0,5.0,6.0:up
+-1.0,-2.0,-3.0:0.5,0.25,0.125:down
+)";
+
+TEST(TsFormatTest, ParsesMultivariateProblem) {
+  std::istringstream in(kTinyTs);
+  data::Dataset ds;
+  std::vector<std::string> labels;
+  ASSERT_TRUE(ReadTs(in, &ds, &labels).ok());
+  EXPECT_EQ(ds.name, "Tiny");
+  EXPECT_EQ(ds.size(), 2);
+  EXPECT_EQ(ds.dims(), 2);
+  EXPECT_EQ(ds.length(), 3);
+  EXPECT_EQ(ds.num_classes, 2);
+  ASSERT_EQ(labels, (std::vector<std::string>{"up", "down"}));
+  EXPECT_EQ(ds.y, (std::vector<int>{0, 1}));
+  EXPECT_FLOAT_EQ(ds.Instance(0).at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(ds.Instance(0).at(1, 2), 6.0f);
+  EXPECT_FLOAT_EQ(ds.Instance(1).at(1, 1), 0.25f);
+}
+
+TEST(TsFormatTest, RoundTripPreservesDataset) {
+  data::SyntheticSpec spec;
+  spec.dims = 3;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  spec.instances_per_class = 6;
+  spec.seed = 21;
+  data::Dataset ds = data::BuildSynthetic(spec);
+
+  std::stringstream buf;
+  ASSERT_TRUE(WriteTs(ds, buf).ok());
+  data::Dataset back;
+  ASSERT_TRUE(ReadTs(buf, &back).ok());
+
+  ASSERT_EQ(back.size(), ds.size());
+  ASSERT_EQ(back.dims(), ds.dims());
+  ASSERT_EQ(back.length(), ds.length());
+  EXPECT_EQ(back.y, ds.y);
+  EXPECT_EQ(back.num_classes, ds.num_classes);
+  for (int64_t i = 0; i < ds.X.size(); ++i) {
+    EXPECT_NEAR(back.X[i], ds.X[i], 1e-5f);
+  }
+}
+
+TEST(TsFormatTest, FileRoundTrip) {
+  std::istringstream in(kTinyTs);
+  data::Dataset ds;
+  ASSERT_TRUE(ReadTs(in, &ds).ok());
+  const std::string path = TempPath("tiny.ts");
+  ASSERT_TRUE(WriteTsFile(ds, path, {"up", "down"}).ok());
+  data::Dataset back;
+  std::vector<std::string> labels;
+  ASSERT_TRUE(ReadTsFile(path, &back, &labels).ok());
+  EXPECT_EQ(labels, (std::vector<std::string>{"up", "down"}));
+  EXPECT_EQ(back.y, ds.y);
+}
+
+TEST(TsFormatTest, RejectsUnequalLength) {
+  const std::string text =
+      "@problemName X\n@equalLength false\n@classLabel true a b\n@data\n";
+  std::istringstream in(text);
+  data::Dataset ds;
+  const Status s = ReadTs(in, &ds);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(TsFormatTest, RejectsTimestamps) {
+  const std::string text =
+      "@problemName X\n@timeStamps true\n@classLabel true a\n@data\n";
+  std::istringstream in(text);
+  data::Dataset ds;
+  EXPECT_TRUE(ReadTs(in, &ds).IsInvalidArgument());
+}
+
+TEST(TsFormatTest, RejectsUndeclaredLabel) {
+  const std::string text =
+      "@problemName X\n@dimensions 1\n@equalLength true\n"
+      "@classLabel true a\n@data\n1,2:b\n";
+  std::istringstream in(text);
+  data::Dataset ds;
+  EXPECT_TRUE(ReadTs(in, &ds).IsCorruption());
+}
+
+TEST(TsFormatTest, RejectsRaggedDimensions) {
+  const std::string text =
+      "@problemName X\n@dimensions 2\n@equalLength true\n"
+      "@classLabel true a\n@data\n1,2:a\n";
+  std::istringstream in(text);
+  data::Dataset ds;
+  EXPECT_TRUE(ReadTs(in, &ds).IsCorruption());
+}
+
+TEST(TsFormatTest, RejectsBadNumber) {
+  const std::string text =
+      "@problemName X\n@dimensions 1\n@equalLength true\n"
+      "@classLabel true a\n@data\n1,zzz:a\n";
+  std::istringstream in(text);
+  data::Dataset ds;
+  EXPECT_TRUE(ReadTs(in, &ds).IsCorruption());
+}
+
+TEST(TsFormatTest, RejectsGarbageHeaderNumbers) {
+  for (const char* text :
+       {"@problemName X\n@dimensions banana\n@classLabel true a\n@data\n1:a\n",
+        "@problemName X\n@dimensions -3\n@classLabel true a\n@data\n1:a\n",
+        "@problemName X\n@seriesLength 12x\n@classLabel true a\n@data\n1:a\n"}) {
+    std::istringstream in(text);
+    data::Dataset ds;
+    EXPECT_TRUE(ReadTs(in, &ds).IsCorruption()) << text;
+  }
+}
+
+TEST(TsFormatTest, RejectsMissingData) {
+  const std::string text = "@problemName X\n@classLabel true a\n";
+  std::istringstream in(text);
+  data::Dataset ds;
+  EXPECT_TRUE(ReadTs(in, &ds).IsCorruption());
+}
+
+TEST(TsFormatTest, RejectsLengthMismatchAcrossInstances) {
+  const std::string text =
+      "@problemName X\n@dimensions 1\n@equalLength true\n"
+      "@classLabel true a\n@data\n1,2,3:a\n1,2:a\n";
+  std::istringstream in(text);
+  data::Dataset ds;
+  EXPECT_TRUE(ReadTs(in, &ds).IsCorruption());
+}
+
+TEST(TsFormatTest, RandomJunkNeverCrashes) {
+  // Property: arbitrary bytes produce a Status, never a crash. (DCAM_CHECK
+  // aborts are reserved for programming errors; file contents are data.)
+  Rng rng(123);
+  const std::string alphabet =
+      "@datclasslabel0123456789.,:-# \ntrue";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const int len = 1 + static_cast<int>(rng.UniformInt(300));
+    for (int i = 0; i < len; ++i) {
+      text.push_back(
+          alphabet[static_cast<size_t>(rng.UniformInt(
+              static_cast<int64_t>(alphabet.size())))]);
+    }
+    std::istringstream in(text);
+    data::Dataset ds;
+    const Status s = ReadTs(in, &ds);  // any Status is acceptable
+    if (s.ok()) {
+      EXPECT_GT(ds.size(), 0);  // an OK parse must yield real data
+    }
+  }
+}
+
+TEST(TsFormatTest, WriteEmptyDatasetFails) {
+  data::Dataset empty;
+  std::ostringstream out;
+  EXPECT_TRUE(WriteTs(empty, out).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace dcam

@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.h"
+#include "nn/adam.h"
+#include "nn/batchnorm.h"
+#include "nn/conv1d.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+namespace {
+
+TEST(Conv1dTest, OutputShape) {
+  Rng rng(1);
+  Conv1d conv(3, 5, 3, 1, &rng);
+  Tensor in({2, 3, 10});
+  Tensor out = conv.Forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 5, 10}));
+}
+
+TEST(Conv1dTest, NoPaddingShrinksLength) {
+  Rng rng(1);
+  Conv1d conv(1, 1, 3, 0, &rng);
+  Tensor in({1, 1, 10});
+  EXPECT_EQ(conv.Forward(in, true).dim(2), 8);
+}
+
+TEST(Conv1dTest, IdentityKernelCopiesInput) {
+  Rng rng(1);
+  Conv1d conv(1, 1, 1, 0, &rng);
+  conv.weight().value.Fill(1.0f);
+  conv.bias().value.Fill(0.0f);
+  Tensor in({1, 1, 4}, std::vector<float>{1, 2, 3, 4});
+  Tensor out = conv.Forward(in, true);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(Conv1dTest, KnownConvolution) {
+  Rng rng(1);
+  Conv1d conv(1, 1, 3, 1, &rng);
+  // Kernel [1, 2, 3], bias 0: out[i] = 1*x[i-1] + 2*x[i] + 3*x[i+1].
+  conv.weight().value = Tensor({1, 1, 3}, std::vector<float>{1, 2, 3});
+  conv.bias().value.Fill(0.0f);
+  Tensor in({1, 1, 3}, std::vector<float>{1, 1, 1});
+  Tensor out = conv.Forward(in, true);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);  // 0*1 + 1*2 + 1*3
+  EXPECT_FLOAT_EQ(out[1], 6.0f);  // 1+2+3
+  EXPECT_FLOAT_EQ(out[2], 3.0f);  // 1*1 + 1*2 + 0*3
+}
+
+TEST(Conv1dTest, BiasAddsConstant) {
+  Rng rng(1);
+  Conv1d conv(1, 2, 1, 0, &rng);
+  conv.weight().value.Fill(0.0f);
+  conv.bias().value = Tensor({2}, std::vector<float>{3.0f, -1.0f});
+  Tensor in({1, 1, 5}, 7.0f);
+  Tensor out = conv.Forward(in, true);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_FLOAT_EQ(out.at(0, 0, t), 3.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, t), -1.0f);
+  }
+}
+
+TEST(Conv2dTest, OutputShape) {
+  Rng rng(2);
+  Conv2d conv(4, 6, 1, 5, 0, 2, &rng);
+  Tensor in({3, 4, 7, 20});
+  Tensor out = conv.Forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{3, 6, 7, 20}));
+}
+
+TEST(Conv2dTest, MatchesConv1dWithHeightOne) {
+  // A (1, k) Conv2d over (B, C, 1, L) must agree with Conv1d over (B, C, L).
+  Rng rng1(3), rng2(3);
+  Conv1d conv1(2, 3, 3, 1, &rng1);
+  Conv2d conv2(2, 3, 1, 3, 0, 1, &rng2);
+  // Same init order -> same weights.
+  EXPECT_TRUE(
+      ops::AllClose(conv1.weight().value,
+                    conv2.weight().value.Reshape({3, 2, 3}), 1e-6, 1e-6));
+  Rng data_rng(4);
+  Tensor in({2, 2, 9});
+  in.FillNormal(&data_rng, 0.0f, 1.0f);
+  Tensor out1 = conv1.Forward(in, true);
+  Tensor out2 = conv2.Forward(in.Reshape({2, 2, 1, 9}), true);
+  EXPECT_TRUE(
+      ops::AllClose(out1, out2.Reshape({2, 3, 9}), 1e-5, 1e-5));
+}
+
+TEST(Conv2dTest, KernelTallerThanInputAborts) {
+  Rng rng(5);
+  Conv2d conv(1, 1, 5, 1, 0, 0, &rng);
+  Tensor in({1, 1, 3, 4});
+  EXPECT_DEATH(conv.Forward(in, true), "DCAM_CHECK failed");
+}
+
+TEST(DenseTest, KnownValues) {
+  Rng rng(6);
+  Dense dense(2, 2, &rng);
+  dense.weight().value = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
+  dense.bias().value = Tensor({2}, std::vector<float>{0.5f, -0.5f});
+  Tensor in({1, 2}, std::vector<float>{1, 1});
+  Tensor out = dense.Forward(in, true);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 3.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 6.5f);
+}
+
+TEST(DenseTest, BatchIndependence) {
+  Rng rng(7);
+  Dense dense(3, 2, &rng);
+  Rng data_rng(8);
+  Tensor a({1, 3});
+  a.FillNormal(&data_rng, 0.0f, 1.0f);
+  Tensor two({2, 3});
+  for (int j = 0; j < 3; ++j) {
+    two.at(0, j) = a.at(0, j);
+    two.at(1, j) = a.at(0, j) + 1.0f;
+  }
+  Tensor out1 = dense.Forward(a, true);
+  Tensor out2 = dense.Forward(two, true);
+  EXPECT_NEAR(out1.at(0, 0), out2.at(0, 0), 1e-5);
+  EXPECT_NEAR(out1.at(0, 1), out2.at(0, 1), 1e-5);
+}
+
+TEST(BatchNormTest, NormalizesBatchStatistics) {
+  BatchNorm bn(2);
+  Rng rng(9);
+  Tensor in({8, 2, 16});
+  in.FillNormal(&rng, 5.0f, 3.0f);
+  Tensor out = bn.Forward(in, true);
+  // Per channel: mean ~0, var ~1.
+  for (int c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    int64_t count = 0;
+    for (int b = 0; b < 8; ++b) {
+      for (int t = 0; t < 16; ++t) {
+        const double v = out.at(b, c, t);
+        sum += v;
+        sq += v * v;
+        ++count;
+      }
+    }
+    const double mean = sum / count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, GammaBetaApplied) {
+  BatchNorm bn(1);
+  bn.gamma().value.Fill(2.0f);
+  bn.beta().value.Fill(3.0f);
+  Rng rng(10);
+  Tensor in({4, 1, 8});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor out = bn.Forward(in, true);
+  double sum = 0.0;
+  for (int64_t i = 0; i < out.size(); ++i) sum += out[i];
+  EXPECT_NEAR(sum / out.size(), 3.0, 1e-4);  // beta shifts the mean
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  BatchNorm bn(1);
+  Rng rng(11);
+  // Run many training batches with mean 4 so running stats converge there.
+  for (int i = 0; i < 200; ++i) {
+    Tensor in({4, 1, 8});
+    in.FillNormal(&rng, 4.0f, 1.0f);
+    bn.Forward(in, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 4.0f, 0.2f);
+  // Eval on a constant-4 input should give ~0 output.
+  Tensor in({1, 1, 8}, 4.0f);
+  Tensor out = bn.Forward(in, false);
+  for (int64_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], 0.0f, 0.3f);
+}
+
+TEST(BatchNormTest, Rank4Supported) {
+  BatchNorm bn(3);
+  Rng rng(12);
+  Tensor in({2, 3, 4, 5});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  EXPECT_EQ(bn.Forward(in, true).shape(), in.shape());
+}
+
+TEST(ReLUTest, ClampsNegatives) {
+  ReLU relu;
+  Tensor in({4}, std::vector<float>{-1, 0, 2, -3});
+  Tensor out = relu.Forward(in, true);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 0.0f);
+  EXPECT_EQ(out[2], 2.0f);
+  EXPECT_EQ(out[3], 0.0f);
+}
+
+TEST(ReLUTest, GradientMasksNegatives) {
+  ReLU relu;
+  Tensor in({3}, std::vector<float>{-1, 1, 2});
+  relu.Forward(in, true);
+  Tensor g({3}, std::vector<float>{5, 5, 5});
+  Tensor gi = relu.Backward(g);
+  EXPECT_EQ(gi[0], 0.0f);
+  EXPECT_EQ(gi[1], 5.0f);
+  EXPECT_EQ(gi[2], 5.0f);
+}
+
+TEST(ActivationTest, TanhAndSigmoidValues) {
+  Tanh tanh_layer;
+  Sigmoid sigmoid_layer;
+  Tensor in({1}, std::vector<float>{0.0f});
+  EXPECT_FLOAT_EQ(tanh_layer.Forward(in, true)[0], 0.0f);
+  EXPECT_FLOAT_EQ(sigmoid_layer.Forward(in, true)[0], 0.5f);
+}
+
+TEST(GlobalAvgPoolTest, AveragesSpatial) {
+  GlobalAvgPool gap;
+  Tensor in({1, 2, 4}, std::vector<float>{1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor out = gap.Forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 10.0f);
+}
+
+TEST(GlobalAvgPoolTest, BackwardSpreadsUniformly) {
+  GlobalAvgPool gap;
+  Tensor in({1, 1, 4});
+  gap.Forward(in, true);
+  Tensor g({1, 1}, std::vector<float>{8.0f});
+  Tensor gi = gap.Backward(g);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gi[i], 2.0f);
+}
+
+TEST(GlobalAvgPoolTest, Rank4) {
+  GlobalAvgPool gap;
+  Tensor in({2, 3, 4, 5}, 2.0f);
+  Tensor out = gap.Forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(out.at(1, 2), 2.0f);
+}
+
+TEST(MaxPool1dTest, SelectsMaximum) {
+  MaxPool1d pool(2, 2, 0);
+  Tensor in({1, 1, 4}, std::vector<float>{1, 3, 2, 0});
+  Tensor out = pool.Forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+}
+
+TEST(MaxPool1dTest, BackwardRoutesToArgmax) {
+  MaxPool1d pool(2, 2, 0);
+  Tensor in({1, 1, 4}, std::vector<float>{1, 3, 2, 0});
+  pool.Forward(in, true);
+  Tensor g({1, 1, 2}, std::vector<float>{7, 9});
+  Tensor gi = pool.Backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 7.0f);
+  EXPECT_FLOAT_EQ(gi[2], 9.0f);
+  EXPECT_FLOAT_EQ(gi[3], 0.0f);
+}
+
+TEST(MaxPool2dTest, SamePaddingKeepsWidth) {
+  MaxPool2d pool(1, 3, 1, 1, 0, 1);
+  Tensor in({1, 1, 2, 6});
+  Rng rng(13);
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  EXPECT_EQ(pool.Forward(in, true).shape(), in.shape());
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flatten;
+  Tensor in({2, 3, 4});
+  Rng rng(14);
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor out = flatten.Forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 12}));
+  Tensor back = flatten.Backward(out);
+  EXPECT_EQ(back.shape(), in.shape());
+}
+
+TEST(SequentialTest, ChainsLayersAndRecordsOutputs) {
+  Rng rng(15);
+  Sequential seq;
+  seq.Emplace<Dense>(3, 4, &rng);
+  seq.Emplace<ReLU>();
+  seq.Emplace<Dense>(4, 2, &rng);
+  Tensor in({2, 3});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor out = seq.Forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 2}));
+  EXPECT_EQ(seq.num_layers(), 3);
+  EXPECT_EQ(seq.layer_output(0).shape(), (Shape{2, 4}));
+  EXPECT_EQ(seq.layer_output(2).shape(), (Shape{2, 2}));
+  Tensor g({2, 2}, 1.0f);
+  Tensor gi = seq.Backward(g);
+  EXPECT_EQ(gi.shape(), in.shape());
+  EXPECT_EQ(seq.layer_output_grad(2).shape(), (Shape{2, 2}));
+  EXPECT_EQ(seq.layer_output_grad(0).shape(), (Shape{2, 4}));
+}
+
+TEST(SequentialTest, ParamsAggregated) {
+  Rng rng(16);
+  Sequential seq;
+  seq.Emplace<Dense>(3, 4, &rng);
+  seq.Emplace<Dense>(4, 2, &rng);
+  EXPECT_EQ(seq.Params().size(), 4u);  // two weights + two biases
+}
+
+TEST(LossTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4});
+  const double l = loss.Forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0), 1e-5);
+}
+
+TEST(LossTest, ConfidentCorrectIsLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2}, std::vector<float>{10.0f, -10.0f});
+  EXPECT_LT(loss.Forward(logits, {0}), 1e-4);
+  EXPECT_GT(loss.Forward(logits, {1}), 5.0);
+}
+
+TEST(LossTest, GradientSumsToZeroPerRow) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(17);
+  Tensor logits({3, 5});
+  logits.FillNormal(&rng, 0.0f, 2.0f);
+  loss.Forward(logits, {1, 2, 4});
+  Tensor g = loss.Backward();
+  for (int64_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 5; ++c) sum += g.at(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(LossTest, LabelOutOfRangeAborts) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 2});
+  EXPECT_DEATH(loss.Forward(logits, {2}), "DCAM_CHECK failed");
+}
+
+TEST(AdamTest, StepReducesSimpleQuadratic) {
+  // Minimize f(w) = 0.5 * w^2; gradient w.
+  Parameter p("w", {1});
+  p.value[0] = 5.0f;
+  Adam adam({&p}, 0.1f);
+  for (int i = 0; i < 200; ++i) {
+    adam.ZeroGrad();
+    p.grad[0] = p.value[0];
+    adam.Step();
+  }
+  EXPECT_NEAR(p.value[0], 0.0f, 0.05f);
+}
+
+TEST(AdamTest, ZeroGradClears) {
+  Parameter p("w", {3});
+  p.grad.Fill(7.0f);
+  Adam adam({&p});
+  adam.ZeroGrad();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(p.grad[i], 0.0f);
+}
+
+TEST(AdamTest, FirstStepMagnitudeIsLr) {
+  // With bias correction, the very first ADAM step is ~lr * sign(grad).
+  Parameter p("w", {1});
+  p.value[0] = 1.0f;
+  Adam adam({&p}, 0.01f);
+  p.grad[0] = 123.0f;
+  adam.Step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.01f, 1e-4);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dcam

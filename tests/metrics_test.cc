@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/ranking.h"
+
+namespace dcam {
+namespace eval {
+namespace {
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 0, 0}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0}, {1}), 0.0);
+}
+
+TEST(AccuracyTest, SizeMismatchAborts) {
+  EXPECT_DEATH(Accuracy({1}, {1, 2}), "DCAM_CHECK failed");
+}
+
+TEST(PrAucTest, PerfectRankingGivesOne) {
+  EXPECT_DOUBLE_EQ(PrAuc({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(PrAucTest, WorstRankingGivesPositiveRate) {
+  // Positives ranked last: AP -> roughly #pos / N at the tail.
+  const double ap = PrAuc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1});
+  // Hand-computed: P at third = 1/3, at fourth = 2/4; AP = 0.5*(1/3) + 0.5*0.5.
+  EXPECT_NEAR(ap, 0.5 * (1.0 / 3.0) + 0.5 * 0.5, 1e-9);
+}
+
+TEST(PrAucTest, HandComputedMixedCase) {
+  // scores desc: s=4 (pos), 3 (neg), 2 (pos), 1 (neg).
+  // rank1: P=1, R=0.5 -> contrib 0.5*1
+  // rank3: P=2/3, R=1.0 -> contrib 0.5*(2/3)
+  const double ap = PrAuc({4, 3, 2, 1}, {1, 0, 1, 0});
+  EXPECT_NEAR(ap, 0.5 + 0.5 * 2.0 / 3.0, 1e-9);
+}
+
+TEST(PrAucTest, AllPositive) {
+  EXPECT_DOUBLE_EQ(PrAuc({0.5f, 0.1f}, {1, 1}), 1.0);
+}
+
+TEST(PrAucTest, NoPositivesGivesZero) {
+  EXPECT_DOUBLE_EQ(PrAuc({0.5f, 0.1f}, {0, 0}), 0.0);
+}
+
+TEST(PrAucTest, TiedScoresAveragedAsOneGroup) {
+  // All scores equal -> single group; AP = precision at full recall = pos rate.
+  EXPECT_NEAR(PrAuc({1, 1, 1, 1}, {1, 0, 0, 0}), 0.25, 1e-9);
+  EXPECT_NEAR(PrAuc({1, 1}, {1, 1}), 1.0, 1e-9);
+}
+
+TEST(PrAucTest, RandomScoresApproachPositiveRate) {
+  // Property: for random scores, expected AP ~ positive rate.
+  std::vector<float> scores;
+  std::vector<int> labels;
+  uint32_t x = 123456789;
+  int pos = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    x = x * 1664525 + 1013904223;
+    scores.push_back(static_cast<float>(x % 10007));
+    const int l = (x >> 16) % 10 == 0 ? 1 : 0;  // ~10% positives
+    pos += l;
+    labels.push_back(l);
+  }
+  const double rate = static_cast<double>(pos) / n;
+  EXPECT_NEAR(PrAuc(scores, labels), rate, 0.05);
+}
+
+TEST(DrAccTest, MatchesPrAucOnFlattenedMap) {
+  Tensor expl({2, 2}, std::vector<float>{0.9f, 0.1f, 0.8f, 0.2f});
+  Tensor mask({2, 2}, std::vector<float>{1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(DrAcc(expl, mask), 1.0);
+}
+
+TEST(DrAccTest, ShapeMismatchAborts) {
+  Tensor a({2, 2});
+  Tensor b({2, 3});
+  EXPECT_DEATH(DrAcc(a, b), "DCAM_CHECK failed");
+}
+
+TEST(RandomBaselineTest, IsPositiveRate) {
+  Tensor mask({4}, std::vector<float>{1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(RandomBaseline(mask), 0.25);
+}
+
+TEST(HarmonicMeanTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(HarmonicMean(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 0.0), 0.0);
+  EXPECT_NEAR(HarmonicMean(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RankRowTest, HigherScoreRanksFirst) {
+  const std::vector<double> ranks = RankRow({0.2, 0.9, 0.5});
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(RankRowTest, TiesShareAverageRank) {
+  const std::vector<double> ranks = RankRow({0.5, 0.5, 0.1});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(AverageRanksTest, MeansOverDatasets) {
+  const std::vector<std::vector<double>> scores = {
+      {0.9, 0.1},  // method 0 wins
+      {0.2, 0.8},  // method 1 wins
+  };
+  const std::vector<double> avg = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(avg[0], 1.5);
+  EXPECT_DOUBLE_EQ(avg[1], 1.5);
+}
+
+TEST(ColumnMeansTest, Basic) {
+  const std::vector<double> m = ColumnMeans({{1.0, 3.0}, {2.0, 5.0}});
+  EXPECT_DOUBLE_EQ(m[0], 1.5);
+  EXPECT_DOUBLE_EQ(m[1], 4.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace dcam

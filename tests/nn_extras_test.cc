@@ -1,0 +1,201 @@
+// Tests for the auxiliary nn components: LeakyReLU, Dropout, and the SGD
+// optimizer. (The layers the paper's architectures are built from are covered
+// by layers_test / gradcheck_test.)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gradcheck.h"
+#include "nn/activation.h"
+#include "nn/dropout.h"
+#include "nn/sgd.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+namespace {
+
+TEST(LeakyReLUTest, ForwardValues) {
+  LeakyReLU layer(0.1f);
+  Tensor x({4}, std::vector<float>{-2.0f, -0.5f, 0.0f, 3.0f});
+  Tensor y = layer.Forward(x, /*training=*/false);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], -0.05f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+  EXPECT_FLOAT_EQ(y[3], 3.0f);
+}
+
+TEST(LeakyReLUTest, ZeroSlopeMatchesReLU) {
+  LeakyReLU leaky(0.0f);
+  ReLU relu;
+  Rng rng(7);
+  Tensor x({64});
+  x.FillNormal(&rng, 0.0f, 2.0f);
+  Tensor a = leaky.Forward(x, false);
+  Tensor b = relu.Forward(x, false);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(LeakyReLUTest, GradientMatchesFiniteDifference) {
+  LeakyReLU layer(0.2f);
+  testing::CheckLayerGradients(&layer, {2, 3, 5}, /*training=*/true);
+}
+
+TEST(LeakyReLUTest, BackwardScalesNegativeSide) {
+  LeakyReLU layer(0.25f);
+  Tensor x({2}, std::vector<float>{-1.0f, 1.0f});
+  layer.Forward(x, false);
+  Tensor g({2}, std::vector<float>{1.0f, 1.0f});
+  Tensor gi = layer.Backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.25f);
+  EXPECT_FLOAT_EQ(gi[1], 1.0f);
+}
+
+TEST(LeakyReLUTest, InvalidSlopeAborts) {
+  EXPECT_DEATH(LeakyReLU(-0.1f), "DCAM_CHECK failed");
+  EXPECT_DEATH(LeakyReLU(1.0f), "DCAM_CHECK failed");
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Dropout layer(0.5f);
+  Rng rng(11);
+  Tensor x({3, 7});
+  x.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor y = layer.Forward(x, /*training=*/false);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+  // Backward in eval mode is the identity too.
+  Tensor g({3, 7}, 1.0f);
+  Tensor gi = layer.Backward(g);
+  for (int64_t i = 0; i < g.size(); ++i) EXPECT_FLOAT_EQ(gi[i], 1.0f);
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityInTraining) {
+  Dropout layer(0.0f);
+  Tensor x({8}, 2.5f);
+  Tensor y = layer.Forward(x, /*training=*/true);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], 2.5f);
+}
+
+TEST(DropoutTest, TrainingZeroesApproximatelyRateFraction) {
+  Dropout layer(0.3f, /*seed=*/99);
+  Tensor x({10000}, 1.0f);
+  Tensor y = layer.Forward(x, /*training=*/true);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) ++zeros;
+  }
+  const double zero_rate = static_cast<double>(zeros) / y.size();
+  EXPECT_NEAR(zero_rate, 0.3, 0.02);
+}
+
+TEST(DropoutTest, SurvivorsScaledToPreserveExpectation) {
+  Dropout layer(0.4f, /*seed=*/5);
+  Tensor x({20000}, 1.0f);
+  Tensor y = layer.Forward(x, /*training=*/true);
+  const float scale = 1.0f / (1.0f - 0.4f);
+  double mean = 0.0;
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(y[i] == 0.0f || std::abs(y[i] - scale) < 1e-6f);
+    mean += y[i];
+  }
+  mean /= static_cast<double>(y.size());
+  EXPECT_NEAR(mean, 1.0, 0.02);
+}
+
+TEST(DropoutTest, BackwardUsesSameMaskAsForward) {
+  Dropout layer(0.5f, /*seed=*/17);
+  Tensor x({512}, 1.0f);
+  Tensor y = layer.Forward(x, /*training=*/true);
+  Tensor g({512}, 1.0f);
+  Tensor gi = layer.Backward(g);
+  // Gradient flows exactly where the activation survived, with the same
+  // scale.
+  for (int64_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(gi[i], y[i]);
+}
+
+TEST(DropoutTest, DeterministicGivenSeed) {
+  Dropout a(0.5f, /*seed=*/123);
+  Dropout b(0.5f, /*seed=*/123);
+  Tensor x({256}, 1.0f);
+  Tensor ya = a.Forward(x, true);
+  Tensor yb = b.Forward(x, true);
+  for (int64_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(DropoutTest, InvalidRateAborts) {
+  EXPECT_DEATH(Dropout(-0.1f), "DCAM_CHECK failed");
+  EXPECT_DEATH(Dropout(1.0f), "DCAM_CHECK failed");
+}
+
+TEST(DropoutTest, BackwardBeforeForwardAborts) {
+  Dropout layer(0.5f);
+  Tensor g({4}, 1.0f);
+  EXPECT_DEATH(layer.Backward(g), "DCAM_CHECK failed");
+}
+
+TEST(SgdTest, PlainStepMovesAgainstGradient) {
+  Parameter p("w", {2});
+  p.value.Fill(1.0f);
+  p.grad[0] = 0.5f;
+  p.grad[1] = -2.0f;
+  Sgd opt({&p}, /*lr=*/0.1f);
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], 1.0f + 0.1f * 2.0f);
+}
+
+TEST(SgdTest, MomentumAccumulatesVelocity) {
+  Parameter p("w", {1});
+  p.value[0] = 0.0f;
+  Sgd opt({&p}, /*lr=*/1.0f, /*momentum=*/0.5f);
+  p.grad[0] = 1.0f;
+  opt.Step();  // v = 1, w = -1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  p.grad[0] = 1.0f;
+  opt.Step();  // v = 0.5 + 1 = 1.5, w = -2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Parameter p("w", {1});
+  p.value[0] = 10.0f;
+  p.grad[0] = 0.0f;
+  Sgd opt({&p}, /*lr=*/0.1f, /*momentum=*/0.0f, /*weight_decay=*/0.1f);
+  opt.Step();
+  // Effective gradient = decay * w = 1; step = -0.1.
+  EXPECT_FLOAT_EQ(p.value[0], 9.9f);
+}
+
+TEST(SgdTest, ZeroGradClearsAccumulators) {
+  Parameter p("w", {3});
+  p.grad.Fill(4.0f);
+  Sgd opt({&p});
+  opt.ZeroGrad();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(p.grad[i], 0.0f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize f(w) = 0.5 * (w - 3)^2 with momentum SGD.
+  Parameter p("w", {1});
+  p.value[0] = -5.0f;
+  Sgd opt({&p}, /*lr=*/0.1f, /*momentum=*/0.9f);
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    p.grad[0] = p.value[0] - 3.0f;
+    opt.Step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-3f);
+}
+
+TEST(SgdTest, InvalidHyperparametersAbort) {
+  Parameter p("w", {1});
+  EXPECT_DEATH(Sgd({&p}, /*lr=*/0.0f), "DCAM_CHECK failed");
+  EXPECT_DEATH(Sgd({&p}, /*lr=*/0.1f, /*momentum=*/1.0f), "DCAM_CHECK failed");
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dcam

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace {
+
+TEST(OpsTest, AddSubMul) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  Tensor s = ops::Add(a, b);
+  EXPECT_EQ(s[0], 5.0f);
+  EXPECT_EQ(s[2], 9.0f);
+  Tensor d = ops::Sub(b, a);
+  EXPECT_EQ(d[0], 3.0f);
+  Tensor m = ops::Mul(a, b);
+  EXPECT_EQ(m[1], 10.0f);
+}
+
+TEST(OpsTest, ShapeMismatchAborts) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_DEATH(ops::Add(a, b), "DCAM_CHECK failed");
+}
+
+TEST(OpsTest, ScaleAndAxpy) {
+  Tensor a({2}, std::vector<float>{1, -2});
+  Tensor s = ops::Scale(a, 3.0f);
+  EXPECT_EQ(s[0], 3.0f);
+  EXPECT_EQ(s[1], -6.0f);
+  Tensor b({2}, std::vector<float>{10, 10});
+  ops::Axpy(&b, 2.0f, a);
+  EXPECT_EQ(b[0], 12.0f);
+  EXPECT_EQ(b[1], 6.0f);
+}
+
+TEST(OpsTest, AddInPlace) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b({2}, std::vector<float>{3, 4});
+  ops::AddInPlace(&a, b);
+  EXPECT_EQ(a[0], 4.0f);
+  EXPECT_EQ(a[1], 6.0f);
+}
+
+TEST(OpsTest, MatMulKnownValues) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, MatMulInnerDimMismatchAborts) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_DEATH(ops::MatMul(a, b), "DCAM_CHECK failed");
+}
+
+TEST(OpsTest, MatMulVariantsAgree) {
+  Rng rng(5);
+  Tensor a({4, 6});
+  Tensor b({6, 5});
+  a.FillNormal(&rng, 0.0f, 1.0f);
+  b.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor ref = ops::MatMul(a, b);
+
+  // MatMulBT(a, b^T) == a b.
+  Tensor bt({5, 6});
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 5; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  EXPECT_TRUE(ops::AllClose(ops::MatMulBT(a, bt), ref, 1e-4, 1e-4));
+
+  // MatMulAT(a^T, b) == a b.
+  Tensor at({6, 4});
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 6; ++j) at.at(j, i) = a.at(i, j);
+  }
+  EXPECT_TRUE(ops::AllClose(ops::MatMulAT(at, b), ref, 1e-4, 1e-4));
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(9);
+  Tensor logits({5, 7});
+  logits.FillNormal(&rng, 0.0f, 3.0f);
+  Tensor p = ops::Softmax2d(logits);
+  for (int64_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 7; ++c) {
+      EXPECT_GT(p.at(r, c), 0.0f);
+      sum += p.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariant) {
+  Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+  Tensor b({1, 3}, std::vector<float>{101, 102, 103});
+  EXPECT_TRUE(ops::AllClose(ops::Softmax2d(a), ops::Softmax2d(b), 1e-6, 1e-5));
+}
+
+TEST(OpsTest, SoftmaxHandlesLargeLogits) {
+  Tensor a({1, 2}, std::vector<float>{1000.0f, 0.0f});
+  Tensor p = ops::Softmax2d(a);
+  EXPECT_NEAR(p.at(0, 0), 1.0f, 1e-6);
+  EXPECT_FALSE(std::isnan(p.at(0, 1)));
+}
+
+TEST(OpsTest, MaxAbsDiffAndAllClose) {
+  Tensor a({2}, std::vector<float>{1.0f, 2.0f});
+  Tensor b({2}, std::vector<float>{1.0f, 2.1f});
+  EXPECT_NEAR(ops::MaxAbsDiff(a, b), 0.1, 1e-6);
+  EXPECT_FALSE(ops::AllClose(a, b, 1e-3, 1e-3));
+  EXPECT_TRUE(ops::AllClose(a, b, 0.2, 0.0));
+  Tensor c({3});
+  EXPECT_FALSE(ops::AllClose(a, c));
+}
+
+}  // namespace
+}  // namespace dcam

@@ -1,0 +1,202 @@
+// Parameterized property sweeps over the extension modules:
+//   * weight-file round trips across EVERY architecture in the zoo,
+//   * DTW metric axioms over a (dims, length, band) grid,
+//   * .ts round trips over dataset-shape grids,
+//   * augmentation invariants across synthetic regimes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "baselines/distance.h"
+#include "data/augment.h"
+#include "data/synthetic.h"
+#include "io/serialize.h"
+#include "io/ts_format.h"
+#include "models/zoo.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serialization across the zoo
+// ---------------------------------------------------------------------------
+
+class ZooSerialization : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooSerialization, RoundTripPreservesPredictions) {
+  const std::string name = GetParam();
+  const int dims = 3, length = 24, classes = 2;
+  Rng rng(11);
+  auto a = models::MakeModel(name, dims, length, classes, /*scale=*/16, &rng);
+  Rng rng2(222);
+  auto b = models::MakeModel(name, dims, length, classes, 16, &rng2);
+
+  // Perturb normalization statistics (where present) so the round trip
+  // must carry buffers, not just parameters.
+  {
+    Rng xr(5);
+    Tensor warm({4, dims, length});
+    warm.FillNormal(&xr, 1.5f, 2.0f);
+    a->Forward(a->PrepareInput(warm), /*training=*/true);
+  }
+
+  const std::string path =
+      ::testing::TempDir() + "/zoo_" + name + ".bin";
+  ASSERT_TRUE(io::SaveModelWeights(a.get(), path).ok()) << name;
+  ASSERT_TRUE(io::LoadModelWeights(b.get(), path).ok()) << name;
+
+  Rng xr(7);
+  Tensor batch({3, dims, length});
+  batch.FillNormal(&xr, 0.0f, 1.0f);
+  EXPECT_EQ(a->Predict(batch), b->Predict(batch)) << name;
+
+  // Logits agree bit-for-bit, not just argmax.
+  const Tensor la = a->Forward(a->PrepareInput(batch), false);
+  const Tensor lb = b->Forward(b->PrepareInput(batch), false);
+  for (int64_t i = 0; i < la.size(); ++i) {
+    EXPECT_FLOAT_EQ(la[i], lb[i]) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooSerialization,
+    ::testing::ValuesIn(models::AllModelNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---------------------------------------------------------------------------
+// DTW axioms over a parameter grid
+// ---------------------------------------------------------------------------
+
+class DtwAxioms
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DtwAxioms, MetricPropertiesHold) {
+  const auto [dims, length, band] = GetParam();
+  Rng rng(static_cast<uint64_t>(dims * 1000 + length * 10 + band + 3));
+  Tensor a({dims, length});
+  Tensor b({dims, length});
+  a.FillNormal(&rng, 0.0f, 1.0f);
+  b.FillNormal(&rng, 0.0f, 1.0f);
+
+  // Identity of indiscernibles (one direction) and symmetry.
+  EXPECT_NEAR(baselines::DtwDependent(a, a, band), 0.0, 1e-9);
+  EXPECT_NEAR(baselines::DtwIndependent(a, a, band), 0.0, 1e-9);
+  EXPECT_NEAR(baselines::DtwDependent(a, b, band),
+              baselines::DtwDependent(b, a, band), 1e-6);
+  EXPECT_NEAR(baselines::DtwIndependent(a, b, band),
+              baselines::DtwIndependent(b, a, band), 1e-6);
+
+  // Non-negativity and the independent <= dependent ordering.
+  const double di = baselines::DtwIndependent(a, b, band);
+  const double dd = baselines::DtwDependent(a, b, band);
+  EXPECT_GE(di, 0.0);
+  EXPECT_LE(di, dd + 1e-9);
+
+  // LB_Keogh lower-bounds both.
+  const double lb = baselines::LbKeogh(a, b, band);
+  EXPECT_LE(lb, di + 1e-9);
+  EXPECT_LE(lb, dd + 1e-9);
+
+  // Band-constrained DTW never beats (is never below) the unconstrained.
+  EXPECT_GE(dd + 1e-9, baselines::DtwDependent(a, b, -1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DtwAxioms,
+                         ::testing::Combine(::testing::Values(1, 2, 5),
+                                            ::testing::Values(8, 21, 50),
+                                            ::testing::Values(0, 3, 10)));
+
+// ---------------------------------------------------------------------------
+// .ts round trips over dataset shapes
+// ---------------------------------------------------------------------------
+
+class TsRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TsRoundTrip, DatasetSurvivesTextFormat) {
+  const auto [dims, length, per_class] = GetParam();
+  data::SyntheticSpec spec;
+  spec.dims = dims;
+  spec.length = length;
+  spec.pattern_len = length / 4;
+  spec.instances_per_class = per_class;
+  spec.seed = static_cast<uint64_t>(dims * 100 + length);
+  const data::Dataset ds = data::BuildSynthetic(spec);
+
+  std::stringstream buf;
+  ASSERT_TRUE(io::WriteTs(ds, buf).ok());
+  data::Dataset back;
+  ASSERT_TRUE(io::ReadTs(buf, &back).ok());
+
+  ASSERT_EQ(back.size(), ds.size());
+  ASSERT_EQ(back.dims(), ds.dims());
+  ASSERT_EQ(back.length(), ds.length());
+  EXPECT_EQ(back.y, ds.y);
+  for (int64_t i = 0; i < ds.X.size(); ++i) {
+    ASSERT_NEAR(back.X[i], ds.X[i], 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TsRoundTrip,
+                         ::testing::Combine(::testing::Values(2, 3, 8),
+                                            ::testing::Values(32, 128),
+                                            ::testing::Values(2, 5)));
+
+// ---------------------------------------------------------------------------
+// Augmentation invariants across regimes
+// ---------------------------------------------------------------------------
+
+class AugmentInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AugmentInvariants, LabelsMasksAndShapesPreserved) {
+  const auto [type, copies] = GetParam();
+  data::SyntheticSpec spec;
+  spec.type = type;
+  spec.dims = 4;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  spec.instances_per_class = 4;
+  spec.seed = static_cast<uint64_t>(type * 10 + copies);
+  const data::Dataset ds = data::BuildSynthetic(spec);
+
+  data::AugmentOptions opt;
+  opt.copies = copies;
+  opt.seed = 3;
+  const data::Dataset aug = data::Augment(ds, opt);
+
+  EXPECT_EQ(aug.size(), ds.size() * (1 + copies));
+  EXPECT_EQ(aug.dims(), ds.dims());
+  EXPECT_EQ(aug.length(), ds.length());
+  EXPECT_EQ(aug.num_classes, ds.num_classes);
+  ASSERT_FALSE(aug.mask.empty());
+
+  // Class balance is preserved exactly.
+  for (int c = 0; c < ds.num_classes; ++c) {
+    int64_t orig = 0, now = 0;
+    for (int y : ds.y) orig += y == c;
+    for (int y : aug.y) now += y == c;
+    EXPECT_EQ(now, orig * (1 + copies)) << "class " << c;
+  }
+  // Masks stay binary and all values finite.
+  for (int64_t i = 0; i < aug.X.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(aug.X[i]));
+  }
+  for (int64_t i = 0; i < aug.mask.size(); ++i) {
+    ASSERT_TRUE(aug.mask[i] == 0.0f || aug.mask[i] == 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, AugmentInvariants,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Values(1, 3)));
+
+}  // namespace
+}  // namespace dcam

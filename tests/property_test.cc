@@ -1,0 +1,220 @@
+// Cross-cutting property-based tests (TEST_P sweeps over random shapes and
+// seeds) for invariants that hold by construction:
+//   * convolution is linear in its input (bias off);
+//   * the CAM/GAP identity holds for every input layout;
+//   * softmax-CE gradient equals probs - onehot;
+//   * PR-AUC is invariant under strictly monotone score transforms;
+//   * rank rows are permutation-equivariant;
+//   * the C(T) cube's row 0 is the series itself; and dCAM extraction is
+//     equivariant under dimension relabeling of M-bar.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cam/cam.h"
+#include "core/cube.h"
+#include "core/dcam.h"
+#include "data/series.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/ranking.h"
+#include "models/cnn.h"
+#include "nn/adam.h"
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, ConvolutionIsLinearWithoutBias) {
+  Rng rng(GetParam());
+  nn::Conv2d conv(2, 3, 1, 3, 0, 1, &rng, /*use_bias=*/false);
+  Tensor x({1, 2, 3, 8}), y({1, 2, 3, 8});
+  x.FillNormal(&rng, 0.0f, 1.0f);
+  y.FillNormal(&rng, 0.0f, 1.0f);
+  const float a = static_cast<float>(rng.Uniform(-2.0, 2.0));
+  const float b = static_cast<float>(rng.Uniform(-2.0, 2.0));
+
+  Tensor combo = ops::Add(ops::Scale(x, a), ops::Scale(y, b));
+  Tensor lhs = conv.Forward(combo, true);
+  Tensor rhs = ops::Add(ops::Scale(conv.Forward(x, true), a),
+                        ops::Scale(conv.Forward(y, true), b));
+  EXPECT_TRUE(ops::AllClose(lhs, rhs, 1e-4, 1e-3));
+}
+
+TEST_P(SeededProperty, CamGapIdentityHoldsForEveryLayout) {
+  // Section 2.2: logit = mean(CAM) + bias, for standard, c- and d- layouts.
+  Rng rng(GetParam());
+  models::ConvNetConfig cfg;
+  cfg.filters = {3, 4};
+  Tensor batch({1, 3, 12});
+  batch.FillNormal(&rng, 0.0f, 1.0f);
+  for (models::InputMode mode :
+       {models::InputMode::kStandard, models::InputMode::kSeparate,
+        models::InputMode::kCube}) {
+    models::ConvNet model(mode, 3, 2, cfg, &rng);
+    Tensor logits = model.Forward(model.PrepareInput(batch), false);
+    for (int cls = 0; cls < 2; ++cls) {
+      Tensor cam =
+          cam::CamFromActivation(model.last_activation(), model.head(), cls);
+      EXPECT_NEAR(logits.at(0, cls),
+                  cam.Mean() + model.head().bias().value[cls], 2e-4)
+          << models::InputModeName(mode) << " class " << cls;
+    }
+  }
+}
+
+TEST_P(SeededProperty, SoftmaxCrossEntropyGradientIsProbsMinusOnehot) {
+  Rng rng(GetParam());
+  Tensor logits({3, 4});
+  logits.FillNormal(&rng, 0.0f, 2.0f);
+  std::vector<int> labels = {static_cast<int>(rng.UniformInt(4)),
+                             static_cast<int>(rng.UniformInt(4)),
+                             static_cast<int>(rng.UniformInt(4))};
+  nn::SoftmaxCrossEntropy loss;
+  loss.Forward(logits, labels);
+  Tensor grad = loss.Backward();
+  const Tensor& probs = loss.probabilities();
+  for (int64_t b = 0; b < 3; ++b) {
+    for (int64_t c = 0; c < 4; ++c) {
+      const float expected =
+          (probs.at(b, c) - (labels[b] == c ? 1.0f : 0.0f)) / 3.0f;
+      EXPECT_NEAR(grad.at(b, c), expected, 1e-6);
+    }
+  }
+}
+
+TEST_P(SeededProperty, PrAucInvariantUnderMonotoneTransform) {
+  Rng rng(GetParam());
+  std::vector<float> scores(200);
+  std::vector<int> labels(200);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<float>(rng.Uniform());
+    labels[i] = rng.Uniform() < 0.2 ? 1 : 0;
+  }
+  labels[0] = 1;
+  std::vector<float> transformed(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    transformed[i] = std::exp(3.0f * scores[i]) - 1.0f;  // strictly monotone
+  }
+  EXPECT_NEAR(eval::PrAuc(scores, labels), eval::PrAuc(transformed, labels),
+              1e-9);
+}
+
+TEST_P(SeededProperty, RankRowIsPermutationEquivariant) {
+  Rng rng(GetParam());
+  std::vector<double> scores(8);
+  for (double& s : scores) s = rng.Uniform();
+  const std::vector<double> ranks = eval::RankRow(scores);
+  const std::vector<int> perm = rng.Permutation(8);
+  std::vector<double> permuted(8);
+  for (int i = 0; i < 8; ++i) permuted[i] = scores[perm[i]];
+  const std::vector<double> permuted_ranks = eval::RankRow(permuted);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(permuted_ranks[i], ranks[perm[i]]);
+  }
+}
+
+TEST_P(SeededProperty, CubeRowZeroIsTheSeries) {
+  Rng rng(GetParam());
+  const int64_t D = 3 + static_cast<int64_t>(rng.UniformInt(5));
+  Tensor series({D, 7});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor cube = core::BuildCube(series);
+  for (int64_t p = 0; p < D; ++p) {
+    for (int64_t t = 0; t < 7; ++t) {
+      EXPECT_EQ(cube.at(p, 0, t), series.at(p, t));
+    }
+  }
+}
+
+TEST_P(SeededProperty, ExtractDcamEquivariantUnderDimensionRelabeling) {
+  Rng rng(GetParam());
+  const int64_t D = 4, n = 6;
+  Tensor mbar({D, D, n});
+  mbar.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor dcam, mu;
+  core::ExtractDcam(mbar, &dcam, &mu);
+
+  // Swap two dimensions of mbar; the extracted dCAM rows must swap too
+  // (mu is a sum over all entries and is unchanged).
+  Tensor swapped = mbar.Clone();
+  for (int64_t p = 0; p < D; ++p) {
+    for (int64_t t = 0; t < n; ++t) {
+      std::swap(swapped.at(0, p, t), swapped.at(2, p, t));
+    }
+  }
+  Tensor dcam2, mu2;
+  core::ExtractDcam(swapped, &dcam2, &mu2);
+  EXPECT_TRUE(ops::AllClose(mu, mu2, 1e-6, 1e-5));
+  for (int64_t t = 0; t < n; ++t) {
+    EXPECT_NEAR(dcam2.at(0, t), dcam.at(2, t), 1e-5);
+    EXPECT_NEAR(dcam2.at(2, t), dcam.at(0, t), 1e-5);
+    EXPECT_NEAR(dcam2.at(1, t), dcam.at(1, t), 1e-5);
+  }
+}
+
+TEST_P(SeededProperty, AdamNoopOnZeroGradient) {
+  Rng rng(GetParam());
+  nn::Parameter p("w", {16});
+  p.value.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor before = p.value.Clone();
+  nn::Adam adam({&p}, 0.1f);
+  adam.ZeroGrad();
+  adam.Step();
+  EXPECT_TRUE(ops::AllClose(p.value, before, 1e-7, 0.0));
+}
+
+TEST_P(SeededProperty, StratifiedSplitPartitionsDataset) {
+  Rng rng(GetParam());
+  data::SyntheticSpec spec;
+  spec.dims = 3;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  spec.instances_per_class = 10;
+  spec.seed = GetParam();
+  data::Dataset ds = data::BuildSynthetic(spec);
+  data::Dataset train, test;
+  data::StratifiedSplit(ds, 0.7, &rng, &train, &test);
+  EXPECT_EQ(train.size() + test.size(), ds.size());
+  // Every original instance appears exactly once across the two splits
+  // (match by full content sum, unique with high probability).
+  auto signature = [](const data::Dataset& d, int64_t i) {
+    double s = 0.0;
+    for (int64_t j = 0; j < d.dims() * d.length(); ++j) {
+      s += d.X[i * d.dims() * d.length() + j] * (j + 1);
+    }
+    return s;
+  };
+  std::vector<double> sigs;
+  for (int64_t i = 0; i < train.size(); ++i) sigs.push_back(signature(train, i));
+  for (int64_t i = 0; i < test.size(); ++i) sigs.push_back(signature(test, i));
+  std::vector<double> orig;
+  for (int64_t i = 0; i < ds.size(); ++i) orig.push_back(signature(ds, i));
+  std::sort(sigs.begin(), sigs.end());
+  std::sort(orig.begin(), orig.end());
+  for (size_t i = 0; i < orig.size(); ++i) EXPECT_DOUBLE_EQ(sigs[i], orig[i]);
+}
+
+TEST_P(SeededProperty, DcamNonNegativeWhenMuNonNegative) {
+  // Definition 3 multiplies a variance (>= 0) by mu; with non-negative mbar
+  // entries, mu >= 0 and hence dCAM >= 0.
+  Rng rng(GetParam());
+  Tensor mbar({3, 3, 5});
+  mbar.FillUniform(&rng, 0.0f, 2.0f);
+  Tensor dcam, mu;
+  core::ExtractDcam(mbar, &dcam, &mu);
+  for (int64_t i = 0; i < dcam.size(); ++i) EXPECT_GE(dcam[i], 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace dcam

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "nn/recurrent.h"
+#include "tensor/ops.h"
+#include "tests/gradcheck.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace nn {
+namespace {
+
+using dcam::testing::CheckLayerGradients;
+
+class RecurrentTest : public ::testing::TestWithParam<CellType> {};
+
+TEST_P(RecurrentTest, OutputShapeIsBatchByHidden) {
+  Rng rng(1);
+  Recurrent cell(GetParam(), 3, 5, &rng);
+  Tensor in({2, 3, 7});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  EXPECT_EQ(cell.Forward(in, true).shape(), (Shape{2, 5}));
+}
+
+TEST_P(RecurrentTest, DeterministicForward) {
+  Rng rng(2);
+  Recurrent cell(GetParam(), 2, 4, &rng);
+  Tensor in({1, 2, 6});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor a = cell.Forward(in, true);
+  Tensor b = cell.Forward(in, true);
+  EXPECT_TRUE(ops::AllClose(a, b, 0.0, 0.0));
+}
+
+TEST_P(RecurrentTest, ZeroInputGivesZeroishOutputWithZeroWeights) {
+  Rng rng(3);
+  Recurrent cell(GetParam(), 2, 3, &rng);
+  for (Parameter* p : cell.Params()) p->value.Fill(0.0f);
+  Tensor in({1, 2, 4});
+  Tensor out = cell.Forward(in, true);
+  for (int64_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], 0.0f, 1e-6);
+}
+
+TEST_P(RecurrentTest, GradientsMatchFiniteDifferences) {
+  Rng rng(4 + static_cast<int>(GetParam()));
+  Recurrent cell(GetParam(), 2, 3, &rng);
+  CheckLayerGradients(&cell, {2, 2, 5}, true, /*eps=*/1e-2, /*tol=*/4e-2);
+}
+
+TEST_P(RecurrentTest, LongSequenceGradientsStable) {
+  // Long sequences compound curvature. Shrink the recurrent weights into a
+  // contractive regime (spectral radius < 1) so finite differences stay in
+  // the linear range over 20 steps.
+  Rng rng(7);
+  Recurrent cell(GetParam(), 1, 2, &rng);
+  for (Parameter* p : cell.Params()) {
+    for (int64_t i = 0; i < p->value.size(); ++i) p->value[i] *= 0.4f;
+  }
+  CheckLayerGradients(&cell, {1, 1, 20}, true, /*eps=*/1e-3, /*tol=*/5e-2);
+}
+
+TEST_P(RecurrentTest, ParamsExposeFourTensors) {
+  Rng rng(8);
+  Recurrent cell(GetParam(), 3, 4, &rng);
+  EXPECT_EQ(cell.Params().size(), 4u);
+}
+
+TEST_P(RecurrentTest, HiddenStateDependsOnHistory) {
+  // Two inputs differing only at t=0 must produce different final states.
+  Rng rng(9);
+  Recurrent cell(GetParam(), 1, 4, &rng);
+  Tensor a({1, 1, 6});
+  a.FillNormal(&rng, 0.0f, 1.0f);
+  Tensor b = a.Clone();
+  b.at(0, 0, 0) += 2.0f;
+  Tensor ha = cell.Forward(a, true).Clone();
+  Tensor hb = cell.Forward(b, true);
+  EXPECT_GT(ops::MaxAbsDiff(ha, hb), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, RecurrentTest,
+                         ::testing::Values(CellType::kRnn, CellType::kLstm,
+                                           CellType::kGru),
+                         [](const ::testing::TestParamInfo<CellType>& info) {
+                           return CellTypeName(info.param);
+                         });
+
+TEST(RecurrentTest, CellTypeNames) {
+  EXPECT_EQ(CellTypeName(CellType::kRnn), "RNN");
+  EXPECT_EQ(CellTypeName(CellType::kLstm), "LSTM");
+  EXPECT_EQ(CellTypeName(CellType::kGru), "GRU");
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dcam

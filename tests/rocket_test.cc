@@ -1,0 +1,167 @@
+// Tests for the ROCKET classifier: kernel transform properties, the ridge
+// solve, and end-to-end classification.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/rocket.h"
+#include "data/series.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace baselines {
+namespace {
+
+// Two classes trivially separable in PPV space: class 0 hovers near -1
+// (convolutions mostly negative bias side), class 1 near +1.
+data::Dataset OffsetDataset(int per_class, int64_t d, int64_t n,
+                            uint64_t seed) {
+  Rng rng(seed);
+  const int total = 2 * per_class;
+  Tensor x({total, d, n});
+  std::vector<int> y;
+  for (int i = 0; i < total; ++i) {
+    const int label = i < per_class ? 0 : 1;
+    y.push_back(label);
+    for (int64_t j = 0; j < d; ++j) {
+      for (int64_t t = 0; t < n; ++t) {
+        const double trend =
+            label == 0 ? std::sin(0.3 * t) : 3.0 + std::sin(0.9 * t + j);
+        x.at(i, j, t) = static_cast<float>(trend + rng.Normal(0.0, 0.1));
+      }
+    }
+  }
+  data::Dataset ds;
+  ds.name = "offset";
+  ds.X = x;
+  ds.y = y;
+  ds.num_classes = 2;
+  return ds;
+}
+
+TEST(RocketTest, TransformHasTwoFeaturesPerKernel) {
+  data::Dataset ds = OffsetDataset(4, 2, 64, 1);
+  RocketOptions opt;
+  opt.num_kernels = 37;
+  RocketClassifier rocket(opt);
+  rocket.Fit(ds);
+  const std::vector<double> f = rocket.Transform(ds.Instance(0));
+  EXPECT_EQ(f.size(), 74u);
+}
+
+TEST(RocketTest, PpvFeaturesAreProportions) {
+  data::Dataset ds = OffsetDataset(4, 2, 64, 2);
+  RocketOptions opt;
+  opt.num_kernels = 50;
+  RocketClassifier rocket(opt);
+  rocket.Fit(ds);
+  const std::vector<double> f = rocket.Transform(ds.Instance(0));
+  for (size_t i = 0; i < f.size(); i += 2) {  // even slots are PPV
+    EXPECT_GE(f[i], 0.0);
+    EXPECT_LE(f[i], 1.0);
+  }
+}
+
+TEST(RocketTest, SeparatesEasyClasses) {
+  data::Dataset train = OffsetDataset(12, 3, 64, 3);
+  data::Dataset test = OffsetDataset(6, 3, 64, 4);
+  RocketOptions opt;
+  opt.num_kernels = 200;
+  RocketClassifier rocket(opt);
+  rocket.Fit(train);
+  EXPECT_DOUBLE_EQ(rocket.Score(test), 1.0);
+}
+
+TEST(RocketTest, BeatsChanceOnInjectedSynthetic) {
+  // The Type 1 injection task defeats raw 1-NN distances (see
+  // baselines_test); ROCKET's pattern detectors recover signal from it.
+  data::SyntheticSpec spec;
+  spec.type = 1;
+  spec.dims = 4;
+  spec.length = 128;
+  spec.pattern_len = 32;
+  spec.instances_per_class = 24;
+  spec.seed = 5;
+  data::Dataset train = data::BuildSynthetic(spec);
+  spec.seed = 6;
+  spec.instances_per_class = 12;
+  data::Dataset test = data::BuildSynthetic(spec);
+
+  RocketOptions opt;
+  opt.num_kernels = 300;
+  RocketClassifier rocket(opt);
+  rocket.Fit(train);
+  EXPECT_GE(rocket.Score(test), 0.7);
+}
+
+TEST(RocketTest, DeterministicGivenSeed) {
+  data::Dataset train = OffsetDataset(8, 2, 48, 7);
+  data::Dataset test = OffsetDataset(4, 2, 48, 8);
+  RocketOptions opt;
+  opt.num_kernels = 100;
+  opt.seed = 42;
+  RocketClassifier a(opt);
+  RocketClassifier b(opt);
+  a.Fit(train);
+  b.Fit(train);
+  EXPECT_EQ(a.PredictAll(test), b.PredictAll(test));
+}
+
+TEST(RocketTest, MulticlassOneVsRest) {
+  // Three classes at offsets -3 / 0 / +3.
+  Rng rng(9);
+  const int per_class = 8;
+  Tensor x({3 * per_class, 2, 48});
+  std::vector<int> y;
+  for (int i = 0; i < 3 * per_class; ++i) {
+    const int label = i / per_class;
+    y.push_back(label);
+    for (int64_t j = 0; j < 2; ++j) {
+      for (int64_t t = 0; t < 48; ++t) {
+        x.at(i, j, t) = static_cast<float>(3.0 * (label - 1) +
+                                           std::sin(0.4 * t + label) +
+                                           rng.Normal(0.0, 0.1));
+      }
+    }
+  }
+  data::Dataset ds;
+  ds.X = x;
+  ds.y = y;
+  ds.num_classes = 3;
+  RocketOptions opt;
+  opt.num_kernels = 200;
+  RocketClassifier rocket(opt);
+  rocket.Fit(ds);
+  EXPECT_GE(rocket.Score(ds), 0.95);
+}
+
+TEST(RocketTest, PredictBeforeFitAborts) {
+  RocketClassifier rocket;
+  Tensor x({2, 16});
+  EXPECT_DEATH(rocket.Predict(x), "DCAM_CHECK failed");
+}
+
+TEST(RocketTest, WrongShapeAborts) {
+  data::Dataset ds = OffsetDataset(4, 2, 32, 10);
+  RocketOptions opt;
+  opt.num_kernels = 20;
+  RocketClassifier rocket(opt);
+  rocket.Fit(ds);
+  Tensor bad({3, 32});
+  EXPECT_DEATH(rocket.Predict(bad), "DCAM_CHECK failed");
+}
+
+TEST(RocketTest, InvalidOptionsAbort) {
+  RocketOptions bad;
+  bad.num_kernels = 0;
+  EXPECT_DEATH(RocketClassifier{bad}, "DCAM_CHECK failed");
+  RocketOptions bad2;
+  bad2.lambda = 0.0;
+  EXPECT_DEATH(RocketClassifier{bad2}, "DCAM_CHECK failed");
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace dcam

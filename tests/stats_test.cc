@@ -1,0 +1,258 @@
+// Tests for eval/stats (ROC-AUC, confusion matrix, Wilcoxon signed-rank)
+// and eval/crossval (stratified k-fold).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/knn.h"
+#include "data/synthetic.h"
+#include "eval/crossval.h"
+#include "eval/metrics.h"
+#include "eval/stats.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace eval {
+namespace {
+
+TEST(RocAucTest, PerfectRankingGivesOne) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(RocAucTest, InvertedRankingGivesZero) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1f, 0.2f, 0.8f, 0.9f}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(RocAucTest, AllTiedGivesHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({1, 1, 1, 1}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(RocAucTest, DegenerateClassGivesHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.3f, 0.7f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.3f, 0.7f}, {0, 0}), 0.5);
+}
+
+TEST(RocAucTest, HandComputedMixedCase) {
+  // scores: pos {4, 2}, neg {3, 1}. Pairs: (4,3)=1, (4,1)=1, (2,3)=0,
+  // (2,1)=1 -> AUC = 3/4.
+  EXPECT_DOUBLE_EQ(RocAuc({4, 3, 2, 1}, {1, 0, 1, 0}), 0.75);
+}
+
+TEST(RocAucTest, InsensitiveToClassImbalanceUnlikePrAuc) {
+  // Same ranking quality, rarer positives: ROC-AUC stays, PR-AUC drops —
+  // the property the paper invokes to prefer PR-AUC for Dr-acc.
+  // The positive outranks 2/3 of the negatives in both cases (ROC-AUC =
+  // 2/3), but the number of negatives ABOVE it grows 1 -> 10, so average
+  // precision collapses 1/2 -> 1/11.
+  std::vector<float> scores;
+  std::vector<int> labels;
+  auto build = [&](int negs_above, int negs_below) {
+    scores.clear();
+    labels.clear();
+    float s = 1.0f;
+    for (int i = 0; i < negs_above; ++i) {
+      scores.push_back(s -= 0.01f);
+      labels.push_back(0);
+    }
+    scores.push_back(s -= 0.01f);
+    labels.push_back(1);
+    for (int i = 0; i < negs_below; ++i) {
+      scores.push_back(s -= 0.01f);
+      labels.push_back(0);
+    }
+  };
+  build(1, 2);
+  const double roc_small = RocAuc(scores, labels);
+  const double pr_small = PrAuc(scores, labels);
+  build(10, 20);
+  const double roc_large = RocAuc(scores, labels);
+  const double pr_large = PrAuc(scores, labels);
+  EXPECT_NEAR(roc_small, roc_large, 1e-9);  // identical rank quality
+  EXPECT_NEAR(pr_small, 0.5, 1e-9);
+  EXPECT_NEAR(pr_large, 1.0 / 11.0, 1e-9);  // PR punishes rarity
+}
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix m =
+      ConfusionMatrix::From({0, 1, 1, 2, 2, 2}, {0, 1, 2, 2, 2, 0}, 3);
+  EXPECT_EQ(m.at(0, 0), 1);
+  EXPECT_EQ(m.at(1, 1), 1);
+  EXPECT_EQ(m.at(2, 1), 1);  // actual 2 predicted 1
+  EXPECT_EQ(m.at(0, 2), 1);  // actual 0 predicted 2 (last pair)
+  EXPECT_EQ(m.at(1, 0), 0);
+  EXPECT_EQ(m.total(), 6);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 4.0 / 6.0);
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictionsGiveUnitScores) {
+  ConfusionMatrix m = ConfusionMatrix::From({0, 1, 0, 1}, {0, 1, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.Precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.F1(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.MacroF1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, HandComputedF1) {
+  // Binary: TP=3 (1->1), FP=1 (0 predicted 1), FN=2 (1 predicted 0), TN=4.
+  ConfusionMatrix m(2);
+  m.Add(1, 1, 3);
+  m.Add(0, 1, 1);
+  m.Add(1, 0, 2);
+  m.Add(0, 0, 4);
+  EXPECT_DOUBLE_EQ(m.Precision(1), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(m.Recall(1), 3.0 / 5.0);
+  const double p = 0.75, r = 0.6;
+  EXPECT_DOUBLE_EQ(m.F1(1), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrixTest, EmptyClassScoresZeroNotNan) {
+  ConfusionMatrix m(3);
+  m.Add(0, 0, 5);
+  EXPECT_DOUBLE_EQ(m.Precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(2), 0.0);
+  EXPECT_FALSE(std::isnan(m.MacroF1()));
+}
+
+TEST(ConfusionMatrixTest, OutOfRangeAborts) {
+  ConfusionMatrix m(2);
+  EXPECT_DEATH(m.Add(2, 0), "DCAM_CHECK failed");
+  EXPECT_DEATH(m.at(0, -1), "DCAM_CHECK failed");
+}
+
+TEST(WilcoxonTest, IdenticalSamplesGivePOne) {
+  const std::vector<double> a = {0.8, 0.7, 0.9};
+  const WilcoxonResult r = WilcoxonSignedRank(a, a);
+  EXPECT_EQ(r.n, 0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_difference, 0.0);
+}
+
+TEST(WilcoxonTest, ConsistentLargeShiftIsSignificant) {
+  std::vector<double> a, b;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const double base = rng.Uniform(0.4, 0.6);
+    b.push_back(base);
+    a.push_back(base + 0.2 + 0.01 * rng.Uniform());  // a always much better
+  }
+  const WilcoxonResult r = WilcoxonSignedRank(a, b);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_GT(r.mean_difference, 0.15);
+}
+
+TEST(WilcoxonTest, SymmetricNoiseIsNotSignificant) {
+  // Differences alternate +e, -e with e = 2^-4 so both magnitudes are
+  // exactly representable and tie: rank sums split evenly.
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(0.5);
+    b.push_back(0.5 + (i % 2 == 0 ? 0.0625 : -0.0625));
+  }
+  const WilcoxonResult r = WilcoxonSignedRank(a, b);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(WilcoxonTest, WStatisticHandComputed) {
+  // diffs: +1, -2, +3 -> |d| ranks 1, 2, 3; W+ = 1+3 = 4, W- = 2; W = 2.
+  const WilcoxonResult r =
+      WilcoxonSignedRank({1.0, 0.0, 3.0}, {0.0, 2.0, 0.0});
+  EXPECT_EQ(r.n, 3);
+  EXPECT_DOUBLE_EQ(r.w, 2.0);
+}
+
+TEST(WilcoxonTest, SizeMismatchAborts) {
+  EXPECT_DEATH(WilcoxonSignedRank({1.0}, {1.0, 2.0}), "DCAM_CHECK failed");
+}
+
+data::Dataset SmallDataset(int per_class, uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.dims = 2;
+  spec.length = 64;
+  spec.pattern_len = 16;
+  spec.instances_per_class = per_class;
+  spec.seed = seed;
+  return data::BuildSynthetic(spec);
+}
+
+TEST(KFoldTest, FoldsPartitionTheDataset) {
+  data::Dataset ds = SmallDataset(10, 3);  // 20 instances
+  const auto folds = StratifiedKFold(ds, 5, 7);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<int64_t> seen;
+  for (const auto& f : folds) {
+    for (int64_t i : f.test) {
+      EXPECT_TRUE(seen.insert(i).second) << "index " << i << " in two folds";
+    }
+    EXPECT_EQ(f.train.size() + f.test.size(),
+              static_cast<size_t>(ds.size()));
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(ds.size()));
+}
+
+TEST(KFoldTest, FoldsAreClassBalanced) {
+  data::Dataset ds = SmallDataset(10, 4);
+  const auto folds = StratifiedKFold(ds, 5, 8);
+  for (const auto& f : folds) {
+    int c0 = 0, c1 = 0;
+    for (int64_t i : f.test) {
+      (ds.y[static_cast<size_t>(i)] == 0 ? c0 : c1)++;
+    }
+    EXPECT_EQ(c0, 2);
+    EXPECT_EQ(c1, 2);
+  }
+}
+
+TEST(KFoldTest, DeterministicGivenSeed) {
+  data::Dataset ds = SmallDataset(8, 5);
+  const auto a = StratifiedKFold(ds, 4, 99);
+  const auto b = StratifiedKFold(ds, 4, 99);
+  for (size_t f = 0; f < a.size(); ++f) {
+    EXPECT_EQ(a[f].test, b[f].test);
+    EXPECT_EQ(a[f].train, b[f].train);
+  }
+}
+
+TEST(KFoldTest, InvalidFoldCountAborts) {
+  data::Dataset ds = SmallDataset(4, 6);
+  EXPECT_DEATH(StratifiedKFold(ds, 1, 0), "DCAM_CHECK failed");
+  EXPECT_DEATH(StratifiedKFold(ds, 100, 0), "DCAM_CHECK failed");
+}
+
+TEST(CrossValidateTest, AggregatesFoldScores) {
+  data::Dataset ds = SmallDataset(10, 7);
+  int calls = 0;
+  const CrossValidationResult r = CrossValidate(
+      ds, 4, 11, [&](const data::Dataset& train, const data::Dataset& test) {
+        EXPECT_GT(train.size(), 0);
+        EXPECT_GT(test.size(), 0);
+        return 0.25 * static_cast<double>(++calls);
+      });
+  EXPECT_EQ(calls, 4);
+  ASSERT_EQ(r.fold_scores.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.mean, 0.25 * (1 + 2 + 3 + 4) / 4.0);
+  EXPECT_GT(r.stddev, 0.0);
+}
+
+TEST(CrossValidateTest, KnnCrossValidationRunsEndToEnd) {
+  // End-to-end smoke: 1-NN ED cross-validated on an easy synthetic set.
+  data::Dataset ds = SmallDataset(8, 9);
+  const CrossValidationResult r = CrossValidate(
+      ds, 4, 13, [](const data::Dataset& train, const data::Dataset& test) {
+        baselines::KnnClassifier knn;
+        knn.Fit(train);
+        return knn.Score(test);
+      });
+  EXPECT_EQ(r.fold_scores.size(), 4u);
+  for (double s : r.fold_scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace dcam

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/trainer.h"
+#include "models/cnn.h"
+#include "models/zoo.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace eval {
+namespace {
+
+data::Dataset EasyDataset(int per_class = 12) {
+  // Type 1 StarLight-like data: trivially separable by a conv net.
+  data::SyntheticSpec spec;
+  spec.type = 1;
+  spec.dims = 3;
+  spec.length = 64;
+  spec.pattern_len = 32;
+  spec.num_inject = 2;
+  spec.instances_per_class = per_class;
+  spec.seed = 21;
+  return data::BuildSynthetic(spec);
+}
+
+TEST(TrainerTest, LearnsEasyTask) {
+  Rng rng(1);
+  models::ConvNetConfig cfg;
+  cfg.filters = {8, 8};
+  models::ConvNet model(models::InputMode::kStandard, 3, 2, cfg, &rng);
+  TrainConfig tc;
+  tc.max_epochs = 30;
+  tc.batch_size = 8;
+  tc.lr = 1e-2f;
+  tc.patience = 30;
+  const TrainResult res = Train(&model, EasyDataset(), tc);
+  EXPECT_GE(res.val_acc, 0.8) << "easy Type-1 task should be learnable";
+  EXPECT_GT(res.epochs_run, 0);
+  EXPECT_LE(res.epochs_run, 30);
+  EXPECT_EQ(res.val_loss_history.size(), static_cast<size_t>(res.epochs_run));
+}
+
+TEST(TrainerTest, ValLossImprovesOverTraining) {
+  Rng rng(2);
+  models::ConvNetConfig cfg;
+  cfg.filters = {6};
+  models::ConvNet model(models::InputMode::kStandard, 3, 2, cfg, &rng);
+  TrainConfig tc;
+  tc.max_epochs = 20;
+  tc.lr = 1e-2f;
+  tc.patience = 0;  // no early stopping
+  const TrainResult res = Train(&model, EasyDataset(), tc);
+  EXPECT_LT(res.best_val_loss, res.val_loss_history.front());
+}
+
+TEST(TrainerTest, EarlyStoppingTriggers) {
+  // With lr=0 nothing improves after epoch 1, so patience must stop training.
+  // Uses a recurrent model: conv models keep drifting in eval because their
+  // BatchNorm running statistics update even at lr=0.
+  Rng rng(3);
+  auto model = models::MakeModel("RNN", 3, 64, 2, /*scale=*/16, &rng);
+  TrainConfig tc;
+  tc.max_epochs = 50;
+  tc.lr = 0.0f;
+  tc.patience = 3;
+  const TrainResult res = Train(model.get(), EasyDataset(6), tc);
+  EXPECT_LE(res.epochs_run, 5);
+}
+
+TEST(TrainerTest, BestWeightsRestored) {
+  Rng rng(4);
+  models::ConvNetConfig cfg;
+  cfg.filters = {6};
+  models::ConvNet model(models::InputMode::kStandard, 3, 2, cfg, &rng);
+  TrainConfig tc;
+  tc.max_epochs = 15;
+  tc.lr = 1e-2f;
+  tc.patience = 0;
+  const TrainResult res = Train(&model, EasyDataset(), tc);
+  // After restore, evaluating the full dataset should be consistent with the
+  // recorded best epoch (weak check: val_acc is computed post-restore and
+  // must be a valid probability).
+  EXPECT_GE(res.best_epoch, 1);
+  EXPECT_LE(res.best_epoch, res.epochs_run);
+  EXPECT_GE(res.val_acc, 0.0);
+  EXPECT_LE(res.val_acc, 1.0);
+}
+
+TEST(TrainerTest, EvaluateComputesLossAndAccuracy) {
+  Rng rng(5);
+  models::ConvNetConfig cfg;
+  cfg.filters = {4};
+  models::ConvNet model(models::InputMode::kStandard, 3, 2, cfg, &rng);
+  data::Dataset ds = EasyDataset(4);
+  const EvalResult res = Evaluate(&model, ds);
+  EXPECT_GT(res.loss, 0.0);
+  EXPECT_GE(res.accuracy, 0.0);
+  EXPECT_LE(res.accuracy, 1.0);
+}
+
+TEST(TrainerTest, RecurrentModelTrains) {
+  Rng rng(6);
+  auto model = models::MakeModel("GRU", 3, 64, 2, /*scale=*/8, &rng);
+  TrainConfig tc;
+  tc.max_epochs = 10;
+  tc.lr = 5e-3f;
+  tc.patience = 10;
+  const TrainResult res = Train(model.get(), EasyDataset(8), tc);
+  EXPECT_GT(res.epochs_run, 0);  // trains without crashing; accuracy varies
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds) {
+  auto run = [] {
+    Rng rng(7);
+    models::ConvNetConfig cfg;
+    cfg.filters = {4};
+    models::ConvNet model(models::InputMode::kStandard, 3, 2, cfg, &rng);
+    TrainConfig tc;
+    tc.max_epochs = 5;
+    tc.lr = 1e-2f;
+    tc.seed = 11;
+    return Train(&model, EasyDataset(6), tc);
+  };
+  const TrainResult a = run();
+  const TrainResult b = run();
+  EXPECT_EQ(a.epochs_run, b.epochs_run);
+  ASSERT_EQ(a.val_loss_history.size(), b.val_loss_history.size());
+  for (size_t i = 0; i < a.val_loss_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.val_loss_history[i], b.val_loss_history[i]);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace dcam

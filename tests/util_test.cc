@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace dcam {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<int> p = rng.Permutation(23);
+    std::set<int> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 23u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 22);
+  }
+}
+
+TEST(RngTest, PermutationsVary) {
+  Rng rng(19);
+  const std::vector<int> a = rng.Permutation(16);
+  const std::vector<int> b = rng.Permutation(16);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  std::atomic<int> count(0);
+  ParallelFor(5, 5, [&](int64_t) { count.fetch_add(1); });
+  ParallelFor(5, 3, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelForTest, NestedCallsDegradeToSerial) {
+  std::atomic<int64_t> total(0);
+  ParallelFor(0, 8, [&](int64_t) {
+    ParallelFor(0, 100, [&](int64_t j) { total.fetch_add(j); });
+  });
+  EXPECT_EQ(total.load(), 8 * (99 * 100) / 2);
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  std::atomic<int64_t> sum(0);
+  ParallelFor(0, 12345, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 12344LL * 12345 / 2);
+}
+
+TEST(ParallelForTest, ReusableAcrossCalls) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count(0);
+    ParallelFor(0, 64, [&](int64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(TableWriterTest, CsvOutput) {
+  TableWriter t({"a", "b"});
+  t.BeginRow();
+  t.Cell("x");
+  t.Cell(1.5, 1);
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1.5\n");
+}
+
+TEST(TableWriterTest, AlignedOutputPadsColumns) {
+  TableWriter t({"name", "v"});
+  t.BeginRow();
+  t.Cell("long-name-here");
+  t.Cell(static_cast<int64_t>(2));
+  std::ostringstream os;
+  t.WriteAligned(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long-name-here"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(TableWriterTest, NumRows) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0);
+  t.BeginRow();
+  t.Cell(1);
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch w;
+  double t1 = w.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  w.Reset();
+  EXPECT_GE(w.ElapsedMillis(), 0.0);
+}
+
+TEST(CheckTest, FailureAborts) {
+  EXPECT_DEATH({ DCAM_CHECK(false) << "boom"; }, "DCAM_CHECK failed");
+}
+
+TEST(CheckTest, ComparisonMacros) {
+  EXPECT_DEATH({ DCAM_CHECK_EQ(1, 2); }, "DCAM_CHECK failed");
+  EXPECT_DEATH({ DCAM_CHECK_LT(3, 3); }, "DCAM_CHECK failed");
+  DCAM_CHECK_EQ(1, 1);  // passes: no abort
+  DCAM_CHECK_LE(3, 3);
+}
+
+}  // namespace
+}  // namespace dcam

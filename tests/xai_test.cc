@@ -1,0 +1,285 @@
+// Tests for the model-agnostic explanation baselines (gradient saliency,
+// SmoothGrad, occlusion) and their input-layout gradient folding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cam/occlusion.h"
+#include "cam/saliency.h"
+#include "models/zoo.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace cam {
+namespace {
+
+// Central finite difference of the class logit w.r.t. every input point,
+// computed through the public Model interface (PrepareInput + Forward).
+Tensor NumericInputGradient(models::Model* model, Tensor series,
+                            int class_idx, double eps = 1e-2) {
+  const int64_t d = series.dim(0);
+  const int64_t n = series.dim(1);
+  Tensor grad({d, n});
+  auto logit = [&]() {
+    const Tensor out =
+        model->Forward(model->PrepareInput(series.Reshape({1, d, n})), false);
+    return static_cast<double>(out.at(0, class_idx));
+  };
+  for (int64_t i = 0; i < series.size(); ++i) {
+    const float saved = series[i];
+    series[i] = saved + static_cast<float>(eps);
+    const double lp = logit();
+    series[i] = saved - static_cast<float>(eps);
+    const double lm = logit();
+    series[i] = saved;
+    grad[i] = static_cast<float>((lp - lm) / (2.0 * eps));
+  }
+  return grad;
+}
+
+class InputGradientModes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(InputGradientModes, MatchesFiniteDifference) {
+  const std::string name = GetParam();
+  Rng rng(42);
+  const int dims = 3;
+  const int length = 16;
+  auto model = models::MakeModel(name, dims, length, /*num_classes=*/2,
+                                 /*scale=*/16, &rng);
+  Rng xr(7);
+  Tensor series({dims, length});
+  series.FillNormal(&xr, 0.0f, 1.0f);
+
+  const Tensor analytic = InputGradient(model.get(), series, /*class_idx=*/1);
+  const Tensor numeric = NumericInputGradient(model.get(), series, 1);
+
+  ASSERT_EQ(analytic.shape(), numeric.shape());
+  for (int64_t i = 0; i < analytic.size(); ++i) {
+    const double a = analytic[i];
+    const double m = numeric[i];
+    const double denom = std::max({1.0, std::fabs(a), std::fabs(m)});
+    EXPECT_NEAR(a / denom, m / denom, 5e-2) << name << " coordinate " << i;
+  }
+}
+
+// Every input layout in the zoo: standard 1-D conv, per-dimension conv, the
+// C(T) cube, and a recurrent model (raw rank-3 input).
+INSTANTIATE_TEST_SUITE_P(AllLayouts, InputGradientModes,
+                         ::testing::Values("CNN", "cCNN", "dCNN", "GRU"));
+
+TEST(SaliencyTest, GradientSaliencyIsAbsoluteGradient) {
+  Rng rng(1);
+  auto model = models::MakeModel("CNN", 2, 16, 2, 16, &rng);
+  Tensor series({2, 16});
+  Rng xr(2);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  const Tensor g = InputGradient(model.get(), series, 0);
+  const Tensor s = GradientSaliency(model.get(), series, 0);
+  for (int64_t i = 0; i < g.size(); ++i) {
+    EXPECT_FLOAT_EQ(s[i], std::fabs(g[i]));
+  }
+}
+
+TEST(SaliencyTest, GradientTimesInputMultipliesPointwise) {
+  Rng rng(3);
+  auto model = models::MakeModel("CNN", 2, 16, 2, 16, &rng);
+  Tensor series({2, 16});
+  Rng xr(4);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  const Tensor g = InputGradient(model.get(), series, 1);
+  const Tensor gi = GradientTimesInput(model.get(), series, 1);
+  for (int64_t i = 0; i < g.size(); ++i) {
+    EXPECT_NEAR(gi[i], g[i] * series[i], 1e-6f);
+  }
+}
+
+TEST(SaliencyTest, SmoothGradZeroNoiseEqualsAbsGradient) {
+  Rng rng(5);
+  auto model = models::MakeModel("CNN", 2, 12, 2, 16, &rng);
+  Tensor series({2, 12});
+  Rng xr(6);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  SmoothGradOptions opt;
+  opt.samples = 3;
+  opt.noise_fraction = 0.0f;
+  const Tensor sg = SmoothGrad(model.get(), series, 0, opt);
+  const Tensor s = GradientSaliency(model.get(), series, 0);
+  for (int64_t i = 0; i < s.size(); ++i) EXPECT_NEAR(sg[i], s[i], 1e-5f);
+}
+
+TEST(SaliencyTest, SmoothGradIsDeterministicGivenSeed) {
+  Rng rng(8);
+  auto model = models::MakeModel("CNN", 2, 12, 2, 16, &rng);
+  Tensor series({2, 12});
+  Rng xr(9);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  SmoothGradOptions opt;
+  opt.samples = 5;
+  opt.seed = 33;
+  const Tensor a = SmoothGrad(model.get(), series, 0, opt);
+  const Tensor b = SmoothGrad(model.get(), series, 0, opt);
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(SaliencyTest, LeavesParameterGradientsClean) {
+  Rng rng(10);
+  auto model = models::MakeModel("CNN", 2, 12, 2, 16, &rng);
+  Tensor series({2, 12});
+  Rng xr(11);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  InputGradient(model.get(), series, 0);
+  for (nn::Parameter* p : model->Params()) {
+    for (int64_t i = 0; i < p->grad.size(); ++i) {
+      ASSERT_FLOAT_EQ(p->grad[i], 0.0f) << p->name;
+    }
+  }
+}
+
+TEST(SaliencyTest, InvalidClassAborts) {
+  Rng rng(12);
+  auto model = models::MakeModel("CNN", 2, 12, 2, 16, &rng);
+  Tensor series({2, 12});
+  EXPECT_DEATH(InputGradient(model.get(), series, 5), "DCAM_CHECK failed");
+}
+
+TEST(IntegratedGradientsTest, CompletenessOnLinearPath) {
+  // Sum of the IG map approximates logit(x) - logit(baseline). The model is
+  // piecewise linear (conv + ReLU + GAP + dense), so the midpoint rule with
+  // enough steps is accurate away from kink crossings.
+  Rng rng(23);
+  auto model = models::MakeModel("CNN", 2, 16, 2, 16, &rng);
+  Tensor series({2, 16});
+  Rng xr(24);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+
+  IntegratedGradientsOptions opt;
+  opt.steps = 256;
+  const Tensor ig = IntegratedGradients(model.get(), series, 1, opt);
+
+  auto logit = [&](const Tensor& x) {
+    Tensor batch = x.Reshape({1, 2, 16});
+    return model->Forward(model->PrepareInput(batch), false).at(0, 1);
+  };
+  const double target = logit(series) - logit(Tensor(series.shape()));
+  EXPECT_NEAR(ig.Sum(), target, 0.05 * std::max(1.0, std::fabs(target)));
+}
+
+TEST(IntegratedGradientsTest, ZeroAtBaselineInput) {
+  // IG of the baseline itself is identically zero ((x - x0) factor).
+  Rng rng(25);
+  auto model = models::MakeModel("CNN", 2, 12, 2, 16, &rng);
+  Tensor zero({2, 12});
+  const Tensor ig = IntegratedGradients(model.get(), zero, 0);
+  for (int64_t i = 0; i < ig.size(); ++i) EXPECT_FLOAT_EQ(ig[i], 0.0f);
+}
+
+TEST(IntegratedGradientsTest, CustomBaselineShapeMismatchAborts) {
+  Rng rng(26);
+  auto model = models::MakeModel("CNN", 2, 12, 2, 16, &rng);
+  Tensor series({2, 12});
+  IntegratedGradientsOptions opt;
+  opt.baseline = Tensor({2, 10});
+  EXPECT_DEATH(IntegratedGradients(model.get(), series, 0, opt),
+               "DCAM_CHECK failed");
+}
+
+TEST(OcclusionTest, MapHasInputShapeAndFullCoverage) {
+  Rng rng(13);
+  auto model = models::MakeModel("CNN", 3, 20, 2, 16, &rng);
+  Tensor series({3, 20});
+  Rng xr(14);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  OcclusionOptions opt;
+  opt.window = 7;
+  opt.stride = 5;
+  const Tensor map = OcclusionMap(model.get(), series, 0, opt);
+  ASSERT_EQ(map.shape(), (Shape{3, 20}));
+  for (int64_t i = 0; i < map.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(map[i]));
+  }
+}
+
+TEST(OcclusionTest, BatchSizeDoesNotChangeResult) {
+  Rng rng(15);
+  auto model = models::MakeModel("CNN", 2, 16, 2, 16, &rng);
+  Tensor series({2, 16});
+  Rng xr(16);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  OcclusionOptions a;
+  a.batch = 1;
+  OcclusionOptions b;
+  b.batch = 9;
+  const Tensor ma = OcclusionMap(model.get(), series, 1, a);
+  const Tensor mb = OcclusionMap(model.get(), series, 1, b);
+  for (int64_t i = 0; i < ma.size(); ++i) EXPECT_NEAR(ma[i], mb[i], 1e-4f);
+}
+
+TEST(OcclusionTest, OccludingWithIdenticalValuesGivesZeroMap) {
+  // A constant-zero series occluded with zero fill produces identical
+  // inputs, so every logit drop is exactly zero.
+  Rng rng(17);
+  auto model = models::MakeModel("CNN", 2, 16, 2, 16, &rng);
+  Tensor series({2, 16});
+  OcclusionOptions opt;
+  opt.fill = OcclusionOptions::Fill::kZero;
+  const Tensor map = OcclusionMap(model.get(), series, 0, opt);
+  for (int64_t i = 0; i < map.size(); ++i) EXPECT_FLOAT_EQ(map[i], 0.0f);
+}
+
+TEST(OcclusionTest, WindowLargerThanSeriesIsClamped) {
+  Rng rng(18);
+  auto model = models::MakeModel("CNN", 2, 8, 2, 16, &rng);
+  Tensor series({2, 8});
+  Rng xr(19);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  OcclusionOptions opt;
+  opt.window = 100;
+  const Tensor map = OcclusionMap(model.get(), series, 0, opt);
+  ASSERT_EQ(map.shape(), (Shape{2, 8}));
+}
+
+TEST(DimensionOcclusionTest, ReturnsOneDropPerDimension) {
+  Rng rng(30);
+  auto model = models::MakeModel("CNN", 5, 20, 2, 16, &rng);
+  Tensor series({5, 20});
+  Rng xr(31);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  const Tensor drops = DimensionOcclusion(model.get(), series, 1);
+  ASSERT_EQ(drops.shape(), (Shape{5}));
+  for (int64_t i = 0; i < drops.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(drops[i]));
+  }
+}
+
+TEST(DimensionOcclusionTest, ConstantDimensionHasZeroDrop) {
+  // A dimension that already equals its mean everywhere is unchanged by the
+  // ablation, so its logit drop is exactly zero.
+  Rng rng(32);
+  auto model = models::MakeModel("CNN", 3, 16, 2, 16, &rng);
+  Tensor series({3, 16});
+  Rng xr(33);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  for (int64_t t = 0; t < 16; ++t) series.at(1, t) = 2.5f;  // constant row
+  const Tensor drops = DimensionOcclusion(model.get(), series, 0);
+  EXPECT_NEAR(drops[1], 0.0f, 1e-5f);
+}
+
+TEST(OcclusionTest, WorksOnRecurrentModels) {
+  // CAM needs a GAP head; occlusion does not. The recurrent baselines are
+  // explainable with this method only.
+  Rng rng(20);
+  auto model = models::MakeModel("LSTM", 2, 12, 2, 16, &rng);
+  Tensor series({2, 12});
+  Rng xr(21);
+  series.FillNormal(&xr, 0.0f, 1.0f);
+  const Tensor map = OcclusionMap(model.get(), series, 0);
+  ASSERT_EQ(map.shape(), (Shape{2, 12}));
+}
+
+}  // namespace
+}  // namespace cam
+}  // namespace dcam
