@@ -21,7 +21,7 @@
 #include "bench/bench_utils.h"
 #include "cam/occlusion.h"
 #include "cam/saliency.h"
-#include "core/dcam.h"
+#include "core/engine.h"
 #include "core/variants.h"
 #include "data/augment.h"
 #include "eval/metrics.h"
@@ -67,6 +67,7 @@ int main() {
   std::printf("--- A. extraction rule (Definition 3 ablation) ---\n");
   TableWriter extraction({"variant", "mean Dr-acc", "vs random (x)"});
 
+  core::DcamEngine engine(model);
   const int kInstances = 6;
   double rule_acc[4] = {0, 0, 0, 0};
   double mu_only = 0.0, k1 = 0.0, random_baseline = 0.0;
@@ -81,7 +82,7 @@ int main() {
     core::DcamOptions opts;
     opts.k = dcam_bench::FullMode() ? 100 : 40;
     opts.seed = 900 + i;
-    const core::DcamResult res = core::ComputeDcam(model, series, 1, opts);
+    const core::DcamResult res = engine.Compute(series, 1, opts);
     const auto& rules = core::AllExtractionRules();
     for (size_t r = 0; r < rules.size(); ++r) {
       rule_acc[r] +=
@@ -92,7 +93,7 @@ int main() {
     core::DcamOptions k1_opts;
     k1_opts.k = 1;
     k1_opts.include_identity = true;
-    k1 += eval::DrAcc(core::ComputeDcam(model, series, 1, k1_opts).dcam, mask);
+    k1 += eval::DrAcc(engine.Compute(series, 1, k1_opts).dcam, mask);
     random_baseline += eval::RandomBaseline(mask);
     ++count;
   }
@@ -132,7 +133,7 @@ int main() {
   add_method("dCAM (k=40)", [&](const Tensor& s) {
     core::DcamOptions o;
     o.k = 40;
-    return core::ComputeDcam(model, s, 1, o).dcam;
+    return engine.Compute(s, 1, o).dcam;
   });
   add_method("occlusion", [&](const Tensor& s) {
     cam::OcclusionOptions o;
@@ -169,7 +170,7 @@ int main() {
     core::DcamOptions fopt;
     fopt.k = 100;
     fopt.seed = 700 + i;
-    const core::DcamResult fres = core::ComputeDcam(model, series, 1, fopt);
+    const core::DcamResult fres = engine.Compute(series, 1, fopt);
     adaptive.BeginRow();
     adaptive.Cell(static_cast<int64_t>(i));
     adaptive.Cell(static_cast<int64_t>(ares.k_used));

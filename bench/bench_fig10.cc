@@ -6,7 +6,7 @@
 #include <iostream>
 
 #include "bench/bench_utils.h"
-#include "core/dcam.h"
+#include "core/engine.h"
 #include "eval/metrics.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -46,6 +46,9 @@ int main() {
       const dcam_bench::RunOutcome run = dcam_bench::TrainOnce(
           name, pair.train, pair.test, 3, dcam_bench::BenchTrainConfig());
       auto* model = static_cast<models::GapModel*>(run.model.get());
+      // One batched engine per trained model: its scratch buffers persist
+      // across the whole k sweep and every explained instance.
+      core::DcamEngine engine(model);
 
       // Mean Dr-acc over a few injected-class instances, per k.
       std::vector<double> dr_per_k;
@@ -58,7 +61,7 @@ int main() {
           opts.k = k;
           opts.seed = 77;  // same permutation stream prefix across k values
           const core::DcamResult res =
-              core::ComputeDcam(model, pair.test.Instance(i), 1, opts);
+              engine.Compute(pair.test.Instance(i), 1, opts);
           dr += eval::DrAcc(res.dcam, pair.test.InstanceMask(i));
           ++count;
         }

@@ -7,7 +7,7 @@
 #include <iostream>
 
 #include "bench/bench_utils.h"
-#include "core/dcam.h"
+#include "core/engine.h"
 #include "eval/metrics.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -43,6 +43,7 @@ int main() {
       const dcam_bench::RunOutcome run =
           dcam_bench::TrainOnce(name, pair.train, pair.test, 3, tc);
       auto* model = static_cast<models::GapModel*>(run.model.get());
+      core::DcamEngine engine(model);
 
       double dr = 0.0, ng = 0.0;
       int count = 0;
@@ -52,7 +53,7 @@ int main() {
         opts.k = dcam_bench::FullMode() ? 100 : 40;
         opts.seed = 300 + i;
         const core::DcamResult res =
-            core::ComputeDcam(model, pair.test.Instance(i), 1, opts);
+            engine.Compute(pair.test.Instance(i), 1, opts);
         dr += eval::DrAcc(res.dcam, pair.test.InstanceMask(i));
         ng += res.CorrectRatio();
         ++count;

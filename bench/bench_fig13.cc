@@ -10,7 +10,6 @@
 #include <numeric>
 
 #include "bench/bench_utils.h"
-#include "core/dcam.h"
 #include "core/global.h"
 #include "data/jigsaws_like.h"
 #include "eval/trainer.h"
@@ -46,19 +45,28 @@ int main() {
   std::printf("training: %d epochs, train C-acc %.2f, val C-acc %.2f\n",
               tr.epochs_run, tr.train_acc, tr.val_acc);
 
-  std::vector<Tensor> dcams;
+  // Explain every novice instance in one engine pass: permutation batches
+  // are packed across instances, so the whole dataset shares one set of
+  // cube/CAM scratch buffers.
+  std::vector<Tensor> novices;
+  std::vector<int> classes;
+  std::vector<core::DcamOptions> options;
   std::vector<std::vector<int>> segments;
   for (int64_t i = 0; i < jig.dataset.size(); ++i) {
     if (jig.dataset.y[i] != 0) continue;  // novice class C_N
     core::DcamOptions opts;
     opts.k = dcam_bench::FullMode() ? 100 : 40;
     opts.seed = 100 + i;
-    dcams.push_back(
-        core::ComputeDcam(model.get(), jig.dataset.Instance(i), 0, opts).dcam);
+    novices.push_back(jig.dataset.Instance(i));
+    classes.push_back(0);
+    options.push_back(opts);
     segments.push_back(jig.gestures[i]);
   }
+  core::DcamEngine engine(model.get());
   const core::GlobalExplanation global =
-      core::AggregateDcams(dcams, segments, data::kNumGestures);
+      core::ExplainDataset(&engine, novices, classes, options, segments,
+                           data::kNumGestures)
+          .global;
 
   // (c) box-plot data: min / Q1 / median / Q3 / max of per-instance maxima.
   std::printf("\n--- Fig 13(c): maximal activation per sensor ---\n");

@@ -8,7 +8,7 @@
 
 #include "bench/bench_utils.h"
 #include "cam/cam.h"
-#include "core/dcam.h"
+#include "core/engine.h"
 #include "eval/metrics.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -35,6 +35,12 @@ Point RunOne(const std::string& name, data::SeedType seed_type, int type,
       dcam_bench::TrainBestOf(name, pair.train, pair.test, seeds, tc);
   Point point;
   point.c_acc = run.test_acc;
+  // One engine per trained cube model, reused across the explained instances.
+  std::unique_ptr<core::DcamEngine> engine;
+  if (models::IsCubeModel(name)) {
+    engine = std::make_unique<core::DcamEngine>(
+        static_cast<models::GapModel*>(run.model.get()));
+  }
   double dr = 0.0;
   int count = 0;
   for (int64_t i = 0; i < pair.test.size() && count < 4; ++i) {
@@ -45,10 +51,7 @@ Point RunOne(const std::string& name, data::SeedType seed_type, int type,
       core::DcamOptions opts;
       opts.k = dcam_bench::FullMode() ? 100 : 40;
       opts.seed = 500 + i;
-      map = core::ComputeDcam(
-                static_cast<models::GapModel*>(run.model.get()), series, 1,
-                opts)
-                .dcam;
+      map = engine->Compute(series, 1, opts).dcam;
     } else {
       Tensor cam = cam::ComputeCam(
           static_cast<models::GapModel*>(run.model.get()), series, 1);

@@ -1,18 +1,33 @@
 // Micro-benchmarks of the substrate: convolution, batchnorm, recurrent cells,
-// cube construction, CAM extraction, and PR-AUC. These are not paper figures;
+// cube construction, CAM extraction, PR-AUC, and the dCAM explanation path
+// (serial reference vs the batched DcamEngine). These are not paper figures;
 // they track the performance of the building blocks every experiment uses.
+//
+// Pass `--json <path>` to additionally emit machine-readable results —
+// op, shape, ns/iter, threads — so successive PRs can track the perf
+// trajectory in BENCH_*.json files. All other flags are forwarded to
+// google-benchmark (e.g. --benchmark_filter=Dcam).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "cam/cam.h"
 #include "core/cube.h"
+#include "core/dcam.h"
+#include "core/engine.h"
 #include "eval/metrics.h"
+#include "models/cnn.h"
 #include "nn/batchnorm.h"
 #include "nn/conv1d.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/recurrent.h"
 #include "tensor/ops.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 using namespace dcam;
@@ -136,6 +151,207 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
 
+// ---- dCAM explanation path: serial reference vs batched engine ------------
+
+std::unique_ptr<models::ConvNet> BenchDcnn(int dims, Rng* rng) {
+  models::ConvNetConfig cfg;
+  cfg.filters = {8, 8, 8};
+  return std::make_unique<models::ConvNet>(models::InputMode::kCube, dims, 2,
+                                           cfg, rng);
+}
+
+// One permutation at a time, re-allocating cube/activations/CAM per
+// iteration — the paper's loop as literally written.
+void BM_ComputeDcamSerial(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(3);
+  auto model = BenchDcnn(D, &rng);
+  Tensor series({D, n});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  core::DcamOptions opts;
+  opts.k = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::ComputeDcamSerial(model.get(), series, 0, opts).dcam.data());
+  }
+  state.SetLabel("threads=" + std::to_string(GlobalPool().num_threads()));
+}
+BENCHMARK(BM_ComputeDcamSerial)
+    ->Args({10, 256, 100})
+    ->Args({6, 128, 40})
+    ->Unit(benchmark::kMillisecond);
+
+// The batched engine: same seed, bit-identical result, permutations packed
+// into multi-instance forwards with persistent scratch.
+void BM_ComputeDcamEngine(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(3);
+  auto model = BenchDcnn(D, &rng);
+  Tensor series({D, n});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  core::DcamOptions opts;
+  opts.k = static_cast<int>(state.range(2));
+  core::DcamEngine::Config cfg;
+  cfg.batch = static_cast<int>(state.range(3));  // 0 = auto (pool width)
+  core::DcamEngine engine(model.get(), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Compute(series, 0, opts).dcam.data());
+  }
+  state.SetLabel("batch=" + std::to_string(engine.batch()) +
+                 " threads=" + std::to_string(GlobalPool().num_threads()));
+}
+BENCHMARK(BM_ComputeDcamEngine)
+    ->Args({10, 256, 100, 0})
+    ->Args({10, 256, 100, 16})
+    ->Args({6, 128, 40, 0})
+    ->Unit(benchmark::kMillisecond);
+
+// The fused permuted-cube builder against the two-step reference.
+void BM_BuildCubeInto(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  const int B = 16;
+  Rng rng(1);
+  Tensor series({D, 256});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  std::vector<std::vector<int>> perms(B);
+  for (auto& p : perms) p = rng.Permutation(D);
+  Tensor cube({B, D, D, 256});
+  for (auto _ : state) {
+    for (int b = 0; b < B; ++b) {
+      core::BuildCubeInto(series, perms[static_cast<size_t>(b)], &cube, b);
+    }
+    benchmark::DoNotOptimize(cube.data());
+  }
+}
+BENCHMARK(BM_BuildCubeInto)->Arg(10)->Arg(40)->Unit(benchmark::kMicrosecond);
+
+// ---- --json reporter ------------------------------------------------------
+
+// Emits one record per benchmark run: op (the BM_* function), shape (the
+// "/"-joined args), ns/iter, and the thread count the run used.
+class JsonFileReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit JsonFileReporter(std::string path) : path_(std::move(path)) {}
+
+  bool ReportContext(const Context& /*context*/) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      // Note: only the run_type filter — the error/skip field was renamed
+      // between google-benchmark 1.7 (error_occurred) and 1.8 (skipped), so
+      // touching it breaks one of the two; errored runs report 0 iterations
+      // and are dropped by the guard below anyway.
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (run.iterations <= 0) continue;
+      const std::string name = run.benchmark_name();
+      const size_t slash = name.find('/');
+      Row row;
+      row.op = slash == std::string::npos ? name : name.substr(0, slash);
+      row.shape = slash == std::string::npos ? "" : name.substr(slash + 1);
+      row.ns_per_iter =
+          run.real_accumulated_time * 1e9 / static_cast<double>(run.iterations);
+      row.threads = run.threads;
+      row.iterations = static_cast<long long>(run.iterations);
+      rows_.push_back(std::move(row));
+    }
+  }
+
+  void Finalize() override {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_micro: cannot open %s for writing\n",
+                   path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"op\": \"%s\", \"shape\": \"%s\", "
+                   "\"ns_per_iter\": %.1f, \"threads\": %d, "
+                   "\"iterations\": %lld}%s\n",
+                   r.op.c_str(), r.shape.c_str(), r.ns_per_iter, r.threads,
+                   r.iterations, i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench_micro: wrote %zu results to %s\n",
+                 rows_.size(), path_.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string op, shape;
+    double ns_per_iter = 0.0;
+    int threads = 1;
+    long long iterations = 0;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+// Forwards every event to both wrapped reporters.
+class TeeReporter : public benchmark::BenchmarkReporter {
+ public:
+  TeeReporter(benchmark::BenchmarkReporter* a, benchmark::BenchmarkReporter* b)
+      : a_(a), b_(b) {}
+  bool ReportContext(const Context& context) override {
+    const bool ok = a_->ReportContext(context);
+    b_->ReportContext(context);
+    return ok;
+  }
+  void ReportRuns(const std::vector<Run>& report) override {
+    a_->ReportRuns(report);
+    b_->ReportRuns(report);
+  }
+  void Finalize() override {
+    a_->Finalize();
+    b_->Finalize();
+  }
+
+ private:
+  benchmark::BenchmarkReporter* a_;
+  benchmark::BenchmarkReporter* b_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --json <path> (or --json=<path>) before google-benchmark sees
+  // the argument vector; everything else is forwarded untouched.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Tune up front so the serial-vs-engine comparison sees one allocator
+  // configuration (the engine would otherwise enable it mid-suite).
+  TuneAllocatorForRepeatedTensors();
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    // The json reporter rides along in the display slot (wrapped together
+    // with the console reporter) because the library's file slot insists on
+    // --benchmark_out.
+    benchmark::ConsoleReporter console;
+    JsonFileReporter json(json_path);
+    TeeReporter tee(&console, &json);
+    benchmark::RunSpecifiedBenchmarks(&tee);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

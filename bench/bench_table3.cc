@@ -8,7 +8,7 @@
 
 #include "bench/bench_utils.h"
 #include "cam/cam.h"
-#include "core/dcam.h"
+#include "core/engine.h"
 #include "eval/metrics.h"
 #include "eval/ranking.h"
 #include "models/mtex.h"
@@ -24,6 +24,12 @@ double MeanDrAcc(models::Model* model, const std::string& name,
                  const data::Dataset& test, int max_instances) {
   double sum = 0.0;
   int count = 0;
+  // One engine per cube model, reused across the explained instances.
+  std::unique_ptr<core::DcamEngine> engine;
+  if (models::IsCubeModel(name)) {
+    engine = std::make_unique<core::DcamEngine>(
+        static_cast<models::GapModel*>(model));
+  }
   for (int64_t i = 0; i < test.size() && count < max_instances; ++i) {
     if (test.y[i] != 1) continue;
     const Tensor series = test.Instance(i);
@@ -32,9 +38,7 @@ double MeanDrAcc(models::Model* model, const std::string& name,
       core::DcamOptions opts;
       opts.k = dcam_bench::FullMode() ? 100 : 40;
       opts.seed = 1000 + i;
-      map = core::ComputeDcam(static_cast<models::GapModel*>(model), series, 1,
-                              opts)
-                .dcam;
+      map = engine->Compute(series, 1, opts).dcam;
     } else if (name == "MTEX") {
       map = static_cast<models::MtexCnn*>(model)->Explain(series, 1);
     } else {

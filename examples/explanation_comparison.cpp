@@ -12,7 +12,7 @@
 
 #include "cam/occlusion.h"
 #include "cam/saliency.h"
-#include "core/dcam.h"
+#include "core/engine.h"
 #include "core/variants.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
@@ -62,7 +62,8 @@ int main() {
 
   core::DcamOptions dopt;
   dopt.k = 100;
-  const core::DcamResult dres = core::ComputeDcam(&model, instance, 1, dopt);
+  core::DcamEngine engine(&model);
+  const core::DcamResult dres = engine.Compute(instance, 1, dopt);
   std::printf("%-18s %8.3f  (n_g/k = %.2f)\n", "dCAM",
               eval::DrAcc(dres.dcam, mask), dres.CorrectRatio());
 

@@ -10,7 +10,6 @@
 
 #include <cstdio>
 
-#include "core/dcam.h"
 #include "core/global.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
@@ -46,35 +45,44 @@ int main() {
   std::printf("trained: val C-acc %.2f after %d epochs\n", tr.val_acc,
               tr.epochs_run);
 
-  // Explain all class-1 instances; segment the series into 4 equal phases to
-  // aggregate temporal structure.
+  // Explain all class-1 instances in one batched-engine pass; segment the
+  // series into 4 equal phases to aggregate temporal structure.
   const int kPhases = 4;
-  std::vector<Tensor> dcams;
+  std::vector<Tensor> instances;
+  std::vector<int> classes;
+  std::vector<core::DcamOptions> options;
   std::vector<std::vector<int>> segments;
-  double mean_dr = 0.0, mean_ng = 0.0;
+  std::vector<int64_t> indices;
   for (int64_t i = 0; i < train.size(); ++i) {
     if (train.y[i] != 1) continue;
     core::DcamOptions opts;
     opts.k = 40;
     opts.seed = 500 + i;
-    const core::DcamResult res =
-        core::ComputeDcam(&model, train.Instance(i), 1, opts);
-    mean_dr += eval::DrAcc(res.dcam, train.InstanceMask(i));
-    mean_ng += res.CorrectRatio();
-    dcams.push_back(res.dcam);
+    instances.push_back(train.Instance(i));
+    classes.push_back(1);
+    options.push_back(opts);
+    indices.push_back(i);
     std::vector<int> seg(train.length());
     for (int64_t t = 0; t < train.length(); ++t) {
       seg[t] = static_cast<int>(t * kPhases / train.length());
     }
     segments.push_back(std::move(seg));
   }
-  mean_dr /= dcams.size();
-  mean_ng /= dcams.size();
-  std::printf("%zu instances explained: mean Dr-acc %.3f, mean n_g/k %.2f\n",
-              dcams.size(), mean_dr, mean_ng);
+  core::DcamEngine engine(&model);
+  const core::DatasetExplanation ex = core::ExplainDataset(
+      &engine, instances, classes, options, segments, kPhases);
 
-  const core::GlobalExplanation global =
-      core::AggregateDcams(dcams, segments, kPhases);
+  double mean_dr = 0.0, mean_ng = 0.0;
+  for (size_t j = 0; j < ex.results.size(); ++j) {
+    mean_dr += eval::DrAcc(ex.results[j].dcam, train.InstanceMask(indices[j]));
+    mean_ng += ex.results[j].CorrectRatio();
+  }
+  mean_dr /= ex.results.size();
+  mean_ng /= ex.results.size();
+  std::printf("%zu instances explained: mean Dr-acc %.3f, mean n_g/k %.2f\n",
+              ex.results.size(), mean_dr, mean_ng);
+
+  const core::GlobalExplanation& global = ex.global;
 
   dcam_examples::Banner("mean activation per dimension (rows) per phase");
   dcam_examples::PrintHeatmap(global.mean_per_sensor_segment, kPhases);

@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "core/dcam.h"
+#include "core/engine.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "eval/trainer.h"
@@ -70,8 +70,11 @@ int main() {
   }
   core::DcamOptions opts;
   opts.k = 100;  // number of random dimension permutations (paper default)
+  // The engine evaluates the permutations in multi-instance batches; reuse
+  // it when explaining more than one series.
+  core::DcamEngine engine(&model);
   const core::DcamResult res =
-      core::ComputeDcam(&model, test.Instance(target), /*class_idx=*/1, opts);
+      engine.Compute(test.Instance(target), /*class_idx=*/1, opts);
 
   std::printf("\nn_g/k = %d/%d permutations classified as the target class\n",
               res.num_correct, res.k);

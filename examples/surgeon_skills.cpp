@@ -12,7 +12,6 @@
 #include <cstdio>
 #include <numeric>
 
-#include "core/dcam.h"
 #include "core/global.h"
 #include "data/jigsaws_like.h"
 #include "eval/trainer.h"
@@ -46,23 +45,29 @@ int main() {
   std::printf("trained %d epochs in %.1fs: train C-acc %.2f, val C-acc %.2f\n",
               tr.epochs_run, tr.seconds, tr.train_acc, tr.val_acc);
 
-  // dCAM for every novice instance.
-  std::vector<Tensor> dcams;
+  // dCAM for every novice instance, batched across the whole class by the
+  // engine (ExplainDataset packs permutations across instances).
+  std::vector<Tensor> novices;
+  std::vector<int> classes;
+  std::vector<core::DcamOptions> options;
   std::vector<std::vector<int>> segments;
   for (int64_t i = 0; i < jig.dataset.size(); ++i) {
     if (jig.dataset.y[i] != 0) continue;  // novice class only
     core::DcamOptions opts;
     opts.k = 40;
     opts.seed = 100 + i;
-    dcams.push_back(
-        core::ComputeDcam(&model, jig.dataset.Instance(i), 0, opts).dcam);
+    novices.push_back(jig.dataset.Instance(i));
+    classes.push_back(0);
+    options.push_back(opts);
     segments.push_back(jig.gestures[i]);
   }
+  core::DcamEngine engine(&model);
+  const core::DatasetExplanation ex = core::ExplainDataset(
+      &engine, novices, classes, options, segments, data::kNumGestures);
   std::printf("explained %zu novice instances with dCAM (k=40)\n",
-              dcams.size());
+              ex.results.size());
 
-  const core::GlobalExplanation global =
-      core::AggregateDcams(dcams, segments, data::kNumGestures);
+  const core::GlobalExplanation& global = ex.global;
 
   // Rank sensors by mean maximal activation (Figure 13(c)).
   const int64_t D = jig.dataset.dims();

@@ -23,6 +23,18 @@ namespace cam {
 Tensor CamFromActivation(const Tensor& activation, const nn::Dense& head,
                          int class_idx);
 
+/// Batched in-place variant: computes the CAM of every instance of a whole
+/// batch in one pass into a preallocated (B, H, W) tensor, with a per-
+/// instance target class (class_idx.size() == B). Instances are independent
+/// and processed with ParallelFor; per-instance values are bit-identical to
+/// CamFromActivation.
+void CamFromActivationInto(const Tensor& activation, const nn::Dense& head,
+                           const std::vector<int>& class_idx, Tensor* out);
+
+/// Single-class overload of the batched variant.
+void CamFromActivationInto(const Tensor& activation, const nn::Dense& head,
+                           int class_idx, Tensor* out);
+
 /// Runs `model` on one raw series (D, n) in eval mode and returns the CAM of
 /// `class_idx`, shape (H, W): (1, n) for standard models, (D, n) for
 /// c-variants, (D, n) over cube rows for d-variants.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/parallel.h"
+
 namespace dcam {
 namespace cam {
 
@@ -56,22 +58,28 @@ Tensor OcclusionMap(models::Model* model, const Tensor& series, int class_idx,
   Tensor drop_sum({d, n});
   Tensor cover({d, n});
 
+  // Full-size batch tensor allocated once and reused across chunks (plus one
+  // tail tensor for the final partial chunk); the occluded variants are
+  // written in parallel, mirroring the batched dCAM engine's scratch policy.
+  Tensor batch_full, batch_tail;
   for (size_t begin = 0; begin < cells.size();
        begin += static_cast<size_t>(options.batch)) {
     const size_t end =
         std::min(cells.size(), begin + static_cast<size_t>(options.batch));
     const int64_t b = static_cast<int64_t>(end - begin);
 
-    Tensor batch({b, d, n});
-    for (int64_t i = 0; i < b; ++i) {
-      std::copy(series.data(), series.data() + d * n,
-                batch.data() + i * d * n);
+    Tensor& batch = *EnsureTensorShape(
+        b == options.batch ? &batch_full : &batch_tail, {b, d, n});
+    float* batch_data = batch.data();
+    ParallelFor(0, b, [&](int64_t i) {
+      float* instance = batch_data + i * d * n;
+      std::copy(series.data(), series.data() + d * n, instance);
       const Cell& cell = cells[begin + static_cast<size_t>(i)];
-      float* row = batch.data() + i * d * n + cell.dim * n;
+      float* row = instance + cell.dim * n;
       for (int64_t t = cell.start; t < cell.start + window; ++t) {
         row[t] = fill[static_cast<size_t>(cell.dim)];
       }
-    }
+    });
     const Tensor logits =
         model->Forward(model->PrepareInput(batch), /*training=*/false);
     for (int64_t i = 0; i < b; ++i) {

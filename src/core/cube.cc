@@ -15,18 +15,53 @@ Tensor BuildCube(const Tensor& series) {
 
 Tensor ApplyPermutation(const Tensor& series, const std::vector<int>& perm) {
   DCAM_CHECK_EQ(series.rank(), 2);
+  Tensor out({series.dim(0), series.dim(1)});
+  ApplyPermutationInto(series, perm, &out);
+  return out;
+}
+
+void ApplyPermutationInto(const Tensor& series, const std::vector<int>& perm,
+                          Tensor* out) {
+  DCAM_CHECK_EQ(series.rank(), 2);
   const int64_t D = series.dim(0), n = series.dim(1);
   DCAM_CHECK_EQ(static_cast<int64_t>(perm.size()), D);
-  Tensor out({D, n});
+  DCAM_CHECK(out != nullptr);
+  DCAM_CHECK(out->shape() == (Shape{D, n}));
+  DCAM_CHECK(out->data() != series.data()) << "out must not alias series";
   for (int64_t q = 0; q < D; ++q) {
     const int src = perm[q];
     DCAM_CHECK_GE(src, 0);
     DCAM_CHECK_LT(src, D);
     const float* s = series.data() + src * n;
-    float* d = out.data() + q * n;
+    float* d = out->data() + q * n;
     std::copy(s, s + n, d);
   }
-  return out;
+}
+
+void BuildCubeInto(const Tensor& series, const std::vector<int>& perm,
+                   Tensor* cube, int64_t slot) {
+  DCAM_CHECK_EQ(series.rank(), 2);
+  const int64_t D = series.dim(0), n = series.dim(1);
+  DCAM_CHECK_EQ(static_cast<int64_t>(perm.size()), D);
+  DCAM_CHECK(cube != nullptr);
+  DCAM_CHECK_EQ(cube->rank(), 4);
+  DCAM_CHECK_GE(slot, 0);
+  DCAM_CHECK_LT(slot, cube->dim(0));
+  DCAM_CHECK(cube->dim(1) == D && cube->dim(2) == D && cube->dim(3) == n)
+      << "cube must be (B, D, D, n) = (B, " << D << ", " << D << ", " << n
+      << "), got " << ShapeToString(cube->shape());
+  const float* in = series.data();
+  float* base = cube->data() + slot * D * D * n;
+  for (int64_t p = 0; p < D; ++p) {
+    for (int64_t r = 0; r < D; ++r) {
+      const int src = perm[(p + r) % D];
+      DCAM_CHECK_GE(src, 0);
+      DCAM_CHECK_LT(src, D);
+      float* dst = base + (p * D + r) * n;
+      const float* row = in + src * n;
+      std::copy(row, row + n, dst);
+    }
+  }
 }
 
 int RowIndex(int dim_in_s, int pos, int dims) {

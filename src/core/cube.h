@@ -25,6 +25,19 @@ Tensor BuildCube(const Tensor& series);
 /// Reorders the dimensions of a (D, n) series: out[q] = in[perm[q]].
 Tensor ApplyPermutation(const Tensor& series, const std::vector<int>& perm);
 
+/// In-place variant: writes the reordered series into a preallocated (D, n)
+/// tensor. `out` must not alias `series`.
+void ApplyPermutationInto(const Tensor& series, const std::vector<int>& perm,
+                          Tensor* out);
+
+/// Writes C(perm(series)) into batch slot `slot` of a preallocated
+/// (B, D, D, n) cube:
+///   cube[slot][p][r][t] = series[perm[(p + r) % D]][t]
+/// Bit-identical to ApplyPermutation + PrepareConvInput(kCube) but without
+/// the two intermediate copies — the batched engine's building block.
+void BuildCubeInto(const Tensor& series, const std::vector<int>& perm,
+                   Tensor* cube, int64_t slot);
+
 /// Definition 1: the row of C(S) in which dimension-index `dim_in_s` of the
 /// (already permuted) series S appears at position `pos`. With the cyclic
 /// construction this is r = (dim_in_s - pos) mod D.

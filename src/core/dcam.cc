@@ -4,15 +4,19 @@
 
 #include "cam/cam.h"
 #include "core/cube.h"
+#include "core/engine.h"
 #include "util/rng.h"
 
 namespace dcam {
 namespace core {
 
 void ExtractDcam(const Tensor& mbar, Tensor* dcam, Tensor* mu) {
-  DCAM_CHECK_EQ(mbar.rank(), 3);
+  DCAM_CHECK_EQ(mbar.rank(), 3) << "M-bar must be a (D, D, n) tensor";
   const int64_t D = mbar.dim(0), n = mbar.dim(2);
-  DCAM_CHECK_EQ(mbar.dim(1), D);
+  DCAM_CHECK_EQ(mbar.dim(1), D)
+      << "M-bar must be square in its first two (dimension, position) axes, "
+         "got "
+      << ShapeToString(mbar.shape());
   DCAM_CHECK(dcam != nullptr);
   DCAM_CHECK(mu != nullptr);
 
@@ -87,8 +91,16 @@ bool AccumulatePermutation(models::GapModel* model, const Tensor& series,
 DcamResult ComputeDcam(models::GapModel* model, const Tensor& series,
                        int class_idx, const DcamOptions& options) {
   DCAM_CHECK(model != nullptr);
-  DCAM_CHECK_EQ(series.rank(), 2);
-  DCAM_CHECK_GT(options.k, 0);
+  DcamEngine engine(model);
+  return engine.Compute(series, class_idx, options);
+}
+
+DcamResult ComputeDcamSerial(models::GapModel* model, const Tensor& series,
+                             int class_idx, const DcamOptions& options) {
+  DCAM_CHECK(model != nullptr);
+  DCAM_CHECK_EQ(series.rank(), 2) << "series must be a (D, n) tensor";
+  DCAM_CHECK_GT(options.k, 0)
+      << "DcamOptions.k must be a positive permutation count";
   DCAM_CHECK_GE(class_idx, 0);
   DCAM_CHECK_LT(class_idx, model->num_classes());
   const int64_t D = series.dim(0), n = series.dim(1);
@@ -98,14 +110,16 @@ DcamResult ComputeDcam(models::GapModel* model, const Tensor& series,
   result.k = options.k;
   result.mbar = Tensor({D, D, n});
 
+  // The identity permutation is built once, and the random permutations all
+  // reuse one scratch vector across the k iterations.
   std::vector<int> identity(D);
   std::iota(identity.begin(), identity.end(), 0);
+  std::vector<int> scratch;
 
   for (int iter = 0; iter < options.k; ++iter) {
-    const std::vector<int> perm =
-        (iter == 0 && options.include_identity)
-            ? identity
-            : rng.Permutation(static_cast<int>(D));
+    const bool use_identity = iter == 0 && options.include_identity;
+    if (!use_identity) rng.PermutationInto(static_cast<int>(D), &scratch);
+    const std::vector<int>& perm = use_identity ? identity : scratch;
     if (AccumulatePermutation(model, series, class_idx, perm, &result.mbar)) {
       ++result.num_correct;
     }
@@ -119,6 +133,7 @@ DcamResult ComputeDcam(models::GapModel* model, const Tensor& series,
   }
 
   ExtractDcam(result.mbar, &result.dcam, &result.mu);
+  if (!options.keep_mbar) result.mbar = Tensor();
   return result;
 }
 

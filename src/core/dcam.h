@@ -34,6 +34,10 @@ struct DcamOptions {
   /// If true the first permutation is the identity (the order the model was
   /// trained on); the remaining k-1 are random.
   bool include_identity = true;
+  /// If false, DcamResult.mbar is released once dcam/mu are extracted —
+  /// saves D*D*n floats per instance, which dominates memory in
+  /// dataset-level passes that only consume the final maps.
+  bool keep_mbar = true;
 };
 
 struct DcamResult {
@@ -58,8 +62,22 @@ struct DcamResult {
 /// Computes dCAM for `series` (D, n) and class `class_idx` using a trained
 /// d-architecture model (InputMode::kCube). The model is used in eval mode
 /// and is not modified.
+///
+/// Thin wrapper over core::DcamEngine (see engine.h), which evaluates the k
+/// permutations in batches; callers explaining more than one series should
+/// hold an engine directly so its scratch buffers persist across calls.
+/// Note: constructing the engine applies TuneAllocatorForRepeatedTensors()
+/// (process-global glibc malloc thresholds — see tensor.h); use
+/// ComputeDcamSerial to avoid that side effect.
 DcamResult ComputeDcam(models::GapModel* model, const Tensor& series,
                        int class_idx, const DcamOptions& options = {});
+
+/// Reference implementation: evaluates the k permutations strictly serially,
+/// one batch-1 forward at a time. Kept as the ground truth the batched
+/// engine is tested (and benchmarked) against; produces bit-identical
+/// results to ComputeDcam at the same seed.
+DcamResult ComputeDcamSerial(models::GapModel* model, const Tensor& series,
+                             int class_idx, const DcamOptions& options = {});
 
 /// Definition 3 extraction alone: from an M-bar (D, D, n) produce the final
 /// (D, n) map and the mu series. Exposed for tests and ablations.

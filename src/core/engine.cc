@@ -1,0 +1,268 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "cam/cam.h"
+#include "core/cube.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace core {
+namespace {
+
+// Argmax of one logits row, first index on ties (matches Tensor::Argmax on
+// the flattened (1, C) logits of the serial path).
+int RowArgmax(const Tensor& logits, int64_t row) {
+  const int64_t C = logits.dim(1);
+  const float* p = logits.data() + row * C;
+  int best = 0;
+  for (int64_t c = 1; c < C; ++c) {
+    if (p[c] > p[best]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+}  // namespace
+
+DcamEngine::DcamEngine(models::GapModel* model)
+    : DcamEngine(model, Config()) {}
+
+DcamEngine::DcamEngine(models::GapModel* model, Config config)
+    : model_(model), config_(config) {
+  DCAM_CHECK(model != nullptr);
+  DCAM_CHECK_GE(config_.batch, 0)
+      << "DcamEngine batch must be a permutation count (or 0 for auto)";
+  if (config_.batch == 0) {
+    config_.batch = std::min(16, std::max(1, GlobalPool().num_threads()));
+  }
+  // The engine's whole point is repeated same-shaped forwards; without this
+  // glibc re-mmaps (and re-faults) every large activation tensor.
+  TuneAllocatorForRepeatedTensors();
+}
+
+void DcamEngine::CheckCubeModel(int64_t dims, int64_t len) {
+  if (checked_cube_input_) return;
+  Tensor probe({1, dims, len});
+  const Tensor prepared = model_->PrepareInput(probe);
+  DCAM_CHECK(prepared.shape() == (Shape{1, dims, dims, len}))
+      << "DcamEngine requires a cube-input (d-architecture) model, but "
+      << model_->name() << " prepares a (1, " << dims << ", " << len
+      << ") series as " << ShapeToString(prepared.shape());
+  checked_cube_input_ = true;
+}
+
+Tensor* DcamEngine::ScratchCube(int64_t b, int64_t dims, int64_t len) {
+  const Shape shape{b, dims, dims, len};
+  return b == config_.batch ? EnsureTensorShape(&cube_full_, shape)
+                            : EnsureTensorShape(&cube_tail_, shape);
+}
+
+Tensor* DcamEngine::ScratchCam(int64_t b, int64_t dims, int64_t len) {
+  const Shape shape{b, dims, len};
+  return b == config_.batch ? EnsureTensorShape(&cam_full_, shape)
+                            : EnsureTensorShape(&cam_tail_, shape);
+}
+
+DcamEngine::Slot* DcamEngine::NextSlot() {
+  if (static_cast<size_t>(pending_count_) == pending_.size()) {
+    pending_.emplace_back();
+  }
+  return &pending_[static_cast<size_t>(pending_count_++)];
+}
+
+void DcamEngine::Flush() {
+  if (pending_count_ == 0) return;
+  const int64_t B = pending_count_;
+  const int64_t D = pending_[0].series->dim(0);
+  const int64_t n = pending_[0].series->dim(1);
+  CheckCubeModel(D, n);
+
+  // 1. Permuted cubes, written straight into the persistent input tensor.
+  Tensor* cube = ScratchCube(B, D, n);
+  Slot* slot_data = pending_.data();
+  ParallelFor(0, B, [&](int64_t b) {
+    BuildCubeInto(*slot_data[b].series, slot_data[b].perm, cube, b);
+  });
+
+  // 2. One forward for the whole batch; n_g votes from the logits.
+  const Tensor logits = model_->Forward(*cube, /*training=*/false);
+  for (int64_t b = 0; b < B; ++b) {
+    if (RowArgmax(logits, b) == slot_data[b].class_idx) {
+      ++*slot_data[b].num_correct;
+    }
+  }
+
+  // 3. Per-instance CAMs over the cube rows, into persistent scratch.
+  slot_classes_.resize(static_cast<size_t>(B));
+  for (int64_t b = 0; b < B; ++b) {
+    slot_classes_[static_cast<size_t>(b)] = slot_data[b].class_idx;
+  }
+  Tensor* cam = ScratchCam(B, D, n);
+  cam::CamFromActivationInto(model_->last_activation(), model_->head(),
+                             slot_classes_, cam);
+
+  // 4. Inverse permutations for the gather-form scatter.
+  for (int64_t b = 0; b < B; ++b) {
+    const std::vector<int>& perm = slot_data[b].perm;
+    std::vector<int>& inv = slot_data[b].inverse;
+    inv.resize(perm.size());
+    for (size_t q = 0; q < perm.size(); ++q) inv[perm[q]] = static_cast<int>(q);
+  }
+
+  // 5. M-transformation scatter (Definition 2). Slots are grouped by their
+  // target accumulator (consecutive in the stream); each (group, dimension)
+  // pair is an independent ParallelFor item, so every msum cell has exactly
+  // one writer and slot order — hence float addition order — matches the
+  // serial path.
+  struct Group {
+    Tensor* msum;
+    int64_t first, last;  // slot range [first, last)
+  };
+  std::vector<Group> groups;
+  for (int64_t b = 0; b < B; ++b) {
+    if (groups.empty() || groups.back().msum != slot_data[b].msum) {
+      groups.push_back({slot_data[b].msum, b, b + 1});
+    } else {
+      groups.back().last = b + 1;
+    }
+  }
+  const float* cam_data = cam->data();
+  const int64_t num_groups = static_cast<int64_t>(groups.size());
+  ParallelFor(0, num_groups * D, [&](int64_t idx) {
+    const Group& g = groups[static_cast<size_t>(idx / D)];
+    const int64_t d = idx % D;
+    float* mrow = g.msum->data() + d * D * n;
+    for (int64_t b = g.first; b < g.last; ++b) {
+      const std::vector<int>& inv = slot_data[b].inverse;
+      const float* cam_b = cam_data + b * D * n;
+      for (int64_t p = 0; p < D; ++p) {
+        // Row r of C(S) holds dimension d at position p iff
+        // r = (inv[d] - p) mod D (Definition 1).
+        const int64_t r = RowIndex(inv[d], static_cast<int>(p),
+                                   static_cast<int>(D));
+        const float* src = cam_b + r * n;
+        float* dst = mrow + p * n;
+        for (int64_t t = 0; t < n; ++t) dst[t] += src[t];
+      }
+    }
+  });
+
+  pending_count_ = 0;
+}
+
+int DcamEngine::Accumulate(const Tensor& series, int class_idx,
+                           const std::vector<std::vector<int>>& perms,
+                           Tensor* msum) {
+  DCAM_CHECK_EQ(series.rank(), 2) << "series must be a (D, n) tensor";
+  const int64_t D = series.dim(0), n = series.dim(1);
+  DCAM_CHECK(msum != nullptr);
+  DCAM_CHECK(msum->shape() == (Shape{D, D, n}))
+      << "msum must be the square (D, D, n) accumulator, got "
+      << ShapeToString(msum->shape());
+  DCAM_CHECK_EQ(pending_count_, 0) << "Accumulate may not be re-entered";
+  int num_correct = 0;
+  for (const std::vector<int>& perm : perms) {
+    Slot* slot = NextSlot();
+    slot->series = &series;
+    slot->perm = perm;
+    slot->class_idx = class_idx;
+    slot->msum = msum;
+    slot->num_correct = &num_correct;
+    if (pending_count_ == config_.batch) Flush();
+  }
+  Flush();
+  return num_correct;
+}
+
+DcamResult DcamEngine::Compute(const Tensor& series, int class_idx,
+                               const DcamOptions& options) {
+  return ComputeMany(std::vector<Tensor>{series}, std::vector<int>{class_idx},
+                     std::vector<DcamOptions>{options})[0];
+}
+
+std::vector<DcamResult> DcamEngine::ComputeMany(
+    const std::vector<Tensor>& series, const std::vector<int>& class_idx,
+    const DcamOptions& options) {
+  std::vector<DcamOptions> per_instance(series.size(), options);
+  for (size_t i = 0; i < per_instance.size(); ++i) {
+    per_instance[i].seed = options.seed + i;
+  }
+  return ComputeMany(series, class_idx, per_instance);
+}
+
+std::vector<DcamResult> DcamEngine::ComputeMany(
+    const std::vector<Tensor>& series, const std::vector<int>& class_idx,
+    const std::vector<DcamOptions>& options) {
+  const size_t N = series.size();
+  DCAM_CHECK_EQ(class_idx.size(), N);
+  DCAM_CHECK_EQ(options.size(), N);
+  DCAM_CHECK_EQ(pending_count_, 0) << "ComputeMany may not be re-entered";
+  std::vector<DcamResult> results(N);
+  if (N == 0) return results;
+
+  for (size_t i = 0; i < N; ++i) {
+    DCAM_CHECK_EQ(series[i].rank(), 2)
+        << "series " << i << " must be a (D, n) tensor";
+    DCAM_CHECK_GT(options[i].k, 0)
+        << "DcamOptions.k must be a positive permutation count";
+    DCAM_CHECK_GE(class_idx[i], 0);
+    DCAM_CHECK_LT(class_idx[i], model_->num_classes());
+    results[i].k = options[i].k;
+  }
+
+  // Averages series i's accumulator over its k permutations and extracts
+  // Definition 3; with keep_mbar == false the (D, D, n) accumulator — the
+  // dominant per-instance memory — is released immediately.
+  size_t next_final = 0;
+  const auto finalize_through = [&](size_t end) {
+    for (; next_final < end; ++next_final) {
+      DcamResult& r = results[next_final];
+      const float inv = 1.0f / static_cast<float>(r.k);
+      float* m = r.mbar.data();
+      for (int64_t j = 0; j < r.mbar.size(); ++j) m[j] *= inv;
+      ExtractDcam(r.mbar, &r.dcam, &r.mu);
+      if (!options[next_final].keep_mbar) r.mbar = Tensor();
+    }
+  };
+
+  // Pack (series, permutation) pairs into batches. Permutations are drawn
+  // lazily, straight into reusable slots, so only the pending batch is ever
+  // materialized; a shape change flushes it so one input tensor serves each
+  // flush. Whenever the pending batch drains, every series whose stream is
+  // complete gets finalized, bounding live accumulators by the packing
+  // horizon instead of the dataset size.
+  for (size_t i = 0; i < N; ++i) {
+    if (pending_count_ > 0 &&
+        pending_[0].series->shape() != series[i].shape()) {
+      Flush();
+    }
+    if (pending_count_ == 0) finalize_through(i);
+    const int64_t D = series[i].dim(0), n = series[i].dim(1);
+    results[i].mbar = Tensor({D, D, n});
+    Rng rng(options[i].seed);
+    for (int j = 0; j < options[i].k; ++j) {
+      Slot* slot = NextSlot();
+      slot->series = &series[i];
+      slot->class_idx = class_idx[i];
+      slot->msum = &results[i].mbar;
+      slot->num_correct = &results[i].num_correct;
+      if (j == 0 && options[i].include_identity) {
+        slot->perm.resize(static_cast<size_t>(D));
+        std::iota(slot->perm.begin(), slot->perm.end(), 0);
+      } else {
+        rng.PermutationInto(static_cast<int>(D), &slot->perm);
+      }
+      if (pending_count_ == config_.batch) Flush();
+    }
+    if (pending_count_ == 0) finalize_through(i + 1);
+  }
+  Flush();
+  finalize_through(N);
+  return results;
+}
+
+}  // namespace core
+}  // namespace dcam

@@ -1,0 +1,135 @@
+// Batched dCAM explanation engine.
+//
+// The paper's explanation loop (Section 4.4) evaluates k random permutations
+// per explained series: k forwards of a (D, D, n) cube through a trained
+// d-architecture model. ComputeDcamSerial runs them one at a time and
+// re-allocates the permuted series, the C(S) cube, and the CAM buffer on
+// every iteration, even though the whole nn stack is batch-aware and
+// thread-pooled.
+//
+// DcamEngine amortizes the repeated evaluation:
+//   * permutations are packed into batches of `Config::batch` instances and
+//     written directly into one persistent (B, D, D, n) input tensor
+//     (BuildCubeInto — no ApplyPermutation / PrepareInput intermediates);
+//   * one model forward evaluates the whole batch;
+//   * per-instance CAMs land in a persistent (B, D, n) scratch
+//     (CamFromActivationInto);
+//   * the M-transformation scatter (Definition 2) is driven by ParallelFor
+//     over target dimensions, via the inverse permutation, so every
+//     (d, p, t) cell of the accumulator is owned by exactly one thread.
+// Nothing is re-allocated across the k-loop, and — because scratch buffers
+// live on the engine — nothing is re-allocated across series either, which
+// is what the dataset-level (global) explanation path exploits.
+//
+// Determinism contract: at a fixed seed the engine is bit-identical to
+// ComputeDcamSerial for every batch size (same mbar, same dcam, same n_g).
+// Per-instance model outputs do not depend on the batch they ride in (each
+// (instance, channel) plane is computed independently), the CAM is
+// per-instance, and the scatter performs the same single float add per
+// (d, p, t) cell per permutation, in permutation order.
+
+#ifndef DCAM_CORE_ENGINE_H_
+#define DCAM_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dcam.h"
+#include "models/model.h"
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace core {
+
+class DcamEngine {
+ public:
+  struct Config {
+    /// Permutations evaluated per model forward. 0 (the default) adapts to
+    /// the machine: the thread-pool width, clamped to [1, 16]. Wider batches
+    /// feed every worker of the pool in one forward; on a single core a
+    /// batch of 1 is fastest (larger batches stream the layer activations
+    /// through the cache with no parallelism to pay for it).
+    int batch = 0;
+  };
+
+  /// The engine keeps a non-owning pointer to `model`, which must be a
+  /// cube-input (d-architecture) GapModel and outlive the engine. Verified
+  /// on first use via PrepareInput's output shape.
+  explicit DcamEngine(models::GapModel* model);
+  DcamEngine(models::GapModel* model, Config config);
+
+  /// Batched drop-in for ComputeDcam: dCAM of `series` (D, n) for
+  /// `class_idx`. Bit-identical to ComputeDcamSerial at the same seed.
+  DcamResult Compute(const Tensor& series, int class_idx,
+                     const DcamOptions& options = {});
+
+  /// Evaluates the given permutations against `series` in batches,
+  /// scattering each CAM into `msum` (D, D, n, pre-allocated, accumulated
+  /// in-place). Returns how many permutations the model classified as
+  /// `class_idx` (the n_g criterion). Building block of the adaptive-k
+  /// variant, which needs custom permutation schedules.
+  int Accumulate(const Tensor& series, int class_idx,
+                 const std::vector<std::vector<int>>& perms, Tensor* msum);
+
+  /// Explains many series in one pass: result[i] explains series[i] (D, n_i)
+  /// w.r.t. class_idx[i] under options[i]. Permutation batches are packed
+  /// across series boundaries whenever consecutive series share (D, n), so
+  /// tail underfill costs at most one partial batch per shape change — the
+  /// dataset-level path of Section 4.6.
+  std::vector<DcamResult> ComputeMany(const std::vector<Tensor>& series,
+                                      const std::vector<int>& class_idx,
+                                      const std::vector<DcamOptions>& options);
+
+  /// Shared-options overload: instance i uses options.seed + i so that
+  /// per-instance permutation streams stay independent.
+  std::vector<DcamResult> ComputeMany(const std::vector<Tensor>& series,
+                                      const std::vector<int>& class_idx,
+                                      const DcamOptions& options = {});
+
+  models::GapModel* model() const { return model_; }
+  int batch() const { return config_.batch; }
+
+ private:
+  // One (series, permutation) pair awaiting evaluation. Slots live in a
+  // persistent pool (pending_) and are reused across flushes, so the perm
+  // and inverse vectors keep their capacity instead of reallocating per
+  // permutation.
+  struct Slot {
+    const Tensor* series = nullptr;
+    std::vector<int> perm;
+    std::vector<int> inverse;  // filled by Flush for the gather-form scatter
+    int class_idx = 0;
+    Tensor* msum = nullptr;    // (D, D, n) accumulator this slot scatters into
+    int* num_correct = nullptr;  // n_g counter this slot votes into
+  };
+
+  // Returns persistent scratch of the exact requested shape. The full-batch
+  // shape and the most recent partial-batch shape are cached separately so
+  // the k-loop tail does not thrash the main buffers.
+  Tensor* ScratchCube(int64_t b, int64_t dims, int64_t len);
+  Tensor* ScratchCam(int64_t b, int64_t dims, int64_t len);
+
+  // The next free slot of the pool; Flush when the pool holds a full batch.
+  Slot* NextSlot();
+
+  // Evaluates and scatters the pending slots (which share one (D, n)
+  // shape), then marks the pool empty.
+  void Flush();
+
+  void CheckCubeModel(int64_t dims, int64_t len);
+
+  models::GapModel* model_;
+  Config config_;
+  bool checked_cube_input_ = false;
+
+  Tensor cube_full_, cam_full_;  // batch == config_.batch
+  Tensor cube_tail_, cam_tail_;  // most recent partial batch
+  std::vector<Slot> pending_;    // slot pool; first pending_count_ are live
+  int pending_count_ = 0;
+  std::vector<int> slot_classes_;  // scratch per-slot target class
+};
+
+}  // namespace core
+}  // namespace dcam
+
+#endif  // DCAM_CORE_ENGINE_H_

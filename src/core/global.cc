@@ -53,5 +53,28 @@ GlobalExplanation AggregateDcams(const std::vector<Tensor>& dcams,
   return out;
 }
 
+DatasetExplanation ExplainDataset(
+    DcamEngine* engine, const std::vector<Tensor>& series,
+    const std::vector<int>& class_idx, const std::vector<DcamOptions>& options,
+    const std::vector<std::vector<int>>& segments, int num_segments) {
+  DCAM_CHECK(engine != nullptr);
+  DCAM_CHECK(!series.empty());
+  DCAM_CHECK_EQ(segments.size(), series.size());
+
+  DatasetExplanation out;
+  // Aggregation only consumes the final (D, n) maps, so the (D, D, n)
+  // accumulators — the dominant per-instance memory at dataset scale — are
+  // dropped as each series completes.
+  std::vector<DcamOptions> slim = options;
+  for (DcamOptions& o : slim) o.keep_mbar = false;
+  out.results = engine->ComputeMany(series, class_idx, slim);
+
+  std::vector<Tensor> dcams;
+  dcams.reserve(out.results.size());
+  for (const DcamResult& r : out.results) dcams.push_back(r.dcam);
+  out.global = AggregateDcams(dcams, segments, num_segments);
+  return out;
+}
+
 }  // namespace core
 }  // namespace dcam

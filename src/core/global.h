@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/engine.h"
 #include "tensor/tensor.h"
 
 namespace dcam {
@@ -29,6 +30,27 @@ struct GlobalExplanation {
 GlobalExplanation AggregateDcams(const std::vector<Tensor>& dcams,
                                  const std::vector<std::vector<int>>& segments,
                                  int num_segments);
+
+/// A dataset-level explanation plus the per-instance results it aggregates.
+struct DatasetExplanation {
+  GlobalExplanation global;
+  /// results[i] explains series[i]; its dcam feeds the aggregation.
+  std::vector<DcamResult> results;
+};
+
+/// End-to-end dataset explanation (Section 4.6): explains series[i] w.r.t.
+/// class_idx[i] under options[i] with the batched engine — permutation
+/// batches are packed across series, so the whole dataset shares one set of
+/// input/CAM scratch buffers — then aggregates the per-instance dCAMs over
+/// `segments` into a GlobalExplanation. The returned results carry dcam, mu
+/// and n_g but not mbar (released per-series to keep the pass O(1) in
+/// accumulator memory); call ComputeMany directly if you need the M-bars.
+DatasetExplanation ExplainDataset(DcamEngine* engine,
+                                  const std::vector<Tensor>& series,
+                                  const std::vector<int>& class_idx,
+                                  const std::vector<DcamOptions>& options,
+                                  const std::vector<std::vector<int>>& segments,
+                                  int num_segments);
 
 }  // namespace core
 }  // namespace dcam

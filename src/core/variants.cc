@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/engine.h"
 #include "util/rng.h"
 
 namespace dcam {
@@ -129,17 +130,27 @@ AdaptiveDcamResult ComputeDcamAdaptive(models::GapModel* model,
   int num_correct = 0;
   int k = 0;
 
+  // Each convergence batch is evaluated by the batched engine in (at most)
+  // one forward; the permutation schedule (and hence the result, bit for
+  // bit) is the same as the serial per-permutation loop.
+  DcamEngine::Config engine_config;
+  engine_config.batch = options.batch;
+  DcamEngine engine(model, engine_config);
+  std::vector<std::vector<int>> batch_perms;
+
   while (k < options.max_k) {
     const int take = std::min(options.batch, options.max_k - k);
+    batch_perms.resize(static_cast<size_t>(take));
     for (int i = 0; i < take; ++i) {
-      const std::vector<int> perm = (k == 0 && options.include_identity)
-                                        ? identity
-                                        : rng.Permutation(static_cast<int>(D));
-      if (AccumulatePermutation(model, series, class_idx, perm, &msum)) {
-        ++num_correct;
+      if (k == 0 && options.include_identity) {
+        batch_perms[static_cast<size_t>(i)] = identity;
+      } else {
+        rng.PermutationInto(static_cast<int>(D),
+                            &batch_perms[static_cast<size_t>(i)]);
       }
       ++k;
     }
+    num_correct += engine.Accumulate(series, class_idx, batch_perms, &msum);
 
     // Current M-bar = msum / k; extraction is scale-covariant in a way that
     // does not affect the relative-delta criterion, but use the true average
@@ -180,8 +191,10 @@ AdaptiveDcamResult ComputeDcamAdaptive(models::GapModel* model,
 Tensor ContrastiveDcam(models::GapModel* model, const Tensor& series,
                        int class_a, int class_b, const DcamOptions& options) {
   DCAM_CHECK_NE(class_a, class_b);
-  const DcamResult a = ComputeDcam(model, series, class_a, options);
-  const DcamResult b = ComputeDcam(model, series, class_b, options);
+  // One engine serves both classes so the cube/CAM scratch is built once.
+  DcamEngine engine(model);
+  const DcamResult a = engine.Compute(series, class_a, options);
+  const DcamResult b = engine.Compute(series, class_b, options);
   Tensor diff(a.dcam.shape());
   for (int64_t i = 0; i < diff.size(); ++i) {
     diff[i] = a.dcam[i] - b.dcam[i];

@@ -26,6 +26,17 @@ using Shape = std::vector<int64_t>;
 /// Returns the number of elements of a shape (product of dims).
 int64_t NumElements(const Shape& shape);
 
+/// Idempotent allocator tuning for workloads that repeatedly allocate and
+/// free same-shaped large tensors (batched forwards): raises glibc's
+/// mmap/trim thresholds so big blocks stay in the arena instead of being
+/// re-mmapped (and re-faulted) every iteration. Process-global and
+/// irreversible; retains up to ~64 MiB of freed heap. No-op off glibc.
+/// Applied automatically by core::DcamEngine (and therefore by the
+/// ComputeDcam wrapper — memory-constrained embedders can use
+/// ComputeDcamSerial to avoid it); long-running trainers/servers may call
+/// it directly.
+void TuneAllocatorForRepeatedTensors();
+
 /// Human-readable "(a, b, c)" rendering.
 std::string ShapeToString(const Shape& shape);
 
@@ -112,6 +123,12 @@ class Tensor {
   int64_t size_ = 0;
   std::shared_ptr<float[]> data_;
 };
+
+/// Reuses `t` if it already has exactly `shape`, otherwise replaces it with
+/// a fresh zero-initialized tensor of that shape. The persistent-scratch
+/// idiom shared by the batched engine and the occlusion baseline. Returns
+/// `t` for call-site convenience.
+Tensor* EnsureTensorShape(Tensor* t, const Shape& shape);
 
 }  // namespace dcam
 

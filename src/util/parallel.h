@@ -9,6 +9,7 @@
 #ifndef DCAM_UTIL_PARALLEL_H_
 #define DCAM_UTIL_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>

@@ -76,10 +76,16 @@ double Rng::Normal(double mean, double stddev) {
 }
 
 std::vector<int> Rng::Permutation(int n) {
-  std::vector<int> p(n);
-  for (int i = 0; i < n; ++i) p[i] = i;
-  Shuffle(&p);
+  std::vector<int> p;
+  PermutationInto(n, &p);
   return p;
+}
+
+void Rng::PermutationInto(int n, std::vector<int>* out) {
+  DCAM_CHECK_GE(n, 0);
+  out->resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) (*out)[i] = i;
+  Shuffle(out);
 }
 
 Rng Rng::Fork() { return Rng(Next()); }

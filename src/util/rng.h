@@ -39,6 +39,10 @@ class Rng {
   /// Fisher-Yates shuffle of [0, n) indices.
   std::vector<int> Permutation(int n);
 
+  /// Allocation-free variant: writes the shuffled [0, n) indices into `out`
+  /// (resized to n). Draws the same stream as Permutation.
+  void PermutationInto(int n, std::vector<int>* out);
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* v) {
