@@ -46,6 +46,58 @@ void BM_Conv1dForward(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv1dForward)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
 
+// Direct-loop conv reference vs the im2col+GEMM path (same layer, same
+// weights) — the naive-vs-kernel speedup the CI regression gate tracks.
+void BM_Conv1dForwardNaive(benchmark::State& state) {
+  const int C = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Conv1d conv(C, C, 3, 1, &rng);
+  Tensor in({8, C, 256});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.ForwardNaive(in).data());
+  }
+}
+BENCHMARK(BM_Conv1dForwardNaive)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+// Forward-only Conv2d on the dCNN cube shape (channels = D dimensions,
+// height = D rows, (1, 3) kernels), at the small and the 512-class-scale
+// filter counts.
+void BM_Conv2dForward(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  const int F = static_cast<int>(state.range(1));
+  Rng rng(1);
+  nn::Conv2d conv(D, F, 1, 3, 0, 1, &rng);
+  Tensor in({4, D, D, 128});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(in, true).data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)
+    ->Args({10, 16})
+    ->Args({10, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Conv2dForwardNaive(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  const int F = static_cast<int>(state.range(1));
+  Rng rng(1);
+  nn::Conv2d conv(D, F, 1, 3, 0, 1, &rng);
+  Tensor in({4, D, D, 128});
+  in.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.ForwardNaive(in).data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardNaive)
+    ->Args({10, 16})
+    ->Args({10, 64})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_Conv2dForwardBackward(benchmark::State& state) {
   const int D = static_cast<int>(state.range(0));
   Rng rng(1);
@@ -149,7 +201,23 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(ops::MatMul(a, b).data());
   }
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MatMul)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatMulNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a({n, n}), b({n, n});
+  a.FillNormal(&rng, 0.0f, 1.0f);
+  b.FillNormal(&rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMulNaive(a, b).data());
+  }
+}
+BENCHMARK(BM_MatMulNaive)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 // ---- dCAM explanation path: serial reference vs batched engine ------------
 

@@ -1,5 +1,6 @@
 #include "nn/conv1d.h"
 
+#include "tensor/gemm.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -31,6 +32,102 @@ Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
   DCAM_CHECK_GT(Lout, 0) << "series too short for kernel";
   cached_input_ = input;
 
+  const int64_t Cin = in_channels_, Cout = out_channels_, K = kernel_,
+                P = padding_;
+  const int64_t CK = Cin * K;
+  EnsureTensorShape(&col_, {B, CK, Lout});
+  Tensor out({B, Cout, Lout});
+  const float* in = input.data();
+  float* col = col_.data();
+  ParallelFor(0, B, [&](int64_t b) {
+    gemm::Im2Col1d(in + b * Cin * L, Cin, L, K, P, col + b * CK * Lout);
+  });
+
+  // Per instance: out_b (Cout, Lout) = W (Cout, Cin*K) * col_b (Cin*K, Lout),
+  // accumulating onto the bias-initialized output. The GEMM threads
+  // internally, so the batch loop stays serial.
+  const float* w = weight_.value.data();
+  const float* bias = bias_.value.data();
+  float* o = out.data();
+  for (int64_t b = 0; b < B; ++b) {
+    float* ob = o + b * Cout * Lout;
+    float beta = 0.0f;
+    if (use_bias_) {
+      for (int64_t co = 0; co < Cout; ++co) {
+        float* orow = ob + co * Lout;
+        for (int64_t i = 0; i < Lout; ++i) orow[i] = bias[co];
+      }
+      beta = 1.0f;
+    }
+    gemm::SgemmNN(Cout, Lout, CK, 1.0f, w, col + b * CK * Lout, beta, ob);
+  }
+  return out;
+}
+
+Tensor Conv1d::Backward(const Tensor& grad_output) {
+  DCAM_CHECK(!cached_input_.empty()) << "Backward before Forward";
+  const Tensor& input = cached_input_;
+  const int64_t B = input.dim(0), L = input.dim(2);
+  const int64_t Lout = grad_output.dim(2);
+  DCAM_CHECK_EQ(grad_output.dim(0), B);
+  DCAM_CHECK_EQ(grad_output.dim(1), out_channels_);
+  const int64_t Cin = in_channels_, Cout = out_channels_, K = kernel_,
+                P = padding_;
+  const int64_t CK = Cin * K;
+  DCAM_CHECK(col_.shape() == Shape({B, CK, Lout}))
+      << "Backward im2col scratch does not match Forward";
+  const float* w = weight_.value.data();
+  const float* go = grad_output.data();
+  const float* col = col_.data();
+
+  // Input gradient: dcol_b = W^T (Cin*K, Cout) * go_b (Cout, Lout), then
+  // col2im scatters the columns back into the (zero-initialized) grad_in.
+  // Parallel over the batch (disjoint dcol_/grad_in slices per instance);
+  // the per-instance GEMMs degrade to serial inside the parallel region.
+  Tensor grad_in(input.shape());
+  EnsureTensorShape(&dcol_, {B, CK, Lout});
+  float* gi = grad_in.data();
+  float* dcol = dcol_.data();
+  ParallelFor(0, B, [&](int64_t b) {
+    float* dcol_b = dcol + b * CK * Lout;
+    gemm::SgemmTN(CK, Lout, Cout, 1.0f, w, go + b * Cout * Lout, 0.0f,
+                  dcol_b);
+    gemm::Col2Im1d(dcol_b, Cin, L, K, P, gi + b * Cin * L);
+  });
+
+  // Weight gradient: dW (Cout, Cin*K) += go_b (Cout, Lout) * col_b^T,
+  // beta = 1 accumulating straight into the parameter gradient.
+  float* gw = weight_.grad.data();
+  for (int64_t b = 0; b < B; ++b) {
+    gemm::SgemmNT(Cout, CK, Lout, 1.0f, go + b * Cout * Lout,
+                  col + b * CK * Lout, 1.0f, gw);
+  }
+
+  if (use_bias_) {
+    float* gb = bias_.grad.data();
+    ParallelFor(0, Cout, [&](int64_t co) {
+      double acc = 0.0;
+      for (int64_t b = 0; b < B; ++b) {
+        const float* gorow = go + (b * Cout + co) * Lout;
+        for (int64_t i = 0; i < Lout; ++i) acc += gorow[i];
+      }
+      gb[co] += static_cast<float>(acc);
+    });
+  }
+  return grad_in;
+}
+
+Tensor Conv1d::ForwardNaive(const Tensor& input) {
+  DCAM_CHECK_EQ(input.rank(), 3);
+  DCAM_CHECK_EQ(input.dim(1), in_channels_);
+  const int64_t B = input.dim(0), L = input.dim(2);
+  const int64_t Lout = L + 2 * padding_ - kernel_ + 1;
+  DCAM_CHECK_GT(Lout, 0) << "series too short for kernel";
+  cached_input_ = input;
+  // Invalidate the im2col scratch so a (mismatched) GEMM Backward after a
+  // naive forward fails its shape check instead of reusing stale columns.
+  col_ = Tensor();
+
   Tensor out({B, out_channels_, Lout});
   const float* w = weight_.value.data();
   const float* bias = bias_.value.data();
@@ -52,7 +149,6 @@ Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
         const float* wrow = w + (co * Cin + ci) * K;
         for (int64_t k = 0; k < K; ++k) {
           const float wv = wrow[k];
-          if (wv == 0.0f) continue;
           // out[i] += wv * in[i + k - P] for valid input index.
           const int64_t lo = std::max<int64_t>(0, P - k);
           const int64_t hi = std::min<int64_t>(Lout, L + P - k);
@@ -66,7 +162,7 @@ Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
   return out;
 }
 
-Tensor Conv1d::Backward(const Tensor& grad_output) {
+Tensor Conv1d::BackwardNaive(const Tensor& grad_output) {
   DCAM_CHECK(!cached_input_.empty()) << "Backward before Forward";
   const Tensor& input = cached_input_;
   const int64_t B = input.dim(0), L = input.dim(2);
@@ -92,7 +188,6 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
         const float* wrow = w + (co * Cin + ci) * K;
         for (int64_t k = 0; k < K; ++k) {
           const float wv = wrow[k];
-          if (wv == 0.0f) continue;
           const int64_t lo = std::max<int64_t>(0, P - k);
           const int64_t hi = std::min<int64_t>(Lout, L + P - k);
           const float* gp = gorow + lo;

@@ -16,6 +16,11 @@ namespace nn {
 
 /// Conv1d with stride 1 and symmetric zero padding.
 /// Input (B, Cin, L) -> output (B, Cout, L + 2*padding - kernel + 1).
+///
+/// Forward/Backward lower the convolution to im2col + SGEMM (tensor/gemm.h)
+/// with persistent per-layer scratch; the direct per-element loops survive
+/// as ForwardNaive/BackwardNaive, the reference the equivalence tests and
+/// naive-vs-kernel benchmarks compare against.
 class Conv1d : public Layer {
  public:
   Conv1d(int in_channels, int out_channels, int kernel, int padding, Rng* rng,
@@ -23,6 +28,15 @@ class Conv1d : public Layer {
 
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+
+  /// Direct-convolution reference path, numerically equivalent to
+  /// Forward/Backward up to float summation order. ForwardNaive sets the
+  /// input cache BackwardNaive consumes but invalidates the im2col scratch,
+  /// so pairing it with the GEMM Backward aborts instead of silently using
+  /// stale columns (BackwardNaive after Forward is fine).
+  Tensor ForwardNaive(const Tensor& input);
+  Tensor BackwardNaive(const Tensor& grad_output);
+
   std::vector<Parameter*> Params() override;
   std::string name() const override { return "Conv1d"; }
 
@@ -43,6 +57,12 @@ class Conv1d : public Layer {
   Parameter weight_;  // (Cout, Cin, K)
   Parameter bias_;    // (Cout)
   Tensor cached_input_;
+  // Persistent im2col scratch: col_ holds the lowered input for the whole
+  // batch, (B, Cin*K, Lout), built in Forward and reused by the weight
+  // gradient; dcol_, same shape, is what the input gradient scatters from
+  // (per-instance slices, parallel over the batch).
+  Tensor col_;
+  Tensor dcol_;
 };
 
 }  // namespace nn

@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include "tensor/gemm.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -35,6 +36,107 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
   DCAM_CHECK_GT(Wout, 0);
   cached_input_ = input;
 
+  const int64_t Cin = in_channels_, Cout = out_channels_;
+  const int64_t KH = kernel_h_, KW = kernel_w_, PH = pad_h_, PW = pad_w_;
+  const int64_t CKK = Cin * KH * KW;
+  const int64_t HW = Hout * Wout;
+  EnsureTensorShape(&col_, {B, CKK, HW});
+  Tensor out({B, Cout, Hout, Wout});
+  const float* in = input.data();
+  float* col = col_.data();
+  ParallelFor(0, B, [&](int64_t b) {
+    gemm::Im2Col2d(in + b * Cin * H * W, Cin, H, W, KH, KW, PH, PW,
+                   col + b * CKK * HW);
+  });
+
+  // Per instance: out_b (Cout, HW) = W (Cout, Cin*KH*KW) * col_b (CKK, HW),
+  // accumulating onto the bias-initialized output. The GEMM threads
+  // internally, so the batch loop stays serial.
+  const float* w = weight_.value.data();
+  const float* bias = bias_.value.data();
+  float* o = out.data();
+  for (int64_t b = 0; b < B; ++b) {
+    float* ob = o + b * Cout * HW;
+    float beta = 0.0f;
+    if (use_bias_) {
+      for (int64_t co = 0; co < Cout; ++co) {
+        float* oplane = ob + co * HW;
+        for (int64_t i = 0; i < HW; ++i) oplane[i] = bias[co];
+      }
+      beta = 1.0f;
+    }
+    gemm::SgemmNN(Cout, HW, CKK, 1.0f, w, col + b * CKK * HW, beta, ob);
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  DCAM_CHECK(!cached_input_.empty()) << "Backward before Forward";
+  const Tensor& input = cached_input_;
+  const int64_t B = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const int64_t Hout = grad_output.dim(2), Wout = grad_output.dim(3);
+  DCAM_CHECK_EQ(grad_output.dim(0), B);
+  DCAM_CHECK_EQ(grad_output.dim(1), out_channels_);
+  const int64_t Cin = in_channels_, Cout = out_channels_;
+  const int64_t KH = kernel_h_, KW = kernel_w_, PH = pad_h_, PW = pad_w_;
+  const int64_t CKK = Cin * KH * KW;
+  const int64_t HW = Hout * Wout;
+  DCAM_CHECK(col_.shape() == Shape({B, CKK, HW}))
+      << "Backward im2col scratch does not match Forward";
+  const float* w = weight_.value.data();
+  const float* go = grad_output.data();
+  const float* col = col_.data();
+
+  // Input gradient: dcol_b = W^T (CKK, Cout) * go_b (Cout, HW), then col2im
+  // scatters the columns back into the (zero-initialized) grad_in.
+  // Parallel over the batch (disjoint dcol_/grad_in slices per instance);
+  // the per-instance GEMMs degrade to serial inside the parallel region.
+  Tensor grad_in(input.shape());
+  EnsureTensorShape(&dcol_, {B, CKK, HW});
+  float* gi = grad_in.data();
+  float* dcol = dcol_.data();
+  ParallelFor(0, B, [&](int64_t b) {
+    float* dcol_b = dcol + b * CKK * HW;
+    gemm::SgemmTN(CKK, HW, Cout, 1.0f, w, go + b * Cout * HW, 0.0f, dcol_b);
+    gemm::Col2Im2d(dcol_b, Cin, H, W, KH, KW, PH, PW,
+                   gi + b * Cin * H * W);
+  });
+
+  // Weight gradient: dW (Cout, CKK) += go_b (Cout, HW) * col_b^T, beta = 1
+  // accumulating straight into the parameter gradient.
+  float* gw = weight_.grad.data();
+  for (int64_t b = 0; b < B; ++b) {
+    gemm::SgemmNT(Cout, CKK, HW, 1.0f, go + b * Cout * HW, col + b * CKK * HW,
+                  1.0f, gw);
+  }
+
+  if (use_bias_) {
+    float* gb = bias_.grad.data();
+    ParallelFor(0, Cout, [&](int64_t co) {
+      double acc = 0.0;
+      for (int64_t b = 0; b < B; ++b) {
+        const float* gplane = go + (b * Cout + co) * HW;
+        for (int64_t i = 0; i < HW; ++i) acc += gplane[i];
+      }
+      gb[co] += static_cast<float>(acc);
+    });
+  }
+  return grad_in;
+}
+
+Tensor Conv2d::ForwardNaive(const Tensor& input) {
+  DCAM_CHECK_EQ(input.rank(), 4);
+  DCAM_CHECK_EQ(input.dim(1), in_channels_);
+  const int64_t B = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const int64_t Hout = H + 2 * pad_h_ - kernel_h_ + 1;
+  const int64_t Wout = W + 2 * pad_w_ - kernel_w_ + 1;
+  DCAM_CHECK_GT(Hout, 0);
+  DCAM_CHECK_GT(Wout, 0);
+  cached_input_ = input;
+  // Invalidate the im2col scratch so a (mismatched) GEMM Backward after a
+  // naive forward fails its shape check instead of reusing stale columns.
+  col_ = Tensor();
+
   Tensor out({B, out_channels_, Hout, Wout});
   const float* w = weight_.value.data();
   const float* bias = bias_.value.data();
@@ -59,7 +161,6 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
         const int64_t yhi = std::min<int64_t>(Hout, H + PH - kh);
         for (int64_t kw = 0; kw < KW; ++kw) {
           const float wv = wk[kh * KW + kw];
-          if (wv == 0.0f) continue;
           const int64_t xlo = std::max<int64_t>(0, PW - kw);
           const int64_t xhi = std::min<int64_t>(Wout, W + PW - kw);
           for (int64_t y = ylo; y < yhi; ++y) {
@@ -74,7 +175,7 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
   return out;
 }
 
-Tensor Conv2d::Backward(const Tensor& grad_output) {
+Tensor Conv2d::BackwardNaive(const Tensor& grad_output) {
   DCAM_CHECK(!cached_input_.empty()) << "Backward before Forward";
   const Tensor& input = cached_input_;
   const int64_t B = input.dim(0), H = input.dim(2), W = input.dim(3);
@@ -102,7 +203,6 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
           const int64_t yhi = std::min<int64_t>(Hout, H + PH - kh);
           for (int64_t kw = 0; kw < KW; ++kw) {
             const float wv = wk[kh * KW + kw];
-            if (wv == 0.0f) continue;
             const int64_t xlo = std::max<int64_t>(0, PW - kw);
             const int64_t xhi = std::min<int64_t>(Wout, W + PW - kw);
             for (int64_t y = ylo; y < yhi; ++y) {

@@ -1,5 +1,8 @@
 #include "nn/dense.h"
 
+#include <cstring>
+
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -19,26 +22,34 @@ Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
   DCAM_CHECK_EQ(input.rank(), 2);
   DCAM_CHECK_EQ(input.dim(1), in_features_);
   cached_input_ = input;
-  // (B, in) x (out, in)^T -> (B, out)
-  Tensor out = ops::MatMulBT(input, weight_.value);
+  // (B, in) x (out, in)^T -> (B, out), accumulating onto bias-filled rows
+  // (beta = 1) so the bias add costs no extra pass.
+  const int64_t B = input.dim(0);
+  Tensor out({B, out_features_});
+  float beta = 0.0f;
   if (use_bias_) {
-    const int64_t B = out.dim(0);
+    float* po = out.data();
     for (int64_t b = 0; b < B; ++b) {
-      for (int64_t j = 0; j < out_features_; ++j) {
-        out.at(b, j) += bias_.value[j];
-      }
+      std::memcpy(po + b * out_features_, bias_.value.data(),
+                  static_cast<size_t>(out_features_) * sizeof(float));
     }
+    beta = 1.0f;
   }
+  gemm::SgemmNT(B, out_features_, in_features_, 1.0f, input.data(),
+                weight_.value.data(), beta, out.data());
   return out;
 }
 
 Tensor Dense::Backward(const Tensor& grad_output) {
   DCAM_CHECK(!cached_input_.empty()) << "Backward before Forward";
   DCAM_CHECK_EQ(grad_output.rank(), 2);
+  DCAM_CHECK_EQ(grad_output.dim(0), cached_input_.dim(0));
   DCAM_CHECK_EQ(grad_output.dim(1), out_features_);
-  // dW = dY^T X : (out, B)^T x ... -> use MatMulAT(grad, input): (B,out)^T(B,in)
-  Tensor dw = ops::MatMulAT(grad_output, cached_input_);  // (out, in)
-  ops::AddInPlace(&weight_.grad, dw);
+  // dW (out, in) += dY (B, out)^T X (B, in), beta = 1 accumulating straight
+  // into the parameter gradient (no temporary).
+  gemm::SgemmTN(out_features_, in_features_, grad_output.dim(0), 1.0f,
+                grad_output.data(), cached_input_.data(), 1.0f,
+                weight_.grad.data());
   if (use_bias_) {
     const int64_t B = grad_output.dim(0);
     for (int64_t j = 0; j < out_features_; ++j) {

@@ -1,0 +1,86 @@
+// Blocked, threaded SGEMM kernel layer + im2col/col2im lowering helpers.
+//
+// Every hot path of the reproduction — Dense/Recurrent matmuls and, through
+// im2col lowering, the Conv1d/Conv2d forward and backward passes that
+// dominate dCAM's k-permutation loop (Sections 3-4 of the paper) — bottoms
+// out in the single Sgemm entry point below. The implementation follows the
+// classical Goto/BLIS decomposition: the k dimension is split into KC-deep
+// slabs, each slab's A and B blocks are packed into contiguous MR-row /
+// NR-column panels (transposition and the alpha scale are absorbed by the
+// packing), and a register-tiled MR x NR microkernel accumulates panel
+// products into C. Block pairs of C are independent, so the (row-block,
+// column-block) grid is distributed over the global ThreadPool.
+//
+// All matrices are row-major with explicit leading dimensions, BLAS-style,
+// so callers can address sub-matrices (e.g. one instance of a batched
+// tensor) without copying.
+
+#ifndef DCAM_TENSOR_GEMM_H_
+#define DCAM_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace dcam {
+namespace gemm {
+
+/// C (m x n, leading dim ldc) = alpha * op(A) * op(B) + beta * C.
+///
+/// op(A) is the stored matrix A read as (m x k) when `trans_a` is false, or
+/// the stored (k x m) matrix read transposed when true; likewise op(B) is
+/// (k x n) or the stored (n x k) read transposed. lda/ldb/ldc are the
+/// leading dimensions of the *stored* row-major matrices. beta == 0 writes C
+/// without reading it (so C may be uninitialized). Thread-safe; runs on the
+/// global pool unless called from inside a ParallelFor (then serial) or the
+/// problem is too small to amortize packing.
+void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+           float alpha, const float* a, int64_t lda, const float* b,
+           int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// C (m x n) = alpha * A (m x k) * B (k x n) + beta * C. Contiguous storage.
+inline void SgemmNN(int64_t m, int64_t n, int64_t k, float alpha,
+                    const float* a, const float* b, float beta, float* c) {
+  Sgemm(false, false, m, n, k, alpha, a, k, b, n, beta, c, n);
+}
+
+/// C (m x n) = alpha * A (m x k) * B (n x k)^T + beta * C.
+inline void SgemmNT(int64_t m, int64_t n, int64_t k, float alpha,
+                    const float* a, const float* b, float beta, float* c) {
+  Sgemm(false, true, m, n, k, alpha, a, k, b, k, beta, c, n);
+}
+
+/// C (m x n) = alpha * A (k x m)^T * B (k x n) + beta * C.
+inline void SgemmTN(int64_t m, int64_t n, int64_t k, float alpha,
+                    const float* a, const float* b, float beta, float* c) {
+  Sgemm(true, false, m, n, k, alpha, a, m, b, n, beta, c, n);
+}
+
+/// im2col for stride-1 2-D convolution with symmetric zero padding.
+///
+/// Lowers one instance `in` (C, H, W) into `col` with shape
+/// (C*KH*KW, Hout*Wout), Hout = H + 2*PH - KH + 1, Wout = W + 2*PW - KW + 1:
+/// col[(c*KH + kh)*KW + kw][y*Wout + x] = in[c][y + kh - PH][x + kw - PW]
+/// (zero where the input index falls into the padding). After this, a
+/// convolution with weights W (Cout, C*KH*KW) is exactly the GEMM
+/// out = W * col.
+void Im2Col2d(const float* in, int64_t C, int64_t H, int64_t W, int64_t KH,
+              int64_t KW, int64_t PH, int64_t PW, float* col);
+
+/// Adjoint of Im2Col2d: accumulates `col` (C*KH*KW, Hout*Wout) back into
+/// `in` (C, H, W), dropping padding positions. Does NOT zero `in` first —
+/// callers that want the plain adjoint must clear it themselves.
+void Col2Im2d(const float* col, int64_t C, int64_t H, int64_t W, int64_t KH,
+              int64_t KW, int64_t PH, int64_t PW, float* in);
+
+/// 1-D specializations (a length-L series is a height-1 image):
+/// in (C, L) -> col (C*K, Lout), Lout = L + 2*P - K + 1.
+void Im2Col1d(const float* in, int64_t C, int64_t L, int64_t K, int64_t P,
+              float* col);
+
+/// Adjoint of Im2Col1d; accumulates into `in` (C, L) without zeroing.
+void Col2Im1d(const float* col, int64_t C, int64_t L, int64_t K, int64_t P,
+              float* in);
+
+}  // namespace gemm
+}  // namespace dcam
+
+#endif  // DCAM_TENSOR_GEMM_H_

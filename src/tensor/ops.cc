@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/gemm.h"
+
 namespace dcam {
 namespace ops {
 namespace {
@@ -60,13 +62,42 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   DCAM_CHECK_EQ(a.dim(1), b.dim(0));
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
+  gemm::SgemmNN(m, n, k, 1.0f, a.data(), b.data(), 0.0f, out.data());
+  return out;
+}
+
+Tensor MatMulBT(const Tensor& a, const Tensor& b) {
+  DCAM_CHECK_EQ(a.rank(), 2);
+  DCAM_CHECK_EQ(b.rank(), 2);
+  DCAM_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  gemm::SgemmNT(m, n, k, 1.0f, a.data(), b.data(), 0.0f, out.data());
+  return out;
+}
+
+Tensor MatMulAT(const Tensor& a, const Tensor& b) {
+  DCAM_CHECK_EQ(a.rank(), 2);
+  DCAM_CHECK_EQ(b.rank(), 2);
+  DCAM_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  gemm::SgemmTN(m, n, k, 1.0f, a.data(), b.data(), 0.0f, out.data());
+  return out;
+}
+
+Tensor MatMulNaive(const Tensor& a, const Tensor& b) {
+  DCAM_CHECK_EQ(a.rank(), 2);
+  DCAM_CHECK_EQ(b.rank(), 2);
+  DCAM_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t p = 0; p < k; ++p) {
       const float av = pa[i * k + p];
-      if (av == 0.0f) continue;
       const float* brow = pb + p * n;
       float* orow = po + i * n;
       for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
@@ -75,7 +106,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor MatMulBT(const Tensor& a, const Tensor& b) {
+Tensor MatMulBTNaive(const Tensor& a, const Tensor& b) {
   DCAM_CHECK_EQ(a.rank(), 2);
   DCAM_CHECK_EQ(b.rank(), 2);
   DCAM_CHECK_EQ(a.dim(1), b.dim(1));
@@ -96,7 +127,7 @@ Tensor MatMulBT(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor MatMulAT(const Tensor& a, const Tensor& b) {
+Tensor MatMulATNaive(const Tensor& a, const Tensor& b) {
   DCAM_CHECK_EQ(a.rank(), 2);
   DCAM_CHECK_EQ(b.rank(), 2);
   DCAM_CHECK_EQ(a.dim(0), b.dim(0));
@@ -110,7 +141,6 @@ Tensor MatMulAT(const Tensor& a, const Tensor& b) {
     const float* brow = pb + p * n;
     for (int64_t i = 0; i < m; ++i) {
       const float av = arow[i];
-      if (av == 0.0f) continue;
       float* orow = po + i * n;
       for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }

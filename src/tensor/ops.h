@@ -28,7 +28,8 @@ void AddInPlace(Tensor* a, const Tensor& b);
 /// a += s * b (axpy), in place.
 void Axpy(Tensor* a, float s, const Tensor& b);
 
-/// Matrix product: (m, k) x (k, n) -> (m, n).
+/// Matrix product: (m, k) x (k, n) -> (m, n). Runs on the blocked, threaded
+/// SGEMM in tensor/gemm.h, as do the transposed variants below.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 /// Matrix product with b transposed: (m, k) x (n, k)^T -> (m, n).
@@ -36,6 +37,13 @@ Tensor MatMulBT(const Tensor& a, const Tensor& b);
 
 /// Matrix product with a transposed: (k, m)^T x (k, n) -> (m, n).
 Tensor MatMulAT(const Tensor& a, const Tensor& b);
+
+/// Unblocked single-thread reference implementations of the three products
+/// above. Kept for equivalence tests and naive-vs-kernel benchmarks; not
+/// used by the NN stack.
+Tensor MatMulNaive(const Tensor& a, const Tensor& b);
+Tensor MatMulBTNaive(const Tensor& a, const Tensor& b);
+Tensor MatMulATNaive(const Tensor& a, const Tensor& b);
 
 /// Row-wise softmax over the last dimension of a rank-2 tensor.
 Tensor Softmax2d(const Tensor& logits);

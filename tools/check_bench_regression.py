@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over bench_micro --json output.
+
+Compares a fresh `bench_micro --json` run against the checked-in baseline
+(BENCH_dcam.json) record-by-record — records are keyed by (op, shape) — and
+fails (exit 1) if any matched benchmark got slower than the tolerance allows:
+
+    current_ns > baseline_ns * max_ratio
+
+The baseline is refreshed in the same PR whenever a kernel change moves the
+numbers on purpose; the default tolerance is deliberately loose because the
+baseline host and the CI runner differ (the gate exists to catch order-of-
+magnitude mistakes — an accidentally-serialized ParallelFor, a kernel
+falling off its fast path — not 10%% noise).
+
+Only needs the Python 3 standard library.
+
+Usage:
+    ./build/bench_micro --benchmark_filter='MatMul|Conv|ComputeDcam' \\
+        --json bench_micro.json
+    python3 tools/check_bench_regression.py \\
+        --baseline BENCH_dcam.json --current bench_micro.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for row in data.get("benchmarks", []):
+        rows[(row["op"], row.get("shape", ""))] = row
+    return rows
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return "%.2fs" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.2fms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.1fus" % (ns / 1e3)
+    return "%.0fns" % ns
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--baseline", required=True, help="checked-in baseline json")
+    parser.add_argument("--current", required=True, help="fresh bench_micro --json run")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.5,
+        help="fail when current/baseline ns_per_iter exceeds this (default %(default)s)",
+    )
+    parser.add_argument(
+        "--ops",
+        default=".*",
+        help="regex over the op name selecting which benchmarks are gated",
+    )
+    parser.add_argument(
+        "--require-match",
+        action="store_true",
+        help="also fail when a gated baseline op/shape is missing from the current run",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    op_re = re.compile(args.ops)
+
+    failures = []
+    missing = []
+    print(
+        "%-34s %-16s %12s %12s %8s" % ("op", "shape", "baseline", "current", "ratio")
+    )
+    print("-" * 86)
+    for key in sorted(baseline):
+        op, shape = key
+        if not op_re.search(op):
+            continue
+        base_ns = baseline[key]["ns_per_iter"]
+        cur = current.get(key)
+        if cur is None:
+            missing.append(key)
+            print("%-34s %-16s %12s %12s %8s" % (op, shape, fmt_ns(base_ns), "-", "-"))
+            continue
+        cur_ns = cur["ns_per_iter"]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        flag = ""
+        if ratio > args.max_ratio:
+            failures.append((key, ratio))
+            flag = "  <-- REGRESSION"
+        print(
+            "%-34s %-16s %12s %12s %7.2fx%s"
+            % (op, shape, fmt_ns(base_ns), fmt_ns(cur_ns), ratio, flag)
+        )
+
+    new_keys = [k for k in current if k not in baseline and op_re.search(k[0])]
+    for key in sorted(new_keys):
+        print(
+            "%-34s %-16s %12s %12s %8s"
+            % (key[0], key[1], "-", fmt_ns(current[key]["ns_per_iter"]), "new")
+        )
+
+    print("-" * 86)
+    if missing:
+        print(
+            "note: %d baseline benchmark(s) missing from the current run" % len(missing)
+        )
+        if args.require_match:
+            for key in missing:
+                print("  missing: %s/%s" % key)
+            return 1
+    if failures:
+        print(
+            "FAIL: %d benchmark(s) regressed beyond %.2fx:" % (len(failures), args.max_ratio)
+        )
+        for (op, shape), ratio in failures:
+            print("  %s/%s is %.2fx the baseline" % (op, shape, ratio))
+        return 1
+    print(
+        "OK: %d gated benchmark(s) within %.2fx of baseline"
+        % (len(baseline) - len(missing), args.max_ratio)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
