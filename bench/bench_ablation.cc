@@ -19,12 +19,11 @@
 #include <iostream>
 
 #include "bench/bench_utils.h"
-#include "cam/occlusion.h"
-#include "cam/saliency.h"
 #include "core/engine.h"
 #include "core/variants.h"
 #include "data/augment.h"
 #include "eval/metrics.h"
+#include "eval/sweep.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 
@@ -116,67 +115,57 @@ int main() {
   extraction.WriteAligned(std::cout);
 
   // --- B. explanation methods ----------------------------------------------
-  std::printf("\n--- B. dCAM vs model-agnostic explanation baselines ---\n");
+  std::printf("\n--- B. dCAM vs the registry's baselines (same trained dCNN) ---\n");
   TableWriter methods({"method", "mean Dr-acc", "vs random (x)", "time (s)"});
-  auto add_method = [&](const char* name, auto&& explain) {
-    Stopwatch sw;
-    double acc = 0.0;
-    for (const auto& [series, mask] : explained) {
-      acc += eval::DrAcc(explain(series), mask);
-    }
+  // The full explanation registry on one model: dCAM, raw CAM over the
+  // identity cube's rows (what dCAM's M-transform fixes), and the
+  // model-agnostic gradient/perturbation baselines.
+  eval::ExplainSweepOptions sweep;
+  sweep.max_instances = kInstances;
+  sweep.base.dcam.k = 40;
+  sweep.base.occlusion.window = 16;
+  sweep.base.occlusion.stride = 8;
+  sweep.base.smoothgrad.samples = 10;
+  const std::vector<std::string> method_names = {
+      "dcam",       "cam",        "saliency",
+      "grad_times_input", "smoothgrad", "integrated_gradients",
+      "occlusion",  "dimension_occlusion"};
+  for (const eval::MethodScore& score :
+       eval::SweepMethods(model, method_names, pair.test, sweep)) {
     methods.BeginRow();
-    methods.Cell(name);
-    methods.Cell(acc / explained.size(), 3);
-    methods.Cell(acc / explained.size() / random_baseline, 1);
-    methods.Cell(sw.ElapsedSeconds(), 2);
-  };
-  add_method("dCAM (k=40)", [&](const Tensor& s) {
-    core::DcamOptions o;
-    o.k = 40;
-    return engine.Compute(s, 1, o).dcam;
-  });
-  add_method("occlusion", [&](const Tensor& s) {
-    cam::OcclusionOptions o;
-    o.window = 16;
-    o.stride = 8;
-    return cam::OcclusionMap(model, s, 1, o);
-  });
-  add_method("gradient", [&](const Tensor& s) {
-    return cam::GradientSaliency(model, s, 1);
-  });
-  add_method("grad*input", [&](const Tensor& s) {
-    return cam::GradientTimesInput(model, s, 1);
-  });
-  add_method("SmoothGrad", [&](const Tensor& s) {
-    cam::SmoothGradOptions o;
-    o.samples = 10;
-    return cam::SmoothGrad(model, s, 1, o);
-  });
+    methods.Cell(score.method);
+    methods.Cell(score.mean_dr_acc, 3);
+    methods.Cell(score.mean_dr_acc / random_baseline, 1);
+    methods.Cell(score.seconds, 2);
+  }
   methods.WriteAligned(std::cout);
 
   // --- C. adaptive k ---------------------------------------------------------
   std::printf("\n--- C. adaptive-k stopping rule ---\n");
   TableWriter adaptive({"instance", "k used", "converged", "Dr-acc",
                         "Dr-acc @ fixed k=100"});
+  const auto adaptive_explainer = explain::MakeExplainer("dcam_adaptive");
+  const auto fixed_explainer = explain::MakeExplainer("dcam");
   for (size_t i = 0; i < explained.size(); ++i) {
     const auto& [series, mask] = explained[i];
-    core::AdaptiveDcamOptions aopt;
-    aopt.batch = 10;
-    aopt.max_k = 200;
-    aopt.tolerance = 0.05;
-    aopt.seed = 700 + i;
-    const core::AdaptiveDcamResult ares =
-        core::ComputeDcamAdaptive(model, series, 1, aopt);
-    core::DcamOptions fopt;
-    fopt.k = 100;
-    fopt.seed = 700 + i;
-    const core::DcamResult fres = engine.Compute(series, 1, fopt);
+    explain::ExplainOptions aopt;
+    aopt.adaptive.batch = 10;
+    aopt.adaptive.max_k = 200;
+    aopt.adaptive.tolerance = 0.05;
+    aopt.adaptive.seed = 700 + i;
+    const explain::ExplanationResult ares =
+        adaptive_explainer->Explain(model, series, 1, aopt);
+    explain::ExplainOptions fopt;
+    fopt.dcam.k = 100;
+    fopt.dcam.seed = 700 + i;
+    const explain::ExplanationResult fres =
+        fixed_explainer->Explain(model, series, 1, fopt);
     adaptive.BeginRow();
     adaptive.Cell(static_cast<int64_t>(i));
-    adaptive.Cell(static_cast<int64_t>(ares.k_used));
+    adaptive.Cell(static_cast<int64_t>(ares.k));
     adaptive.Cell(ares.converged ? "yes" : "no");
-    adaptive.Cell(eval::DrAcc(ares.result.dcam, mask), 3);
-    adaptive.Cell(eval::DrAcc(fres.dcam, mask), 3);
+    adaptive.Cell(eval::DrAcc(ares.map, mask), 3);
+    adaptive.Cell(eval::DrAcc(fres.map, mask), 3);
   }
   adaptive.WriteAligned(std::cout);
 

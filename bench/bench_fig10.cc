@@ -6,8 +6,8 @@
 #include <iostream>
 
 #include "bench/bench_utils.h"
-#include "core/engine.h"
-#include "eval/metrics.h"
+#include "eval/sweep.h"
+#include "explain/explainer.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 
@@ -45,27 +45,22 @@ int main() {
           data::SeedType::kShapes, /*type=*/1, D, /*seed=*/900 + D);
       const dcam_bench::RunOutcome run = dcam_bench::TrainOnce(
           name, pair.train, pair.test, 3, dcam_bench::BenchTrainConfig());
-      auto* model = static_cast<models::GapModel*>(run.model.get());
-      // One batched engine per trained model: its scratch buffers persist
-      // across the whole k sweep and every explained instance.
-      core::DcamEngine engine(model);
 
-      // Mean Dr-acc over a few injected-class instances, per k.
+      // Mean Dr-acc over a few injected-class instances, per k, through the
+      // registry's "dcam" method. One Explainer held across the whole k
+      // sweep, so the batched engine inside it keeps its scratch warm for
+      // every k value and instance.
+      eval::ExplainSweepOptions sweep;
+      sweep.max_instances = 3;
+      sweep.base.dcam.seed = 77;  // same permutation stream prefix across k
+      const auto explainer = explain::MakeExplainer("dcam");
       std::vector<double> dr_per_k;
       for (int k : k_sweep) {
-        double dr = 0.0;
-        int count = 0;
-        for (int64_t i = 0; i < pair.test.size() && count < 3; ++i) {
-          if (pair.test.y[i] != 1) continue;
-          core::DcamOptions opts;
-          opts.k = k;
-          opts.seed = 77;  // same permutation stream prefix across k values
-          const core::DcamResult res =
-              engine.Compute(pair.test.Instance(i), 1, opts);
-          dr += eval::DrAcc(res.dcam, pair.test.InstanceMask(i));
-          ++count;
-        }
-        dr_per_k.push_back(count > 0 ? dr / count : 0.0);
+        sweep.base.dcam.k = k;
+        dr_per_k.push_back(
+            eval::ScoreMethod(run.model.get(), explainer.get(), pair.test,
+                              sweep)
+                .mean_dr_acc);
       }
 
       double best = 0.0;

@@ -7,8 +7,7 @@
 #include <iostream>
 
 #include "bench/bench_utils.h"
-#include "core/engine.h"
-#include "eval/metrics.h"
+#include "eval/sweep.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 
@@ -42,28 +41,20 @@ int main() {
       tc.patience = 0;
       const dcam_bench::RunOutcome run =
           dcam_bench::TrainOnce(name, pair.train, pair.test, 3, tc);
-      auto* model = static_cast<models::GapModel*>(run.model.get());
-      core::DcamEngine engine(model);
 
-      double dr = 0.0, ng = 0.0;
-      int count = 0;
-      for (int64_t i = 0; i < pair.test.size() && count < 4; ++i) {
-        if (pair.test.y[i] != 1) continue;
-        core::DcamOptions opts;
-        opts.k = dcam_bench::FullMode() ? 100 : 40;
-        opts.seed = 300 + i;
-        const core::DcamResult res =
-            engine.Compute(pair.test.Instance(i), 1, opts);
-        dr += eval::DrAcc(res.dcam, pair.test.InstanceMask(i));
-        ng += res.CorrectRatio();
-        ++count;
-      }
+      eval::ExplainSweepOptions sweep;
+      sweep.max_instances = 4;
+      sweep.base.dcam.k = dcam_bench::FullMode() ? 100 : 40;
+      sweep.per_instance_seed = true;
+      sweep.seed_base = 300;
+      const eval::MethodScore score =
+          eval::ScoreMethod(run.model.get(), "dcam", pair.test, sweep);
       table.BeginRow();
       table.Cell(name);
       table.Cell(epochs);
       table.Cell(run.test_acc, 2);
-      table.Cell(count > 0 ? dr / count : 0.0, 3);
-      table.Cell(count > 0 ? ng / count : 0.0, 2);
+      table.Cell(score.mean_dr_acc, 3);
+      table.Cell(score.mean_correct_ratio, 2);
       std::fprintf(stderr, "[fig11] %s epochs=%d done\n", name.c_str(),
                    epochs);
     }

@@ -13,7 +13,7 @@
 #include <iostream>
 
 #include "bench/bench_utils.h"
-#include "core/engine.h"
+#include "explain/explainer.h"
 #include "eval/trainer.h"
 #include "nn/adam.h"
 #include "nn/loss.h"
@@ -56,8 +56,9 @@ void BM_TrainStep(benchmark::State& state) {
   state.SetLabel(name + " D=" + std::to_string(D) + " n=" + std::to_string(n));
 }
 
-// dCAM computation for one series, via the batched engine (constructed
-// outside the timed loop so its scratch persists, as a service would run it).
+// dCAM computation for one series, via the registry's "dcam" method (the
+// Explainer — and the batched engine inside it — is constructed outside the
+// timed loop so its scratch persists, as a service would run it).
 void BM_DcamCompute(benchmark::State& state) {
   const int D = static_cast<int>(state.range(0));
   const int n = static_cast<int>(state.range(1));
@@ -67,11 +68,12 @@ void BM_DcamCompute(benchmark::State& state) {
                                     &rng);
   Tensor series({D, n});
   series.FillNormal(&rng, 0.0f, 1.0f);
-  core::DcamOptions opts;
-  opts.k = k;
-  core::DcamEngine engine(model.get());
+  explain::ExplainOptions opts;
+  opts.dcam.k = k;
+  auto explainer = explain::MakeExplainer("dcam");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(engine.Compute(series, 0, opts).dcam.data());
+    benchmark::DoNotOptimize(
+        explainer->Explain(model.get(), series, 0, opts).map.data());
   }
   state.SetLabel("D=" + std::to_string(D) + " n=" + std::to_string(n) +
                  " k=" + std::to_string(k));

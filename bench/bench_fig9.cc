@@ -7,9 +7,8 @@
 #include <iostream>
 
 #include "bench/bench_utils.h"
-#include "cam/cam.h"
-#include "core/engine.h"
 #include "eval/metrics.h"
+#include "eval/sweep.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 
@@ -35,32 +34,18 @@ Point RunOne(const std::string& name, data::SeedType seed_type, int type,
       dcam_bench::TrainBestOf(name, pair.train, pair.test, seeds, tc);
   Point point;
   point.c_acc = run.test_acc;
-  // One engine per trained cube model, reused across the explained instances.
-  std::unique_ptr<core::DcamEngine> engine;
-  if (models::IsCubeModel(name)) {
-    engine = std::make_unique<core::DcamEngine>(
-        static_cast<models::GapModel*>(run.model.get()));
-  }
-  double dr = 0.0;
-  int count = 0;
-  for (int64_t i = 0; i < pair.test.size() && count < 4; ++i) {
-    if (pair.test.y[i] != 1) continue;
-    const Tensor series = pair.test.Instance(i);
-    Tensor map;
-    if (models::IsCubeModel(name)) {
-      core::DcamOptions opts;
-      opts.k = dcam_bench::FullMode() ? 100 : 40;
-      opts.seed = 500 + i;
-      map = engine->Compute(series, 1, opts).dcam;
-    } else {
-      Tensor cam = cam::ComputeCam(
-          static_cast<models::GapModel*>(run.model.get()), series, 1);
-      map = cam::BroadcastCam(cam, static_cast<int>(pair.test.dims()));
-    }
-    dr += eval::DrAcc(map, pair.test.InstanceMask(i));
-    ++count;
-  }
-  point.dr_acc = count > 0 ? dr / count : 0.0;
+  // Dr-acc through the explain:: registry: dCAM for the d-architectures,
+  // broadcast CAM for ResNet/cResNet (eval::PaperMethodFor), one persistent
+  // engine per trained cube model inside the sweep's Explainer.
+  eval::ExplainSweepOptions sweep;
+  sweep.max_instances = 4;
+  sweep.base.dcam.k = dcam_bench::FullMode() ? 100 : 40;
+  sweep.per_instance_seed = true;
+  sweep.seed_base = 500;
+  const std::string method =
+      eval::PaperMethodFor(*run.model, pair.test.Instance(0));
+  point.dr_acc =
+      eval::ScoreMethod(run.model.get(), method, pair.test, sweep).mean_dr_acc;
   return point;
 }
 

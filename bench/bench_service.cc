@@ -1,0 +1,244 @@
+// Multi-client ExplainService throughput: cross-request batching and result
+// caching against the one-request-at-a-time baseline.
+//
+// Workload: C client threads each request dCAM maps for distinct series with
+// small per-request k. A single request underfills the engine's forward
+// batch (k < batch width), so serving requests one at a time leaves the
+// thread pool starved; the service coalesces the concurrent requests into
+// shared DcamEngine::ComputeMany passes. On a single core the engine batch
+// adapts to 1 and the two paths should be near parity; the >= 1.3x win
+// needs a multi-core host where wider batches feed the pool. The cache
+// phase resubmits the same requests and must be serviced without recompute.
+//
+// Pass `--json <path>` to emit BENCH_dcam.json-style records:
+//   BM_ServiceDcamDirect     sequential direct Explainer calls (baseline)
+//   BM_ServiceDcamCoalesced  concurrent clients through ExplainService
+//   BM_ServiceCacheHit       the same requests again, all cache hits
+// ns_per_iter is wall time per request; shape is D/n/k/clientsxper_client.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explain/explainer.h"
+#include "explain/service.h"
+#include "models/cnn.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace dcam;
+
+namespace {
+
+struct Options {
+  int clients = 4;
+  int per_client = 8;
+  int k = 6;
+  int dims = 8;
+  int len = 64;
+  std::string json_path;
+};
+
+struct Measurement {
+  std::string op;
+  double ns_per_iter = 0.0;
+  long long iterations = 0;
+};
+
+int64_t ParseIntFlag(const char* value, const char* flag) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || v <= 0) {
+    std::fprintf(stderr, "bench_service: bad value for %s: %s\n", flag, value);
+    std::exit(1);
+  }
+  return v;
+}
+
+std::vector<explain::ExplainRequest> BuildWorkload(const Options& opt,
+                                                   Rng* rng) {
+  std::vector<explain::ExplainRequest> requests;
+  for (int c = 0; c < opt.clients; ++c) {
+    for (int r = 0; r < opt.per_client; ++r) {
+      explain::ExplainRequest req;
+      req.model_id = "dcnn";
+      req.method = "dcam";
+      req.series = Tensor({opt.dims, opt.len});
+      req.series.FillNormal(rng, 0.0f, 1.0f);
+      req.class_idx = (c + r) % 2;
+      req.options.dcam.k = opt.k;
+      req.options.dcam.seed = 10000 + 100 * c + r;
+      requests.push_back(std::move(req));
+    }
+  }
+  return requests;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_service: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json_path = next("--json");
+    } else if (arg == "--clients") {
+      opt.clients = static_cast<int>(ParseIntFlag(next("--clients"), "--clients"));
+    } else if (arg == "--requests") {
+      opt.per_client =
+          static_cast<int>(ParseIntFlag(next("--requests"), "--requests"));
+    } else if (arg == "--k") {
+      opt.k = static_cast<int>(ParseIntFlag(next("--k"), "--k"));
+    } else if (arg == "--dims") {
+      opt.dims = static_cast<int>(ParseIntFlag(next("--dims"), "--dims"));
+    } else if (arg == "--len") {
+      opt.len = static_cast<int>(ParseIntFlag(next("--len"), "--len"));
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--clients N] [--requests M] [--k K] "
+                   "[--dims D] [--len n] [--json path]\n");
+      return 1;
+    }
+  }
+  const int total = opt.clients * opt.per_client;
+  std::printf("=== ExplainService throughput: %d clients x %d dCAM requests "
+              "(D=%d, n=%d, k=%d, pool=%d threads) ===\n",
+              opt.clients, opt.per_client, opt.dims, opt.len, opt.k,
+              GlobalPool().num_threads());
+
+  Rng rng(7);
+  models::ConvNetConfig cfg;
+  cfg.filters = {8, 8};
+  models::ConvNet model(models::InputMode::kCube, opt.dims, 2, cfg, &rng);
+  const std::vector<explain::ExplainRequest> requests =
+      BuildWorkload(opt, &rng);
+
+  // --- baseline: one request at a time through a persistent Explainer ------
+  std::vector<Tensor> direct_maps;
+  direct_maps.reserve(requests.size());
+  const auto explainer = explain::MakeExplainer("dcam");
+  Stopwatch direct_watch;
+  for (const explain::ExplainRequest& req : requests) {
+    direct_maps.push_back(
+        explainer->Explain(&model, req.series, req.class_idx, req.options)
+            .map);
+  }
+  const double direct_s = direct_watch.ElapsedSeconds();
+
+  // --- concurrent clients through the service ------------------------------
+  explain::ExplainService service;
+  service.RegisterModel("dcnn", &model);
+  std::vector<Tensor> service_maps(requests.size());
+  Stopwatch service_watch;
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < opt.clients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<std::future<explain::ExplanationResult>> futures;
+        const int base = c * opt.per_client;
+        for (int r = 0; r < opt.per_client; ++r) {
+          futures.push_back(service.Submit(requests[base + r]));
+        }
+        for (int r = 0; r < opt.per_client; ++r) {
+          service_maps[base + r] = futures[r].get().map;
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+  }
+  const double service_s = service_watch.ElapsedSeconds();
+
+  // --- cache phase: the identical workload again ---------------------------
+  Stopwatch cache_watch;
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < opt.clients; ++c) {
+      clients.emplace_back([&, c] {
+        const int base = c * opt.per_client;
+        for (int r = 0; r < opt.per_client; ++r) {
+          (void)service.Explain(requests[base + r]);
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+  }
+  const double cache_s = cache_watch.ElapsedSeconds();
+  const explain::ExplainService::Stats stats = service.stats();
+
+  // Determinism check: batching/caching must be invisible to clients.
+  long long mismatches = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (service_maps[i].shape() != direct_maps[i].shape()) {
+      ++mismatches;
+      continue;
+    }
+    for (int64_t j = 0; j < direct_maps[i].size(); ++j) {
+      if (service_maps[i][j] != direct_maps[i][j]) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+
+  std::printf("direct (1-at-a-time): %7.1f ms total, %8.0f us/request\n",
+              direct_s * 1e3, direct_s * 1e6 / total);
+  std::printf("service (coalesced) : %7.1f ms total, %8.0f us/request "
+              "(%.2fx vs direct)\n",
+              service_s * 1e3, service_s * 1e6 / total,
+              service_s > 0 ? direct_s / service_s : 0.0);
+  std::printf("service (cache hit) : %7.1f ms total, %8.0f us/request\n",
+              cache_s * 1e3, cache_s * 1e6 / total);
+  std::printf("stats: %llu engine passes (largest %llu requests), "
+              "%llu cache hits, %llu deduped; per-request maps %s\n",
+              static_cast<unsigned long long>(stats.coalesced_batches),
+              static_cast<unsigned long long>(stats.max_coalesce),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.deduped),
+              mismatches == 0 ? "bit-identical to direct calls"
+                              : "MISMATCHED (bug!)");
+
+  if (!opt.json_path.empty()) {
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_service: cannot open %s for writing\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    char shape[64];
+    std::snprintf(shape, sizeof shape, "%d/%d/%d/%dx%d", opt.dims, opt.len,
+                  opt.k, opt.clients, opt.per_client);
+    const Measurement rows[] = {
+        {"BM_ServiceDcamDirect", direct_s * 1e9 / total, total},
+        {"BM_ServiceDcamCoalesced", service_s * 1e9 / total, total},
+        {"BM_ServiceCacheHit", cache_s * 1e9 / total, total},
+    };
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    const size_t n = sizeof rows / sizeof rows[0];
+    for (size_t i = 0; i < n; ++i) {
+      std::fprintf(f,
+                   "    {\"op\": \"%s\", \"shape\": \"%s\", "
+                   "\"ns_per_iter\": %.1f, \"threads\": %d, "
+                   "\"iterations\": %lld}%s\n",
+                   rows[i].op.c_str(), shape, rows[i].ns_per_iter,
+                   GlobalPool().num_threads(), rows[i].iterations,
+                   i + 1 < n ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench_service: wrote %zu results to %s\n", n,
+                 opt.json_path.c_str());
+  }
+  return mismatches == 0 ? 0 : 1;
+}

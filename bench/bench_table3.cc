@@ -7,11 +7,8 @@
 #include <iostream>
 
 #include "bench/bench_utils.h"
-#include "cam/cam.h"
-#include "core/engine.h"
-#include "eval/metrics.h"
 #include "eval/ranking.h"
-#include "models/mtex.h"
+#include "eval/sweep.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
 
@@ -19,49 +16,25 @@ using namespace dcam;
 
 namespace {
 
-// Mean Dr-acc of a model's explanation over injected-class test instances.
-double MeanDrAcc(models::Model* model, const std::string& name,
-                 const data::Dataset& test, int max_instances) {
-  double sum = 0.0;
-  int count = 0;
-  // One engine per cube model, reused across the explained instances.
-  std::unique_ptr<core::DcamEngine> engine;
-  if (models::IsCubeModel(name)) {
-    engine = std::make_unique<core::DcamEngine>(
-        static_cast<models::GapModel*>(model));
-  }
-  for (int64_t i = 0; i < test.size() && count < max_instances; ++i) {
-    if (test.y[i] != 1) continue;
-    const Tensor series = test.Instance(i);
-    Tensor map;
-    if (models::IsCubeModel(name)) {
-      core::DcamOptions opts;
-      opts.k = dcam_bench::FullMode() ? 100 : 40;
-      opts.seed = 1000 + i;
-      map = engine->Compute(series, 1, opts).dcam;
-    } else if (name == "MTEX") {
-      map = static_cast<models::MtexCnn*>(model)->Explain(series, 1);
-    } else {
-      // CAM (univariate, broadcast — starred in the paper) or cCAM.
-      Tensor cam = cam::ComputeCam(static_cast<models::GapModel*>(model),
-                                   series, 1);
-      map = cam::BroadcastCam(cam, static_cast<int>(test.dims()));
-    }
-    sum += eval::DrAcc(map, test.InstanceMask(i));
-    ++count;
-  }
-  return count > 0 ? sum / count : 0.0;
+// Sweep options shared by every model: each model is scored through the
+// registry method the paper pairs it with (dCAM / MTEX-grad / broadcast
+// CAM — eval::PaperMethodFor), instance i seeding its permutation sample
+// as 1000 + i.
+eval::ExplainSweepOptions SweepOptions(int max_instances) {
+  eval::ExplainSweepOptions opts;
+  opts.max_instances = max_instances;
+  opts.base.dcam.k = dcam_bench::FullMode() ? 100 : 40;
+  opts.per_instance_seed = true;
+  opts.seed_base = 1000;
+  return opts;
 }
 
-double MeanRandomBaseline(const data::Dataset& test, int max_instances) {
-  double sum = 0.0;
-  int count = 0;
-  for (int64_t i = 0; i < test.size() && count < max_instances; ++i) {
-    if (test.y[i] != 1) continue;
-    sum += eval::RandomBaseline(test.InstanceMask(i));
-    ++count;
-  }
-  return count > 0 ? sum / count : 0.0;
+// Mean Dr-acc of a model's explanation over injected-class test instances.
+double MeanDrAcc(models::Model* model, const data::Dataset& test,
+                 int max_instances) {
+  const std::string method = eval::PaperMethodFor(*model, test.Instance(0));
+  return eval::ScoreMethod(model, method, test, SweepOptions(max_instances))
+      .mean_dr_acc;
 }
 
 }  // namespace
@@ -124,12 +97,14 @@ int main() {
                        name.c_str(), runs.back().test_acc);
         }
         for (size_t m = 0; m < kModels.size(); ++m) {
-          const double dr = MeanDrAcc(runs[m].model.get(), kModels[m],
-                                      pair.test, kExplainInstances);
+          const double dr =
+              MeanDrAcc(runs[m].model.get(), pair.test, kExplainInstances);
           dr_row.push_back(dr);
           table.Cell(dr, 3);
         }
-        table.Cell(MeanRandomBaseline(pair.test, kExplainInstances), 3);
+        table.Cell(
+            eval::MeanRandomBaseline(pair.test, SweepOptions(kExplainInstances)),
+            3);
         dr_scores.push_back(std::move(dr_row));
       }
     }

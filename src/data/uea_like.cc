@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/fnv.h"
 #include "util/rng.h"
 
 namespace dcam {
@@ -12,12 +13,10 @@ namespace {
 constexpr double kTwoPi = 2.0 * M_PI;
 
 uint64_t HashName(const std::string& name) {
-  uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  for (char c : name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
+  // The historical seed (a truncated FNV offset basis) is kept verbatim: it
+  // feeds every synthetic dataset's structure RNG, so changing it would
+  // regenerate different data under the same dataset names.
+  return Fnv1a(name.data(), name.size(), 1469598103934665603ULL);
 }
 
 // Background spectrum shared by every class of a dataset: classes must not

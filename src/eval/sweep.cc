@@ -1,0 +1,90 @@
+#include "eval/sweep.h"
+
+#include <memory>
+
+#include "eval/metrics.h"
+#include "models/mtex.h"
+#include "util/stopwatch.h"
+
+namespace dcam {
+namespace eval {
+
+std::string PaperMethodFor(const models::Model& model, const Tensor& series) {
+  if (dynamic_cast<const models::MtexCnn*>(&model) != nullptr) {
+    return "gradcam";
+  }
+  if (explain::MakeExplainer("dcam")->Supports(model, series)) return "dcam";
+  return "cam";
+}
+
+MethodScore ScoreMethod(models::Model* model, const std::string& method,
+                        const data::Dataset& test,
+                        const ExplainSweepOptions& options) {
+  const std::unique_ptr<explain::Explainer> explainer =
+      explain::MakeExplainer(method);
+  return ScoreMethod(model, explainer.get(), test, options);
+}
+
+MethodScore ScoreMethod(models::Model* model, explain::Explainer* explainer,
+                        const data::Dataset& test,
+                        const ExplainSweepOptions& options) {
+  DCAM_CHECK(model != nullptr);
+  DCAM_CHECK(explainer != nullptr);
+  DCAM_CHECK(!test.mask.empty())
+      << "ScoreMethod needs a dataset with ground-truth masks (Dr-acc is "
+         "undefined without them)";
+  MethodScore score;
+  score.method = explainer->name();
+  double dr = 0.0, ng = 0.0;
+  for (int64_t i = 0;
+       i < test.size() && score.instances < options.max_instances; ++i) {
+    if (test.y[i] != options.target_class) continue;
+    explain::ExplainOptions opts = options.base;
+    if (options.per_instance_seed) {
+      opts.dcam.seed = options.seed_base + static_cast<uint64_t>(i);
+      opts.adaptive.seed = opts.dcam.seed;
+      opts.smoothgrad.seed = opts.dcam.seed;
+    }
+    const Tensor series = test.Instance(i);
+    Stopwatch watch;
+    const explain::ExplanationResult res =
+        explainer->Explain(model, series, options.target_class, opts);
+    score.seconds += watch.ElapsedSeconds();
+    dr += DrAcc(res.map, test.InstanceMask(i));
+    ng += res.CorrectRatio();
+    ++score.instances;
+  }
+  if (score.instances > 0) {
+    score.mean_dr_acc = dr / score.instances;
+    score.mean_correct_ratio = ng / score.instances;
+  }
+  return score;
+}
+
+std::vector<MethodScore> SweepMethods(models::Model* model,
+                                      const std::vector<std::string>& methods,
+                                      const data::Dataset& test,
+                                      const ExplainSweepOptions& options) {
+  std::vector<MethodScore> scores;
+  scores.reserve(methods.size());
+  for (const std::string& method : methods) {
+    scores.push_back(ScoreMethod(model, method, test, options));
+  }
+  return scores;
+}
+
+double MeanRandomBaseline(const data::Dataset& test,
+                          const ExplainSweepOptions& options) {
+  DCAM_CHECK(!test.mask.empty());
+  double sum = 0.0;
+  int count = 0;
+  for (int64_t i = 0; i < test.size() && count < options.max_instances; ++i) {
+    if (test.y[i] != options.target_class) continue;
+    sum += RandomBaseline(test.InstanceMask(i));
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+}  // namespace eval
+}  // namespace dcam

@@ -1,0 +1,90 @@
+// Registry-driven explanation-method sweeps.
+//
+// The Table 3 / Figure 9 harnesses all repeat the same loop — pick the
+// method that fits the model (dCAM for d-architectures, MTEX-grad for MTEX,
+// broadcast CAM otherwise), explain a few injected-class test instances,
+// average Dr-acc — with the dispatch hand-rolled at every site. This header
+// centralizes that loop on top of the explain:: registry, so a harness names
+// methods ("dcam", "occlusion", ...) instead of plumbing signatures, and new
+// registry methods join the sweeps for free. The per-method rows feed
+// eval::AverageRanks (ranking.h) for the tables' "Rank" summary.
+
+#ifndef DCAM_EVAL_SWEEP_H_
+#define DCAM_EVAL_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/series.h"
+#include "explain/explainer.h"
+#include "models/model.h"
+
+namespace dcam {
+namespace eval {
+
+/// The registry method the paper's tables score `model` with: "dcam" for
+/// cube-input d-architectures, "gradcam" for MTEX, "cam" (univariate CAM
+/// broadcast, starred in Table 3) otherwise. `series` supplies the (D, n)
+/// probe shape for the cube check.
+std::string PaperMethodFor(const models::Model& model, const Tensor& series);
+
+struct ExplainSweepOptions {
+  /// Instances of `target_class` explained (in dataset order).
+  int max_instances = 8;
+  /// The class explained and filtered on — the injected class of the
+  /// Type 1 / Type 2 synthetic datasets.
+  int target_class = 1;
+  /// Method options; seeds may be overridden per instance (below).
+  explain::ExplainOptions base;
+  /// When true, the instance at dataset index i draws its dCAM / adaptive /
+  /// SmoothGrad seed as seed_base + i — the per-instance seeding the
+  /// table/figure harnesses use so every instance gets an independent
+  /// permutation sample.
+  bool per_instance_seed = false;
+  uint64_t seed_base = 0;
+};
+
+struct MethodScore {
+  std::string method;
+  /// Dr-acc (PR-AUC against the injected ground truth) averaged over the
+  /// explained instances.
+  double mean_dr_acc = 0.0;
+  /// n_g/k averaged over the explained instances (dCAM family; 0 otherwise).
+  double mean_correct_ratio = 0.0;
+  /// Wall-clock spent inside Explain calls.
+  double seconds = 0.0;
+  int instances = 0;
+};
+
+/// Explains up to max_instances `target_class` test instances with one
+/// registry method and scores them against the dataset's ground-truth
+/// masks. Requires test.mask. One Explainer instance serves the whole loop,
+/// so per-model scratch (the dCAM engine) persists across instances.
+MethodScore ScoreMethod(models::Model* model, const std::string& method,
+                        const data::Dataset& test,
+                        const ExplainSweepOptions& options);
+
+/// As above but on a caller-held Explainer, so its per-model scratch (the
+/// dCAM engine) also persists across ScoreMethod calls — e.g. the k sweep
+/// of bench_fig10, which scores the same model many times.
+MethodScore ScoreMethod(models::Model* model, explain::Explainer* explainer,
+                        const data::Dataset& test,
+                        const ExplainSweepOptions& options);
+
+/// ScoreMethod for several methods over the same instances — the rows of an
+/// explanation-quality table.
+std::vector<MethodScore> SweepMethods(models::Model* model,
+                                      const std::vector<std::string>& methods,
+                                      const data::Dataset& test,
+                                      const ExplainSweepOptions& options);
+
+/// Mean Dr-acc of the paper's random-explainer baseline over the same
+/// instances ScoreMethod explains (the positive rate of each mask).
+double MeanRandomBaseline(const data::Dataset& test,
+                          const ExplainSweepOptions& options);
+
+}  // namespace eval
+}  // namespace dcam
+
+#endif  // DCAM_EVAL_SWEEP_H_

@@ -1,0 +1,86 @@
+// A small least-recently-used map, the result cache behind
+// explain::ExplainService.
+//
+// Explanation requests in a serving setting repeat heavily — the same
+// (model, method, series, options) tuple arrives from many clients — and
+// every built-in Explainer is deterministic given its options, so a repeated
+// request can be answered from memory instead of re-running k forward
+// passes. Header-only and dependency-free; NOT internally synchronized (the
+// service accesses it from its scheduler thread only).
+
+#ifndef DCAM_EXPLAIN_LRU_CACHE_H_
+#define DCAM_EXPLAIN_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcam {
+namespace explain {
+
+/// Fixed-capacity key -> value map with least-recently-used eviction.
+/// Get promotes; Put inserts (or overwrites) as most-recent and evicts the
+/// least-recent entry beyond capacity. A capacity of 0 disables the cache:
+/// Put drops the value and Get always misses.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Pointer to the cached value (valid until the next non-const call), or
+  /// nullptr on miss. A hit becomes the most-recently-used entry.
+  const V* Get(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites `key` as the most-recently-used entry.
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  /// True when `key` is cached. Does not affect recency.
+  bool Contains(const K& key) const { return index_.count(key) > 0; }
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Number of entries dropped by capacity eviction since construction.
+  uint64_t evictions() const { return evictions_; }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  using Entry = std::pair<K, V>;
+  size_t capacity_;
+  uint64_t evictions_ = 0;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index_;
+};
+
+}  // namespace explain
+}  // namespace dcam
+
+#endif  // DCAM_EXPLAIN_LRU_CACHE_H_

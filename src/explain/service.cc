@@ -1,0 +1,369 @@
+#include "explain/service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "core/engine.h"
+
+namespace dcam {
+namespace explain {
+namespace {
+
+// Content equality of two (D, n) series; the guard that makes the 64-bit
+// series hash in CacheKey collision-proof.
+bool SameSeries(const Tensor& a, const Tensor& b) {
+  if (a.data() == b.data()) return a.shape() == b.shape();
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+size_t ExplainService::CacheKeyHash::operator()(const CacheKey& k) const {
+  uint64_t h = kFnvOffset;
+  h = HashBytes(k.model_id.data(), k.model_id.size(), h);
+  h = HashBytes(k.method.data(), k.method.size(), h);
+  h = HashBytes(&k.series_hash, sizeof k.series_hash, h);
+  h = HashBytes(&k.options_digest, sizeof k.options_digest, h);
+  return static_cast<size_t>(h);
+}
+
+ExplainService::ExplainService() : ExplainService(Config()) {}
+
+ExplainService::ExplainService(Config config)
+    : config_(config), cache_(config.cache_capacity) {
+  DCAM_CHECK_GE(config_.engine_batch, 0);
+  DCAM_CHECK_GE(config_.max_coalesce, 1);
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+ExplainService::~ExplainService() { Shutdown(); }
+
+void ExplainService::RegisterModel(const std::string& id,
+                                   models::Model* model) {
+  DCAM_CHECK(model != nullptr);
+  DCAM_CHECK(!id.empty()) << "model id must be non-empty";
+  std::lock_guard<std::mutex> lock(mu_);
+  DCAM_CHECK_EQ(models_.count(id), 0u)
+      << "model id \"" << id << "\" already registered";
+  models_[id] = model;
+}
+
+std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
+  DCAM_CHECK_EQ(request.series.rank(), 2)
+      << "request series must be a (D, n) tensor";
+  Explainer* proto;
+  {
+    std::lock_guard<std::mutex> lock(prototypes_mu_);
+    auto it = prototypes_.find(request.method);
+    if (it == prototypes_.end()) {
+      // CHECK-fails on unknown method names, on the submitting thread.
+      it = prototypes_
+               .emplace(request.method, MakeExplainer(request.method))
+               .first;
+    }
+    proto = it->second.get();
+  }
+
+  // Reject unsupported (method, model) pairings here, on the submitting
+  // thread — a CHECK on the scheduler thread would take every other
+  // client's in-flight request down with it. Supports is const and reads
+  // only immutable model configuration, so probing while the scheduler
+  // forwards the same model is safe; the verdict is memoized per
+  // (method, model, series shape) because the dCAM probe materializes a
+  // (1, D, D, n) cube, far too expensive for the per-request path.
+  models::Model* model = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(request.model_id);
+    DCAM_CHECK(it != models_.end()) << "unknown model id \""
+                                    << request.model_id
+                                    << "\" (RegisterModel first)";
+    model = it->second;
+  }
+  bool supported;
+  {
+    const SupportsKey key{request.method, model, request.series.dim(0),
+                          request.series.dim(1)};
+    std::lock_guard<std::mutex> lock(prototypes_mu_);
+    auto it = supports_.find(key);
+    if (it == supports_.end()) {
+      it = supports_.emplace(key, proto->Supports(*model, request.series))
+               .first;
+    }
+    supported = it->second;
+  }
+  DCAM_CHECK(supported)
+      << "method \"" << request.method << "\" does not support model \""
+      << request.model_id << "\" (" << model->name() << ") for a ("
+      << request.series.dim(0) << ", " << request.series.dim(1) << ") series";
+
+  Pending p;
+  p.request = std::move(request);
+  p.dedupable = proto->Deterministic();
+  p.cacheable = p.dedupable && config_.cache_capacity > 0;
+  p.key.model_id = p.request.model_id;
+  p.key.method = p.request.method;
+  p.key.series_hash = HashTensor(p.request.series);
+  p.key.options_digest =
+      proto->OptionsDigest(p.request.class_idx, p.request.options);
+  std::future<ExplanationResult> future = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DCAM_CHECK(!stop_) << "Submit after Shutdown";
+    ++stats_.requests;
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+ExplanationResult ExplainService::Explain(ExplainRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void ExplainService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ExplainService::Shutdown() {
+  // Claim the thread handle under the lock so concurrent Shutdown calls
+  // (say, an explicit call racing the destructor) cannot both join it; the
+  // caller that loses the claim must still wait for the scheduler to exit,
+  // otherwise a racing destructor could free the members under it.
+  std::thread claimed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    claimed.swap(scheduler_);
+  }
+  cv_.notify_all();
+  if (claimed.joinable()) {
+    claimed.join();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      scheduler_exited_ = true;
+    }
+    drained_cv_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [&] { return scheduler_exited_; });
+  }
+}
+
+ExplainService::Stats ExplainService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ExplainService::SchedulerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      batch.swap(queue_);
+      in_flight_ = batch.size();
+    }
+    Process(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ = 0;
+      stats_.evictions = cache_.evictions();
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+Explainer* ExplainService::ExplainerFor(const std::string& method,
+                                        models::Model* model) {
+  auto key = std::make_pair(method, model);
+  auto it = workers_.find(key);
+  if (it == workers_.end()) {
+    it = workers_.emplace(std::move(key), MakeExplainer(method)).first;
+  }
+  return it->second.get();
+}
+
+void ExplainService::Fulfill(Pending* p, const ExplanationResult& result) {
+  {
+    // Count before waking the client: a caller returning from future.get()
+    // must observe its own request in stats().completed.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+  }
+  // Every client gets a private copy of the map: Tensor copies share
+  // storage, so handing the scheduler's buffer out would let one client's
+  // in-place edit poison the cache and every deduped sibling.
+  ExplanationResult owned = result;
+  if (!owned.map.empty()) owned.map = owned.map.Clone();
+  p->promise.set_value(std::move(owned));
+}
+
+void ExplainService::ProcessDcamGroup(models::Model* model,
+                                      std::vector<Pending*>* group,
+                                      const CompleteFn& complete) {
+  auto* gap = dynamic_cast<models::GapModel*>(model);
+  DCAM_CHECK(gap != nullptr)
+      << "\"dcam\" requests need a GAP-headed d-architecture model, got "
+      << model->name();
+  auto engine_it = engines_.find(model);
+  if (engine_it == engines_.end()) {
+    core::DcamEngine::Config cfg;
+    cfg.batch = config_.engine_batch;
+    engine_it =
+        engines_.emplace(model, std::make_unique<core::DcamEngine>(gap, cfg))
+            .first;
+  }
+  core::DcamEngine* engine = engine_it->second.get();
+
+  // Chunks bound the number of live (D, D, n) accumulators; within a chunk
+  // ComputeMany packs permutation batches across the requests.
+  const size_t n = group->size();
+  for (size_t begin = 0; begin < n;
+       begin += static_cast<size_t>(config_.max_coalesce)) {
+    const size_t end =
+        std::min(n, begin + static_cast<size_t>(config_.max_coalesce));
+    std::vector<Tensor> series;
+    std::vector<int> classes;
+    std::vector<core::DcamOptions> options;
+    series.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      Pending* p = (*group)[i];
+      series.push_back(p->request.series);
+      classes.push_back(p->request.class_idx);
+      core::DcamOptions opts = p->request.options.dcam;
+      opts.keep_mbar = false;  // match the "dcam" adapter exactly
+      options.push_back(opts);
+    }
+    const std::vector<core::DcamResult> results =
+        engine->ComputeMany(series, classes, options);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.coalesced_batches;
+      stats_.coalesced_requests += end - begin;
+      stats_.max_coalesce = std::max(stats_.max_coalesce,
+                                     static_cast<uint64_t>(end - begin));
+    }
+    for (size_t i = begin; i < end; ++i) {
+      Pending* p = (*group)[i];
+      ExplanationResult out;
+      out.map = results[i - begin].dcam;
+      out.k = results[i - begin].k;
+      out.num_correct = results[i - begin].num_correct;
+      complete(p, out);
+    }
+  }
+}
+
+void ExplainService::Process(std::vector<Pending> batch) {
+  // 1. Cache probe, and dedupe of identical in-flight misses: the first
+  // occurrence of a key computes, the rest wait for its result. Both paths
+  // verify actual series contents — the key's 64-bit hash alone must never
+  // decide what a client receives.
+  std::vector<Pending*> misses;
+  std::unordered_map<CacheKey, std::vector<Pending*>, CacheKeyHash> dupes;
+  for (Pending& p : batch) {
+    if (p.cacheable) {
+      const CacheEntry* hit = cache_.Get(p.key);
+      if (hit != nullptr && SameSeries(hit->series, p.request.series)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.cache_hits;
+        }
+        Fulfill(&p, hit->result);
+        continue;
+      }
+    }
+    if (p.dedupable) {
+      auto [it, inserted] = dupes.try_emplace(p.key);
+      if (inserted ||
+          SameSeries(it->second.front()->request.series, p.request.series)) {
+        it->second.push_back(&p);
+        if (!inserted) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.deduped;
+          continue;  // a follower; the leader computes
+        }
+      }
+      // else: a hash-collision twin with different contents — computes on
+      // its own below, outside the waiter list.
+    }
+    misses.push_back(&p);
+  }
+
+  // 2. Resolve model ids once (the registry of models can only grow).
+  std::unordered_map<std::string, models::Model*> models;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    models = models_;
+  }
+
+  // 3. Coalesce "dcam" misses per model into shared engine passes; serve
+  // every other method through its per-(method, model) registry explainer.
+  // Leaders with followers also record their result locally — the LRU alone
+  // is not a safe hand-off, since a small cache may evict a leader's entry
+  // before its followers are reached.
+  std::unordered_map<CacheKey, ExplanationResult, CacheKeyHash> computed;
+  const CompleteFn complete = [&](Pending* p, const ExplanationResult& r) {
+    // The series is cloned into the entry: the client may legitimately
+    // reuse its buffer once the request completes, and the stored bytes
+    // back the SameSeries collision guard.
+    if (p->cacheable) {
+      cache_.Put(p->key, CacheEntry{r, p->request.series.Clone()});
+    }
+    auto it = dupes.find(p->key);
+    // Only the waiter list's own leader feeds the followers — a
+    // hash-collision twin shares the key but not the series.
+    if (it != dupes.end() && it->second.size() > 1 &&
+        it->second.front() == p) {
+      computed.emplace(p->key, r);
+    }
+    Fulfill(p, r);
+  };
+  std::vector<std::pair<models::Model*, std::vector<Pending*>>> dcam_groups;
+  std::vector<Pending*> singles;
+  for (Pending* p : misses) {
+    models::Model* model = models.at(p->request.model_id);
+    if (p->request.method == "dcam") {
+      auto it = std::find_if(dcam_groups.begin(), dcam_groups.end(),
+                             [&](const auto& g) { return g.first == model; });
+      if (it == dcam_groups.end()) {
+        dcam_groups.push_back({model, {p}});
+      } else {
+        it->second.push_back(p);
+      }
+    } else {
+      singles.push_back(p);
+    }
+  }
+  for (auto& [model, group] : dcam_groups) {
+    ProcessDcamGroup(model, &group, complete);
+  }
+  for (Pending* p : singles) {
+    models::Model* model = models.at(p->request.model_id);
+    const ExplanationResult result =
+        ExplainerFor(p->request.method, model)
+            ->Explain(model, p->request.series, p->request.class_idx,
+                      p->request.options);
+    complete(p, result);
+  }
+
+  // 4. Fulfill the deduped followers from their leaders' results.
+  for (auto& [key, waiters] : dupes) {
+    if (waiters.size() <= 1) continue;
+    auto it = computed.find(key);
+    DCAM_CHECK(it != computed.end());
+    for (size_t i = 1; i < waiters.size(); ++i) Fulfill(waiters[i], it->second);
+  }
+}
+
+}  // namespace explain
+}  // namespace dcam

@@ -1,0 +1,209 @@
+// Concurrent explanation service with cross-request batching and result
+// caching.
+//
+// The ROADMAP's serving scenario: many clients ask for explanations of the
+// same few deployed models. Two structural facts make a naive
+// thread-per-request design wrong here:
+//
+//   * a Model is stateful across Forward/Backward (cached activations), so
+//     requests against one model must serialize anyway;
+//   * dCAM's cost is k cube forwards, and core::DcamEngine::ComputeMany
+//     already packs permutation batches across *series* — so the cheapest
+//     way to serve concurrent dCAM requests is to merge them into one
+//     engine pass, amortizing partially-filled forward batches across
+//     clients (the task-queue/worker shape of the SIGMOD-contest engines).
+//
+// ExplainService therefore runs one scheduler thread over a request queue:
+//
+//   clients --Submit()--> queue --drain--> [cache probe]
+//                                           |  miss, method == "dcam"
+//                                           v
+//                              group by model, ComputeMany(...)  (coalesced)
+//                                           |  miss, other methods
+//                                           v
+//                              registry Explainer, one at a time
+//
+// Results land in an LRU cache keyed by (model id, method, series hash,
+// options digest) — class_idx is folded into the digest — and identical
+// in-flight requests are deduplicated against the first occurrence.
+//
+// Determinism: every request carries its own options (and hence its own
+// seed), which ComputeMany applies per instance, so a service result is
+// bit-identical to calling the registry Explainer directly — batching and
+// caching are invisible to clients (enforced by explain_service_test).
+
+#ifndef DCAM_EXPLAIN_SERVICE_H_
+#define DCAM_EXPLAIN_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "explain/explainer.h"
+#include "explain/lru_cache.h"
+#include "models/model.h"
+#include "tensor/tensor.h"
+
+namespace dcam {
+namespace core {
+class DcamEngine;
+}  // namespace core
+
+namespace explain {
+
+/// One explanation request. `series` shares storage with the caller's
+/// tensor; it must not be mutated until the request completes.
+struct ExplainRequest {
+  std::string model_id;  // as passed to RegisterModel
+  std::string method;    // registry name, e.g. "dcam"
+  Tensor series;         // (D, n)
+  int class_idx = 0;
+  ExplainOptions options;
+};
+
+class ExplainService {
+ public:
+  struct Config {
+    /// LRU result-cache entries; 0 disables caching.
+    size_t cache_capacity = 256;
+    /// Forwarded to DcamEngine::Config::batch (0 = adapt to the machine).
+    int engine_batch = 0;
+    /// At most this many dCAM requests are folded into one ComputeMany call
+    /// — bounds the number of live (D, D, n) accumulators.
+    int max_coalesce = 64;
+  };
+
+  struct Stats {
+    uint64_t requests = 0;          // accepted by Submit
+    uint64_t completed = 0;         // promises fulfilled
+    uint64_t cache_hits = 0;        // served from the LRU
+    uint64_t deduped = 0;           // merged into an identical in-flight miss
+    uint64_t coalesced_batches = 0; // ComputeMany calls issued
+    uint64_t coalesced_requests = 0;// dCAM requests served by those calls
+    uint64_t max_coalesce = 0;      // largest single ComputeMany group
+    uint64_t evictions = 0;         // LRU entries dropped
+  };
+
+  /// Starts the scheduler thread immediately.
+  ExplainService();
+  explicit ExplainService(Config config);
+
+  /// Drains outstanding requests, then stops the scheduler.
+  ~ExplainService();
+
+  ExplainService(const ExplainService&) = delete;
+  ExplainService& operator=(const ExplainService&) = delete;
+
+  /// Registers `model` (non-owning; must outlive the service) under `id`.
+  /// Re-registering an id CHECK-fails. Safe to call while serving; requests
+  /// naming `id` may be submitted as soon as this returns.
+  void RegisterModel(const std::string& id, models::Model* model);
+
+  /// Enqueues a request and returns the future result. CHECK-fails on an
+  /// unknown model id or method, or a non-(D, n) series — submission-time
+  /// errors are programming errors, not load-dependent conditions.
+  std::future<ExplanationResult> Submit(ExplainRequest request);
+
+  /// Submit + wait. The calling thread blocks until the scheduler serves
+  /// the request (or its cache hit).
+  ExplanationResult Explain(ExplainRequest request);
+
+  /// Blocks until every request submitted so far has completed.
+  void Drain();
+
+  /// Stops accepting requests, drains the queue, and joins the scheduler.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  Stats stats() const;
+
+ private:
+  struct CacheKey {
+    std::string model_id;
+    std::string method;
+    uint64_t series_hash = 0;
+    uint64_t options_digest = 0;  // includes class_idx
+
+    bool operator==(const CacheKey& o) const {
+      return series_hash == o.series_hash &&
+             options_digest == o.options_digest && model_id == o.model_id &&
+             method == o.method;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const;
+  };
+
+  // A cached result keeps the series it was computed for: the 64-bit series
+  // hash in the key is not collision-proof, so a hit is only served after
+  // the stored series compares equal to the request's.
+  struct CacheEntry {
+    ExplanationResult result;
+    Tensor series;
+  };
+
+  struct Pending {
+    ExplainRequest request;
+    CacheKey key;
+    bool dedupable = false;  // deterministic: identical in-flight requests merge
+    bool cacheable = false;  // dedupable and the result cache is enabled
+    std::promise<ExplanationResult> promise;
+  };
+
+  /// Finishes one computed request: cache insert, follower hand-off,
+  /// promise fulfilment.
+  using CompleteFn = std::function<void(Pending*, const ExplanationResult&)>;
+
+  void SchedulerLoop();
+  void Process(std::vector<Pending> batch);
+  /// Serves a group of same-model "dcam" misses through one ComputeMany.
+  void ProcessDcamGroup(models::Model* model, std::vector<Pending*>* group,
+                        const CompleteFn& complete);
+  Explainer* ExplainerFor(const std::string& method, models::Model* model);
+  void Fulfill(Pending* p, const ExplanationResult& result);
+
+  const Config config_;
+
+  mutable std::mutex mu_;  // queue_, models_, stats_, stop_
+  std::condition_variable cv_;        // scheduler wake-up
+  std::condition_variable drained_cv_;  // Drain/Shutdown wait
+  std::vector<Pending> queue_;
+  std::unordered_map<std::string, models::Model*> models_;
+  Stats stats_;
+  uint64_t in_flight_ = 0;  // drained from queue_, not yet fulfilled
+  bool stop_ = false;
+  bool scheduler_exited_ = false;  // set by the Shutdown call that joined
+
+  // Scheduler-thread-only state (no locking): the result cache, one digest
+  // prototype per method (also used by Submit — OptionsDigest is const and
+  // stateless, so concurrent use is safe), and per-(method, model) worker
+  // explainers whose engine scratch persists across requests.
+  LruCache<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::unordered_map<std::string, std::unique_ptr<Explainer>> prototypes_;
+  // Memoized Supports verdicts: the dCAM probe builds a (1, D, D, n) cube,
+  // which must not run per Submit.
+  using SupportsKey = std::tuple<std::string, models::Model*, int64_t, int64_t>;
+  std::map<SupportsKey, bool> supports_;
+  std::mutex prototypes_mu_;  // guards prototypes_ and supports_ (client threads)
+  std::map<std::pair<std::string, models::Model*>, std::unique_ptr<Explainer>>
+      workers_;
+  // One batched engine per model for the coalesced "dcam" path; its scratch
+  // persists across every request the service ever serves for that model.
+  std::unordered_map<models::Model*, std::unique_ptr<core::DcamEngine>>
+      engines_;
+
+  std::thread scheduler_;
+};
+
+}  // namespace explain
+}  // namespace dcam
+
+#endif  // DCAM_EXPLAIN_SERVICE_H_

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <vector>
 
+#include "util/fnv.h"
+
 namespace dcam {
 namespace io {
 namespace {
@@ -15,17 +17,11 @@ constexpr char kMagic[8] = {'D', 'C', 'A', 'M', 'W', 'T', 'S', '1'};
 // in a file this small. Not a substitute for storage-level integrity.
 class Fnv1a {
  public:
-  void Update(const void* data, size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      hash_ ^= p[i];
-      hash_ *= 1099511628211ULL;
-    }
-  }
+  void Update(const void* data, size_t n) { hash_ = dcam::Fnv1a(data, n, hash_); }
   uint64_t digest() const { return hash_; }
 
  private:
-  uint64_t hash_ = 14695981039346656037ULL;
+  uint64_t hash_ = kFnv1aOffsetBasis;
 };
 
 // Buffered writer that hashes everything it emits.

@@ -1,0 +1,31 @@
+// FNV-1a 64-bit hashing, shared by weight-file checksums (io/serialize),
+// dataset-name seeding (data/uea_like), and explanation cache keys
+// (explain/). One copy of the constants and loop; callers that must keep a
+// historical seed pass it explicitly.
+
+#ifndef DCAM_UTIL_FNV_H_
+#define DCAM_UTIL_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcam {
+
+inline constexpr uint64_t kFnv1aOffsetBasis = 14695981039346656037ULL;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Folds `len` bytes into `h` (FNV-1a). Chainable: pass the previous return
+/// value as `h` to hash a sequence of fields.
+inline uint64_t Fnv1a(const void* data, size_t len,
+                      uint64_t h = kFnv1aOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace dcam
+
+#endif  // DCAM_UTIL_FNV_H_

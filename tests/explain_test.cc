@@ -1,0 +1,348 @@
+// The explain:: registry's core contract: every explanation method in
+// src/core/ and src/cam/ is reachable by name, each adapter is bit-identical
+// to the free function it wraps at the same options/seed, Supports gates
+// model compatibility, and OptionsDigest keys exactly the fields a method
+// reads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "cam/cam.h"
+#include "cam/occlusion.h"
+#include "cam/saliency.h"
+#include "core/dcam.h"
+#include "core/variants.h"
+#include "explain/explainer.h"
+#include "models/cnn.h"
+#include "models/mtex.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace explain {
+namespace {
+
+constexpr int kDims = 4;
+constexpr int kLen = 16;
+
+std::unique_ptr<models::ConvNet> TinyModel(models::InputMode mode, Rng* rng,
+                                           int num_classes = 2) {
+  models::ConvNetConfig cfg;
+  cfg.filters = {4, 4};
+  return std::make_unique<models::ConvNet>(mode, kDims, num_classes, cfg, rng);
+}
+
+Tensor RandomSeries(Rng* rng) {
+  Tensor series({kDims, kLen});
+  series.FillNormal(rng, 0.0f, 1.0f);
+  return series;
+}
+
+void ExpectSameMap(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "maps differ at flat index " << i;
+  }
+}
+
+TEST(ExplainerRegistryTest, EveryMethodIsRegisteredAndConstructible) {
+  const std::vector<std::string> expected = {
+      "dcam",       "dcam_serial",      "dcam_adaptive",
+      "dcam_contrastive", "cam",        "gradcam",
+      "gradient",   "saliency",         "grad_times_input",
+      "smoothgrad", "integrated_gradients", "occlusion",
+      "dimension_occlusion"};
+  const std::vector<std::string> names = AllExplainerNames();
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(HasExplainer(name)) << name;
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << name << " missing from AllExplainerNames";
+    const auto explainer = MakeExplainer(name);
+    ASSERT_NE(explainer, nullptr);
+    EXPECT_EQ(explainer->name(), name);
+    EXPECT_TRUE(explainer->Deterministic());
+  }
+  EXPECT_FALSE(HasExplainer("no_such_method"));
+}
+
+TEST(ExplainerRegistryTest, UnknownNameDies) {
+  EXPECT_DEATH(MakeExplainer("no_such_method"), "unknown explainer");
+}
+
+TEST(ExplainerRegistryTest, ExternalRegistrationRoundTrips) {
+  class Constant : public Explainer {
+   public:
+    std::string name() const override { return "test_constant"; }
+    bool Supports(const models::Model&, const Tensor&) const override {
+      return true;
+    }
+    bool Deterministic() const override { return false; }
+    ExplanationResult Explain(models::Model*, const Tensor& series, int,
+                              const ExplainOptions&) override {
+      ExplanationResult out;
+      out.map = Tensor(series.shape(), 1.0f);
+      return out;
+    }
+  };
+  // First registration wins; duplicates are rejected.
+  RegisterExplainer("test_constant", []() -> std::unique_ptr<Explainer> {
+    return std::make_unique<Constant>();
+  });
+  EXPECT_FALSE(
+      RegisterExplainer("test_constant", []() -> std::unique_ptr<Explainer> {
+        return std::make_unique<Constant>();
+      }));
+  EXPECT_TRUE(HasExplainer("test_constant"));
+  EXPECT_FALSE(MakeExplainer("test_constant")->Deterministic());
+}
+
+TEST(ExplainerSupportsTest, DcamNeedsCubeGapModel) {
+  Rng rng(2);
+  auto cube = TinyModel(models::InputMode::kCube, &rng);
+  auto standard = TinyModel(models::InputMode::kStandard, &rng);
+  const Tensor series = RandomSeries(&rng);
+  for (const char* method :
+       {"dcam", "dcam_serial", "dcam_adaptive", "dcam_contrastive"}) {
+    SCOPED_TRACE(method);
+    EXPECT_TRUE(MakeExplainer(method)->Supports(*cube, series));
+    EXPECT_FALSE(MakeExplainer(method)->Supports(*standard, series));
+  }
+  // CAM needs a GAP head but not a cube; the agnostic methods accept both.
+  EXPECT_TRUE(MakeExplainer("cam")->Supports(*standard, series));
+  EXPECT_TRUE(MakeExplainer("occlusion")->Supports(*standard, series));
+  EXPECT_TRUE(MakeExplainer("saliency")->Supports(*cube, series));
+}
+
+TEST(ExplainerEquivalenceTest, DcamMatchesDirectEngineAndSerial) {
+  Rng rng(3);
+  auto model = TinyModel(models::InputMode::kCube, &rng);
+  const Tensor series = RandomSeries(&rng);
+  ExplainOptions opts;
+  opts.dcam.k = 13;
+  opts.dcam.seed = 99;
+
+  const core::DcamResult serial =
+      core::ComputeDcamSerial(model.get(), series, 1, opts.dcam);
+  for (const char* method : {"dcam", "dcam_serial"}) {
+    SCOPED_TRACE(method);
+    const ExplanationResult res =
+        Explain(method, model.get(), series, 1, opts);
+    ExpectSameMap(res.map, serial.dcam);
+    EXPECT_EQ(res.k, serial.k);
+    EXPECT_EQ(res.num_correct, serial.num_correct);
+  }
+}
+
+TEST(ExplainerEquivalenceTest, AdaptiveMatchesDirectCall) {
+  Rng rng(4);
+  auto model = TinyModel(models::InputMode::kCube, &rng);
+  const Tensor series = RandomSeries(&rng);
+  ExplainOptions opts;
+  opts.adaptive.batch = 5;
+  opts.adaptive.max_k = 30;
+  opts.adaptive.seed = 7;
+
+  const core::AdaptiveDcamResult want =
+      core::ComputeDcamAdaptive(model.get(), series, 1, opts.adaptive);
+  const ExplanationResult got =
+      Explain("dcam_adaptive", model.get(), series, 1, opts);
+  ExpectSameMap(got.map, want.result.dcam);
+  EXPECT_EQ(got.k, want.k_used);
+  EXPECT_EQ(got.converged, want.converged);
+  EXPECT_EQ(got.num_correct, want.result.num_correct);
+}
+
+TEST(ExplainerEquivalenceTest, ContrastiveMatchesDirectCall) {
+  Rng rng(5);
+  auto model = TinyModel(models::InputMode::kCube, &rng);
+  const Tensor series = RandomSeries(&rng);
+  ExplainOptions opts;
+  opts.dcam.k = 9;
+  opts.contrast_class = 0;
+
+  const Tensor want =
+      core::ContrastiveDcam(model.get(), series, 1, 0, opts.dcam);
+  const ExplanationResult got =
+      Explain("dcam_contrastive", model.get(), series, 1, opts);
+  ExpectSameMap(got.map, want);
+}
+
+TEST(ExplainerEquivalenceTest, ContrastiveWithoutContrastClassDies) {
+  Rng rng(6);
+  auto model = TinyModel(models::InputMode::kCube, &rng);
+  const Tensor series = RandomSeries(&rng);
+  ExplainOptions opts;
+  opts.dcam.k = 2;
+  EXPECT_DEATH(Explain("dcam_contrastive", model.get(), series, 1, opts),
+               "contrast_class");
+}
+
+TEST(ExplainerEquivalenceTest, CamMatchesBroadcastComputeCam) {
+  Rng rng(7);
+  auto model = TinyModel(models::InputMode::kStandard, &rng);
+  const Tensor series = RandomSeries(&rng);
+  const Tensor want = cam::BroadcastCam(
+      cam::ComputeCam(model.get(), series, 1), kDims);
+  const ExplanationResult got = Explain("cam", model.get(), series, 1, {});
+  ExpectSameMap(got.map, want);
+}
+
+TEST(ExplainerEquivalenceTest, GradCamMatchesMtexExplain) {
+  Rng rng(8);
+  models::MtexCnn mtex(kDims, kLen, 2, models::MtexConfig().Scaled(8), &rng);
+  const Tensor series = RandomSeries(&rng);
+  const Tensor want = mtex.Explain(series, 1);
+  EXPECT_TRUE(MakeExplainer("gradcam")->Supports(mtex, series));
+  const ExplanationResult got = Explain("gradcam", &mtex, series, 1, {});
+  ExpectSameMap(got.map, want);
+}
+
+TEST(ExplainerEquivalenceTest, GradCamOnGapModelIsReluCamOverArea) {
+  // With a GAP head, d logit / d A_m is w_m / (H*W), so grad-CAM reduces to
+  // ReLU(CAM) / (H*W) — the adapter must reproduce that exactly.
+  Rng rng(9);
+  auto model = TinyModel(models::InputMode::kStandard, &rng);
+  const Tensor series = RandomSeries(&rng);
+  const ExplanationResult got = Explain("gradcam", model.get(), series, 1, {});
+  const Tensor cam =
+      cam::BroadcastCam(cam::ComputeCam(model.get(), series, 1), kDims);
+  const Tensor& act = model->last_activation();
+  const float inv_hw = 1.0f / static_cast<float>(act.dim(2) * act.dim(3));
+  ASSERT_EQ(got.map.shape(), cam.shape());
+  for (int64_t i = 0; i < cam.size(); ++i) {
+    const float want = std::max(0.0f, cam[i] * inv_hw);
+    ASSERT_NEAR(got.map[i], want, 1e-6f) << "flat index " << i;
+  }
+}
+
+TEST(ExplainerEquivalenceTest, GradientFamilyMatchesDirectCalls) {
+  Rng rng(10);
+  auto model = TinyModel(models::InputMode::kCube, &rng);
+  const Tensor series = RandomSeries(&rng);
+  ExplainOptions opts;
+  opts.smoothgrad.samples = 4;
+  opts.smoothgrad.seed = 31;
+  opts.integrated.steps = 6;
+
+  ExpectSameMap(Explain("gradient", model.get(), series, 1, opts).map,
+                cam::InputGradient(model.get(), series, 1));
+  ExpectSameMap(Explain("saliency", model.get(), series, 1, opts).map,
+                cam::GradientSaliency(model.get(), series, 1));
+  ExpectSameMap(Explain("grad_times_input", model.get(), series, 1, opts).map,
+                cam::GradientTimesInput(model.get(), series, 1));
+  ExpectSameMap(Explain("smoothgrad", model.get(), series, 1, opts).map,
+                cam::SmoothGrad(model.get(), series, 1, opts.smoothgrad));
+  ExpectSameMap(
+      Explain("integrated_gradients", model.get(), series, 1, opts).map,
+      cam::IntegratedGradients(model.get(), series, 1, opts.integrated));
+}
+
+TEST(ExplainerEquivalenceTest, OcclusionFamilyMatchesDirectCalls) {
+  Rng rng(11);
+  auto model = TinyModel(models::InputMode::kStandard, &rng);
+  const Tensor series = RandomSeries(&rng);
+  ExplainOptions opts;
+  opts.occlusion.window = 4;
+  opts.occlusion.stride = 2;
+
+  ExpectSameMap(Explain("occlusion", model.get(), series, 1, opts).map,
+                cam::OcclusionMap(model.get(), series, 1, opts.occlusion));
+
+  const Tensor drops = cam::DimensionOcclusion(model.get(), series, 1);
+  const ExplanationResult dim =
+      Explain("dimension_occlusion", model.get(), series, 1, opts);
+  ASSERT_EQ(dim.map.shape(), (Shape{kDims, kLen}));
+  for (int64_t d = 0; d < kDims; ++d) {
+    for (int64_t t = 0; t < kLen; ++t) {
+      ASSERT_EQ(dim.map.at(d, t), drops[d]) << "d=" << d << " t=" << t;
+    }
+  }
+}
+
+TEST(ExplainerReuseTest, AdapterEngineSurvivesModelSwap) {
+  // The dCAM adapters cache a per-model engine; swapping models mid-stream
+  // must rebuild it, not explain against the stale model.
+  Rng rng(12);
+  auto model_a = TinyModel(models::InputMode::kCube, &rng);
+  auto model_b = TinyModel(models::InputMode::kCube, &rng);
+  const Tensor series = RandomSeries(&rng);
+  ExplainOptions opts;
+  opts.dcam.k = 5;
+  const auto explainer = MakeExplainer("dcam");
+  const ExplanationResult a1 =
+      explainer->Explain(model_a.get(), series, 1, opts);
+  const ExplanationResult b =
+      explainer->Explain(model_b.get(), series, 1, opts);
+  const ExplanationResult a2 =
+      explainer->Explain(model_a.get(), series, 1, opts);
+  ExpectSameMap(a2.map, a1.map);
+  ExpectSameMap(b.map,
+                core::ComputeDcamSerial(model_b.get(), series, 1, opts.dcam)
+                    .dcam);
+}
+
+TEST(OptionsDigestTest, KeysExactlyTheFieldsTheMethodReads) {
+  const auto dcam = MakeExplainer("dcam");
+  const auto occlusion = MakeExplainer("occlusion");
+  ExplainOptions base;
+
+  // Digest differs across methods and classes.
+  EXPECT_NE(dcam->OptionsDigest(0, base), occlusion->OptionsDigest(0, base));
+  EXPECT_NE(dcam->OptionsDigest(0, base), dcam->OptionsDigest(1, base));
+
+  // dCAM reacts to its own fields...
+  ExplainOptions changed = base;
+  changed.dcam.seed = 777;
+  EXPECT_NE(dcam->OptionsDigest(0, base), dcam->OptionsDigest(0, changed));
+  changed = base;
+  changed.dcam.k = 3;
+  EXPECT_NE(dcam->OptionsDigest(0, base), dcam->OptionsDigest(0, changed));
+  // ...but not to another method's fields, which would fragment the cache.
+  changed = base;
+  changed.occlusion.window = 2;
+  changed.smoothgrad.seed = 5;
+  EXPECT_EQ(dcam->OptionsDigest(0, base), dcam->OptionsDigest(0, changed));
+
+  // And the converse for occlusion.
+  EXPECT_NE(occlusion->OptionsDigest(0, base),
+            occlusion->OptionsDigest(0, changed));
+  changed = base;
+  changed.dcam.seed = 777;
+  EXPECT_EQ(occlusion->OptionsDigest(0, base),
+            occlusion->OptionsDigest(0, changed));
+
+  // Methods that read no option fields must ignore all of them — a mixed
+  // options bundle (one struct serving several methods) would otherwise
+  // fragment the service's result cache.
+  for (const char* method : {"cam", "gradcam", "saliency", "gradient",
+                             "grad_times_input", "dimension_occlusion"}) {
+    SCOPED_TRACE(method);
+    const auto explainer = MakeExplainer(method);
+    ExplainOptions noisy = base;
+    noisy.dcam.seed = 777;
+    noisy.occlusion.window = 2;
+    noisy.smoothgrad.samples = 3;
+    noisy.integrated.steps = 99;
+    EXPECT_EQ(explainer->OptionsDigest(0, base),
+              explainer->OptionsDigest(0, noisy));
+    EXPECT_NE(explainer->OptionsDigest(0, base),
+              explainer->OptionsDigest(1, base));
+  }
+}
+
+TEST(HashTensorTest, DistinguishesShapeAndContents) {
+  Tensor a({2, 3}, 1.0f);
+  Tensor b({3, 2}, 1.0f);
+  Tensor c({2, 3}, 1.0f);
+  EXPECT_NE(HashTensor(a), HashTensor(b));  // same bytes, different shape
+  EXPECT_EQ(HashTensor(a), HashTensor(c));
+  c.at(1, 2) = 2.0f;
+  EXPECT_NE(HashTensor(a), HashTensor(c));
+  EXPECT_NE(HashTensor(Tensor()), HashTensor(a));
+  EXPECT_EQ(HashTensor(Tensor()), HashTensor(Tensor()));
+}
+
+}  // namespace
+}  // namespace explain
+}  // namespace dcam
