@@ -1,20 +1,28 @@
-// Multi-client ExplainService throughput: cross-request batching and result
-// caching against the one-request-at-a-time baseline.
+// Multi-client ExplainService throughput: replica sharding, cross-request
+// batching, and result caching against the one-request-at-a-time baseline.
 //
 // Workload: C client threads each request dCAM maps for distinct series with
 // small per-request k. A single request underfills the engine's forward
 // batch (k < batch width), so serving requests one at a time leaves the
 // thread pool starved; the service coalesces the concurrent requests into
-// shared DcamEngine::ComputeMany passes. On a single core the engine batch
-// adapts to 1 and the two paths should be near parity; the >= 1.3x win
-// needs a multi-core host where wider batches feed the pool. The cache
-// phase resubmits the same requests and must be serviced without recompute.
+// shared DcamEngine::ComputeMany passes, and with --replicas N it shards the
+// model across N scheduler threads, each owning a private weight copy — the
+// coarse-grained parallelism that keeps scaling when per-forward GEMMs are
+// too small to feed every core. On a single core all engine batches adapt
+// to 1 and every phase should be near parity; the replica win needs a
+// multi-core host (the CI concurrency lane pins --min-replica-speedup).
+// The cache phase resubmits the same requests and must be serviced without
+// recompute.
 //
 // Pass `--json <path>` to emit BENCH_dcam.json-style records:
 //   BM_ServiceDcamDirect     sequential direct Explainer calls (baseline)
-//   BM_ServiceDcamCoalesced  concurrent clients through ExplainService
+//   BM_ServiceDcamCoalesced  concurrent clients through a 1-replica service
+//   BM_ServiceDcamSharded    the same clients through an N-replica service
 //   BM_ServiceCacheHit       the same requests again, all cache hits
-// ns_per_iter is wall time per request; shape is D/n/k/clientsxper_client.
+// ns_per_iter is wall time per request; shape is D/n/k/clientsxper_client
+// (the sharded row appends /rN). With --min-replica-speedup X the binary
+// exits non-zero unless coalesced/sharded >= X — the CI replica-scaling
+// gate.
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,11 +49,14 @@ struct Options {
   int k = 6;
   int dims = 8;
   int len = 64;
+  int replicas = 2;
+  double min_replica_speedup = 0.0;  // 0 = report only, no gate
   std::string json_path;
 };
 
 struct Measurement {
   std::string op;
+  std::string shape;
   double ns_per_iter = 0.0;
   long long iterations = 0;
 };
@@ -54,6 +65,16 @@ int64_t ParseIntFlag(const char* value, const char* flag) {
   char* end = nullptr;
   const long long v = std::strtoll(value, &end, 10);
   if (end == value || *end != '\0' || v <= 0) {
+    std::fprintf(stderr, "bench_service: bad value for %s: %s\n", flag, value);
+    std::exit(1);
+  }
+  return v;
+}
+
+double ParseDoubleFlag(const char* value, const char* flag) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || v < 0) {
     std::fprintf(stderr, "bench_service: bad value for %s: %s\n", flag, value);
     std::exit(1);
   }
@@ -77,6 +98,47 @@ std::vector<explain::ExplainRequest> BuildWorkload(const Options& opt,
     }
   }
   return requests;
+}
+
+// C client threads push the whole workload through `service`; maps land in
+// request order. Returns wall seconds.
+double RunClients(explain::ExplainService* service,
+                  const std::vector<explain::ExplainRequest>& requests,
+                  int clients, int per_client, std::vector<Tensor>* maps) {
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::future<explain::ExplanationResult>> futures;
+      const int base = c * per_client;
+      for (int r = 0; r < per_client; ++r) {
+        futures.push_back(service->Submit(requests[base + r]));
+      }
+      for (int r = 0; r < per_client; ++r) {
+        (*maps)[base + r] = futures[r].get().map;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return watch.ElapsedSeconds();
+}
+
+long long CountMismatches(const std::vector<Tensor>& got,
+                          const std::vector<Tensor>& want) {
+  long long mismatches = 0;
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (got[i].shape() != want[i].shape()) {
+      ++mismatches;
+      continue;
+    }
+    for (int64_t j = 0; j < want[i].size(); ++j) {
+      if (got[i][j] != want[i][j]) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+  return mismatches;
 }
 
 }  // namespace
@@ -105,18 +167,27 @@ int main(int argc, char** argv) {
       opt.dims = static_cast<int>(ParseIntFlag(next("--dims"), "--dims"));
     } else if (arg == "--len") {
       opt.len = static_cast<int>(ParseIntFlag(next("--len"), "--len"));
+    } else if (arg == "--replicas") {
+      opt.replicas =
+          static_cast<int>(ParseIntFlag(next("--replicas"), "--replicas"));
+    } else if (arg == "--min-replica-speedup") {
+      opt.min_replica_speedup = ParseDoubleFlag(
+          next("--min-replica-speedup"), "--min-replica-speedup");
     } else {
       std::fprintf(stderr,
                    "usage: bench_service [--clients N] [--requests M] [--k K] "
-                   "[--dims D] [--len n] [--json path]\n");
+                   "[--dims D] [--len n] [--replicas R] "
+                   "[--min-replica-speedup X] [--json path]\n"
+                   "--min-replica-speedup gates sharded-vs-1-replica scaling; "
+                   "only meaningful on a multi-core host\n");
       return 1;
     }
   }
   const int total = opt.clients * opt.per_client;
   std::printf("=== ExplainService throughput: %d clients x %d dCAM requests "
-              "(D=%d, n=%d, k=%d, pool=%d threads) ===\n",
+              "(D=%d, n=%d, k=%d, pool=%d threads, %d replicas) ===\n",
               opt.clients, opt.per_client, opt.dims, opt.len, opt.k,
-              GlobalPool().num_threads());
+              GlobalPool().num_threads(), opt.replicas);
 
   Rng rng(7);
   models::ConvNetConfig cfg;
@@ -137,30 +208,23 @@ int main(int argc, char** argv) {
   }
   const double direct_s = direct_watch.ElapsedSeconds();
 
-  // --- concurrent clients through the service ------------------------------
+  // --- concurrent clients through a single-replica service ----------------
   explain::ExplainService service;
   service.RegisterModel("dcnn", &model);
   std::vector<Tensor> service_maps(requests.size());
-  Stopwatch service_watch;
-  {
-    std::vector<std::thread> clients;
-    for (int c = 0; c < opt.clients; ++c) {
-      clients.emplace_back([&, c] {
-        std::vector<std::future<explain::ExplanationResult>> futures;
-        const int base = c * opt.per_client;
-        for (int r = 0; r < opt.per_client; ++r) {
-          futures.push_back(service.Submit(requests[base + r]));
-        }
-        for (int r = 0; r < opt.per_client; ++r) {
-          service_maps[base + r] = futures[r].get().map;
-        }
-      });
-    }
-    for (auto& c : clients) c.join();
-  }
-  const double service_s = service_watch.ElapsedSeconds();
+  const double service_s = RunClients(&service, requests, opt.clients,
+                                      opt.per_client, &service_maps);
 
-  // --- cache phase: the identical workload again ---------------------------
+  // --- the same clients through an N-replica sharded service --------------
+  explain::ExplainService::Config sharded_cfg;
+  sharded_cfg.replicas = opt.replicas;
+  explain::ExplainService sharded(sharded_cfg);
+  sharded.RegisterModel("dcnn", &model);
+  std::vector<Tensor> sharded_maps(requests.size());
+  const double sharded_s = RunClients(&sharded, requests, opt.clients,
+                                      opt.per_client, &sharded_maps);
+
+  // --- cache phase: the identical workload against the warm service -------
   Stopwatch cache_watch;
   {
     std::vector<std::thread> clients;
@@ -176,33 +240,29 @@ int main(int argc, char** argv) {
   }
   const double cache_s = cache_watch.ElapsedSeconds();
   const explain::ExplainService::Stats stats = service.stats();
+  const explain::ExplainService::Stats sharded_stats = sharded.stats();
 
-  // Determinism check: batching/caching must be invisible to clients.
-  long long mismatches = 0;
-  for (size_t i = 0; i < requests.size(); ++i) {
-    if (service_maps[i].shape() != direct_maps[i].shape()) {
-      ++mismatches;
-      continue;
-    }
-    for (int64_t j = 0; j < direct_maps[i].size(); ++j) {
-      if (service_maps[i][j] != direct_maps[i][j]) {
-        ++mismatches;
-        break;
-      }
-    }
-  }
+  // Determinism check: batching/caching/replica routing must be invisible.
+  const long long mismatches = CountMismatches(service_maps, direct_maps) +
+                               CountMismatches(sharded_maps, direct_maps);
 
+  const double replica_speedup = sharded_s > 0 ? service_s / sharded_s : 0.0;
   std::printf("direct (1-at-a-time): %7.1f ms total, %8.0f us/request\n",
               direct_s * 1e3, direct_s * 1e6 / total);
   std::printf("service (coalesced) : %7.1f ms total, %8.0f us/request "
               "(%.2fx vs direct)\n",
               service_s * 1e3, service_s * 1e6 / total,
               service_s > 0 ? direct_s / service_s : 0.0);
+  std::printf("service (%d shards) : %7.1f ms total, %8.0f us/request "
+              "(%.2fx vs 1 replica)\n",
+              opt.replicas, sharded_s * 1e3, sharded_s * 1e6 / total,
+              replica_speedup);
   std::printf("service (cache hit) : %7.1f ms total, %8.0f us/request\n",
               cache_s * 1e3, cache_s * 1e6 / total);
-  std::printf("stats: %llu engine passes (largest %llu requests), "
+  std::printf("stats: %llu+%llu engine passes (largest %llu requests), "
               "%llu cache hits, %llu deduped; per-request maps %s\n",
               static_cast<unsigned long long>(stats.coalesced_batches),
+              static_cast<unsigned long long>(sharded_stats.coalesced_batches),
               static_cast<unsigned long long>(stats.max_coalesce),
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.deduped),
@@ -219,10 +279,15 @@ int main(int argc, char** argv) {
     char shape[64];
     std::snprintf(shape, sizeof shape, "%d/%d/%d/%dx%d", opt.dims, opt.len,
                   opt.k, opt.clients, opt.per_client);
+    char sharded_shape[80];
+    std::snprintf(sharded_shape, sizeof sharded_shape, "%s/r%d", shape,
+                  opt.replicas);
     const Measurement rows[] = {
-        {"BM_ServiceDcamDirect", direct_s * 1e9 / total, total},
-        {"BM_ServiceDcamCoalesced", service_s * 1e9 / total, total},
-        {"BM_ServiceCacheHit", cache_s * 1e9 / total, total},
+        {"BM_ServiceDcamDirect", shape, direct_s * 1e9 / total, total},
+        {"BM_ServiceDcamCoalesced", shape, service_s * 1e9 / total, total},
+        {"BM_ServiceDcamSharded", sharded_shape, sharded_s * 1e9 / total,
+         total},
+        {"BM_ServiceCacheHit", shape, cache_s * 1e9 / total, total},
     };
     std::fprintf(f, "{\n  \"benchmarks\": [\n");
     const size_t n = sizeof rows / sizeof rows[0];
@@ -231,14 +296,24 @@ int main(int argc, char** argv) {
                    "    {\"op\": \"%s\", \"shape\": \"%s\", "
                    "\"ns_per_iter\": %.1f, \"threads\": %d, "
                    "\"iterations\": %lld}%s\n",
-                   rows[i].op.c_str(), shape, rows[i].ns_per_iter,
-                   GlobalPool().num_threads(), rows[i].iterations,
-                   i + 1 < n ? "," : "");
+                   rows[i].op.c_str(), rows[i].shape.c_str(),
+                   rows[i].ns_per_iter, GlobalPool().num_threads(),
+                   rows[i].iterations, i + 1 < n ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "bench_service: wrote %zu results to %s\n", n,
                  opt.json_path.c_str());
   }
-  return mismatches == 0 ? 0 : 1;
+  if (mismatches != 0) return 1;
+  if (opt.min_replica_speedup > 0 &&
+      replica_speedup < opt.min_replica_speedup) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL replica scaling %.2fx < required %.2fx "
+                 "(%d replicas, %d pool threads)\n",
+                 replica_speedup, opt.min_replica_speedup, opt.replicas,
+                 GlobalPool().num_threads());
+    return 2;
+  }
+  return 0;
 }

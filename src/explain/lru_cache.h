@@ -6,7 +6,7 @@
 // every built-in Explainer is deterministic given its options, so a repeated
 // request can be answered from memory instead of re-running k forward
 // passes. Header-only and dependency-free; NOT internally synchronized (the
-// service accesses it from its scheduler thread only).
+// service guards it with a dedicated mutex shared by its scheduler shards).
 
 #ifndef DCAM_EXPLAIN_LRU_CACHE_H_
 #define DCAM_EXPLAIN_LRU_CACHE_H_
@@ -60,6 +60,24 @@ class LruCache {
 
   /// True when `key` is cached. Does not affect recency.
   bool Contains(const K& key) const { return index_.count(key) > 0; }
+
+  /// Drops every entry whose key satisfies `pred` (recency of survivors is
+  /// unchanged; the drops do not count as evictions). Returns the number of
+  /// entries removed. Backbone of ExplainService::InvalidateModel.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t erased = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(it->first)) {
+        index_.erase(it->first);
+        it = order_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
 
   size_t size() const { return index_.size(); }
   size_t capacity() const { return capacity_; }

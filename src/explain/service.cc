@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/engine.h"
+#include "io/serialize.h"
 
 namespace dcam {
 namespace explain {
@@ -17,6 +18,16 @@ bool SameSeries(const Tensor& a, const Tensor& b) {
   if (a.shape() != b.shape()) return false;
   return std::memcmp(a.data(), b.data(),
                      static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+}
+
+size_t SeriesBytes(const Tensor& series) {
+  return static_cast<size_t>(series.size()) * sizeof(float);
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
 }
 
 }  // namespace
@@ -36,19 +47,83 @@ ExplainService::ExplainService(Config config)
     : config_(config), cache_(config.cache_capacity) {
   DCAM_CHECK_GE(config_.engine_batch, 0);
   DCAM_CHECK_GE(config_.max_coalesce, 1);
-  scheduler_ = std::thread([this] { SchedulerLoop(); });
+  DCAM_CHECK_GE(config_.replicas, 1);
+  DCAM_CHECK_GE(config_.min_degraded_k, 1);
+  shards_.reserve(config_.replicas);
+  for (int s = 0; s < config_.replicas; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (int s = 0; s < config_.replicas; ++s) {
+    shards_[s]->scheduler = std::thread([this, s] { SchedulerLoop(s); });
+  }
 }
 
 ExplainService::~ExplainService() { Shutdown(); }
 
-void ExplainService::RegisterModel(const std::string& id,
-                                   models::Model* model) {
+void ExplainService::RegisterModel(const std::string& id, models::Model* model,
+                                   int replicas) {
   DCAM_CHECK(model != nullptr);
   DCAM_CHECK(!id.empty()) << "model id must be non-empty";
+  DCAM_CHECK_GE(replicas, 0);
+  const int group =
+      replicas == 0 ? static_cast<int>(shards_.size())
+                    : std::min(replicas, static_cast<int>(shards_.size()));
+  // Clones are built outside the lock — a weight copy of a large model must
+  // not stall Submit. Shard 0 serves the caller's model directly, so a
+  // single-shard group never requires CloneArchitecture support.
+  ModelEntry entry;
+  entry.source = model;
+  entry.group = group;
+  entry.dirty.assign(shards_.size(), 0);
+  for (int s = 1; s < group; ++s) entry.clones.push_back(model->Clone());
   std::lock_guard<std::mutex> lock(mu_);
   DCAM_CHECK_EQ(models_.count(id), 0u)
       << "model id \"" << id << "\" already registered";
-  models_[id] = model;
+  models_.emplace(id, std::move(entry));
+}
+
+void ExplainService::InvalidateModel(const std::string& id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(id);
+    DCAM_CHECK(it != models_.end())
+        << "unknown model id \"" << id << "\" (RegisterModel first)";
+    // The epoch fence keeps results computed against the old weights out of
+    // the cache even when their compute finishes after this call.
+    ++it->second.epoch;
+    for (int s = 1; s < it->second.group; ++s) it->second.dirty[s] = 1;
+  }
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    dropped = cache_.EraseIf(
+        [&](const CacheKey& key) { return key.model_id == id; });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidations += dropped;
+}
+
+int ExplainService::LeastLoadedLocked(const ModelEntry& entry) const {
+  int best = 0;
+  size_t best_load = static_cast<size_t>(-1);
+  for (int s = 0; s < entry.group; ++s) {
+    const size_t load =
+        shards_[s]->queue.size() + static_cast<size_t>(shards_[s]->in_flight);
+    if (load < best_load) {
+      best = s;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+void ExplainService::Reject(Pending* p, const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_rejected;
+  }
+  p->promise.set_exception(
+      std::make_exception_ptr(ServiceOverloadError(why)));
 }
 
 std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
@@ -68,12 +143,13 @@ std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
   }
 
   // Reject unsupported (method, model) pairings here, on the submitting
-  // thread — a CHECK on the scheduler thread would take every other
-  // client's in-flight request down with it. Supports is const and reads
-  // only immutable model configuration, so probing while the scheduler
-  // forwards the same model is safe; the verdict is memoized per
-  // (method, model, series shape) because the dCAM probe materializes a
-  // (1, D, D, n) cube, far too expensive for the per-request path.
+  // thread — a CHECK on a scheduler thread would take every other client's
+  // in-flight request down with it. Supports is const and reads only
+  // immutable model configuration, so probing while a scheduler forwards
+  // the same model is safe; the verdict is memoized per (method, model,
+  // series shape) because the dCAM probe materializes a (1, D, D, n) cube,
+  // far too expensive for the per-request path. Replicas are architecture
+  // copies, so the source model's verdict covers the whole group.
   models::Model* model = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -81,7 +157,7 @@ std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
     DCAM_CHECK(it != models_.end()) << "unknown model id \""
                                     << request.model_id
                                     << "\" (RegisterModel first)";
-    model = it->second;
+    model = it->second.source;
   }
   bool supported;
   {
@@ -110,13 +186,72 @@ std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
   p.key.options_digest =
       proto->OptionsDigest(p.request.class_idx, p.request.options);
   std::future<ExplanationResult> future = p.promise.get_future();
+
+  const size_t cost = SeriesBytes(p.request.series);
+  bool reject = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     DCAM_CHECK(!stop_) << "Submit after Shutdown";
-    ++stats_.requests;
-    queue_.push_back(std::move(p));
+    const bool over_depth =
+        config_.max_queue_depth > 0 && queued_total_ >= config_.max_queue_depth;
+    const bool over_bytes =
+        config_.max_queue_bytes > 0 &&
+        queued_bytes_ + cost > config_.max_queue_bytes;
+    if (over_depth || over_bytes) {
+      // The hard cap (twice each bound) rejects regardless of policy, so a
+      // sustained burst cannot grow the queue without limit even when every
+      // request is degradable.
+      const bool hard_depth = config_.max_queue_depth > 0 &&
+                              queued_total_ >= 2 * config_.max_queue_depth;
+      const bool hard_bytes =
+          config_.max_queue_bytes > 0 &&
+          queued_bytes_ + cost > 2 * config_.max_queue_bytes;
+      const bool degradable =
+          config_.overload == Config::Overload::kDegradeK &&
+          p.request.method == "dcam" &&
+          p.request.options.dcam.k > config_.min_degraded_k;
+      if (hard_depth || hard_bytes || !degradable) {
+        reject = true;
+      } else {
+        // Shed load by resolution instead of refusal: the k-permutation
+        // loop is the cost (Figure 10), so clamping k keeps the queue
+        // drainable. The digest is recomputed — the degraded result is
+        // cached under the options actually computed.
+        p.request.options.dcam.k = config_.min_degraded_k;
+        p.key.options_digest =
+            proto->OptionsDigest(p.request.class_idx, p.request.options);
+        ++stats_.shed_degraded;
+      }
+    }
+    if (!reject) {
+      auto model_it = models_.find(p.request.model_id);
+      p.epoch = model_it->second.epoch;
+      p.enqueued = std::chrono::steady_clock::now();
+      // Key-affinity routing: repeats of an in-flight dedupable key pin to
+      // its shard (where the per-batch dedupe or the shared cache merges
+      // them); fresh keys — and non-dedupable requests — go least-loaded.
+      int shard_idx;
+      if (p.dedupable) {
+        auto [key_it, inserted] = active_keys_.try_emplace(p.key, 0, 0u);
+        if (inserted) key_it->second.first = LeastLoadedLocked(model_it->second);
+        ++key_it->second.second;
+        shard_idx = key_it->second.first;
+      } else {
+        shard_idx = LeastLoadedLocked(model_it->second);
+      }
+      ++stats_.requests;
+      ++queued_total_;
+      queued_bytes_ += cost;
+      stats_.peak_queue_depth =
+          std::max(stats_.peak_queue_depth,
+                   static_cast<uint64_t>(queued_total_));
+      shards_[shard_idx]->queue.push_back(std::move(p));
+      shards_[shard_idx]->cv.notify_one();
+    }
   }
-  cv_.notify_one();
+  if (reject) {
+    Reject(&p, "ExplainService queue is full (admission control)");
+  }
   return future;
 }
 
@@ -126,31 +261,44 @@ ExplanationResult ExplainService::Explain(ExplainRequest request) {
 
 void ExplainService::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  drained_cv_.wait(lock, [&] {
+    if (queued_total_ != 0) return false;
+    for (const auto& shard : shards_) {
+      if (!shard->queue.empty() || shard->in_flight != 0) return false;
+    }
+    return true;
+  });
 }
 
 void ExplainService::Shutdown() {
-  // Claim the thread handle under the lock so concurrent Shutdown calls
-  // (say, an explicit call racing the destructor) cannot both join it; the
-  // caller that loses the claim must still wait for the scheduler to exit,
-  // otherwise a racing destructor could free the members under it.
-  std::thread claimed;
+  // Claim the thread handles under the lock so concurrent Shutdown calls
+  // (say, an explicit call racing the destructor) cannot both join them; the
+  // caller that loses the claim must still wait for the schedulers to exit,
+  // otherwise a racing destructor could free the members under them.
+  std::vector<std::thread> claimed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
-    claimed.swap(scheduler_);
-  }
-  cv_.notify_all();
-  if (claimed.joinable()) {
-    claimed.join();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      scheduler_exited_ = true;
+    for (auto& shard : shards_) {
+      if (shard->scheduler.joinable()) {
+        claimed.push_back(std::move(shard->scheduler));
+      }
     }
+  }
+  for (auto& shard : shards_) shard->cv.notify_all();
+  if (!claimed.empty()) {
+    for (auto& t : claimed) t.join();
+    // Notify under the lock: a losing racer may be the destructor, and a
+    // spurious wakeup could let it observe the predicate and free the
+    // condition variable before an unlocked notify_all touched it.
+    std::lock_guard<std::mutex> lock(mu_);
+    schedulers_exited_ = static_cast<int>(shards_.size());
     drained_cv_.notify_all();
   } else {
     std::unique_lock<std::mutex> lock(mu_);
-    drained_cv_.wait(lock, [&] { return scheduler_exited_; });
+    drained_cv_.wait(lock, [&] {
+      return schedulers_exited_ == static_cast<int>(shards_.size());
+    });
   }
 }
 
@@ -159,35 +307,89 @@ ExplainService::Stats ExplainService::stats() const {
   return stats_;
 }
 
-void ExplainService::SchedulerLoop() {
+void ExplainService::SyncDirtyReplicas(int shard_idx) {
+  if (shard_idx == 0) return;  // shard 0 serves the source model itself
+  std::vector<std::pair<models::Model*, models::Model*>> pairs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, entry] : models_) {
+      if (shard_idx < entry.group && entry.dirty[shard_idx]) {
+        entry.dirty[shard_idx] = 0;
+        pairs.emplace_back(entry.source, entry.clones[shard_idx - 1].get());
+      }
+    }
+  }
+  // Outside the lock: the copy is O(weights). InvalidateModel's contract
+  // makes the source weights stable here (traffic is quiesced during the
+  // external update), and a second invalidation simply re-marks the flag.
+  for (auto& [source, clone] : pairs) {
+    const io::Status status = io::CopyModelWeights(source, clone);
+    DCAM_CHECK(status.ok())
+        << "replica weight re-sync failed: " << status.message();
+  }
+}
+
+void ExplainService::SchedulerLoop(int shard_idx) {
+  Shard& shard = *shards_[shard_idx];
   for (;;) {
     std::vector<Pending> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      shard.cv.wait(lock, [&] { return stop_ || !shard.queue.empty(); });
+      if (shard.queue.empty()) {
         if (stop_) return;
         continue;
       }
-      batch.swap(queue_);
-      in_flight_ = batch.size();
+      batch.swap(shard.queue);
+      shard.in_flight = batch.size();
+      queued_total_ -= batch.size();
+      const auto now = std::chrono::steady_clock::now();
+      for (const Pending& p : batch) {
+        queued_bytes_ -= SeriesBytes(p.request.series);
+        stats_.queue_delay_ns += ElapsedNs(p.enqueued, now);
+      }
     }
-    Process(std::move(batch));
+    SyncDirtyReplicas(shard_idx);
+    // Resolve this shard's replica of every registered model (the registry
+    // only grows; group membership is fixed at registration). Requests are
+    // only routed to shards inside their model's group, so the replica this
+    // shard needs always exists.
+    std::unordered_map<std::string, models::Model*> models;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      in_flight_ = 0;
-      stats_.evictions = cache_.evictions();
+      for (auto& [id, entry] : models_) {
+        if (shard_idx == 0) {
+          models[id] = entry.source;
+        } else if (shard_idx < entry.group) {
+          models[id] = entry.clones[shard_idx - 1].get();
+        }
+      }
+    }
+    Process(&shard, std::move(batch), models);
+    uint64_t evictions;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      evictions = cache_.evictions();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shard.in_flight = 0;
+      // Max, not overwrite: shards snapshot the cache counter under a
+      // different lock, so a stale snapshot must never roll the published
+      // (monotonic) value backwards.
+      stats_.evictions = std::max(stats_.evictions, evictions);
     }
     drained_cv_.notify_all();
   }
 }
 
-Explainer* ExplainService::ExplainerFor(const std::string& method,
+Explainer* ExplainService::ExplainerFor(Shard* shard,
+                                        const std::string& method,
                                         models::Model* model) {
   auto key = std::make_pair(method, model);
-  auto it = workers_.find(key);
-  if (it == workers_.end()) {
-    it = workers_.emplace(std::move(key), MakeExplainer(method)).first;
+  auto it = shard->workers.find(key);
+  if (it == shard->workers.end()) {
+    it = shard->workers.emplace(std::move(key), MakeExplainer(method)).first;
   }
   return it->second.get();
 }
@@ -195,9 +397,16 @@ Explainer* ExplainService::ExplainerFor(const std::string& method,
 void ExplainService::Fulfill(Pending* p, const ExplanationResult& result) {
   {
     // Count before waking the client: a caller returning from future.get()
-    // must observe its own request in stats().completed.
+    // must observe its own request in stats().completed. The in-flight key
+    // table drops this request's reference under the same lock.
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.completed;
+    if (p->dedupable) {
+      auto it = active_keys_.find(p->key);
+      if (it != active_keys_.end() && --it->second.second == 0) {
+        active_keys_.erase(it);
+      }
+    }
   }
   // Every client gets a private copy of the map: Tensor copies share
   // storage, so handing the scheduler's buffer out would let one client's
@@ -207,19 +416,20 @@ void ExplainService::Fulfill(Pending* p, const ExplanationResult& result) {
   p->promise.set_value(std::move(owned));
 }
 
-void ExplainService::ProcessDcamGroup(models::Model* model,
+void ExplainService::ProcessDcamGroup(Shard* shard, models::Model* model,
                                       std::vector<Pending*>* group,
                                       const CompleteFn& complete) {
   auto* gap = dynamic_cast<models::GapModel*>(model);
   DCAM_CHECK(gap != nullptr)
       << "\"dcam\" requests need a GAP-headed d-architecture model, got "
       << model->name();
-  auto engine_it = engines_.find(model);
-  if (engine_it == engines_.end()) {
+  auto engine_it = shard->engines.find(model);
+  if (engine_it == shard->engines.end()) {
     core::DcamEngine::Config cfg;
     cfg.batch = config_.engine_batch;
     engine_it =
-        engines_.emplace(model, std::make_unique<core::DcamEngine>(gap, cfg))
+        shard->engines
+            .emplace(model, std::make_unique<core::DcamEngine>(gap, cfg))
             .first;
   }
   core::DcamEngine* engine = engine_it->second.get();
@@ -263,22 +473,36 @@ void ExplainService::ProcessDcamGroup(models::Model* model,
   }
 }
 
-void ExplainService::Process(std::vector<Pending> batch) {
+void ExplainService::Process(
+    Shard* shard, std::vector<Pending> batch,
+    const std::unordered_map<std::string, models::Model*>& models) {
   // 1. Cache probe, and dedupe of identical in-flight misses: the first
   // occurrence of a key computes, the rest wait for its result. Both paths
   // verify actual series contents — the key's 64-bit hash alone must never
-  // decide what a client receives.
+  // decide what a client receives. The cache is shared across shards, so a
+  // result computed by any replica answers repeats routed here.
   std::vector<Pending*> misses;
   std::unordered_map<CacheKey, std::vector<Pending*>, CacheKeyHash> dupes;
   for (Pending& p : batch) {
     if (p.cacheable) {
-      const CacheEntry* hit = cache_.Get(p.key);
-      if (hit != nullptr && SameSeries(hit->series, p.request.series)) {
+      bool hit = false;
+      ExplanationResult cached;
+      {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        const CacheEntry* entry = cache_.Get(p.key);
+        if (entry != nullptr && SameSeries(entry->series, p.request.series)) {
+          // A shallow copy pins the result's storage past the lock (Tensor
+          // copies share storage); Fulfill clones per client as usual.
+          cached = entry->result;
+          hit = true;
+        }
+      }
+      if (hit) {
         {
           std::lock_guard<std::mutex> lock(mu_);
           ++stats_.cache_hits;
         }
-        Fulfill(&p, hit->result);
+        Fulfill(&p, cached);
         continue;
       }
     }
@@ -299,25 +523,31 @@ void ExplainService::Process(std::vector<Pending> batch) {
     misses.push_back(&p);
   }
 
-  // 2. Resolve model ids once (the registry of models can only grow).
-  std::unordered_map<std::string, models::Model*> models;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    models = models_;
-  }
-
-  // 3. Coalesce "dcam" misses per model into shared engine passes; serve
+  // 2. Coalesce "dcam" misses per model into shared engine passes; serve
   // every other method through its per-(method, model) registry explainer.
   // Leaders with followers also record their result locally — the LRU alone
   // is not a safe hand-off, since a small cache may evict a leader's entry
   // before its followers are reached.
   std::unordered_map<CacheKey, ExplanationResult, CacheKeyHash> computed;
   const CompleteFn complete = [&](Pending* p, const ExplanationResult& r) {
-    // The series is cloned into the entry: the client may legitimately
-    // reuse its buffer once the request completes, and the stored bytes
-    // back the SameSeries collision guard.
     if (p->cacheable) {
-      cache_.Put(p->key, CacheEntry{r, p->request.series.Clone()});
+      // Cache only results whose model epoch is still current: a request
+      // raced by InvalidateModel computed against ambiguous weights and
+      // must not outlive the invalidation. The series is cloned into the
+      // entry — the client may legitimately reuse its buffer once the
+      // request completes, and the stored bytes back the SameSeries
+      // collision guard.
+      bool current = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = models_.find(p->request.model_id);
+        current = it != models_.end() && it->second.epoch == p->epoch;
+      }
+      if (current) {
+        CacheEntry entry{r, p->request.series.Clone()};
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        cache_.Put(p->key, std::move(entry));
+      }
     }
     auto it = dupes.find(p->key);
     // Only the waiter list's own leader feeds the followers — a
@@ -332,6 +562,7 @@ void ExplainService::Process(std::vector<Pending> batch) {
   std::vector<Pending*> singles;
   for (Pending* p : misses) {
     models::Model* model = models.at(p->request.model_id);
+    DCAM_CHECK(model != nullptr);
     if (p->request.method == "dcam") {
       auto it = std::find_if(dcam_groups.begin(), dcam_groups.end(),
                              [&](const auto& g) { return g.first == model; });
@@ -345,18 +576,18 @@ void ExplainService::Process(std::vector<Pending> batch) {
     }
   }
   for (auto& [model, group] : dcam_groups) {
-    ProcessDcamGroup(model, &group, complete);
+    ProcessDcamGroup(shard, model, &group, complete);
   }
   for (Pending* p : singles) {
     models::Model* model = models.at(p->request.model_id);
     const ExplanationResult result =
-        ExplainerFor(p->request.method, model)
+        ExplainerFor(shard, p->request.method, model)
             ->Explain(model, p->request.series, p->request.class_idx,
                       p->request.options);
     complete(p, result);
   }
 
-  // 4. Fulfill the deduped followers from their leaders' results.
+  // 3. Fulfill the deduped followers from their leaders' results.
   for (auto& [key, waiters] : dupes) {
     if (waiters.size() <= 1) continue;
     auto it = computed.find(key);

@@ -1,46 +1,68 @@
-// Concurrent explanation service with cross-request batching and result
-// caching.
+// Concurrent explanation service: sharded model replicas, cross-request
+// batching, result caching, and bounded admission.
 //
 // The ROADMAP's serving scenario: many clients ask for explanations of the
 // same few deployed models. Two structural facts make a naive
 // thread-per-request design wrong here:
 //
 //   * a Model is stateful across Forward/Backward (cached activations), so
-//     requests against one model must serialize anyway;
+//     requests against one model instance must serialize anyway;
 //   * dCAM's cost is k cube forwards, and core::DcamEngine::ComputeMany
 //     already packs permutation batches across *series* — so the cheapest
 //     way to serve concurrent dCAM requests is to merge them into one
 //     engine pass, amortizing partially-filled forward batches across
 //     clients (the task-queue/worker shape of the SIGMOD-contest engines).
 //
-// ExplainService therefore runs one scheduler thread over a request queue:
+// One scheduler thread per model instance is therefore the unit of
+// parallelism: ExplainService runs `Config::replicas` scheduler shards, and
+// each registered model is materialized on the shards of its replica group —
+// shard 0 serves the caller's model, every other shard a Model::Clone()
+// with private weight storage — so dCAM throughput scales with cores beyond
+// one engine's batch width:
 //
-//   clients --Submit()--> queue --drain--> [cache probe]
-//                                           |  miss, method == "dcam"
-//                                           v
-//                              group by model, ComputeMany(...)  (coalesced)
-//                                           |  miss, other methods
-//                                           v
-//                              registry Explainer, one at a time
+//   clients --Submit()--> [admission: depth/byte bounds -> reject/degrade-k]
+//                |
+//                v  route: same key -> same shard; else least-loaded in group
+//        shard 0 queue        shard 1 queue        ...   (one thread each)
+//                |                  |
+//                v                  v
+//         [cache probe]      [cache probe]        (one cache, shared)
+//                |  miss            |  miss
+//                v                  v
+//         coalesce "dcam" per model -> ComputeMany; other methods 1-at-a-time
 //
-// Results land in an LRU cache keyed by (model id, method, series hash,
-// options digest) — class_idx is folded into the digest — and identical
-// in-flight requests are deduplicated against the first occurrence.
+// The result cache and the in-flight key table are global, so a result
+// computed by one shard answers repeats routed anywhere; identical in-flight
+// requests are routed to the same shard, where the per-batch dedupe merges
+// them. Replicas hold bit-exact weight copies (io/serialize.h round-trip),
+// so routing is invisible: a service result is bit-identical to calling the
+// registry Explainer directly, no matter which replica served it (enforced
+// by explain_service_test and service_replica_test).
+//
+// Admission control bounds the queue: past `max_queue_depth`/`max_queue_bytes`
+// a request is rejected (its future throws ServiceOverloadError) or — for
+// "dcam" requests under Overload::kDegradeK — admitted with k clamped down to
+// `min_degraded_k`, trading explanation resolution for liveness the way the
+// paper's Figure 10 trades k for runtime. Queue-delay and shed counters are
+// exposed via stats().
 //
 // Determinism: every request carries its own options (and hence its own
-// seed), which ComputeMany applies per instance, so a service result is
-// bit-identical to calling the registry Explainer directly — batching and
-// caching are invisible to clients (enforced by explain_service_test).
+// seed), which ComputeMany applies per instance, so batching, caching, and
+// replica routing are invisible to clients. The only exception is explicit:
+// a degraded request computes with the smaller k (and is cached under the
+// degraded digest).
 
 #ifndef DCAM_EXPLAIN_SERVICE_H_
 #define DCAM_EXPLAIN_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -69,34 +91,66 @@ struct ExplainRequest {
   ExplainOptions options;
 };
 
+/// Thrown through the future of a request refused by admission control.
+struct ServiceOverloadError : std::runtime_error {
+  explicit ServiceOverloadError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 class ExplainService {
  public:
   struct Config {
-    /// LRU result-cache entries; 0 disables caching.
+    /// LRU result-cache entries; 0 disables caching. One cache is shared by
+    /// every shard, so any replica's result answers repeats service-wide.
     size_t cache_capacity = 256;
     /// Forwarded to DcamEngine::Config::batch (0 = adapt to the machine).
     int engine_batch = 0;
     /// At most this many dCAM requests are folded into one ComputeMany call
-    /// — bounds the number of live (D, D, n) accumulators.
+    /// — bounds the number of live (D, D, n) accumulators per shard.
     int max_coalesce = 64;
+    /// Scheduler shards (model replicas). 1 keeps the single-scheduler
+    /// behavior; N > 1 runs N schedulers, each owning a private weight copy
+    /// of every model whose replica group covers it.
+    int replicas = 1;
+    /// Admission bounds over requests queued but not yet drained by a
+    /// scheduler; 0 = unbounded. Depth counts requests, bytes counts their
+    /// series payloads. Breaching a bound triggers `overload` handling; a
+    /// hard cap at twice the bound always rejects, so memory stays bounded
+    /// even under Overload::kDegradeK.
+    size_t max_queue_depth = 0;
+    size_t max_queue_bytes = 0;
+    enum class Overload {
+      kReject,    // refuse: the request's future throws ServiceOverloadError
+      kDegradeK,  // "dcam" requests are admitted with k -> min_degraded_k;
+                  // everything else (and the hard cap) rejects
+    };
+    Overload overload = Overload::kReject;
+    /// The k that degraded "dcam" requests compute with. Requests already at
+    /// or below it are rejected instead (degrading would be a no-op).
+    int min_degraded_k = 8;
   };
 
   struct Stats {
     uint64_t requests = 0;          // accepted by Submit
-    uint64_t completed = 0;         // promises fulfilled
+    uint64_t completed = 0;         // promises fulfilled with a result
     uint64_t cache_hits = 0;        // served from the LRU
     uint64_t deduped = 0;           // merged into an identical in-flight miss
     uint64_t coalesced_batches = 0; // ComputeMany calls issued
     uint64_t coalesced_requests = 0;// dCAM requests served by those calls
     uint64_t max_coalesce = 0;      // largest single ComputeMany group
-    uint64_t evictions = 0;         // LRU entries dropped
+    uint64_t evictions = 0;         // LRU entries dropped by capacity
+    uint64_t shed_rejected = 0;     // refused by admission control
+    uint64_t shed_degraded = 0;     // admitted with k clamped down
+    uint64_t queue_delay_ns = 0;    // cumulative Submit -> drain wait
+    uint64_t peak_queue_depth = 0;  // largest queued-request count observed
+    uint64_t invalidations = 0;     // cache entries dropped by InvalidateModel
   };
 
-  /// Starts the scheduler thread immediately.
+  /// Starts the scheduler shards immediately.
   ExplainService();
   explicit ExplainService(Config config);
 
-  /// Drains outstanding requests, then stops the scheduler.
+  /// Drains outstanding requests, then stops the schedulers.
   ~ExplainService();
 
   ExplainService(const ExplainService&) = delete;
@@ -104,26 +158,46 @@ class ExplainService {
 
   /// Registers `model` (non-owning; must outlive the service) under `id`.
   /// Re-registering an id CHECK-fails. Safe to call while serving; requests
-  /// naming `id` may be submitted as soon as this returns.
-  void RegisterModel(const std::string& id, models::Model* model);
+  /// naming `id` may be submitted as soon as this returns. `replicas`
+  /// chooses the model's replica-group size (clamped to Config::replicas;
+  /// 0 = the full shard count): shard 0 serves `model` itself, every other
+  /// group shard a Model::Clone() made here, so the model class must
+  /// implement CloneArchitecture when the group spans more than one shard.
+  void RegisterModel(const std::string& id, models::Model* model,
+                     int replicas = 0);
+
+  /// Invalidates everything derived from `id`'s weights: drops the model's
+  /// cached results and marks its replica clones for a weight re-sync from
+  /// the registered model (performed by each shard before its next batch).
+  /// Call after an external weight update (retraining, LoadModelWeights) so
+  /// stale CAMs are never served. The caller must quiesce the model's
+  /// traffic while mutating weights (e.g. Drain() first): requests already
+  /// in flight race the update and may return either version (they are not
+  /// cached across the invalidation).
+  void InvalidateModel(const std::string& id);
 
   /// Enqueues a request and returns the future result. CHECK-fails on an
   /// unknown model id or method, or a non-(D, n) series — submission-time
-  /// errors are programming errors, not load-dependent conditions.
+  /// errors are programming errors, not load-dependent conditions. Under
+  /// admission-control overload the future throws ServiceOverloadError
+  /// (kReject / hard cap) or resolves to a smaller-k result (kDegradeK).
   std::future<ExplanationResult> Submit(ExplainRequest request);
 
   /// Submit + wait. The calling thread blocks until the scheduler serves
-  /// the request (or its cache hit).
+  /// the request (or its cache hit); throws ServiceOverloadError when the
+  /// request was shed.
   ExplanationResult Explain(ExplainRequest request);
 
   /// Blocks until every request submitted so far has completed.
   void Drain();
 
-  /// Stops accepting requests, drains the queue, and joins the scheduler.
+  /// Stops accepting requests, drains the queues, and joins the schedulers.
   /// Idempotent; also run by the destructor.
   void Shutdown();
 
   Stats stats() const;
+
+  int replicas() const { return static_cast<int>(shards_.size()); }
 
  private:
   struct CacheKey {
@@ -155,52 +229,92 @@ class ExplainService {
     CacheKey key;
     bool dedupable = false;  // deterministic: identical in-flight requests merge
     bool cacheable = false;  // dedupable and the result cache is enabled
+    uint64_t epoch = 0;      // model epoch at admission; stale results skip
+                             // the cache (see InvalidateModel)
+    std::chrono::steady_clock::time_point enqueued;
     std::promise<ExplanationResult> promise;
+  };
+
+  // One registered model and its replica materialization. `source` is the
+  // caller's model, served by shard 0; clones[s - 1] is shard s's private
+  // copy. `dirty[s]` asks shard s to re-copy weights from `source` before
+  // its next batch; `epoch` fences the result cache across invalidations.
+  struct ModelEntry {
+    models::Model* source = nullptr;
+    std::vector<std::unique_ptr<models::Model>> clones;
+    int group = 1;  // shards 0..group-1 serve this model
+    std::vector<uint8_t> dirty;
+    uint64_t epoch = 0;
+  };
+
+  // One scheduler shard: a queue slice (guarded by the service mutex) plus
+  // scheduler-thread-only working state — per-(method, model) explainers and
+  // per-model engines whose scratch persists across requests.
+  struct Shard {
+    std::vector<Pending> queue;  // guarded by mu_
+    uint64_t in_flight = 0;      // drained, not yet fulfilled (guarded by mu_)
+    std::condition_variable cv;  // this shard's scheduler wake-up (on mu_):
+                                 // Submit wakes only the shard it enqueued on
+    std::map<std::pair<std::string, models::Model*>, std::unique_ptr<Explainer>>
+        workers;
+    std::unordered_map<models::Model*, std::unique_ptr<core::DcamEngine>>
+        engines;
+    std::thread scheduler;
   };
 
   /// Finishes one computed request: cache insert, follower hand-off,
   /// promise fulfilment.
   using CompleteFn = std::function<void(Pending*, const ExplanationResult&)>;
 
-  void SchedulerLoop();
-  void Process(std::vector<Pending> batch);
+  void SchedulerLoop(int shard_idx);
+  void Process(Shard* shard, std::vector<Pending> batch,
+               const std::unordered_map<std::string, models::Model*>& models);
   /// Serves a group of same-model "dcam" misses through one ComputeMany.
-  void ProcessDcamGroup(models::Model* model, std::vector<Pending*>* group,
+  void ProcessDcamGroup(Shard* shard, models::Model* model,
+                        std::vector<Pending*>* group,
                         const CompleteFn& complete);
-  Explainer* ExplainerFor(const std::string& method, models::Model* model);
+  /// Re-copies weights into this shard's clones of models flagged dirty.
+  void SyncDirtyReplicas(int shard_idx);
+  Explainer* ExplainerFor(Shard* shard, const std::string& method,
+                          models::Model* model);
   void Fulfill(Pending* p, const ExplanationResult& result);
+  void Reject(Pending* p, const std::string& why);
+  /// Routing fallback for keys not already in flight: the least-loaded
+  /// shard of the model's replica group (ties go to the lowest index).
+  int LeastLoadedLocked(const ModelEntry& entry) const;
 
   const Config config_;
 
-  mutable std::mutex mu_;  // queue_, models_, stats_, stop_
-  std::condition_variable cv_;        // scheduler wake-up
+  mutable std::mutex mu_;  // queues, models_, stats_, active_keys_, stop_
   std::condition_variable drained_cv_;  // Drain/Shutdown wait
-  std::vector<Pending> queue_;
-  std::unordered_map<std::string, models::Model*> models_;
+  std::unordered_map<std::string, ModelEntry> models_;
+  // Key -> (shard, refcount) of dedupable requests admitted and not yet
+  // fulfilled. Routing repeats of an in-flight key to the same shard lets
+  // the per-batch dedupe (or the shared cache) merge them, so dedupe keeps
+  // working across replicas.
+  std::unordered_map<CacheKey, std::pair<int, uint64_t>, CacheKeyHash>
+      active_keys_;
   Stats stats_;
-  uint64_t in_flight_ = 0;  // drained from queue_, not yet fulfilled
+  size_t queued_total_ = 0;  // across shards; admission depth bound
+  size_t queued_bytes_ = 0;  // series payload of queued requests
   bool stop_ = false;
-  bool scheduler_exited_ = false;  // set by the Shutdown call that joined
+  int schedulers_exited_ = 0;  // counted by the Shutdown call that joined
 
-  // Scheduler-thread-only state (no locking): the result cache, one digest
-  // prototype per method (also used by Submit — OptionsDigest is const and
-  // stateless, so concurrent use is safe), and per-(method, model) worker
-  // explainers whose engine scratch persists across requests.
+  // The result cache is shared by every shard; cache_mu_ guards it (and only
+  // it — never taken together with mu_).
+  std::mutex cache_mu_;
   LruCache<CacheKey, CacheEntry, CacheKeyHash> cache_;
+
+  // One digest/Supports prototype per method (used by Submit on client
+  // threads — OptionsDigest is const and stateless, so concurrent use is
+  // safe), plus memoized Supports verdicts: the dCAM probe builds a
+  // (1, D, D, n) cube, which must not run per Submit.
   std::unordered_map<std::string, std::unique_ptr<Explainer>> prototypes_;
-  // Memoized Supports verdicts: the dCAM probe builds a (1, D, D, n) cube,
-  // which must not run per Submit.
   using SupportsKey = std::tuple<std::string, models::Model*, int64_t, int64_t>;
   std::map<SupportsKey, bool> supports_;
-  std::mutex prototypes_mu_;  // guards prototypes_ and supports_ (client threads)
-  std::map<std::pair<std::string, models::Model*>, std::unique_ptr<Explainer>>
-      workers_;
-  // One batched engine per model for the coalesced "dcam" path; its scratch
-  // persists across every request the service ever serves for that model.
-  std::unordered_map<models::Model*, std::unique_ptr<core::DcamEngine>>
-      engines_;
+  std::mutex prototypes_mu_;  // guards prototypes_ and supports_
 
-  std::thread scheduler_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace explain

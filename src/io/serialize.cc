@@ -197,6 +197,38 @@ Status SaveModelWeights(models::Model* model, const std::string& path) {
   return WriteEntries(ModelEntries(model), path);
 }
 
+Status CopyModelWeights(models::Model* src, models::Model* dst) {
+  DCAM_CHECK(src != nullptr);
+  DCAM_CHECK(dst != nullptr);
+  const std::vector<Entry> from = ModelEntries(src);
+  const std::vector<Entry> to = ModelEntries(dst);
+  if (from.size() != to.size()) {
+    return Status::InvalidArgument(
+        "entry count mismatch: source has " + std::to_string(from.size()) +
+        ", destination has " + std::to_string(to.size()));
+  }
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (from[i].name != to[i].name) {
+      return Status::InvalidArgument(
+          "entry name mismatch at index " + std::to_string(i) +
+          ": source has '" + from[i].name + "', destination has '" +
+          to[i].name + "'");
+    }
+    if (from[i].tensor->shape() != to[i].tensor->shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for entry " + from[i].name + ": source has " +
+          ShapeToString(from[i].tensor->shape()) + ", destination has " +
+          ShapeToString(to[i].tensor->shape()));
+    }
+  }
+  // All entries verified; the copy itself cannot fail half-way.
+  for (size_t i = 0; i < from.size(); ++i) {
+    std::memcpy(to[i].tensor->data(), from[i].tensor->data(),
+                sizeof(float) * static_cast<size_t>(from[i].tensor->size()));
+  }
+  return Status::Ok();
+}
+
 Status LoadModelWeights(models::Model* model, const std::string& path) {
   DCAM_CHECK(model != nullptr);
   return ReadEntries(path, ModelEntries(model));

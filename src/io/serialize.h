@@ -39,6 +39,13 @@ Status SaveModelWeights(models::Model* model, const std::string& path);
 /// have the same architecture (same parameter names and shapes, in order).
 Status LoadModelWeights(models::Model* model, const std::string& path);
 
+/// Copies every trainable parameter and buffer of `src` into `dst` — the
+/// save/load round-trip without the file: the same entry enumeration and
+/// name/shape verification, staged so a failed copy never leaves `dst` half
+/// overwritten. Both models must share an architecture. Backbone of
+/// models::Model::Clone and of ExplainService replica weight refresh.
+Status CopyModelWeights(models::Model* src, models::Model* dst);
+
 /// Writes a single tensor (same container format with one unnamed entry).
 Status SaveTensor(const Tensor& tensor, const std::string& path);
 

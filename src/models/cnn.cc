@@ -3,6 +3,7 @@
 #include "nn/activation.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
+#include "util/rng.h"
 
 namespace dcam {
 namespace models {
@@ -16,7 +17,7 @@ ConvNetConfig ConvNetConfig::Scaled(int factor) const {
 
 ConvNet::ConvNet(InputMode mode, int dims, int num_classes,
                  const ConvNetConfig& config, Rng* rng)
-    : mode_(mode), dims_(dims), num_classes_(num_classes) {
+    : mode_(mode), dims_(dims), num_classes_(num_classes), config_(config) {
   DCAM_CHECK_GT(dims, 0);
   DCAM_CHECK_GT(num_classes, 1);
   DCAM_CHECK(!config.filters.empty());
@@ -65,6 +66,12 @@ std::vector<nn::Parameter*> ConvNet::Params() {
   std::vector<nn::Parameter*> params = body_.Params();
   for (nn::Parameter* p : dense_->Params()) params.push_back(p);
   return params;
+}
+
+std::unique_ptr<Model> ConvNet::CloneArchitecture() const {
+  // The init draws are overwritten by Clone's weight copy; any seed works.
+  Rng rng(0);
+  return std::make_unique<ConvNet>(mode_, dims_, num_classes_, config_, &rng);
 }
 
 std::vector<std::pair<std::string, Tensor*>> ConvNet::Buffers() {

@@ -44,6 +44,7 @@ class ConvNet : public GapModel {
   Tensor Backward(const Tensor& grad_logits) override;
   std::vector<nn::Parameter*> Params() override;
   std::vector<std::pair<std::string, Tensor*>> Buffers() override;
+  std::unique_ptr<Model> CloneArchitecture() const override;
 
   const Tensor& last_activation() const override { return activation_; }
   const nn::Dense& head() const override { return *dense_; }
@@ -54,6 +55,7 @@ class ConvNet : public GapModel {
   InputMode mode_;
   int dims_;
   int num_classes_;
+  ConvNetConfig config_;  // kept verbatim so CloneArchitecture can rebuild
   nn::Sequential body_;
   nn::GlobalAvgPool gap_;
   std::unique_ptr<nn::Dense> dense_;

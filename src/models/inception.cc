@@ -1,6 +1,7 @@
 #include "models/inception.h"
 
 #include "tensor/ops.h"
+#include "util/rng.h"
 
 namespace dcam {
 namespace models {
@@ -67,7 +68,7 @@ InceptionTime::InceptionTime(InputMode mode, int dims, int num_classes,
     : mode_(mode),
       dims_(dims),
       num_classes_(num_classes),
-      filters_(config.filters) {
+      config_(config) {
   DCAM_CHECK_GT(dims, 0);
   DCAM_CHECK_GT(num_classes, 1);
   DCAM_CHECK_GT(config.depth, 0);
@@ -137,7 +138,7 @@ Tensor InceptionTime::ForwardModule(Module* m, const Tensor& x, bool training) {
 Tensor InceptionTime::BackwardModule(Module* m, const Tensor& grad) {
   Tensor g = m->relu.Backward(grad);
   g = m->bn->Backward(g);
-  std::vector<Tensor> parts = SplitChannels(g, filters_);
+  std::vector<Tensor> parts = SplitChannels(g, config_.filters);
   DCAM_CHECK_EQ(parts.size(), m->branches.size() + 1);
   Tensor g_bottleneck;
   for (size_t i = 0; i < m->branches.size(); ++i) {
@@ -190,6 +191,12 @@ Tensor InceptionTime::Backward(const Tensor& grad_logits) {
     g = gm;
   }
   return g;
+}
+
+std::unique_ptr<Model> InceptionTime::CloneArchitecture() const {
+  Rng rng(0);
+  return std::make_unique<InceptionTime>(mode_, dims_, num_classes_, config_,
+                                         &rng);
 }
 
 std::vector<nn::Parameter*> InceptionTime::Params() {

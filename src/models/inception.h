@@ -50,6 +50,7 @@ class InceptionTime : public GapModel {
   Tensor Backward(const Tensor& grad_logits) override;
   std::vector<nn::Parameter*> Params() override;
   std::vector<std::pair<std::string, Tensor*>> Buffers() override;
+  std::unique_ptr<Model> CloneArchitecture() const override;
 
   const Tensor& last_activation() const override { return activation_; }
   const nn::Dense& head() const override { return *dense_; }
@@ -74,7 +75,7 @@ class InceptionTime : public GapModel {
   InputMode mode_;
   int dims_;
   int num_classes_;
-  int filters_;
+  InceptionConfig config_;  // kept verbatim so CloneArchitecture can rebuild
   std::vector<std::unique_ptr<Module>> modules_;
   std::vector<std::unique_ptr<Shortcut>> shortcuts_;
   nn::GlobalAvgPool gap_;

@@ -63,6 +63,20 @@ class Model {
   /// persisted by io::SaveModelWeights alongside Params().
   virtual std::vector<std::pair<std::string, Tensor*>> Buffers() { return {}; }
 
+  /// Deep copy: a freshly constructed model of this topology whose
+  /// parameters and buffers are bit-identical copies of this model's (the
+  /// io/serialize.h entry round-trip, in memory). The clone owns private
+  /// storage — no Tensor is shared — so original and clone can run Forward
+  /// concurrently; this is what ExplainService replica sharding is built on.
+  /// Implemented in zoo.cc; CHECK-fails when the subclass does not provide
+  /// CloneArchitecture.
+  std::unique_ptr<Model> Clone();
+
+  /// A new model of the same topology with freshly initialized weights —
+  /// the construction half of Clone. Subclasses that cannot rebuild
+  /// themselves return nullptr (the default), which makes Clone CHECK-fail.
+  virtual std::unique_ptr<Model> CloneArchitecture() const { return nullptr; }
+
   /// Total number of trainable scalars.
   int64_t NumParams();
 

@@ -6,6 +6,7 @@
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/pooling.h"
+#include "util/rng.h"
 
 namespace dcam {
 namespace models {
@@ -21,7 +22,8 @@ MtexConfig MtexConfig::Scaled(int factor) const {
 
 MtexCnn::MtexCnn(int dims, int length, int num_classes,
                  const MtexConfig& config, Rng* rng)
-    : dims_(dims), length_(length), num_classes_(num_classes) {
+    : dims_(dims), length_(length), num_classes_(num_classes),
+      config_(config) {
   DCAM_CHECK_GT(dims, 0);
   DCAM_CHECK_GE(length, 4) << "two halving pools need n >= 4";
   DCAM_CHECK_GT(num_classes, 1);
@@ -62,6 +64,12 @@ Tensor MtexCnn::Forward(const Tensor& input, bool training) {
 Tensor MtexCnn::Backward(const Tensor& grad_logits) {
   Tensor g = block2_.Backward(grad_logits);
   return block1_.Backward(g);
+}
+
+std::unique_ptr<Model> MtexCnn::CloneArchitecture() const {
+  Rng rng(0);
+  return std::make_unique<MtexCnn>(dims_, length_, num_classes_, config_,
+                                   &rng);
 }
 
 std::vector<nn::Parameter*> MtexCnn::Params() {

@@ -43,6 +43,7 @@ class MtexCnn : public Model {
   Tensor Backward(const Tensor& grad_logits) override;
   std::vector<nn::Parameter*> Params() override;
   std::vector<std::pair<std::string, Tensor*>> Buffers() override;
+  std::unique_ptr<Model> CloneArchitecture() const override;
 
   /// grad-CAM explanation map of shape (D, n) for one raw series (D, n):
   /// the block-1 per-dimension map modulated by the block-2 temporal map,
@@ -53,6 +54,7 @@ class MtexCnn : public Model {
   int dims_;
   int length_;
   int num_classes_;
+  MtexConfig config_;  // kept verbatim so CloneArchitecture can rebuild
   nn::Sequential block1_;
   nn::Sequential block2_;
   int block1_cam_layer_ = -1;  // index in block1_ of the explained activation

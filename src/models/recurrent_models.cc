@@ -7,10 +7,16 @@ namespace models {
 
 RecurrentClassifier::RecurrentClassifier(nn::CellType type, int dims,
                                          int num_classes, int hidden, Rng* rng)
-    : type_(type), num_classes_(num_classes) {
+    : type_(type), dims_(dims), hidden_(hidden), num_classes_(num_classes) {
   DCAM_CHECK(rng != nullptr);
   cell_ = std::make_unique<nn::Recurrent>(type, dims, hidden, rng);
   dense_ = std::make_unique<nn::Dense>(hidden, num_classes, rng);
+}
+
+std::unique_ptr<Model> RecurrentClassifier::CloneArchitecture() const {
+  Rng rng(0);
+  return std::make_unique<RecurrentClassifier>(type_, dims_, num_classes_,
+                                               hidden_, &rng);
 }
 
 Tensor RecurrentClassifier::Forward(const Tensor& input, bool training) {

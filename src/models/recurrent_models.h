@@ -27,9 +27,12 @@ class RecurrentClassifier : public Model {
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_logits) override;
   std::vector<nn::Parameter*> Params() override;
+  std::unique_ptr<Model> CloneArchitecture() const override;
 
  private:
   nn::CellType type_;
+  int dims_;
+  int hidden_;
   int num_classes_;
   std::unique_ptr<nn::Recurrent> cell_;
   std::unique_ptr<nn::Dense> dense_;

@@ -3,6 +3,7 @@
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "tensor/ops.h"
+#include "util/rng.h"
 
 namespace dcam {
 namespace models {
@@ -16,7 +17,7 @@ ResNetConfig ResNetConfig::Scaled(int factor) const {
 
 ResNet::ResNet(InputMode mode, int dims, int num_classes,
                const ResNetConfig& config, Rng* rng)
-    : mode_(mode), dims_(dims), num_classes_(num_classes) {
+    : mode_(mode), dims_(dims), num_classes_(num_classes), config_(config) {
   DCAM_CHECK_GT(dims, 0);
   DCAM_CHECK_GT(num_classes, 1);
   DCAM_CHECK(!config.block_filters.empty());
@@ -97,6 +98,11 @@ Tensor ResNet::Backward(const Tensor& grad_logits) {
     g = BackwardBlock(blocks_[i].get(), g);
   }
   return g;
+}
+
+std::unique_ptr<Model> ResNet::CloneArchitecture() const {
+  Rng rng(0);
+  return std::make_unique<ResNet>(mode_, dims_, num_classes_, config_, &rng);
 }
 
 std::vector<nn::Parameter*> ResNet::Params() {

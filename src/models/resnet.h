@@ -42,6 +42,7 @@ class ResNet : public GapModel {
   Tensor Backward(const Tensor& grad_logits) override;
   std::vector<nn::Parameter*> Params() override;
   std::vector<std::pair<std::string, Tensor*>> Buffers() override;
+  std::unique_ptr<Model> CloneArchitecture() const override;
 
   const Tensor& last_activation() const override { return activation_; }
   const nn::Dense& head() const override { return *dense_; }
@@ -60,6 +61,7 @@ class ResNet : public GapModel {
   InputMode mode_;
   int dims_;
   int num_classes_;
+  ResNetConfig config_;  // kept verbatim so CloneArchitecture can rebuild
   std::vector<std::unique_ptr<Block>> blocks_;
   nn::GlobalAvgPool gap_;
   std::unique_ptr<nn::Dense> dense_;

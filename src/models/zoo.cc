@@ -1,5 +1,6 @@
 #include "models/zoo.h"
 
+#include "io/serialize.h"
 #include "models/cnn.h"
 #include "models/inception.h"
 #include "models/mtex.h"
@@ -18,6 +19,16 @@ InputMode ModeFor(const std::string& name) {
 }
 
 }  // namespace
+
+std::unique_ptr<Model> Model::Clone() {
+  std::unique_ptr<Model> copy = CloneArchitecture();
+  DCAM_CHECK(copy != nullptr)
+      << name() << " does not implement CloneArchitecture";
+  const io::Status status = io::CopyModelWeights(this, copy.get());
+  DCAM_CHECK(status.ok()) << "Clone of " << name()
+                          << " failed the weight copy: " << status.message();
+  return copy;
+}
 
 const std::vector<std::string>& AllModelNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>({

@@ -1,5 +1,6 @@
 #include "util/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace dcam {
@@ -24,63 +25,75 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // A ParallelFor racing the destructor finishes serially on its caller
+  // (the workers are gone); wait for it to leave before the mutex dies.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return callers_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
   inside_parallel_region = true;
-  uint64_t seen_epoch = 0;
-  while (true) {
-    Task task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
-      if (shutdown_) return;
-      seen_epoch = epoch_;
-      task = task_;
-      ++active_;
-    }
-    int64_t i;
-    while ((i = task.next->fetch_add(1, std::memory_order_relaxed)) <
-           task.end) {
-      (*task.fn)(i);
-    }
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --active_;
-      if (task.remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        done_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+    if (shutdown_) return;
+    // Least-loaded pick: the live task with the fewest helpers, so
+    // concurrent callers split the workers instead of queuing behind the
+    // oldest call. Exhausted tasks are dropped from the list on the way
+    // (their callers do not need them listed; helpers_ tracks stragglers).
+    TaskContext* task = nullptr;
+    for (size_t i = 0; i < tasks_.size();) {
+      if (tasks_[i]->exhausted()) {
+        tasks_.erase(tasks_.begin() + i);
+        continue;
       }
+      if (task == nullptr || tasks_[i]->helpers < task->helpers) {
+        task = tasks_[i];
+      }
+      ++i;
     }
+    if (task == nullptr) continue;  // everything drained; back to sleep
+    ++task->helpers;
+    lock.unlock();
+    int64_t i;
+    while ((i = task->next.fetch_add(1, std::memory_order_relaxed)) <
+           task->end) {
+      (*task->fn)(i);
+    }
+    lock.lock();
+    if (--task->helpers == 0) done_cv_.notify_all();
   }
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,
                              const std::function<void(int64_t)>& fn) {
   if (begin >= end) return;
-  std::atomic<int64_t> next(begin);
-  std::atomic<int> remaining(static_cast<int>(workers_.size()));
+  TaskContext ctx;
+  ctx.end = end;
+  ctx.fn = &fn;
+  ctx.next.store(begin, std::memory_order_relaxed);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    task_.begin = begin;
-    task_.end = end;
-    task_.fn = &fn;
-    task_.next = &next;
-    task_.remaining = &remaining;
-    ++epoch_;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++callers_;
+    tasks_.push_back(&ctx);
   }
   cv_.notify_all();
-  // The caller participates in the same iteration pool.
+  // The caller participates in its own iteration range, so the call makes
+  // progress even when every worker is helping another caller.
   const bool was_inside = inside_parallel_region;
   inside_parallel_region = true;
   int64_t i;
-  while ((i = next.fetch_add(1, std::memory_order_relaxed)) < end) {
+  while ((i = ctx.next.fetch_add(1, std::memory_order_relaxed)) < end) {
     fn(i);
   }
   inside_parallel_region = was_inside;
-  // Wait for workers to drain; they may still be executing their last
-  // iteration even though the counter is exhausted.
+  // Unpublish the context, then wait for helpers still executing their last
+  // claimed iteration; ctx must stay alive until the last one leaves.
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return remaining.load() == 0; });
+  auto it = std::find(tasks_.begin(), tasks_.end(), &ctx);
+  if (it != tasks_.end()) tasks_.erase(it);
+  done_cv_.wait(lock, [&] { return ctx.helpers == 0; });
+  if (--callers_ == 0) done_cv_.notify_all();
 }
 
 ThreadPool& GlobalPool() {

@@ -5,6 +5,15 @@
 // loop of dCAM are embarrassingly parallel, so a static-partition
 // parallel-for recovers most of the available speedup without the complexity
 // of work stealing.
+//
+// The pool accepts any number of concurrent external callers: each
+// ParallelFor call owns a private task context (iteration counter + helper
+// count) that lives on the caller's stack and is published on a shared task
+// list. Workers pick the live task with the fewest helpers (least-loaded),
+// so two replica schedulers issuing ParallelFor at the same time split the
+// workers between them instead of serializing on a single task slot. The
+// caller always participates in its own iteration range, so every call makes
+// progress even when all workers are busy elsewhere (or after shutdown).
 
 #ifndef DCAM_UTIL_PARALLEL_H_
 #define DCAM_UTIL_PARALLEL_H_
@@ -21,10 +30,15 @@ namespace dcam {
 
 /// Fixed-size worker pool. One global instance (see GlobalPool()) is shared
 /// by the whole library; nested ParallelFor calls degrade to serial execution
-/// on the calling thread rather than deadlocking.
+/// on the calling thread rather than deadlocking, and any number of external
+/// threads may call ParallelFor concurrently.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
+
+  /// Stops the workers, then waits for any thread still inside ParallelFor
+  /// to leave (such calls finish serially on their caller) before the
+  /// members are destroyed.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,29 +47,36 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Runs fn(i) for i in [begin, end). Blocks until all iterations finish.
-  /// The calling thread participates. Safe to call with begin >= end.
+  /// The calling thread participates. Safe to call with begin >= end, and
+  /// safe to call from multiple threads concurrently — each call's
+  /// iterations are disjoint from every other call's.
   void ParallelFor(int64_t begin, int64_t end,
                    const std::function<void(int64_t)>& fn);
 
  private:
-  struct Task {
-    int64_t begin = 0;
+  // One in-flight ParallelFor. Lives on the caller's stack; the caller
+  // removes it from tasks_ once the counter is exhausted and waits for
+  // helpers_ (guarded by mu_) to drop to zero before returning.
+  struct TaskContext {
     int64_t end = 0;
     const std::function<void(int64_t)>* fn = nullptr;
-    std::atomic<int64_t>* next = nullptr;
-    std::atomic<int>* remaining = nullptr;
+    std::atomic<int64_t> next{0};
+    int helpers = 0;  // workers currently running iterations (guarded by mu_)
+
+    bool exhausted() const {
+      return next.load(std::memory_order_relaxed) >= end;
+    }
   };
 
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  Task task_;
-  uint64_t epoch_ = 0;
+  std::condition_variable cv_;       // worker wake-up
+  std::condition_variable done_cv_;  // caller / destructor wake-up
+  std::vector<TaskContext*> tasks_;  // live ParallelFor calls (guarded by mu_)
+  int callers_ = 0;                  // threads inside ParallelFor
   bool shutdown_ = false;
-  int active_ = 0;
 };
 
 /// Process-wide pool sized to the hardware concurrency (minimum 1 worker).
