@@ -1,5 +1,6 @@
 // Multi-client ExplainService throughput: replica sharding, cross-request
-// batching, and result caching against the one-request-at-a-time baseline.
+// batching, result caching, and the async client surface against the
+// one-request-at-a-time baseline.
 //
 // Workload: C client threads each request dCAM maps for distinct series with
 // small per-request k. A single request underfills the engine's forward
@@ -14,16 +15,39 @@
 // The cache phase resubmits the same requests and must be serviced without
 // recompute.
 //
+// --async adds the async-client phases:
+//   * blocking baseline: each client thread keeps ONE request in flight
+//     (Submit + immediate wait) — the thread-per-request serving model;
+//   * completion-queue clients: each client thread submits its whole share
+//     up front and drains a CompletionQueue — per_client requests in flight
+//     per thread, so the schedulers always see a full coalescing window;
+//   * mixed-priority overload: every request submitted at once through one
+//     queue with priorities round-robined high/normal/batch, measuring the
+//     per-request submit->completion latency per class. Priority-ordered
+//     drains should hold the high-priority p99 far under the batch p99.
+//
 // Pass `--json <path>` to emit BENCH_dcam.json-style records:
-//   BM_ServiceDcamDirect     sequential direct Explainer calls (baseline)
-//   BM_ServiceDcamCoalesced  concurrent clients through a 1-replica service
-//   BM_ServiceDcamSharded    the same clients through an N-replica service
-//   BM_ServiceCacheHit       the same requests again, all cache hits
-// ns_per_iter is wall time per request; shape is D/n/k/clientsxper_client
-// (the sharded row appends /rN). With --min-replica-speedup X the binary
-// exits non-zero unless coalesced/sharded >= X — the CI replica-scaling
-// gate.
+//   BM_ServiceDcamDirect      sequential direct Explainer calls (baseline)
+//   BM_ServiceDcamCoalesced   concurrent clients through a 1-replica service
+//   BM_ServiceDcamSharded     the same clients through an N-replica service
+//   BM_ServiceCacheHit        the same requests again, all cache hits
+//   BM_ServiceAsyncBlocking   (--async) 1-in-flight-per-client baseline
+//   BM_ServiceAsyncCq         (--async) completion-queue clients
+//   BM_ServicePriorityHighP99 / BM_ServicePriorityBatchP99
+//                             (--async) p99 latency per priority class, ns
+// ns_per_iter is wall time per request (or the p99 latency for the priority
+// rows); shape is D/n/k/clientsxper_client, with /rN appended on rows served
+// by an N-replica service.
+//
+// Gates (exit 2 on violation) — evaluated only AFTER the JSON report is
+// flushed, so the CI artifact upload always sees the measurements that
+// produced a failure:
+//   --min-replica-speedup X   coalesced/sharded >= X
+//   --min-async-speedup X     blocking/async-cq >= X
+//   --max-high-p99-ratio Y    high-priority p99 <= Y * batch-priority p99
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +56,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/clock.h"
+
+#include "explain/completion_queue.h"
 #include "explain/explainer.h"
 #include "explain/service.h"
 #include "models/cnn.h"
@@ -50,7 +77,10 @@ struct Options {
   int dims = 8;
   int len = 64;
   int replicas = 2;
+  bool async = false;
   double min_replica_speedup = 0.0;  // 0 = report only, no gate
+  double min_async_speedup = 0.0;    // 0 = report only, no gate
+  double max_high_p99_ratio = 0.0;   // 0 = report only, no gate
   std::string json_path;
 };
 
@@ -123,6 +153,63 @@ double RunClients(explain::ExplainService* service,
   return watch.ElapsedSeconds();
 }
 
+// Blocking baseline: each client thread holds ONE request in flight at a
+// time — the serving model the async API replaces. Returns wall seconds.
+double RunBlockingClients(explain::ExplainService* service,
+                          const std::vector<explain::ExplainRequest>& requests,
+                          int clients, int per_client,
+                          std::vector<Tensor>* maps) {
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const int base = c * per_client;
+      for (int r = 0; r < per_client; ++r) {
+        (*maps)[base + r] = service->Explain(requests[base + r]).map;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return watch.ElapsedSeconds();
+}
+
+// Completion-queue clients: each client thread submits its whole share up
+// front, then drains its queue — per_client requests in flight per thread.
+double RunCqClients(explain::ExplainService* service,
+                    const std::vector<explain::ExplainRequest>& requests,
+                    int clients, int per_client, std::vector<Tensor>* maps) {
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      explain::CompletionQueue cq;
+      const int base = c * per_client;
+      for (int r = 0; r < per_client; ++r) {
+        service->SubmitAsync(requests[base + r], &cq,
+                             reinterpret_cast<void*>(static_cast<intptr_t>(r)));
+      }
+      explain::CompletionQueue::Completion done;
+      for (int r = 0; r < per_client; ++r) {
+        if (!cq.Next(&done) || !done.ok()) continue;
+        const int idx = static_cast<int>(reinterpret_cast<intptr_t>(done.tag));
+        (*maps)[base + idx] = std::move(done.result.map);
+      }
+      cq.Shutdown();
+    });
+  }
+  for (auto& t : threads) t.join();
+  return watch.ElapsedSeconds();
+}
+
+double PercentileNs(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = std::min(
+      values.size() - 1,
+      static_cast<size_t>(pct / 100.0 * static_cast<double>(values.size())));
+  return values[idx];
+}
+
 long long CountMismatches(const std::vector<Tensor>& got,
                           const std::vector<Tensor>& want) {
   long long mismatches = 0;
@@ -170,24 +257,37 @@ int main(int argc, char** argv) {
     } else if (arg == "--replicas") {
       opt.replicas =
           static_cast<int>(ParseIntFlag(next("--replicas"), "--replicas"));
+    } else if (arg == "--async") {
+      opt.async = true;
     } else if (arg == "--min-replica-speedup") {
       opt.min_replica_speedup = ParseDoubleFlag(
           next("--min-replica-speedup"), "--min-replica-speedup");
+    } else if (arg == "--min-async-speedup") {
+      opt.min_async_speedup =
+          ParseDoubleFlag(next("--min-async-speedup"), "--min-async-speedup");
+    } else if (arg == "--max-high-p99-ratio") {
+      opt.max_high_p99_ratio =
+          ParseDoubleFlag(next("--max-high-p99-ratio"), "--max-high-p99-ratio");
     } else {
       std::fprintf(stderr,
                    "usage: bench_service [--clients N] [--requests M] [--k K] "
-                   "[--dims D] [--len n] [--replicas R] "
-                   "[--min-replica-speedup X] [--json path]\n"
-                   "--min-replica-speedup gates sharded-vs-1-replica scaling; "
-                   "only meaningful on a multi-core host\n");
+                   "[--dims D] [--len n] [--replicas R] [--async] "
+                   "[--min-replica-speedup X] [--min-async-speedup X] "
+                   "[--max-high-p99-ratio Y] [--json path]\n"
+                   "--min-replica-speedup gates sharded-vs-1-replica scaling, "
+                   "--min-async-speedup gates async-vs-blocking throughput; "
+                   "both only meaningful on a multi-core host. "
+                   "--max-high-p99-ratio gates high-vs-batch priority p99 "
+                   "latency under the --async overload phase\n");
       return 1;
     }
   }
   const int total = opt.clients * opt.per_client;
   std::printf("=== ExplainService throughput: %d clients x %d dCAM requests "
-              "(D=%d, n=%d, k=%d, pool=%d threads, %d replicas) ===\n",
+              "(D=%d, n=%d, k=%d, pool=%d threads, %d replicas%s) ===\n",
               opt.clients, opt.per_client, opt.dims, opt.len, opt.k,
-              GlobalPool().num_threads(), opt.replicas);
+              GlobalPool().num_threads(), opt.replicas,
+              opt.async ? ", async phases on" : "");
 
   Rng rng(7);
   models::ConvNetConfig cfg;
@@ -243,8 +343,8 @@ int main(int argc, char** argv) {
   const explain::ExplainService::Stats sharded_stats = sharded.stats();
 
   // Determinism check: batching/caching/replica routing must be invisible.
-  const long long mismatches = CountMismatches(service_maps, direct_maps) +
-                               CountMismatches(sharded_maps, direct_maps);
+  long long mismatches = CountMismatches(service_maps, direct_maps) +
+                         CountMismatches(sharded_maps, direct_maps);
 
   const double replica_speedup = sharded_s > 0 ? service_s / sharded_s : 0.0;
   std::printf("direct (1-at-a-time): %7.1f ms total, %8.0f us/request\n",
@@ -259,6 +359,102 @@ int main(int argc, char** argv) {
               replica_speedup);
   std::printf("service (cache hit) : %7.1f ms total, %8.0f us/request\n",
               cache_s * 1e3, cache_s * 1e6 / total);
+
+  // --- async phases (--async): blocking vs completion-queue clients, and
+  // --- mixed-priority overload latency -------------------------------------
+  double blocking_s = 0.0;
+  double async_s = 0.0;
+  double async_speedup = 0.0;
+  double high_p99_ns = 0.0;
+  double batch_p99_ns = 0.0;
+  int per_class_count = 0;
+  if (opt.async) {
+    {
+      explain::ExplainService::Config acfg;
+      acfg.replicas = opt.replicas;
+      explain::ExplainService blocking_service(acfg);
+      blocking_service.RegisterModel("dcnn", &model);
+      std::vector<Tensor> blocking_maps(requests.size());
+      blocking_s = RunBlockingClients(&blocking_service, requests, opt.clients,
+                                      opt.per_client, &blocking_maps);
+      mismatches += CountMismatches(blocking_maps, direct_maps);
+    }
+    {
+      explain::ExplainService::Config acfg;
+      acfg.replicas = opt.replicas;
+      explain::ExplainService async_service(acfg);
+      async_service.RegisterModel("dcnn", &model);
+      std::vector<Tensor> async_maps(requests.size());
+      async_s = RunCqClients(&async_service, requests, opt.clients,
+                             opt.per_client, &async_maps);
+      mismatches += CountMismatches(async_maps, direct_maps);
+    }
+    async_speedup = async_s > 0 ? blocking_s / async_s : 0.0;
+    std::printf("async (blocking)    : %7.1f ms total, %8.0f us/request "
+                "(1 in flight per client)\n",
+                blocking_s * 1e3, blocking_s * 1e6 / total);
+    std::printf("async (compl.queue) : %7.1f ms total, %8.0f us/request "
+                "(%.2fx vs blocking)\n",
+                async_s * 1e3, async_s * 1e6 / total, async_speedup);
+
+    // Mixed-priority overload: two copies of the workload (distinct seeds,
+    // so nothing dedupes or caches) land at once on one service, priorities
+    // round-robined high/normal/batch. max_coalesce is kept small so the
+    // bounded scheduler rounds — and therefore completions — track the
+    // priority-ordered drain instead of fusing into one giant pass; the
+    // doubled request count amortizes the mixed prefix drained before the
+    // queue got deep enough for priorities to matter.
+    {
+      explain::ExplainService::Config pcfg;
+      pcfg.replicas = opt.replicas;
+      pcfg.max_coalesce = 2;
+      explain::ExplainService pservice(pcfg);
+      pservice.RegisterModel("dcnn", &model);
+      explain::CompletionQueue cq;
+      const auto clock = RealClock::Get();
+      const size_t n_priority = requests.size() * 2;
+      std::vector<MonotonicClock::time_point> submitted(n_priority);
+      std::vector<double> latency_ns(n_priority, 0.0);
+      for (size_t i = 0; i < n_priority; ++i) {
+        explain::ExplainRequest req = requests[i % requests.size()];
+        req.options.dcam.seed = 20000 + i;
+        req.priority = static_cast<explain::Priority>(
+            i % static_cast<size_t>(explain::kNumPriorities));
+        submitted[i] = clock->Now();
+        pservice.SubmitAsync(std::move(req), &cq,
+                             reinterpret_cast<void*>(static_cast<intptr_t>(i)));
+      }
+      explain::CompletionQueue::Completion done;
+      for (size_t n = 0; n < n_priority; ++n) {
+        if (!cq.Next(&done) || !done.ok()) continue;
+        const size_t idx =
+            static_cast<size_t>(reinterpret_cast<intptr_t>(done.tag));
+        latency_ns[idx] = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock->Now() - submitted[idx])
+                .count());
+      }
+      cq.Shutdown();
+      std::vector<double> high, batch;
+      for (size_t i = 0; i < latency_ns.size(); ++i) {
+        const auto priority = static_cast<explain::Priority>(
+            i % static_cast<size_t>(explain::kNumPriorities));
+        if (priority == explain::Priority::kHigh) high.push_back(latency_ns[i]);
+        if (priority == explain::Priority::kBatch) {
+          batch.push_back(latency_ns[i]);
+        }
+      }
+      per_class_count = static_cast<int>(high.size());
+      high_p99_ns = PercentileNs(high, 99.0);
+      batch_p99_ns = PercentileNs(batch, 99.0);
+      std::printf("priority overload   : high p99 %7.0f us, batch p99 %7.0f "
+                  "us (%.2fx, %d per class)\n",
+                  high_p99_ns / 1e3, batch_p99_ns / 1e3,
+                  batch_p99_ns > 0 ? high_p99_ns / batch_p99_ns : 0.0,
+                  per_class_count);
+    }
+  }
+
   std::printf("stats: %llu+%llu engine passes (largest %llu requests), "
               "%llu cache hits, %llu deduped; per-request maps %s\n",
               static_cast<unsigned long long>(stats.coalesced_batches),
@@ -269,43 +465,58 @@ int main(int argc, char** argv) {
               mismatches == 0 ? "bit-identical to direct calls"
                               : "MISMATCHED (bug!)");
 
+  // The JSON report is flushed BEFORE any gate can exit: a CI lane that
+  // fails a gate still uploads the measurements that failed it.
+  int exit_code = 0;
   if (!opt.json_path.empty()) {
     std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench_service: cannot open %s for writing\n",
                    opt.json_path.c_str());
-      return 1;
+      exit_code = 1;  // still fall through to the gates below
+    } else {
+      char shape[64];
+      std::snprintf(shape, sizeof shape, "%d/%d/%d/%dx%d", opt.dims, opt.len,
+                    opt.k, opt.clients, opt.per_client);
+      char sharded_shape[80];
+      std::snprintf(sharded_shape, sizeof sharded_shape, "%s/r%d", shape,
+                    opt.replicas);
+      std::vector<Measurement> rows = {
+          {"BM_ServiceDcamDirect", shape, direct_s * 1e9 / total, total},
+          {"BM_ServiceDcamCoalesced", shape, service_s * 1e9 / total, total},
+          {"BM_ServiceDcamSharded", sharded_shape, sharded_s * 1e9 / total,
+           total},
+          {"BM_ServiceCacheHit", shape, cache_s * 1e9 / total, total},
+      };
+      if (opt.async) {
+        rows.push_back({"BM_ServiceAsyncBlocking", sharded_shape,
+                        blocking_s * 1e9 / total, total});
+        rows.push_back({"BM_ServiceAsyncCq", sharded_shape,
+                        async_s * 1e9 / total, total});
+        rows.push_back({"BM_ServicePriorityHighP99", sharded_shape,
+                        high_p99_ns, per_class_count});
+        rows.push_back({"BM_ServicePriorityBatchP99", sharded_shape,
+                        batch_p99_ns, per_class_count});
+      }
+      std::fprintf(f, "{\n  \"benchmarks\": [\n");
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::fprintf(f,
+                     "    {\"op\": \"%s\", \"shape\": \"%s\", "
+                     "\"ns_per_iter\": %.1f, \"threads\": %d, "
+                     "\"iterations\": %lld}%s\n",
+                     rows[i].op.c_str(), rows[i].shape.c_str(),
+                     rows[i].ns_per_iter, GlobalPool().num_threads(),
+                     rows[i].iterations, i + 1 < rows.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::fprintf(stderr, "bench_service: wrote %zu results to %s\n",
+                   rows.size(), opt.json_path.c_str());
     }
-    char shape[64];
-    std::snprintf(shape, sizeof shape, "%d/%d/%d/%dx%d", opt.dims, opt.len,
-                  opt.k, opt.clients, opt.per_client);
-    char sharded_shape[80];
-    std::snprintf(sharded_shape, sizeof sharded_shape, "%s/r%d", shape,
-                  opt.replicas);
-    const Measurement rows[] = {
-        {"BM_ServiceDcamDirect", shape, direct_s * 1e9 / total, total},
-        {"BM_ServiceDcamCoalesced", shape, service_s * 1e9 / total, total},
-        {"BM_ServiceDcamSharded", sharded_shape, sharded_s * 1e9 / total,
-         total},
-        {"BM_ServiceCacheHit", shape, cache_s * 1e9 / total, total},
-    };
-    std::fprintf(f, "{\n  \"benchmarks\": [\n");
-    const size_t n = sizeof rows / sizeof rows[0];
-    for (size_t i = 0; i < n; ++i) {
-      std::fprintf(f,
-                   "    {\"op\": \"%s\", \"shape\": \"%s\", "
-                   "\"ns_per_iter\": %.1f, \"threads\": %d, "
-                   "\"iterations\": %lld}%s\n",
-                   rows[i].op.c_str(), rows[i].shape.c_str(),
-                   rows[i].ns_per_iter, GlobalPool().num_threads(),
-                   rows[i].iterations, i + 1 < n ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::fprintf(stderr, "bench_service: wrote %zu results to %s\n", n,
-                 opt.json_path.c_str());
   }
-  if (mismatches != 0) return 1;
+
+  // --- gates (JSON is already on disk) -------------------------------------
+  if (mismatches != 0) exit_code = std::max(exit_code, 1);
   if (opt.min_replica_speedup > 0 &&
       replica_speedup < opt.min_replica_speedup) {
     std::fprintf(stderr,
@@ -313,7 +524,25 @@ int main(int argc, char** argv) {
                  "(%d replicas, %d pool threads)\n",
                  replica_speedup, opt.min_replica_speedup, opt.replicas,
                  GlobalPool().num_threads());
-    return 2;
+    exit_code = 2;
   }
-  return 0;
+  if (opt.async && opt.min_async_speedup > 0 &&
+      async_speedup < opt.min_async_speedup) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL async throughput %.2fx < required "
+                 "%.2fx over blocking (%d clients, %d pool threads)\n",
+                 async_speedup, opt.min_async_speedup, opt.clients,
+                 GlobalPool().num_threads());
+    exit_code = 2;
+  }
+  if (opt.async && opt.max_high_p99_ratio > 0 && batch_p99_ns > 0 &&
+      high_p99_ns > opt.max_high_p99_ratio * batch_p99_ns) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL high-priority p99 %.0f us > %.2fx "
+                 "batch-priority p99 %.0f us\n",
+                 high_p99_ns / 1e3, opt.max_high_p99_ratio,
+                 batch_p99_ns / 1e3);
+    exit_code = 2;
+  }
+  return exit_code;
 }

@@ -1,0 +1,87 @@
+#include "explain/completion_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcam {
+namespace explain {
+
+CompletionQueue::~CompletionQueue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A pending op means the service still holds this queue's pointer and
+  // will Push into freed memory — always a client lifetime bug.
+  DCAM_CHECK_EQ(pending_, 0u)
+      << "CompletionQueue destroyed with ops still in flight; drain with "
+         "Next() until it returns false (after Shutdown) first";
+}
+
+void CompletionQueue::BeginOp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DCAM_CHECK(!shutdown_) << "async submit against a shut-down CompletionQueue";
+  ++pending_;
+}
+
+void CompletionQueue::Push(Completion c) {
+  std::unique_lock<std::mutex> lock(mu_);
+  DCAM_CHECK_GT(pending_, 0u) << "Push without a matching BeginOp";
+  if (capacity_ > 0) {
+    // Backpressure: a producer (scheduler shard) waits for the consumer.
+    // Shutdown releases the wait so a full buffer can never wedge it.
+    producer_cv_.wait(
+        lock, [&] { return shutdown_ || buffer_.size() < capacity_; });
+  }
+  if (shutdown_) {
+    // The op was pending across Shutdown: deliver the tag so the client
+    // can reclaim its per-op state, but drop the payload — a shut-down
+    // queue must not hand out results its consumer already stopped
+    // expecting.
+    c.status = Status::kShutdown;
+    c.result = ExplanationResult{};
+    c.error = nullptr;
+  }
+  --pending_;
+  buffer_.push_back(std::move(c));
+  // Notify under the lock: delivering the last pending op entitles the
+  // consumer to drain and destroy the queue, so the condition variable must
+  // not be touched after mu_ is released.
+  consumer_cv_.notify_one();
+}
+
+bool CompletionQueue::Next(Completion* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  consumer_cv_.wait(lock, [&] {
+    return !buffer_.empty() || (shutdown_ && pending_ == 0);
+  });
+  if (buffer_.empty()) return false;  // shut down and fully drained
+  *out = std::move(buffer_.front());
+  buffer_.pop_front();
+  producer_cv_.notify_one();  // still under the lock (see Push)
+  return true;
+}
+
+bool CompletionQueue::TryNext(Completion* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buffer_.empty()) return false;
+  *out = std::move(buffer_.front());
+  buffer_.pop_front();
+  producer_cv_.notify_one();  // still under the lock (see Push)
+  return true;
+}
+
+void CompletionQueue::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  // Under the lock: an already-drained consumer may destroy the queue the
+  // moment shutdown becomes observable.
+  consumer_cv_.notify_all();
+  producer_cv_.notify_all();
+}
+
+uint64_t CompletionQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace explain
+}  // namespace dcam

@@ -1,0 +1,119 @@
+// Tagged completion queue for the async ExplainService client surface.
+//
+// The future-based Submit burns one blocked client thread per in-flight
+// request — a network front-end pumping thousands of explanations cannot
+// afford that. A CompletionQueue inverts the hand-off: the client attaches
+// an opaque tag to each SubmitAsync, keeps N requests in flight, and drives
+// them all from one thread with Next()/TryNext(), matching each delivered
+// Completion back to its per-request state via the tag (the gRPC
+// completion-queue shape).
+//
+//   explain::CompletionQueue cq;
+//   for (auto& req : batch) service.SubmitAsync(req, &cq, tag_for(req));
+//   explain::CompletionQueue::Completion c;
+//   while (cq.Next(&c)) Handle(c.tag, c);   // false once shut down + drained
+//
+// Lifecycle contract:
+//   * Every SubmitAsync(cq, tag) produces exactly one Completion on `cq` —
+//     kOk with the result, or kError carrying the exception a future-based
+//     Submit would have thrown (ServiceOverloadError, DeadlineExceededError).
+//   * Shutdown() stops the queue: ops already submitted still deliver their
+//     tags (so per-op client state can always be reclaimed), but as kShutdown
+//     — results that finish after Shutdown are dropped, not handed out.
+//     Next() keeps returning completions until every pending op has been
+//     delivered and the buffer is empty, then returns false forever.
+//   * A bounded queue (capacity > 0) blocks producers while `capacity`
+//     completions sit unconsumed — backpressure from a slow consumer onto
+//     the service's scheduler shards. Shutdown releases blocked producers,
+//     so shutdown can never deadlock against a full buffer.
+//   * The queue must outlive its pending ops: destroying it while a
+//     submitted request has not yet delivered is a CHECK failure (the
+//     service still holds the pointer). Undrained completions at
+//     destruction are allowed and simply discarded.
+
+#ifndef DCAM_EXPLAIN_COMPLETION_QUEUE_H_
+#define DCAM_EXPLAIN_COMPLETION_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+#include "explain/explainer.h"
+
+namespace dcam {
+namespace explain {
+
+class CompletionQueue {
+ public:
+  enum class Status {
+    kOk,        // `result` is valid
+    kError,     // `error` holds the exception Submit's future would throw
+    kShutdown,  // op was pending across Shutdown(); result dropped
+  };
+
+  /// One finished (or abandoned) async op. `tag` is returned verbatim from
+  /// the SubmitAsync that started the op.
+  struct Completion {
+    void* tag = nullptr;
+    Status status = Status::kOk;
+    ExplanationResult result;    // kOk only
+    std::exception_ptr error;    // kError only
+
+    bool ok() const { return status == Status::kOk; }
+  };
+
+  /// capacity = 0: unbounded. capacity > 0: Push blocks while that many
+  /// completions are buffered and unconsumed.
+  explicit CompletionQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// All pending ops must have delivered (CHECK-enforced); buffered but
+  /// unconsumed completions are discarded.
+  ~CompletionQueue();
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Blocks until a completion is available (returns true, fills `out`) or
+  /// the queue is shut down with nothing pending and nothing buffered
+  /// (returns false — the drained terminal state).
+  bool Next(Completion* out);
+
+  /// Non-blocking poll: true + `out` when a completion was ready.
+  bool TryNext(Completion* out);
+
+  /// Stops the queue. Ops already begun still deliver their tags (as
+  /// kShutdown when they finish after this call); blocked producers are
+  /// released; BeginOp afterwards is a CHECK failure. Idempotent.
+  void Shutdown();
+
+  /// Number of begun-but-undelivered ops (for tests / introspection).
+  uint64_t pending() const;
+
+  // ---- producer side (called by ExplainService) ----------------------------
+
+  /// Registers one future Push. Called by SubmitAsync before admission so
+  /// even an immediately-rejected request delivers its tag exactly once.
+  void BeginOp();
+
+  /// Delivers one op begun with BeginOp. Blocks on a full bounded queue
+  /// (unless shut down). After Shutdown the completion is delivered with
+  /// Status::kShutdown and its payload cleared.
+  void Push(Completion c);
+
+ private:
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;  // Next waiters
+  std::condition_variable producer_cv_;  // bounded Push waiters
+  std::deque<Completion> buffer_;
+  uint64_t pending_ = 0;  // BeginOp'd, not yet Push'd
+  bool shutdown_ = false;
+};
+
+}  // namespace explain
+}  // namespace dcam
+
+#endif  // DCAM_EXPLAIN_COMPLETION_QUEUE_H_

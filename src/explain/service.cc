@@ -24,10 +24,14 @@ size_t SeriesBytes(const Tensor& series) {
   return static_cast<size_t>(series.size()) * sizeof(float);
 }
 
-uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
-                   std::chrono::steady_clock::time_point to) {
+uint64_t ElapsedNs(MonotonicClock::time_point from,
+                   MonotonicClock::time_point to) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+bool HasDeadline(MonotonicClock::time_point deadline) {
+  return deadline != MonotonicClock::time_point{};
 }
 
 }  // namespace
@@ -44,7 +48,9 @@ size_t ExplainService::CacheKeyHash::operator()(const CacheKey& k) const {
 ExplainService::ExplainService() : ExplainService(Config()) {}
 
 ExplainService::ExplainService(Config config)
-    : config_(config), cache_(config.cache_capacity) {
+    : config_(config),
+      clock_(config.clock != nullptr ? config.clock : RealClock::Get()),
+      cache_(config.cache_capacity) {
   DCAM_CHECK_GE(config_.engine_batch, 0);
   DCAM_CHECK_GE(config_.max_coalesce, 1);
   DCAM_CHECK_GE(config_.replicas, 1);
@@ -103,12 +109,18 @@ void ExplainService::InvalidateModel(const std::string& id) {
   stats_.invalidations += dropped;
 }
 
+size_t ExplainService::QueuedLocked(const Shard& shard) const {
+  size_t total = 0;
+  for (const auto& q : shard.queues) total += q.size();
+  return total;
+}
+
 int ExplainService::LeastLoadedLocked(const ModelEntry& entry) const {
   int best = 0;
   size_t best_load = static_cast<size_t>(-1);
   for (int s = 0; s < entry.group; ++s) {
     const size_t load =
-        shards_[s]->queue.size() + static_cast<size_t>(shards_[s]->in_flight);
+        QueuedLocked(*shards_[s]) + static_cast<size_t>(shards_[s]->in_flight);
     if (load < best_load) {
       best = s;
       best_load = load;
@@ -117,16 +129,137 @@ int ExplainService::LeastLoadedLocked(const ModelEntry& entry) const {
   return best;
 }
 
+void ExplainService::Deliver(Pending* p, ExplanationResult result) {
+  if (p->cq != nullptr) {
+    CompletionQueue::Completion c;
+    c.tag = p->tag;
+    c.status = CompletionQueue::Status::kOk;
+    c.result = std::move(result);
+    p->cq->Push(std::move(c));
+  } else if (p->callback) {
+    AsyncResult r;
+    r.result = std::move(result);
+    p->callback(std::move(r));
+  } else {
+    p->promise.set_value(std::move(result));
+  }
+}
+
+void ExplainService::DeliverError(Pending* p, std::exception_ptr error) {
+  if (p->cq != nullptr) {
+    CompletionQueue::Completion c;
+    c.tag = p->tag;
+    c.status = CompletionQueue::Status::kError;
+    c.error = std::move(error);
+    p->cq->Push(std::move(c));
+  } else if (p->callback) {
+    AsyncResult r;
+    r.error = std::move(error);
+    p->callback(std::move(r));
+  } else {
+    p->promise.set_exception(std::move(error));
+  }
+}
+
+void ExplainService::DropKeyRefLocked(const Pending& p) {
+  auto it = active_keys_.find(p.key);
+  if (it != active_keys_.end() && --it->second.second == 0) {
+    active_keys_.erase(it);
+  }
+}
+
 void ExplainService::Reject(Pending* p, const std::string& why) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.shed_rejected;
+    ++stats_.shed_by_priority[p->priority_class()];
   }
-  p->promise.set_exception(
-      std::make_exception_ptr(ServiceOverloadError(why)));
+  DeliverError(p, std::make_exception_ptr(ServiceOverloadError(why)));
+}
+
+void ExplainService::Expire(Pending* p) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.deadline_expired;
+    if (p->has_key_ref) DropKeyRefLocked(*p);
+  }
+  DeliverError(p, std::make_exception_ptr(DeadlineExceededError(
+                      "request deadline passed while queued (method \"" +
+                      p->request.method + "\", model \"" +
+                      p->request.model_id + "\")")));
+}
+
+void ExplainService::ShedForLocked(const Pending& arrival, size_t cost,
+                                   std::vector<Pending>* victims) {
+  const int limit = arrival.priority_class();
+  // Shedding cannot help an arrival whose own series exceeds the byte
+  // bound: even an empty queue leaves it over the bound, so evicting queued
+  // work on its behalf would destroy admitted requests for nothing. Such an
+  // arrival falls through to the ordinary reject/degrade/hard-cap handling
+  // with the queue intact (depth pressure, which eviction always relieves,
+  // is still shed for).
+  const bool bytes_shedable =
+      config_.max_queue_bytes == 0 || cost <= config_.max_queue_bytes;
+  for (int cls = kNumPriorities - 1; cls > limit; --cls) {
+    for (;;) {
+      const bool over_depth = config_.max_queue_depth > 0 &&
+                              queued_total_ >= config_.max_queue_depth;
+      const bool over_bytes = bytes_shedable && config_.max_queue_bytes > 0 &&
+                              queued_bytes_ + cost > config_.max_queue_bytes;
+      if (!over_depth && !over_bytes) return;
+      // The newest queued request of this class across all shards: shedding
+      // newest-first keeps the surviving FIFO order intact and takes the
+      // request that has invested the least queueing time.
+      Shard* from = nullptr;
+      for (auto& shard : shards_) {
+        if (shard->queues[cls].empty()) continue;
+        if (from == nullptr ||
+            shard->queues[cls].back().enqueued >
+                from->queues[cls].back().enqueued) {
+          from = shard.get();
+        }
+      }
+      if (from == nullptr) break;  // class drained; try the next-higher one
+      Pending victim = std::move(from->queues[cls].back());
+      from->queues[cls].pop_back();
+      --queued_total_;
+      queued_bytes_ -= SeriesBytes(victim.request.series);
+      if (victim.has_key_ref) DropKeyRefLocked(victim);
+      ++stats_.shed_rejected;
+      ++stats_.shed_by_priority[cls];
+      victims->push_back(std::move(victim));
+    }
+  }
 }
 
 std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
+  Pending p;
+  std::future<ExplanationResult> future = p.promise.get_future();
+  SubmitInternal(std::move(request), std::move(p));
+  return future;
+}
+
+void ExplainService::SubmitAsync(ExplainRequest request,
+                                 ExplainCallback callback) {
+  DCAM_CHECK(callback) << "SubmitAsync requires a callable callback";
+  Pending p;
+  p.callback = std::move(callback);
+  SubmitInternal(std::move(request), std::move(p));
+}
+
+void ExplainService::SubmitAsync(ExplainRequest request, CompletionQueue* cq,
+                                 void* tag) {
+  DCAM_CHECK(cq != nullptr) << "SubmitAsync requires a CompletionQueue";
+  // Begin the op before admission: even a synchronously-shed request must
+  // deliver its tag on the queue exactly once.
+  cq->BeginOp();
+  Pending p;
+  p.cq = cq;
+  p.tag = tag;
+  SubmitInternal(std::move(request), std::move(p));
+}
+
+void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
   DCAM_CHECK_EQ(request.series.rank(), 2)
       << "request series must be a (D, n) tensor";
   Explainer* proto;
@@ -176,7 +309,6 @@ std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
       << request.model_id << "\" (" << model->name() << ") for a ("
       << request.series.dim(0) << ", " << request.series.dim(1) << ") series";
 
-  Pending p;
   p.request = std::move(request);
   p.dedupable = proto->Deterministic();
   p.cacheable = p.dedupable && config_.cache_capacity > 0;
@@ -185,18 +317,28 @@ std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
   p.key.series_hash = HashTensor(p.request.series);
   p.key.options_digest =
       proto->OptionsDigest(p.request.class_idx, p.request.options);
-  std::future<ExplanationResult> future = p.promise.get_future();
 
   const size_t cost = SeriesBytes(p.request.series);
   bool reject = false;
+  std::vector<Pending> victims;
   {
     std::lock_guard<std::mutex> lock(mu_);
     DCAM_CHECK(!stop_) << "Submit after Shutdown";
-    const bool over_depth =
+    bool over_depth =
         config_.max_queue_depth > 0 && queued_total_ >= config_.max_queue_depth;
-    const bool over_bytes =
+    bool over_bytes =
         config_.max_queue_bytes > 0 &&
         queued_bytes_ + cost > config_.max_queue_bytes;
+    if (over_depth || over_bytes) {
+      // Shed lowest-priority-first: before this arrival is refused or
+      // degraded, queued requests of strictly lower priority give up their
+      // slots (their errors are delivered after the lock drops).
+      ShedForLocked(p, cost, &victims);
+      over_depth = config_.max_queue_depth > 0 &&
+                   queued_total_ >= config_.max_queue_depth;
+      over_bytes = config_.max_queue_bytes > 0 &&
+                   queued_bytes_ + cost > config_.max_queue_bytes;
+    }
     if (over_depth || over_bytes) {
       // The hard cap (twice each bound) rejects regardless of policy, so a
       // sustained burst cannot grow the queue without limit even when every
@@ -226,7 +368,7 @@ std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
     if (!reject) {
       auto model_it = models_.find(p.request.model_id);
       p.epoch = model_it->second.epoch;
-      p.enqueued = std::chrono::steady_clock::now();
+      p.enqueued = clock_->Now();
       // Key-affinity routing: repeats of an in-flight dedupable key pin to
       // its shard (where the per-batch dedupe or the shared cache merges
       // them); fresh keys — and non-dedupable requests — go least-loaded.
@@ -235,6 +377,7 @@ std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
         auto [key_it, inserted] = active_keys_.try_emplace(p.key, 0, 0u);
         if (inserted) key_it->second.first = LeastLoadedLocked(model_it->second);
         ++key_it->second.second;
+        p.has_key_ref = true;
         shard_idx = key_it->second.first;
       } else {
         shard_idx = LeastLoadedLocked(model_it->second);
@@ -245,14 +388,23 @@ std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
       stats_.peak_queue_depth =
           std::max(stats_.peak_queue_depth,
                    static_cast<uint64_t>(queued_total_));
-      shards_[shard_idx]->queue.push_back(std::move(p));
+      shards_[shard_idx]->queues[p.priority_class()].push_back(std::move(p));
       shards_[shard_idx]->cv.notify_one();
     }
+    // Eviction is a queue-removal path that bypasses the scheduler rounds:
+    // if this arrival shed queued work and was then refused itself, the
+    // queues may have just become drained without any scheduler ever
+    // waking, so a blocked Drain() must re-check its predicate here.
+    if (!victims.empty()) drained_cv_.notify_all();
+  }
+  for (Pending& victim : victims) {
+    DeliverError(&victim,
+                 std::make_exception_ptr(ServiceOverloadError(
+                     "shed by a higher-priority arrival (admission control)")));
   }
   if (reject) {
     Reject(&p, "ExplainService queue is full (admission control)");
   }
-  return future;
 }
 
 ExplanationResult ExplainService::Explain(ExplainRequest request) {
@@ -264,7 +416,7 @@ void ExplainService::Drain() {
   drained_cv_.wait(lock, [&] {
     if (queued_total_ != 0) return false;
     for (const auto& shard : shards_) {
-      if (!shard->queue.empty() || shard->in_flight != 0) return false;
+      if (QueuedLocked(*shard) != 0 || shard->in_flight != 0) return false;
     }
     return true;
   });
@@ -335,18 +487,40 @@ void ExplainService::SchedulerLoop(int shard_idx) {
     std::vector<Pending> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      shard.cv.wait(lock, [&] { return stop_ || !shard.queue.empty(); });
-      if (shard.queue.empty()) {
+      shard.cv.wait(lock,
+                    [&] { return stop_ || QueuedLocked(shard) != 0; });
+      if (QueuedLocked(shard) == 0) {
         if (stop_) return;
         continue;
       }
-      batch.swap(shard.queue);
+      // Drain priority-ordered: every queued high request ahead of every
+      // normal, normal ahead of batch, FIFO within a class. Everything
+      // downstream — deadline expiry, cache probes, ComputeMany chunking,
+      // fulfilment — walks the batch in this order, so a high-priority
+      // request is also *completed* first. Each round takes at most
+      // max_coalesce requests (the ComputeMany chunk bound): a bounded
+      // round means a high-priority request arriving mid-round waits for
+      // one round, not behind an unboundedly large mixed batch, and
+      // deadline-expiry verdicts stay close to compute start.
+      const size_t round_limit = static_cast<size_t>(config_.max_coalesce);
+      for (auto& queue : shard.queues) {
+        const size_t take =
+            std::min(queue.size(), round_limit - batch.size());
+        for (size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(queue[i]));
+        }
+        queue.erase(queue.begin(), queue.begin() + static_cast<long>(take));
+        if (batch.size() >= round_limit) break;
+      }
       shard.in_flight = batch.size();
       queued_total_ -= batch.size();
-      const auto now = std::chrono::steady_clock::now();
+      const auto now = clock_->Now();
       for (const Pending& p : batch) {
         queued_bytes_ -= SeriesBytes(p.request.series);
-        stats_.queue_delay_ns += ElapsedNs(p.enqueued, now);
+        const uint64_t delay = ElapsedNs(p.enqueued, now);
+        stats_.queue_delay_ns += delay;
+        stats_.queue_delay_ns_by_priority[p.priority_class()] += delay;
+        ++stats_.drained_by_priority[p.priority_class()];
       }
     }
     SyncDirtyReplicas(shard_idx);
@@ -401,19 +575,14 @@ void ExplainService::Fulfill(Pending* p, const ExplanationResult& result) {
     // table drops this request's reference under the same lock.
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.completed;
-    if (p->dedupable) {
-      auto it = active_keys_.find(p->key);
-      if (it != active_keys_.end() && --it->second.second == 0) {
-        active_keys_.erase(it);
-      }
-    }
+    if (p->has_key_ref) DropKeyRefLocked(*p);
   }
   // Every client gets a private copy of the map: Tensor copies share
   // storage, so handing the scheduler's buffer out would let one client's
   // in-place edit poison the cache and every deduped sibling.
   ExplanationResult owned = result;
   if (!owned.map.empty()) owned.map = owned.map.Clone();
-  p->promise.set_value(std::move(owned));
+  Deliver(p, std::move(owned));
 }
 
 void ExplainService::ProcessDcamGroup(Shard* shard, models::Model* model,
@@ -481,9 +650,20 @@ void ExplainService::Process(
   // verify actual series contents — the key's 64-bit hash alone must never
   // decide what a client receives. The cache is shared across shards, so a
   // result computed by any replica answers repeats routed here.
+  //
+  // Before either: deadline expiry at dequeue. A request whose deadline
+  // passed while it sat queued fails with DeadlineExceededError — nobody is
+  // waiting, so neither a cache probe nor compute is spent on it. Expiry is
+  // per-request and runs before the dedupe map is built, so an expired
+  // leader simply cedes leadership to its next unexpired duplicate.
+  const auto drained_at = clock_->Now();
   std::vector<Pending*> misses;
   std::unordered_map<CacheKey, std::vector<Pending*>, CacheKeyHash> dupes;
   for (Pending& p : batch) {
+    if (HasDeadline(p.request.deadline) && drained_at > p.request.deadline) {
+      Expire(&p);
+      continue;
+    }
     if (p.cacheable) {
       bool hit = false;
       ExplanationResult cached;

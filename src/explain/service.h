@@ -46,6 +46,26 @@
 // paper's Figure 10 trades k for runtime. Queue-delay and shed counters are
 // exposed via stats().
 //
+// Requests carry a Priority (kHigh / kNormal / kBatch) and an optional
+// absolute deadline. Each shard queue is priority-ordered (strict classes,
+// FIFO within a class), admission control sheds lowest-priority-first — an
+// over-bound arrival evicts queued strictly-lower-priority requests (newest
+// first) before shedding itself — and a request whose deadline has passed by
+// the time a scheduler dequeues it fails with DeadlineExceededError instead
+// of burning compute nobody is waiting for. A deduped duplicate rides its
+// leader: when a high-priority duplicate drains in the same scheduler round
+// as a queued batch-priority original, the shared computation runs at the
+// front of the batch (dedupe escalates rather than inverts priority).
+// Duplicates split across rounds don't share a batch — the later copy is
+// served by the result cache, or recomputes when caching is disabled.
+//
+// Three client surfaces share one request lifecycle (admission, routing,
+// priorities, deadlines, stats are identical across them):
+//   * Submit(request)            -> std::future   (one blocked thread each)
+//   * SubmitAsync(request, cb)   -> callback on a scheduler thread
+//   * SubmitAsync(request, cq, tag) -> tagged Completion on a
+//     CompletionQueue; one client thread drives N in-flight requests.
+//
 // Determinism: every request carries its own options (and hence its own
 // seed), which ComputeMany applies per instance, so batching, caching, and
 // replica routing are invisible to clients. The only exception is explicit:
@@ -55,9 +75,12 @@
 #ifndef DCAM_EXPLAIN_SERVICE_H_
 #define DCAM_EXPLAIN_SERVICE_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -69,10 +92,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "explain/completion_queue.h"
 #include "explain/explainer.h"
 #include "explain/lru_cache.h"
 #include "models/model.h"
 #include "tensor/tensor.h"
+#include "util/clock.h"
 
 namespace dcam {
 namespace core {
@@ -80,6 +105,15 @@ class DcamEngine;
 }  // namespace core
 
 namespace explain {
+
+/// Scheduling class of a request. Strict priority: within one shard, every
+/// queued kHigh request is drained ahead of every kNormal, and kNormal ahead
+/// of kBatch; arrival order is preserved within a class. Admission control
+/// sheds lowest-priority-first. Priority never changes the computed bits —
+/// only when (and under overload, whether) the request is served.
+enum class Priority : int { kHigh = 0, kNormal = 1, kBatch = 2 };
+
+inline constexpr int kNumPriorities = 3;
 
 /// One explanation request. `series` shares storage with the caller's
 /// tensor; it must not be mutated until the request completes.
@@ -89,6 +123,12 @@ struct ExplainRequest {
   Tensor series;         // (D, n)
   int class_idx = 0;
   ExplainOptions options;
+  Priority priority = Priority::kNormal;
+  /// Absolute monotonic deadline; the default (epoch) means none. A request
+  /// still queued when its deadline passes fails with DeadlineExceededError
+  /// at dequeue — compute already started is never cancelled. Measured
+  /// against Config::clock, so build deadlines from that clock's Now().
+  MonotonicClock::time_point deadline{};
 };
 
 /// Thrown through the future of a request refused by admission control.
@@ -96,6 +136,25 @@ struct ServiceOverloadError : std::runtime_error {
   explicit ServiceOverloadError(const std::string& what)
       : std::runtime_error(what) {}
 };
+
+/// Thrown through the future of a request whose deadline passed while it
+/// was queued.
+struct DeadlineExceededError : std::runtime_error {
+  explicit DeadlineExceededError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Outcome handed to a SubmitAsync callback: exactly one of result / error
+/// is meaningful. `error` holds what the future-based Submit would have
+/// thrown (ServiceOverloadError, DeadlineExceededError).
+struct AsyncResult {
+  ExplanationResult result;
+  std::exception_ptr error;
+
+  bool ok() const { return error == nullptr; }
+};
+
+using ExplainCallback = std::function<void(AsyncResult)>;
 
 class ExplainService {
  public:
@@ -128,6 +187,10 @@ class ExplainService {
     /// The k that degraded "dcam" requests compute with. Requests already at
     /// or below it are rejected instead (degrading would be a no-op).
     int min_degraded_k = 8;
+    /// Time source for deadlines and queue-delay accounting. Null = the real
+    /// steady clock; tests inject a ManualClock to make deadline expiry
+    /// deterministic. Non-owning; must outlive the service.
+    const MonotonicClock* clock = nullptr;
   };
 
   struct Stats {
@@ -144,6 +207,15 @@ class ExplainService {
     uint64_t queue_delay_ns = 0;    // cumulative Submit -> drain wait
     uint64_t peak_queue_depth = 0;  // largest queued-request count observed
     uint64_t invalidations = 0;     // cache entries dropped by InvalidateModel
+    uint64_t deadline_expired = 0;  // failed at dequeue, deadline passed
+    /// Rejections broken down by the shed request's priority class (indexed
+    /// by Priority); sums to shed_rejected. Under lowest-priority-first
+    /// shedding the victim may be a queued request, not the arrival.
+    std::array<uint64_t, kNumPriorities> shed_by_priority{};
+    /// Cumulative Submit -> drain wait and drained-request count per
+    /// priority class; together they give the per-class mean queue delay.
+    std::array<uint64_t, kNumPriorities> queue_delay_ns_by_priority{};
+    std::array<uint64_t, kNumPriorities> drained_by_priority{};
   };
 
   /// Starts the scheduler shards immediately.
@@ -180,8 +252,26 @@ class ExplainService {
   /// unknown model id or method, or a non-(D, n) series — submission-time
   /// errors are programming errors, not load-dependent conditions. Under
   /// admission-control overload the future throws ServiceOverloadError
-  /// (kReject / hard cap) or resolves to a smaller-k result (kDegradeK).
+  /// (kReject / hard cap) or resolves to a smaller-k result (kDegradeK); a
+  /// deadline that passes while queued throws DeadlineExceededError.
   std::future<ExplanationResult> Submit(ExplainRequest request);
+
+  /// Async variant: instead of a future, `callback` is invoked exactly once
+  /// with the result or the error Submit's future would have thrown.
+  /// Admission, routing, priorities, and deadlines behave identically to
+  /// Submit; at the same seed the delivered result is bit-identical. The
+  /// callback runs on a scheduler thread (or on the submitting thread for
+  /// synchronous rejects), with no service lock held — it may SubmitAsync
+  /// further requests, but must not block: a stalled callback stalls its
+  /// shard.
+  void SubmitAsync(ExplainRequest request, ExplainCallback callback);
+
+  /// Completion-queue variant: delivers exactly one tagged Completion on
+  /// `cq` (kOk with the result, or kError carrying the exception). `cq` is
+  /// non-owning and must outlive the op — one client thread can hold many
+  /// requests in flight and drive them all with cq->Next(). See
+  /// completion_queue.h for the shutdown/drain contract.
+  void SubmitAsync(ExplainRequest request, CompletionQueue* cq, void* tag);
 
   /// Submit + wait. The calling thread blocks until the scheduler serves
   /// the request (or its cache hit); throws ServiceOverloadError when the
@@ -229,10 +319,19 @@ class ExplainService {
     CacheKey key;
     bool dedupable = false;  // deterministic: identical in-flight requests merge
     bool cacheable = false;  // dedupable and the result cache is enabled
+    bool has_key_ref = false;  // holds a reference in active_keys_; dropped
+                               // on fulfilment, eviction, or expiry
     uint64_t epoch = 0;      // model epoch at admission; stale results skip
                              // the cache (see InvalidateModel)
-    std::chrono::steady_clock::time_point enqueued;
+    MonotonicClock::time_point enqueued;
+    // Exactly one delivery sink: the completion queue if `cq` is set, else
+    // `callback` if set, else the promise (the blocking Submit path).
     std::promise<ExplanationResult> promise;
+    ExplainCallback callback;
+    CompletionQueue* cq = nullptr;
+    void* tag = nullptr;
+
+    int priority_class() const { return static_cast<int>(request.priority); }
   };
 
   // One registered model and its replica materialization. `source` is the
@@ -251,7 +350,9 @@ class ExplainService {
   // scheduler-thread-only working state — per-(method, model) explainers and
   // per-model engines whose scratch persists across requests.
   struct Shard {
-    std::vector<Pending> queue;  // guarded by mu_
+    /// Priority-ordered queue: one FIFO vector per Priority class, drained
+    /// high -> normal -> batch each scheduler round (guarded by mu_).
+    std::array<std::vector<Pending>, kNumPriorities> queues;
     uint64_t in_flight = 0;      // drained, not yet fulfilled (guarded by mu_)
     std::condition_variable cv;  // this shard's scheduler wake-up (on mu_):
                                  // Submit wakes only the shard it enqueued on
@@ -277,13 +378,34 @@ class ExplainService {
   void SyncDirtyReplicas(int shard_idx);
   Explainer* ExplainerFor(Shard* shard, const std::string& method,
                           models::Model* model);
+  /// Shared Submit/SubmitAsync tail: validation, admission, routing,
+  /// enqueue. `p` arrives with its delivery sink already attached.
+  void SubmitInternal(ExplainRequest request, Pending p);
   void Fulfill(Pending* p, const ExplanationResult& result);
+  /// Hands `result`/`error` to the request's sink (promise, callback, or
+  /// completion queue). Must be called with no service lock held.
+  void Deliver(Pending* p, ExplanationResult result);
+  void DeliverError(Pending* p, std::exception_ptr error);
   void Reject(Pending* p, const std::string& why);
+  /// Fails a drained request whose deadline has passed.
+  void Expire(Pending* p);
+  /// Drops `p`'s reference in the in-flight key table (mu_ held).
+  void DropKeyRefLocked(const Pending& p);
+  /// Lowest-priority-first shedding (mu_ held): evicts queued requests of
+  /// priority strictly lower than `arrival` — lowest class first, newest
+  /// first within a class — until the depth/byte bounds admit the arrival
+  /// (whose series costs `cost` bytes) or no candidates remain. Evicted
+  /// requests are accounted (queue totals, key refs, shed stats) here and
+  /// handed back for out-of-lock error delivery.
+  void ShedForLocked(const Pending& arrival, size_t cost,
+                     std::vector<Pending>* victims);
+  size_t QueuedLocked(const Shard& shard) const;
   /// Routing fallback for keys not already in flight: the least-loaded
   /// shard of the model's replica group (ties go to the lowest index).
   int LeastLoadedLocked(const ModelEntry& entry) const;
 
   const Config config_;
+  const MonotonicClock* const clock_;  // config_.clock or the real clock
 
   mutable std::mutex mu_;  // queues, models_, stats_, active_keys_, stop_
   std::condition_variable drained_cv_;  // Drain/Shutdown wait

@@ -1,0 +1,69 @@
+// Injectable monotonic time source.
+//
+// ExplainService deadlines and queue-delay accounting are defined against
+// std::chrono::steady_clock, but wall-clock tests of deadline expiry are
+// inherently flaky: the test cannot control how long a request sits queued.
+// MonotonicClock abstracts "now" behind a virtual so the service can be
+// handed a ManualClock whose time advances only when the test says so,
+// making "this request's deadline passed while it was queued" a
+// deterministic statement instead of a sleep race.
+
+#ifndef DCAM_UTIL_CLOCK_H_
+#define DCAM_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace dcam {
+
+/// A monotonic "now". Implementations must be safe to call from any thread.
+class MonotonicClock {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+  using duration = std::chrono::steady_clock::duration;
+
+  virtual ~MonotonicClock() = default;
+  virtual time_point Now() const = 0;
+};
+
+/// The real steady clock. Stateless; one shared instance via Get().
+class RealClock final : public MonotonicClock {
+ public:
+  time_point Now() const override { return std::chrono::steady_clock::now(); }
+
+  static const RealClock* Get() {
+    static const RealClock clock;
+    return &clock;
+  }
+};
+
+/// A clock that only moves when told to. Starts at the real steady_clock
+/// "now" so deadlines built against either clock are comparable; Advance is
+/// the only way time passes afterwards. Thread-safe (a single atomic).
+class ManualClock final : public MonotonicClock {
+ public:
+  ManualClock() : ManualClock(std::chrono::steady_clock::now()) {}
+  explicit ManualClock(time_point start)
+      : ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                start.time_since_epoch())
+                .count()) {}
+
+  time_point Now() const override {
+    return time_point(std::chrono::duration_cast<duration>(
+        std::chrono::nanoseconds(ns_.load(std::memory_order_acquire))));
+  }
+
+  void Advance(duration d) {
+    ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count(),
+        std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int64_t> ns_;  // nanoseconds since the steady-clock epoch
+};
+
+}  // namespace dcam
+
+#endif  // DCAM_UTIL_CLOCK_H_

@@ -1,0 +1,794 @@
+// Async client surface of explain::ExplainService: the callback and
+// completion-queue submit paths must be bit-identical to the blocking
+// future path at the same seeds, the CompletionQueue must honor its
+// bounded/shutdown contract under concurrent producers, and the
+// priority/deadline machinery must be deterministic — latch-gated tests pin
+// the scheduler so queue contents (and therefore shedding, ordering, and
+// expiry decisions) are exact, not racy.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explain/completion_queue.h"
+#include "explain/explainer.h"
+#include "explain/service.h"
+#include "models/cnn.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace explain {
+namespace {
+
+constexpr int kDims = 4;
+constexpr int kLen = 12;
+
+std::unique_ptr<models::ConvNet> TinyDcnn(Rng* rng, int num_classes = 2) {
+  models::ConvNetConfig cfg;
+  cfg.filters = {4, 4};
+  return std::make_unique<models::ConvNet>(models::InputMode::kCube, kDims,
+                                           num_classes, cfg, rng);
+}
+
+Tensor RandomSeries(Rng* rng) {
+  Tensor series({kDims, kLen});
+  series.FillNormal(rng, 0.0f, 1.0f);
+  return series;
+}
+
+void ExpectSameMap(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "maps differ at flat index " << i;
+  }
+}
+
+ExplainRequest DcamRequest(const std::string& model_id, const Tensor& series,
+                           int class_idx, int k, uint64_t seed) {
+  ExplainRequest req;
+  req.model_id = model_id;
+  req.method = "dcam";
+  req.series = series;
+  req.class_idx = class_idx;
+  req.options.dcam.k = k;
+  req.options.dcam.seed = seed;
+  return req;
+}
+
+// A latch-gated method (as in service_replica_test): Explain blocks until
+// Release so tests can hold a scheduler shard busy while they populate the
+// queues deterministically. Non-deterministic so it never dedupes or caches.
+std::atomic<bool> g_gate_open{false};
+std::atomic<int> g_gate_entered{0};
+
+class GatedExplainer : public Explainer {
+ public:
+  std::string name() const override { return "gated_async"; }
+  bool Supports(const models::Model&, const Tensor&) const override {
+    return true;
+  }
+  bool Deterministic() const override { return false; }
+  ExplanationResult Explain(models::Model*, const Tensor& series, int,
+                            const ExplainOptions&) override {
+    g_gate_entered.fetch_add(1);
+    while (!g_gate_open.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ExplanationResult out;
+    out.map = series.Clone();
+    return out;
+  }
+};
+
+// Records the order Explain calls reach it: each request encodes a marker
+// in series[0], appended under a mutex. Proves priority-ordered processing.
+std::mutex g_order_mu;
+std::vector<int> g_order;
+
+class OrderRecordingExplainer : public Explainer {
+ public:
+  std::string name() const override { return "order_async"; }
+  bool Supports(const models::Model&, const Tensor&) const override {
+    return true;
+  }
+  bool Deterministic() const override { return false; }
+  ExplanationResult Explain(models::Model*, const Tensor& series, int,
+                            const ExplainOptions&) override {
+    {
+      std::lock_guard<std::mutex> lock(g_order_mu);
+      g_order.push_back(static_cast<int>(series[0]));
+    }
+    ExplanationResult out;
+    out.map = series.Clone();
+    return out;
+  }
+};
+
+const bool g_gated_registered = RegisterExplainer(
+    "gated_async", [] { return std::make_unique<GatedExplainer>(); });
+const bool g_order_registered = RegisterExplainer(
+    "order_async", [] { return std::make_unique<OrderRecordingExplainer>(); });
+
+// ---- CompletionQueue contract ----------------------------------------------
+
+TEST(CompletionQueueTest, DeliversTaggedCompletionsFifo) {
+  CompletionQueue cq;
+  int tags[3] = {0, 1, 2};
+  for (int& t : tags) {
+    cq.BeginOp();
+    CompletionQueue::Completion c;
+    c.tag = &t;
+    c.result.k = t + 10;
+    cq.Push(std::move(c));
+  }
+  EXPECT_EQ(cq.pending(), 0u);
+  CompletionQueue::Completion got;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cq.Next(&got));
+    EXPECT_TRUE(got.ok());
+    EXPECT_EQ(got.tag, &tags[i]);
+    EXPECT_EQ(got.result.k, i + 10);
+  }
+  EXPECT_FALSE(cq.TryNext(&got));
+  cq.Shutdown();
+  EXPECT_FALSE(cq.Next(&got));  // shut down, nothing pending: terminal
+}
+
+TEST(CompletionQueueTest, TryNextPollsWithoutBlocking) {
+  CompletionQueue cq;
+  CompletionQueue::Completion got;
+  EXPECT_FALSE(cq.TryNext(&got));
+  cq.BeginOp();
+  CompletionQueue::Completion c;
+  c.tag = &cq;
+  cq.Push(std::move(c));
+  EXPECT_TRUE(cq.TryNext(&got));
+  EXPECT_EQ(got.tag, &cq);
+  EXPECT_FALSE(cq.TryNext(&got));
+  cq.Shutdown();
+}
+
+TEST(CompletionQueueTest, ShutdownDrainsPendingTagsWithShutdownStatus) {
+  CompletionQueue cq;
+  int tags[3] = {0, 1, 2};
+  for (int i = 0; i < 3; ++i) cq.BeginOp();
+  // One op completes before shutdown: its real result must survive.
+  {
+    CompletionQueue::Completion c;
+    c.tag = &tags[0];
+    c.result.k = 7;
+    cq.Push(std::move(c));
+  }
+  cq.Shutdown();
+  // The other two complete after shutdown (producers racing Shutdown): the
+  // tags are still delivered — exactly once — but as kShutdown with the
+  // payload dropped.
+  for (int i = 1; i < 3; ++i) {
+    CompletionQueue::Completion c;
+    c.tag = &tags[i];
+    c.result.k = 99;
+    cq.Push(std::move(c));
+  }
+  CompletionQueue::Completion got;
+  ASSERT_TRUE(cq.Next(&got));
+  EXPECT_EQ(got.tag, &tags[0]);
+  EXPECT_EQ(got.status, CompletionQueue::Status::kOk);
+  EXPECT_EQ(got.result.k, 7);
+  for (int i = 1; i < 3; ++i) {
+    ASSERT_TRUE(cq.Next(&got));
+    EXPECT_EQ(got.tag, &tags[i]);
+    EXPECT_EQ(got.status, CompletionQueue::Status::kShutdown);
+    EXPECT_EQ(got.result.k, 0) << "post-shutdown payload must be dropped";
+  }
+  EXPECT_FALSE(cq.Next(&got));
+  EXPECT_FALSE(cq.Next(&got));  // stays terminal
+}
+
+TEST(CompletionQueueTest, ConcurrentProducersDuringShutdown) {
+  // Producers pushing while Shutdown lands concurrently: every begun op is
+  // delivered exactly once (kOk or kShutdown), then Next returns false.
+  // Exercised under TSan in CI.
+  constexpr int kProducers = 4;
+  constexpr int kOpsEach = 32;
+  CompletionQueue cq;
+  for (int i = 0; i < kProducers * kOpsEach; ++i) cq.BeginOp();
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&cq, t] {
+      for (int i = 0; i < kOpsEach; ++i) {
+        CompletionQueue::Completion c;
+        c.tag = reinterpret_cast<void*>(
+            static_cast<intptr_t>(t * kOpsEach + i + 1));
+        cq.Push(std::move(c));
+      }
+    });
+  }
+  std::thread shutter([&cq] { cq.Shutdown(); });
+  int delivered = 0;
+  CompletionQueue::Completion got;
+  while (cq.Next(&got)) {
+    EXPECT_NE(got.tag, nullptr);
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, kProducers * kOpsEach);
+  for (auto& p : producers) p.join();
+  shutter.join();
+  EXPECT_EQ(cq.pending(), 0u);
+}
+
+TEST(CompletionQueueTest, BoundedQueueBlocksProducerUntilConsumed) {
+  CompletionQueue cq(/*capacity=*/1);
+  cq.BeginOp();
+  cq.BeginOp();
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    CompletionQueue::Completion c1;
+    c1.tag = reinterpret_cast<void*>(1);
+    cq.Push(std::move(c1));
+    CompletionQueue::Completion c2;
+    c2.tag = reinterpret_cast<void*>(2);
+    cq.Push(std::move(c2));  // must block: buffer holds c1
+    second_pushed.store(true);
+  });
+  // The second Push cannot return before the consumer makes room. (A false
+  // `second_pushed` here can only become flaky if the bound is broken.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(second_pushed.load());
+  CompletionQueue::Completion got;
+  ASSERT_TRUE(cq.Next(&got));
+  EXPECT_EQ(got.tag, reinterpret_cast<void*>(1));
+  ASSERT_TRUE(cq.Next(&got));
+  EXPECT_EQ(got.tag, reinterpret_cast<void*>(2));
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  cq.Shutdown();
+  EXPECT_FALSE(cq.Next(&got));
+}
+
+TEST(CompletionQueueTest, ShutdownReleasesBlockedProducer) {
+  CompletionQueue cq(/*capacity=*/1);
+  cq.BeginOp();
+  cq.BeginOp();
+  {
+    CompletionQueue::Completion c;
+    c.tag = reinterpret_cast<void*>(1);
+    cq.Push(std::move(c));  // fills the buffer
+  }
+  std::thread producer([&] {
+    CompletionQueue::Completion c;
+    c.tag = reinterpret_cast<void*>(2);
+    cq.Push(std::move(c));  // blocks until Shutdown releases it
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cq.Shutdown();
+  producer.join();
+  CompletionQueue::Completion got;
+  ASSERT_TRUE(cq.Next(&got));
+  EXPECT_EQ(got.status, CompletionQueue::Status::kOk);  // pre-shutdown push
+  ASSERT_TRUE(cq.Next(&got));
+  EXPECT_EQ(got.status, CompletionQueue::Status::kShutdown);
+  EXPECT_FALSE(cq.Next(&got));
+}
+
+// ---- Async submit paths ----------------------------------------------------
+
+TEST(ServiceAsyncTest, CallbackBitIdenticalToBlockingSubmit) {
+  Rng rng(51);
+  auto model = TinyDcnn(&rng, 3);
+  const int kCases = 8;
+  std::vector<ExplainRequest> requests;
+  for (int i = 0; i < kCases; ++i) {
+    requests.push_back(
+        DcamRequest("m", RandomSeries(&rng), i % 3, 4 + i, 5100 + i));
+  }
+
+  // Blocking reference maps.
+  std::vector<Tensor> want;
+  {
+    ExplainService service;
+    service.RegisterModel("m", model.get());
+    for (const auto& req : requests) want.push_back(service.Explain(req).map);
+  }
+
+  ExplainService::Config config;
+  config.cache_capacity = 0;  // force recompute: identity must not rely on it
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+  std::mutex mu;
+  std::vector<Tensor> got(kCases);
+  int delivered = 0;
+  std::promise<void> all_done;
+  for (int i = 0; i < kCases; ++i) {
+    service.SubmitAsync(requests[i], [&, i](AsyncResult r) {
+      ASSERT_TRUE(r.ok());
+      std::lock_guard<std::mutex> lock(mu);
+      got[i] = std::move(r.result.map);
+      if (++delivered == kCases) all_done.set_value();
+    });
+  }
+  all_done.get_future().wait();
+  for (int i = 0; i < kCases; ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    ExpectSameMap(got[i], want[i]);
+  }
+  EXPECT_EQ(service.stats().completed, static_cast<uint64_t>(kCases));
+}
+
+TEST(ServiceAsyncTest, OneThreadDrivesManyInFlightThroughCompletionQueue) {
+  Rng rng(52);
+  auto model = TinyDcnn(&rng);
+  const int kCases = 12;
+  std::vector<ExplainRequest> requests;
+  std::vector<Tensor> want;
+  for (int i = 0; i < kCases; ++i) {
+    requests.push_back(
+        DcamRequest("m", RandomSeries(&rng), i % 2, 3 + i % 4, 5200 + i));
+    want.push_back(Explain("dcam", model.get(), requests[i].series, i % 2,
+                           requests[i].options)
+                       .map);
+  }
+
+  ExplainService service;
+  service.RegisterModel("m", model.get());
+  CompletionQueue cq;
+  // One client thread, every request in flight at once — the thread-per-
+  // request pattern the async API exists to remove.
+  for (int i = 0; i < kCases; ++i) {
+    service.SubmitAsync(requests[i], &cq,
+                        reinterpret_cast<void*>(static_cast<intptr_t>(i)));
+  }
+  std::vector<Tensor> got(kCases);
+  for (int n = 0; n < kCases; ++n) {
+    CompletionQueue::Completion c;
+    ASSERT_TRUE(cq.Next(&c));
+    ASSERT_TRUE(c.ok());
+    const int idx = static_cast<int>(reinterpret_cast<intptr_t>(c.tag));
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, kCases);
+    got[idx] = std::move(c.result.map);
+  }
+  cq.Shutdown();
+  CompletionQueue::Completion c;
+  EXPECT_FALSE(cq.Next(&c));
+  for (int i = 0; i < kCases; ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    ExpectSameMap(got[i], want[i]);
+  }
+  const ExplainService::Stats stats = service.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kCases));
+  EXPECT_GE(stats.coalesced_batches, 1u);
+}
+
+TEST(ServiceAsyncTest, RejectedAsyncRequestsDeliverErrors) {
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(53);
+  auto model = TinyDcnn(&rng);
+  ExplainService::Config config;
+  config.max_queue_depth = 1;
+  config.overload = ExplainService::Config::Overload::kReject;
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  auto gated = [&] {
+    ExplainRequest req;
+    req.model_id = "m";
+    req.method = "gated_async";
+    req.series = RandomSeries(&rng);
+    return req;
+  };
+  auto blocker = service.Submit(gated());
+  while (g_gate_entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto fits = service.Submit(gated());  // depth 1: at the bound now
+
+  // Callback rejection: delivered synchronously with the overload error.
+  std::atomic<bool> callback_errored{false};
+  service.SubmitAsync(gated(), [&](AsyncResult r) {
+    EXPECT_FALSE(r.ok());
+    EXPECT_THROW(std::rethrow_exception(r.error), ServiceOverloadError);
+    callback_errored.store(true);
+  });
+  EXPECT_TRUE(callback_errored.load());
+
+  // Completion-queue rejection: the tag comes back as kError.
+  CompletionQueue cq;
+  service.SubmitAsync(gated(), &cq, reinterpret_cast<void*>(9));
+  CompletionQueue::Completion c;
+  ASSERT_TRUE(cq.Next(&c));
+  EXPECT_EQ(c.tag, reinterpret_cast<void*>(9));
+  EXPECT_EQ(c.status, CompletionQueue::Status::kError);
+  EXPECT_THROW(std::rethrow_exception(c.error), ServiceOverloadError);
+  cq.Shutdown();
+  EXPECT_FALSE(cq.Next(&c));
+
+  g_gate_open.store(true);
+  (void)blocker.get();
+  (void)fits.get();
+  EXPECT_EQ(service.stats().shed_rejected, 2u);
+}
+
+// ---- Priorities ------------------------------------------------------------
+
+TEST(ServicePriorityTest, BatchDrainsHighBeforeNormalBeforeBatch) {
+  ASSERT_TRUE(g_gated_registered);
+  ASSERT_TRUE(g_order_registered);
+  Rng rng(54);
+  auto model = TinyDcnn(&rng);
+  ExplainService::Config config;
+  config.replicas = 1;
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  {
+    std::lock_guard<std::mutex> lock(g_order_mu);
+    g_order.clear();
+  }
+  ExplainRequest block;
+  block.model_id = "m";
+  block.method = "gated_async";
+  block.series = RandomSeries(&rng);
+  auto blocker = service.Submit(block);
+  while (g_gate_entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Queue six recorders against the held shard in submission order
+  // batch, batch, normal, high, normal, high; marker = series[0].
+  const Priority kOrder[] = {Priority::kBatch,  Priority::kBatch,
+                             Priority::kNormal, Priority::kHigh,
+                             Priority::kNormal, Priority::kHigh};
+  std::vector<std::future<ExplanationResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    ExplainRequest req;
+    req.model_id = "m";
+    req.method = "order_async";
+    req.series = RandomSeries(&rng);
+    req.series.data()[0] = static_cast<float>(i);
+    req.priority = kOrder[i];
+    futures.push_back(service.Submit(req));
+  }
+  g_gate_open.store(true);
+  (void)blocker.get();
+  for (auto& f : futures) (void)f.get();
+
+  // One drained batch, priority classes strict, FIFO within each class.
+  std::lock_guard<std::mutex> lock(g_order_mu);
+  EXPECT_EQ(g_order, (std::vector<int>{3, 5, 2, 4, 0, 1}));
+
+  const ExplainService::Stats stats = service.stats();
+  EXPECT_EQ(stats.drained_by_priority[static_cast<int>(Priority::kHigh)], 2u);
+  EXPECT_EQ(stats.drained_by_priority[static_cast<int>(Priority::kNormal)],
+            3u);  // includes the kNormal blocker
+  EXPECT_EQ(stats.drained_by_priority[static_cast<int>(Priority::kBatch)], 2u);
+  EXPECT_GT(stats.queue_delay_ns_by_priority[static_cast<int>(Priority::kHigh)],
+            0u);
+}
+
+TEST(ServicePriorityTest, AdmissionShedsLowestPriorityFirst) {
+  // The acceptance scenario: a latch-gated deterministic queue, depth bound
+  // 2. Two batch-priority requests fill it; each high-priority arrival
+  // evicts the newest queued batch request; once no lower-priority victim
+  // remains, the arrival itself is shed.
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(55);
+  auto model = TinyDcnn(&rng);
+  ExplainService::Config config;
+  config.replicas = 1;
+  config.max_queue_depth = 2;
+  config.overload = ExplainService::Config::Overload::kReject;
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  auto gated = [&](Priority priority) {
+    ExplainRequest req;
+    req.model_id = "m";
+    req.method = "gated_async";
+    req.series = RandomSeries(&rng);
+    req.priority = priority;
+    return req;
+  };
+  auto blocker = service.Submit(gated(Priority::kNormal));
+  while (g_gate_entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto batch1 = service.Submit(gated(Priority::kBatch));
+  auto batch2 = service.Submit(gated(Priority::kBatch));
+  // Depth 2 >= bound: each high arrival evicts a queued batch request.
+  auto high1 = service.Submit(gated(Priority::kHigh));
+  EXPECT_THROW((void)batch2.get(), ServiceOverloadError);  // newest first
+  auto high2 = service.Submit(gated(Priority::kHigh));
+  EXPECT_THROW((void)batch1.get(), ServiceOverloadError);
+  // No batch victims left — the queue holds two kHigh. A further high
+  // arrival has nothing lower to shed and is refused itself.
+  auto high3 = service.Submit(gated(Priority::kHigh));
+  EXPECT_THROW((void)high3.get(), ServiceOverloadError);
+
+  g_gate_open.store(true);
+  (void)blocker.get();
+  (void)high1.get();
+  (void)high2.get();
+
+  const ExplainService::Stats stats = service.stats();
+  EXPECT_EQ(stats.shed_rejected, 3u);
+  EXPECT_EQ(stats.shed_by_priority[static_cast<int>(Priority::kBatch)], 2u);
+  EXPECT_EQ(stats.shed_by_priority[static_cast<int>(Priority::kHigh)], 1u);
+  EXPECT_EQ(stats.shed_by_priority[static_cast<int>(Priority::kNormal)], 0u);
+  EXPECT_EQ(stats.requests, 5u);   // blocker + 2 batch (later evicted) + 2 high
+  EXPECT_EQ(stats.completed, 3u);  // blocker + 2 high
+}
+
+TEST(ServicePriorityTest, ByteBoundEvictsLowerPriorityForBytes) {
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(56);
+  auto model = TinyDcnn(&rng);
+  const size_t series_bytes = kDims * kLen * sizeof(float);
+  ExplainService::Config config;
+  config.replicas = 1;
+  config.max_queue_bytes = 2 * series_bytes;
+  config.overload = ExplainService::Config::Overload::kReject;
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  auto gated = [&](Priority priority) {
+    ExplainRequest req;
+    req.model_id = "m";
+    req.method = "gated_async";
+    req.series = RandomSeries(&rng);
+    req.priority = priority;
+    return req;
+  };
+  auto blocker = service.Submit(gated(Priority::kNormal));
+  while (g_gate_entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto batch1 = service.Submit(gated(Priority::kBatch));
+  auto batch2 = service.Submit(gated(Priority::kBatch));
+  // 2 series queued = the byte bound; a high arrival needs one slot's bytes.
+  auto high = service.Submit(gated(Priority::kHigh));
+  EXPECT_THROW((void)batch2.get(), ServiceOverloadError);
+
+  g_gate_open.store(true);
+  (void)blocker.get();
+  (void)batch1.get();
+  (void)high.get();
+  const ExplainService::Stats stats = service.stats();
+  EXPECT_EQ(stats.shed_rejected, 1u);
+  EXPECT_EQ(stats.shed_by_priority[static_cast<int>(Priority::kBatch)], 1u);
+}
+
+TEST(ServicePriorityTest, OversizedArrivalDoesNotEvictQueuedWork) {
+  // An arrival whose own series exceeds the byte bound can never be
+  // admitted no matter how much is evicted, so shedding on its behalf
+  // would destroy queued work for nothing: the queued lower-priority
+  // request must survive and the oversized arrival must be the one shed.
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(60);
+  auto model = TinyDcnn(&rng);
+  const size_t series_bytes = kDims * kLen * sizeof(float);
+  ExplainService::Config config;
+  config.replicas = 1;
+  config.max_queue_bytes = series_bytes;
+  config.overload = ExplainService::Config::Overload::kReject;
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  ExplainRequest block;
+  block.model_id = "m";
+  block.method = "gated_async";
+  block.series = RandomSeries(&rng);
+  auto blocker = service.Submit(block);
+  while (g_gate_entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ExplainRequest queued;
+  queued.model_id = "m";
+  queued.method = "gated_async";
+  queued.series = RandomSeries(&rng);
+  queued.priority = Priority::kBatch;
+  auto queued_f = service.Submit(queued);
+
+  ExplainRequest oversized;
+  oversized.model_id = "m";
+  oversized.method = "gated_async";
+  oversized.series = Tensor({kDims, 3 * kLen});  // 3x the byte bound
+  oversized.series.FillNormal(&rng, 0.0f, 1.0f);
+  oversized.priority = Priority::kHigh;
+  auto oversized_f = service.Submit(oversized);
+  EXPECT_THROW((void)oversized_f.get(), ServiceOverloadError);
+
+  g_gate_open.store(true);
+  (void)blocker.get();
+  (void)queued_f.get();  // the queued batch request survived and completed
+
+  const ExplainService::Stats stats = service.stats();
+  EXPECT_EQ(stats.shed_rejected, 1u);
+  EXPECT_EQ(stats.shed_by_priority[static_cast<int>(Priority::kHigh)], 1u);
+  EXPECT_EQ(stats.shed_by_priority[static_cast<int>(Priority::kBatch)], 0u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+// ---- Deadlines -------------------------------------------------------------
+
+TEST(ServiceDeadlineTest, ExpiresPastDeadlineRequestsAtDequeue) {
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(57);
+  auto model = TinyDcnn(&rng);
+  ManualClock clock;
+  ExplainService::Config config;
+  config.replicas = 1;
+  config.clock = &clock;
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  ExplainRequest block;
+  block.model_id = "m";
+  block.method = "gated_async";
+  block.series = RandomSeries(&rng);
+  auto blocker = service.Submit(block);
+  while (g_gate_entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Three requests queue behind the gate: a tight deadline (will expire), a
+  // generous one, and none. Manual time then jumps past the tight deadline
+  // — deterministically, with the requests still queued.
+  auto tight = DcamRequest("m", RandomSeries(&rng), 0, 5, 5700);
+  tight.deadline = clock.Now() + std::chrono::milliseconds(100);
+  auto generous = DcamRequest("m", RandomSeries(&rng), 1, 5, 5701);
+  generous.deadline = clock.Now() + std::chrono::hours(1);
+  auto none = DcamRequest("m", RandomSeries(&rng), 0, 5, 5702);
+
+  auto tight_f = service.Submit(tight);
+  auto generous_f = service.Submit(generous);
+  auto none_f = service.Submit(none);
+  clock.Advance(std::chrono::milliseconds(250));
+  g_gate_open.store(true);
+  (void)blocker.get();
+
+  EXPECT_THROW((void)tight_f.get(), DeadlineExceededError);
+  // Collect both service results before computing the direct references:
+  // the reference calls drive the same model object, which must not happen
+  // while a scheduler round is still computing.
+  const Tensor generous_map = generous_f.get().map;
+  const Tensor none_map = none_f.get().map;
+  service.Drain();
+  ExpectSameMap(generous_map,
+                Explain("dcam", model.get(), generous.series, 1,
+                        generous.options)
+                    .map);
+  ExpectSameMap(
+      none_map,
+      Explain("dcam", model.get(), none.series, 0, none.options).map);
+
+  const ExplainService::Stats stats = service.stats();
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.completed, 3u);  // blocker + generous + none
+  EXPECT_EQ(stats.shed_rejected, 0u);
+}
+
+TEST(ServiceDeadlineTest, ExpiredCompletionQueueOpDeliversDeadlineError) {
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(58);
+  auto model = TinyDcnn(&rng);
+  ManualClock clock;
+  ExplainService::Config config;
+  config.replicas = 1;
+  config.clock = &clock;
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  ExplainRequest block;
+  block.model_id = "m";
+  block.method = "gated_async";
+  block.series = RandomSeries(&rng);
+  auto blocker = service.Submit(block);
+  while (g_gate_entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto doomed = DcamRequest("m", RandomSeries(&rng), 0, 5, 5800);
+  doomed.deadline = clock.Now() + std::chrono::milliseconds(10);
+  CompletionQueue cq;
+  service.SubmitAsync(doomed, &cq, reinterpret_cast<void*>(1));
+  clock.Advance(std::chrono::seconds(1));
+  g_gate_open.store(true);
+  (void)blocker.get();
+
+  CompletionQueue::Completion c;
+  ASSERT_TRUE(cq.Next(&c));
+  EXPECT_EQ(c.tag, reinterpret_cast<void*>(1));
+  EXPECT_EQ(c.status, CompletionQueue::Status::kError);
+  EXPECT_THROW(std::rethrow_exception(c.error), DeadlineExceededError);
+  cq.Shutdown();
+  EXPECT_FALSE(cq.Next(&c));
+  EXPECT_EQ(service.stats().deadline_expired, 1u);
+}
+
+// ---- Cross-path determinism ------------------------------------------------
+
+TEST(ServiceAsyncTest, AllThreeSubmitPathsAgreeBitIdentically) {
+  Rng rng(59);
+  auto model = TinyDcnn(&rng, 3);
+  const int kCases = 6;
+  std::vector<ExplainRequest> requests;
+  for (int i = 0; i < kCases; ++i) {
+    auto req = DcamRequest("m", RandomSeries(&rng), i % 3, 4 + i, 5900 + i);
+    req.priority = static_cast<Priority>(i % kNumPriorities);
+    requests.push_back(std::move(req));
+  }
+
+  std::vector<Tensor> blocking(kCases), callback(kCases), queued(kCases);
+  for (int round = 0; round < 3; ++round) {
+    ExplainService::Config config;
+    config.cache_capacity = 0;
+    ExplainService service(config);
+    service.RegisterModel("m", model.get());
+    if (round == 0) {
+      for (int i = 0; i < kCases; ++i) {
+        blocking[i] = service.Explain(requests[i]).map;
+      }
+    } else if (round == 1) {
+      std::mutex mu;
+      int done = 0;
+      std::promise<void> all;
+      for (int i = 0; i < kCases; ++i) {
+        service.SubmitAsync(requests[i], [&, i](AsyncResult r) {
+          ASSERT_TRUE(r.ok());
+          std::lock_guard<std::mutex> lock(mu);
+          callback[i] = std::move(r.result.map);
+          if (++done == kCases) all.set_value();
+        });
+      }
+      all.get_future().wait();
+    } else {
+      CompletionQueue cq;
+      for (int i = 0; i < kCases; ++i) {
+        service.SubmitAsync(requests[i], &cq,
+                            reinterpret_cast<void*>(static_cast<intptr_t>(i)));
+      }
+      for (int n = 0; n < kCases; ++n) {
+        CompletionQueue::Completion c;
+        ASSERT_TRUE(cq.Next(&c));
+        ASSERT_TRUE(c.ok());
+        queued[static_cast<int>(reinterpret_cast<intptr_t>(c.tag))] =
+            std::move(c.result.map);
+      }
+      cq.Shutdown();
+    }
+  }
+  for (int i = 0; i < kCases; ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    ExpectSameMap(callback[i], blocking[i]);
+    ExpectSameMap(queued[i], blocking[i]);
+  }
+}
+
+}  // namespace
+}  // namespace explain
+}  // namespace dcam

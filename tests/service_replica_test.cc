@@ -328,6 +328,144 @@ TEST(ServiceReplicaTest, InvalidateModelRefusesStaleCams) {
   }
 }
 
+// ---- Async paths across replicas -------------------------------------------
+
+TEST(ServiceReplicaTest, ShardedCompletionQueueBitIdenticalAcrossPriorities) {
+  // The async surface composes with replica routing: one client thread
+  // drives mixed-priority requests through a CompletionQueue against a
+  // 3-shard service, and every map is bit-identical to a direct registry
+  // call no matter which replica served it or in what order completions
+  // arrive.
+  Rng rng(50);
+  auto model = TinyDcnn(&rng, 3);
+  const int kCases = 9;
+  std::vector<ExplainRequest> requests;
+  std::vector<Tensor> want;
+  for (int i = 0; i < kCases; ++i) {
+    ExplainRequest req;
+    req.model_id = "m";
+    req.method = i % 3 == 2 ? "saliency" : "dcam";
+    req.series = RandomSeries(&rng);
+    req.class_idx = i % 3;
+    req.options.dcam.k = 4 + i;
+    req.options.dcam.seed = 800 + i;
+    req.priority = static_cast<Priority>(i % kNumPriorities);
+    want.push_back(Explain(req.method, model.get(), req.series, req.class_idx,
+                           req.options)
+                       .map);
+    requests.push_back(std::move(req));
+  }
+
+  ExplainService::Config config;
+  config.replicas = 3;
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+  CompletionQueue cq;
+  for (int i = 0; i < kCases; ++i) {
+    service.SubmitAsync(requests[i], &cq,
+                        reinterpret_cast<void*>(static_cast<intptr_t>(i)));
+  }
+  std::vector<Tensor> got(kCases);
+  for (int n = 0; n < kCases; ++n) {
+    CompletionQueue::Completion c;
+    ASSERT_TRUE(cq.Next(&c));
+    ASSERT_TRUE(c.ok());
+    got[static_cast<int>(reinterpret_cast<intptr_t>(c.tag))] =
+        std::move(c.result.map);
+  }
+  cq.Shutdown();
+  CompletionQueue::Completion c;
+  EXPECT_FALSE(cq.Next(&c));
+  for (int i = 0; i < kCases; ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    ExpectSameMap(got[i], want[i]);
+  }
+  const ExplainService::Stats stats = service.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kCases));
+  uint64_t drained = 0;
+  for (int pr = 0; pr < kNumPriorities; ++pr) {
+    drained += stats.drained_by_priority[pr];
+  }
+  EXPECT_EQ(drained, static_cast<uint64_t>(kCases));
+}
+
+TEST(ServiceReplicaTest, EvictedDedupableRequestLeavesKeyTableClean) {
+  // A queued dedupable request evicted by a higher-priority arrival must
+  // drop its in-flight key reference: a later identical submission has to
+  // recompute (fresh routing, fresh leadership) rather than pin to a key
+  // entry whose holder was shed. Single replica + gated blocker makes the
+  // eviction deterministic; the resubmission's success is the regression
+  // signal (a leaked reference would strand or misroute it).
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(51);
+  auto model = TinyDcnn(&rng);
+  ExplainService::Config config;
+  config.replicas = 2;
+  config.max_queue_depth = 1;
+  config.overload = ExplainService::Config::Overload::kReject;
+  ExplainService service(config);
+  service.RegisterModel("m", model.get());
+
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  // Two blockers occupy both shards so queued requests stay queued.
+  ExplainRequest block;
+  block.model_id = "m";
+  block.method = "gated_test";
+  block.series = RandomSeries(&rng);
+  auto blocker_a = service.Submit(block);
+  // Wait for each blocker to be drained before the next submit: with the
+  // depth bound at 1, a still-queued blocker would shed its sibling.
+  while (g_gate_entered.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ExplainRequest block_b = block;
+  block_b.series = RandomSeries(&rng);
+  auto blocker_b = service.Submit(block_b);
+  while (g_gate_entered.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ExplainRequest victim;
+  victim.model_id = "m";
+  victim.method = "dcam";  // deterministic: holds an active_keys_ reference
+  victim.series = RandomSeries(&rng);
+  victim.options.dcam.k = 5;
+  victim.options.dcam.seed = 9090;
+  victim.priority = Priority::kBatch;
+  auto victim_f = service.Submit(victim);
+
+  ExplainRequest usurper = victim;
+  usurper.series = RandomSeries(&rng);
+  usurper.options.dcam.seed = 9091;
+  usurper.priority = Priority::kHigh;
+  auto usurper_f = service.Submit(usurper);
+  EXPECT_THROW((void)victim_f.get(), ServiceOverloadError);
+
+  g_gate_open.store(true);
+  (void)blocker_a.get();
+  (void)blocker_b.get();
+  const Tensor usurper_map = usurper_f.get().map;
+  service.Drain();  // direct reference calls drive the same model object
+  ExpectSameMap(usurper_map,
+                Explain("dcam", model.get(), usurper.series, 0,
+                        usurper.options)
+                    .map);
+
+  // Resubmit the evicted request against the now-idle service: it must
+  // compute normally (and bit-identically) — proof the shed request left
+  // no dangling in-flight key reference behind.
+  auto retry = service.Submit(victim);
+  const Tensor retry_map = retry.get().map;
+  service.Drain();
+  ExpectSameMap(retry_map,
+                Explain("dcam", model.get(), victim.series, 0, victim.options)
+                    .map);
+  const ExplainService::Stats stats = service.stats();
+  EXPECT_EQ(stats.shed_by_priority[static_cast<int>(Priority::kBatch)], 1u);
+  EXPECT_EQ(stats.shed_rejected, 1u);
+}
+
 // ---- Admission control -----------------------------------------------------
 
 TEST(ServiceAdmissionTest, RejectsBeyondDepthBound) {

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/clock.h"
 #include "util/csv.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -169,6 +170,34 @@ TEST(TableWriterTest, NumRows) {
 TEST(FormatDoubleTest, Precision) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(1.0, 3), "1.000");
+}
+
+TEST(ManualClockTest, AdvancesOnlyOnDemand) {
+  ManualClock clock;
+  const auto t0 = clock.Now();
+  EXPECT_EQ(clock.Now(), t0);  // time is frozen until Advance
+  clock.Advance(std::chrono::milliseconds(250));
+  EXPECT_EQ(clock.Now() - t0, MonotonicClock::duration(
+                                  std::chrono::milliseconds(250)));
+  clock.Advance(std::chrono::nanoseconds(1));
+  EXPECT_GT(clock.Now(), t0 + std::chrono::milliseconds(250) -
+                             std::chrono::nanoseconds(1));
+}
+
+TEST(ManualClockTest, StartsAtTheRealSteadyClock) {
+  // Deadlines built against the real clock and a fresh ManualClock must be
+  // comparable: the manual clock seeds itself from steady_clock's now.
+  const auto real_before = RealClock::Get()->Now();
+  ManualClock clock;
+  EXPECT_GE(clock.Now(), real_before);
+  EXPECT_LE(clock.Now(), RealClock::Get()->Now());
+}
+
+TEST(RealClockTest, IsMonotonic) {
+  const MonotonicClock* clock = RealClock::Get();
+  const auto a = clock->Now();
+  const auto b = clock->Now();
+  EXPECT_LE(a, b);
 }
 
 TEST(StopwatchTest, MeasuresNonNegativeTime) {
