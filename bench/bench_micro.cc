@@ -10,7 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -219,6 +221,48 @@ void BM_MatMulNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMulNaive)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
 
+// ---- morsel scheduler overhead --------------------------------------------
+
+// Fine-grained scatter: a handful of flops per index, so scheduling cost IS
+// the benchmark. The ParallelFor form claims one index per atomic op (the
+// historical per-iteration pool, now a grain-1 morsel); the morsel form
+// claims adaptive contiguous chunks — same body, same result, a few dozen
+// claims total. The gap between these two rows is the morsel win the
+// multicore CI lane gates on.
+void BM_ParallelForScatter(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> src(static_cast<size_t>(n)), dst(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) src[static_cast<size_t>(i)] = 0.25f * i;
+  for (auto _ : state) {
+    ParallelFor(0, n, [&](int64_t i) {
+      dst[static_cast<size_t>(i)] += 0.5f * src[static_cast<size_t>(i)];
+    });
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetLabel("threads=" + std::to_string(GlobalPool().num_threads()));
+}
+BENCHMARK(BM_ParallelForScatter)->Arg(1 << 16)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelMorselScatter(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<float> src(static_cast<size_t>(n)), dst(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) src[static_cast<size_t>(i)] = 0.25f * i;
+  for (auto _ : state) {
+    ParallelMorsel(0, n, ThreadPool::kAdaptiveGrain,
+                   [&](int /*worker*/, int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       dst[static_cast<size_t>(i)] +=
+                           0.5f * src[static_cast<size_t>(i)];
+                     }
+                   });
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetLabel("threads=" + std::to_string(GlobalPool().num_threads()));
+}
+BENCHMARK(BM_ParallelMorselScatter)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMicrosecond);
+
 // ---- dCAM explanation path: serial reference vs batched engine ------------
 
 std::unique_ptr<models::ConvNet> BenchDcnn(int dims, Rng* rng) {
@@ -276,6 +320,36 @@ BENCHMARK(BM_ComputeDcamEngine)
     ->Args({6, 128, 40, 0})
     ->Unit(benchmark::kMillisecond);
 
+// Dataset-level engine pass: ComputeMany packs permutation batches across
+// series, so its throughput tracks how well the morsel sweep keeps the whole
+// worker set fed across flush boundaries — the engine-scaling row.
+void BM_ComputeDcamEngineMany(benchmark::State& state) {
+  const int D = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int num_series = static_cast<int>(state.range(3));
+  Rng rng(3);
+  auto model = BenchDcnn(D, &rng);
+  std::vector<Tensor> series;
+  std::vector<int> classes;
+  for (int i = 0; i < num_series; ++i) {
+    series.emplace_back(Shape{D, n});
+    series.back().FillNormal(&rng, 0.0f, 1.0f);
+    classes.push_back(0);
+  }
+  core::DcamOptions opts;
+  opts.k = static_cast<int>(state.range(2));
+  core::DcamEngine engine(model.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.ComputeMany(series, classes, opts)[0].dcam.data());
+  }
+  state.SetLabel("batch=" + std::to_string(engine.batch()) +
+                 " threads=" + std::to_string(GlobalPool().num_threads()));
+}
+BENCHMARK(BM_ComputeDcamEngineMany)
+    ->Args({6, 128, 20, 4})
+    ->Unit(benchmark::kMillisecond);
+
 // The fused permuted-cube builder against the two-step reference.
 void BM_BuildCubeInto(benchmark::State& state) {
   const int D = static_cast<int>(state.range(0));
@@ -294,6 +368,60 @@ void BM_BuildCubeInto(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildCubeInto)->Arg(10)->Arg(40)->Unit(benchmark::kMicrosecond);
+
+// ---- --min-morsel-speedup gate --------------------------------------------
+
+// Self-contained pass/fail check for CI: times the fine-grained scatter
+// (the BM_Parallel*Scatter shape) under per-iteration claiming vs adaptive
+// morsels on the global pool and fails (exit 1) when the morsel speedup
+// falls below the threshold. Best-of-N timing so scheduler noise on shared
+// runners doesn't flake the lane.
+int RunMorselSpeedupGate(double min_speedup) {
+  constexpr int64_t kRange = 1 << 17;
+  constexpr int kReps = 9;
+  std::vector<float> src(static_cast<size_t>(kRange));
+  std::vector<float> dst(static_cast<size_t>(kRange), 0.0f);
+  for (int64_t i = 0; i < kRange; ++i) src[static_cast<size_t>(i)] = 0.25f * i;
+
+  const auto run_for = [&] {
+    ParallelFor(0, kRange, [&](int64_t i) {
+      dst[static_cast<size_t>(i)] += 0.5f * src[static_cast<size_t>(i)];
+    });
+  };
+  const auto run_morsel = [&] {
+    ParallelMorsel(0, kRange, ThreadPool::kAdaptiveGrain,
+                   [&](int /*worker*/, int64_t lo, int64_t hi) {
+                     for (int64_t i = lo; i < hi; ++i) {
+                       dst[static_cast<size_t>(i)] +=
+                           0.5f * src[static_cast<size_t>(i)];
+                     }
+                   });
+  };
+  const auto best_ns = [&](auto&& body) {
+    body();  // warm up the pool and the buffers
+    double best = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      body();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns =
+          std::chrono::duration<double, std::nano>(t1 - t0).count();
+      if (ns < best) best = ns;
+    }
+    return best;
+  };
+
+  const double for_ns = best_ns(run_for);
+  const double morsel_ns = best_ns(run_morsel);
+  const double speedup = for_ns / morsel_ns;
+  const bool ok = speedup >= min_speedup;
+  std::fprintf(stderr,
+               "morsel-speedup gate: ParallelFor %.0f ns, ParallelMorsel "
+               "%.0f ns -> %.2fx (threshold %.2fx, threads=%d): %s\n",
+               for_ns, morsel_ns, speedup, min_speedup,
+               GlobalPool().num_threads(), ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
 
 // ---- --json reporter ------------------------------------------------------
 
@@ -387,9 +515,12 @@ class TeeReporter : public benchmark::BenchmarkReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract --json <path> (or --json=<path>) before google-benchmark sees
-  // the argument vector; everything else is forwarded untouched.
+  // Extract --json <path> (or --json=<path>) and --min-morsel-speedup <x>
+  // before google-benchmark sees the argument vector; everything else is
+  // forwarded untouched.
   std::string json_path;
+  double min_morsel_speedup = 0.0;
+  bool gate_requested = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -397,9 +528,21 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--min-morsel-speedup" && i + 1 < argc) {
+      min_morsel_speedup = std::atof(argv[++i]);
+      gate_requested = true;
+    } else if (arg.rfind("--min-morsel-speedup=", 0) == 0) {
+      min_morsel_speedup = std::atof(arg.substr(21).c_str());
+      gate_requested = true;
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (gate_requested) {
+    // Gate mode replaces the benchmark run: one timed comparison, exit code
+    // is the verdict (see RunMorselSpeedupGate).
+    TuneAllocatorForRepeatedTensors();
+    return RunMorselSpeedupGate(min_morsel_speedup);
   }
   // Tune up front so the serial-vs-engine comparison sees one allocator
   // configuration (the engine would otherwise enable it mid-suite).

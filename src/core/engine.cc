@@ -36,6 +36,11 @@ DcamEngine::DcamEngine(models::GapModel* model, Config config)
   DCAM_CHECK_GE(config_.batch, 0)
       << "DcamEngine batch must be a permutation count (or 0 for auto)";
   if (config_.batch == 0) {
+    // Adapt to the *configured* worker set, not raw hardware concurrency:
+    // GlobalPool is sized by DCAM_CPU_SET when one is exported, so a service
+    // pinned to 4 cores gets a 4-wide batch even on a 64-core host (a
+    // 64-wide batch would stream activations through 4 cores' caches with
+    // no parallelism to pay for it).
     config_.batch = std::min(16, std::max(1, GlobalPool().num_threads()));
   }
   // The engine's whole point is repeated same-shaped forwards; without this
@@ -114,41 +119,46 @@ void DcamEngine::Flush() {
 
   // 5. M-transformation scatter (Definition 2). Slots are grouped by their
   // target accumulator (consecutive in the stream); each (group, dimension)
-  // pair is an independent ParallelFor item, so every msum cell has exactly
-  // one writer and slot order — hence float addition order — matches the
-  // serial path.
-  struct Group {
-    Tensor* msum;
-    int64_t first, last;  // slot range [first, last)
-  };
-  std::vector<Group> groups;
+  // pair is an independent item of the morsel range, so every msum cell has
+  // exactly one writer and slot order — hence float addition order — matches
+  // the serial path regardless of chunking. Morsels claim contiguous runs of
+  // (group, d) rows: one atomic per run instead of one per row, and — with
+  // shard affinity hints routing a shard's flushes to the same workers —
+  // the same accumulator rows stay resident on the same cores across the
+  // whole k-loop.
+  groups_.clear();
   for (int64_t b = 0; b < B; ++b) {
-    if (groups.empty() || groups.back().msum != slot_data[b].msum) {
-      groups.push_back({slot_data[b].msum, b, b + 1});
+    if (groups_.empty() || groups_.back().msum != slot_data[b].msum) {
+      groups_.push_back({slot_data[b].msum, b, b + 1});
     } else {
-      groups.back().last = b + 1;
+      groups_.back().last = b + 1;
     }
   }
+  const Group* group_data = groups_.data();
   const float* cam_data = cam->data();
-  const int64_t num_groups = static_cast<int64_t>(groups.size());
-  ParallelFor(0, num_groups * D, [&](int64_t idx) {
-    const Group& g = groups[static_cast<size_t>(idx / D)];
-    const int64_t d = idx % D;
-    float* mrow = g.msum->data() + d * D * n;
-    for (int64_t b = g.first; b < g.last; ++b) {
-      const std::vector<int>& inv = slot_data[b].inverse;
-      const float* cam_b = cam_data + b * D * n;
-      for (int64_t p = 0; p < D; ++p) {
-        // Row r of C(S) holds dimension d at position p iff
-        // r = (inv[d] - p) mod D (Definition 1).
-        const int64_t r = RowIndex(inv[d], static_cast<int>(p),
-                                   static_cast<int>(D));
-        const float* src = cam_b + r * n;
-        float* dst = mrow + p * n;
-        for (int64_t t = 0; t < n; ++t) dst[t] += src[t];
-      }
-    }
-  });
+  const int64_t num_groups = static_cast<int64_t>(groups_.size());
+  ParallelMorsel(
+      0, num_groups * D, ThreadPool::kAdaptiveGrain,
+      [&](int /*worker*/, int64_t lo, int64_t hi) {
+        for (int64_t idx = lo; idx < hi; ++idx) {
+          const Group& g = group_data[static_cast<size_t>(idx / D)];
+          const int64_t d = idx % D;
+          float* mrow = g.msum->data() + d * D * n;
+          for (int64_t b = g.first; b < g.last; ++b) {
+            const std::vector<int>& inv = slot_data[b].inverse;
+            const float* cam_b = cam_data + b * D * n;
+            for (int64_t p = 0; p < D; ++p) {
+              // Row r of C(S) holds dimension d at position p iff
+              // r = (inv[d] - p) mod D (Definition 1).
+              const int64_t r = RowIndex(inv[d], static_cast<int>(p),
+                                         static_cast<int>(D));
+              const float* src = cam_b + r * n;
+              float* dst = mrow + p * n;
+              for (int64_t t = 0; t < n; ++t) dst[t] += src[t];
+            }
+          }
+        }
+      });
 
   pending_count_ = 0;
 }

@@ -14,8 +14,8 @@
 //   * one model forward evaluates the whole batch;
 //   * per-instance CAMs land in a persistent (B, D, n) scratch
 //     (CamFromActivationInto);
-//   * the M-transformation scatter (Definition 2) is driven by ParallelFor
-//     over target dimensions, via the inverse permutation, so every
+//   * the M-transformation scatter (Definition 2) is driven by a morsel
+//     sweep over target dimensions, via the inverse permutation, so every
 //     (d, p, t) cell of the accumulator is owned by exactly one thread.
 // Nothing is re-allocated across the k-loop, and — because scratch buffers
 // live on the engine — nothing is re-allocated across series either, which
@@ -45,10 +45,13 @@ class DcamEngine {
  public:
   struct Config {
     /// Permutations evaluated per model forward. 0 (the default) adapts to
-    /// the machine: the thread-pool width, clamped to [1, 16]. Wider batches
-    /// feed every worker of the pool in one forward; on a single core a
-    /// batch of 1 is fastest (larger batches stream the layer activations
-    /// through the cache with no parallelism to pay for it).
+    /// the configured worker set: the global pool's width — which follows
+    /// DCAM_CPU_SET when a core set is pinned, hardware concurrency
+    /// otherwise — clamped to [1, 16]. Wider batches feed every worker of
+    /// the pool in one forward; on a single core a batch of 1 is fastest
+    /// (larger batches stream the layer activations through the cache with
+    /// no parallelism to pay for it), and a 4-core-pinned service must not
+    /// inherit a 64-wide batch from a 64-core host.
     int batch = 0;
   };
 
@@ -122,11 +125,25 @@ class DcamEngine {
   Config config_;
   bool checked_cube_input_ = false;
 
+  // Persistent scratch. The cube/CAM batches deliberately keep ordinary
+  // Tensor storage rather than arena storage: the model's layers cache a
+  // shared-storage copy of their input, so the cube must stay valid under
+  // shared ownership that can outlive a flush. Warmth comes from reuse (the
+  // same buffers serve every flush) plus morsel affinity keeping the same
+  // workers — and, when pinned, cores — on the same slices.
   Tensor cube_full_, cam_full_;  // batch == config_.batch
   Tensor cube_tail_, cam_tail_;  // most recent partial batch
   std::vector<Slot> pending_;    // slot pool; first pending_count_ are live
   int pending_count_ = 0;
   std::vector<int> slot_classes_;  // scratch per-slot target class
+
+  // Per-flush scatter grouping (slot ranges sharing one accumulator); a
+  // member so the steady-state flush loop allocates nothing.
+  struct Group {
+    Tensor* msum;
+    int64_t first, last;  // slot range [first, last)
+  };
+  std::vector<Group> groups_;
 };
 
 }  // namespace core

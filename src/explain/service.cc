@@ -6,6 +6,8 @@
 
 #include "core/engine.h"
 #include "io/serialize.h"
+#include "util/affinity.h"
+#include "util/parallel.h"
 
 namespace dcam {
 namespace explain {
@@ -482,6 +484,20 @@ void ExplainService::SyncDirtyReplicas(int shard_idx) {
 }
 
 void ExplainService::SchedulerLoop(int shard_idx) {
+  // Shard placement on the shared worker set. A shard scheduler is a work
+  // source, not a floating compute thread: the engine passes it drives fan
+  // out as morsels on the one global pool. Hinting every call it publishes
+  // at a stable worker id keeps a shard's batches on the same workers round
+  // after round, and — when a core set is configured (DCAM_CPU_SET) — the
+  // scheduler also pins itself to a core of that set, so the cube/CAM/msum
+  // scratch its engine reuses stays resident on the cores that touch it
+  // instead of migrating with the scheduler.
+  const std::vector<int>& cores = ConfiguredCoreSet();
+  if (!cores.empty()) {
+    PinCurrentThreadToCpu(cores[static_cast<size_t>(shard_idx) %
+                                cores.size()]);
+  }
+  SetParallelAffinityHint(shard_idx % GlobalPool().num_threads());
   Shard& shard = *shards_[shard_idx];
   for (;;) {
     std::vector<Pending> batch;

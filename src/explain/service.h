@@ -71,6 +71,16 @@
 // replica routing are invisible to clients. The only exception is explicit:
 // a degraded request computes with the smaller k (and is cached under the
 // degraded digest).
+//
+// Worker-set placement: shard schedulers are *work sources* on the one
+// global morsel pool (util/parallel.h), not private compute threads — the
+// engine passes a shard drives fan out as morsels that any pool worker can
+// claim. Each scheduler installs a stable affinity hint (shard index modulo
+// pool width), so equally-loaded workers prefer that shard's tasks and a
+// shard's k-loop keeps landing on the same workers; when DCAM_CPU_SET pins
+// the pool to a core set, the scheduler additionally pins itself to a core
+// of that set, keeping its engine's persistent scratch resident with the
+// workers that touch it.
 
 #ifndef DCAM_EXPLAIN_SERVICE_H_
 #define DCAM_EXPLAIN_SERVICE_H_

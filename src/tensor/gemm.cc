@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/parallel.h"
 
@@ -202,20 +202,6 @@ bool HasAvx2Fma() {
 }
 #endif  // DCAM_GEMM_X86_DISPATCH
 
-// Per-thread packing buffers. Sized once to the block maxima and reused for
-// the lifetime of the worker thread.
-struct PackScratch {
-  std::vector<float> a, b;
-};
-PackScratch& LocalScratch() {
-  thread_local PackScratch scratch;
-  if (scratch.a.empty()) {
-    scratch.a.resize(static_cast<size_t>(kMc * kKc));
-    scratch.b.resize(static_cast<size_t>(kKc * kNc));
-  }
-  return scratch;
-}
-
 void ScaleC(int64_t m, int64_t n, float beta, float* c, int64_t ldc) {
   for (int64_t i = 0; i < m; ++i) {
     float* crow = c + i * ldc;
@@ -266,40 +252,62 @@ void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
 
   const int64_t iblocks = (m + kMc - 1) / kMc;
   const int64_t jblocks = (n + kNc - 1) / kNc;
+  // Morsel grain over the C-block grid: a chunk is a contiguous run of
+  // blocks in j-major order, so the packed-A panel (which depends only on
+  // the i-row) is derived once per run instead of once per block. Capped at
+  // one i-row (jblocks) — longer chunks would re-pack A anyway — and floored
+  // at 2 so even tiny grids amortize at least one repack.
+  const int64_t grid = iblocks * jblocks;
+  const int64_t grain = std::min(
+      jblocks, std::max<int64_t>(2, GlobalPool().AdaptiveGrainFor(grid)));
   for (int64_t pc = 0; pc < k; pc += kKc) {
     const int64_t kc = std::min(kKc, k - pc);
     // The first k-slab applies the caller's beta; later slabs accumulate.
     const float beta_eff = pc == 0 ? beta : 1.0f;
-    ParallelFor(0, iblocks * jblocks, [&](int64_t t) {
-      const int64_t i0 = (t / jblocks) * kMc;
-      const int64_t j0 = (t % jblocks) * kNc;
-      const int64_t mc = std::min(kMc, m - i0);
-      const int64_t nc = std::min(kNc, n - j0);
-      PackScratch& scratch = LocalScratch();
-      PackA(a, lda, trans_a, alpha, i0, pc, mc, kc, scratch.a.data());
-      PackB(b, ldb, trans_b, pc, j0, kc, nc, scratch.b.data());
-      int64_t jr = 0;
+    ParallelMorsel(0, grid, grain, [&](int /*worker*/, int64_t lo,
+                                       int64_t hi) {
+      // Pack panels live in the executing worker's arena: bump-allocated,
+      // rewound after the chunk, and — because worker ids (and, when pinned,
+      // cores) are stable — re-touched warm on the next chunk this worker
+      // claims instead of bouncing between cores.
+      Arena& arena = ThisThreadArena();
+      ArenaScope scope(&arena);
+      float* pack_a = arena.AllocateFloats(static_cast<size_t>(kMc * kKc));
+      float* pack_b = arena.AllocateFloats(static_cast<size_t>(kKc * kNc));
+      int64_t packed_i0 = -1;
+      for (int64_t t = lo; t < hi; ++t) {
+        const int64_t i0 = (t / jblocks) * kMc;
+        const int64_t j0 = (t % jblocks) * kNc;
+        const int64_t mc = std::min(kMc, m - i0);
+        const int64_t nc = std::min(kNc, n - j0);
+        if (i0 != packed_i0) {
+          PackA(a, lda, trans_a, alpha, i0, pc, mc, kc, pack_a);
+          packed_i0 = i0;
+        }
+        PackB(b, ldb, trans_b, pc, j0, kc, nc, pack_b);
+        int64_t jr = 0;
 #if defined(DCAM_GEMM_X86_DISPATCH)
-      if (HasAvx2Fma()) {
-        for (; jr + 2 * kNr <= nc; jr += 2 * kNr) {
-          const float* pb0 = scratch.b.data() + (jr / kNr) * kNr * kc;
-          const float* pb1 = pb0 + kNr * kc;
-          for (int64_t ir = 0; ir < mc; ir += kMr) {
-            const float* pa = scratch.a.data() + (ir / kMr) * kMr * kc;
-            MicroKernel6x16Avx2(kc, pa, pb0, pb1,
-                                c + (i0 + ir) * ldc + j0 + jr, ldc,
-                                std::min(kMr, mc - ir), beta_eff);
+        if (HasAvx2Fma()) {
+          for (; jr + 2 * kNr <= nc; jr += 2 * kNr) {
+            const float* pb0 = pack_b + (jr / kNr) * kNr * kc;
+            const float* pb1 = pb0 + kNr * kc;
+            for (int64_t ir = 0; ir < mc; ir += kMr) {
+              const float* pa = pack_a + (ir / kMr) * kMr * kc;
+              MicroKernel6x16Avx2(kc, pa, pb0, pb1,
+                                  c + (i0 + ir) * ldc + j0 + jr, ldc,
+                                  std::min(kMr, mc - ir), beta_eff);
+            }
           }
         }
-      }
 #endif
-      for (; jr < nc; jr += kNr) {
-        const float* pb = scratch.b.data() + (jr / kNr) * kNr * kc;
-        for (int64_t ir = 0; ir < mc; ir += kMr) {
-          const float* pa = scratch.a.data() + (ir / kMr) * kMr * kc;
-          MicroKernel(kc, pa, pb, c + (i0 + ir) * ldc + j0 + jr, ldc,
-                      std::min(kMr, mc - ir), std::min(kNr, nc - jr),
-                      beta_eff);
+        for (; jr < nc; jr += kNr) {
+          const float* pb = pack_b + (jr / kNr) * kNr * kc;
+          for (int64_t ir = 0; ir < mc; ir += kMr) {
+            const float* pa = pack_a + (ir / kMr) * kMr * kc;
+            MicroKernel(kc, pa, pb, c + (i0 + ir) * ldc + j0 + jr, ldc,
+                        std::min(kMr, mc - ir), std::min(kNr, nc - jr),
+                        beta_eff);
+          }
         }
       }
     });

@@ -29,9 +29,11 @@ namespace gemm {
 /// the stored (k x m) matrix read transposed when true; likewise op(B) is
 /// (k x n) or the stored (n x k) read transposed. lda/ldb/ldc are the
 /// leading dimensions of the *stored* row-major matrices. beta == 0 writes C
-/// without reading it (so C may be uninitialized). Thread-safe; runs on the
-/// global pool unless called from inside a ParallelFor (then serial) or the
-/// problem is too small to amortize packing.
+/// without reading it (so C may be uninitialized). Thread-safe; runs as a
+/// morsel sweep over the (i, j) block grid of the global pool — workers pack
+/// panels into their thread-local arena — unless called from inside a
+/// parallel region (then serial) or the problem is too small to amortize
+/// packing.
 void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
            float alpha, const float* a, int64_t lda, const float* b,
            int64_t ldb, float beta, float* c, int64_t ldc);

@@ -1,0 +1,102 @@
+#include "util/affinity.h"
+
+#include <cstdlib>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dcam {
+
+std::vector<int> ParseCpuList(const std::string& spec) {
+  std::vector<int> cpus;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) return {};
+    const size_t dash = token.find('-');
+    int lo = 0, hi = 0;
+    char* end = nullptr;
+    if (dash == std::string::npos) {
+      lo = hi = static_cast<int>(std::strtol(token.c_str(), &end, 10));
+      if (end == token.c_str() || *end != '\0') return {};
+    } else {
+      const std::string a = token.substr(0, dash);
+      const std::string b = token.substr(dash + 1);
+      if (a.empty() || b.empty()) return {};
+      lo = static_cast<int>(std::strtol(a.c_str(), &end, 10));
+      if (end == a.c_str() || *end != '\0') return {};
+      hi = static_cast<int>(std::strtol(b.c_str(), &end, 10));
+      if (end == b.c_str() || *end != '\0') return {};
+    }
+    if (lo < 0 || hi < lo) return {};
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  // Sorted + deduplicated so "0,2,0-1" and "0-2" configure identically.
+  std::vector<int> out;
+  for (int c : cpus) {
+    bool seen = false;
+    for (int o : out) {
+      if (o == c) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(c);
+  }
+  for (size_t i = 1; i < out.size(); ++i) {
+    for (size_t j = i; j > 0 && out[j] < out[j - 1]; --j) {
+      std::swap(out[j], out[j - 1]);
+    }
+  }
+  return out;
+}
+
+const std::vector<int>& ConfiguredCoreSet() {
+  static const std::vector<int>* set = [] {
+    const char* env = std::getenv("DCAM_CPU_SET");
+    return new std::vector<int>(env != nullptr ? ParseCpuList(env)
+                                               : std::vector<int>());
+  }();
+  return *set;
+}
+
+#if defined(__linux__)
+
+bool AffinitySupported() { return true; }
+
+bool PinCurrentThreadToSet(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (int cpu : cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+#else  // !__linux__
+
+bool AffinitySupported() { return false; }
+
+bool PinCurrentThreadToSet(const std::vector<int>& cpus) {
+  (void)cpus;
+  return false;
+}
+
+#endif  // __linux__
+
+bool PinCurrentThreadToCpu(int cpu) {
+  return PinCurrentThreadToSet(std::vector<int>{cpu});
+}
+
+}  // namespace dcam

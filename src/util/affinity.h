@@ -1,0 +1,44 @@
+// Portable CPU-affinity wrapper.
+//
+// The morsel scheduler optionally pins its workers (and ExplainService pins
+// its shard schedulers) to an explicit core set so repeated batches touch
+// warm, core-resident scratch instead of bouncing it across whichever cores
+// the kernel picks. Pinning is always best-effort: on platforms without
+// pthread_setaffinity_np (or when a requested cpu is offline) the functions
+// return false and execution proceeds unpinned — placement is a performance
+// hint, never a correctness requirement.
+//
+// The core set comes from either ThreadPool::Options::core_set (explicit)
+// or the DCAM_CPU_SET environment variable (deployment-side), a Linux
+// taskset-style list: "0-3", "0,2,4", "0-1,6-7".
+
+#ifndef DCAM_UTIL_AFFINITY_H_
+#define DCAM_UTIL_AFFINITY_H_
+
+#include <string>
+#include <vector>
+
+namespace dcam {
+
+/// Parses a taskset-style cpu list ("0-3,8,10") into a sorted, deduplicated
+/// vector of cpu ids. Returns an empty vector for an empty, malformed, or
+/// negative-id spec (a malformed set must not silently pin to a wrong core).
+std::vector<int> ParseCpuList(const std::string& spec);
+
+/// The process-wide core set from DCAM_CPU_SET, parsed once at first use.
+/// Empty when the variable is unset or unparsable.
+const std::vector<int>& ConfiguredCoreSet();
+
+/// True when the platform can pin threads at all (compile-time capability).
+bool AffinitySupported();
+
+/// Pins the calling thread to a single cpu. Returns false when unsupported
+/// or when the kernel rejects the cpu (out of range, offline).
+bool PinCurrentThreadToCpu(int cpu);
+
+/// Pins the calling thread to a set of cpus (empty set: returns false).
+bool PinCurrentThreadToSet(const std::vector<int>& cpus);
+
+}  // namespace dcam
+
+#endif  // DCAM_UTIL_AFFINITY_H_

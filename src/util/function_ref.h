@@ -1,0 +1,53 @@
+// Non-owning callable reference.
+//
+// std::function is the wrong vehicle for a blocking parallel-for: every call
+// type-erases into a heap-allocated (for capture-heavy lambdas) wrapper that
+// exists only for the duration of the loop, and every iteration dispatches
+// through its double indirection. FunctionRef pins the callable by pointer —
+// two words, trivially copyable, no allocation — which is all a blocking
+// primitive needs: the callee never outlives the caller's lambda.
+//
+// The referenced callable must outlive every invocation through the
+// FunctionRef. Do not store a FunctionRef beyond the call that received it.
+
+#ifndef DCAM_UTIL_FUNCTION_REF_H_
+#define DCAM_UTIL_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace dcam {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds any callable with a compatible signature. Intentionally implicit:
+  /// call sites pass lambdas exactly as they passed them to std::function.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same<std::decay_t<F>, FunctionRef>::value &&
+                std::is_invocable_r<R, F&, Args...>::value>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_(&Invoke<std::remove_reference_t<F>>) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R Invoke(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace dcam
+
+#endif  // DCAM_UTIL_FUNCTION_REF_H_

@@ -1,20 +1,65 @@
 #include "util/parallel.h"
 
 #include <algorithm>
-#include <atomic>
+
+#include "util/affinity.h"
 
 namespace dcam {
 namespace {
 
+// Set while the thread executes inside a parallel region (worker loop or a
+// participating caller); free-function calls seeing it degrade to serial.
 thread_local bool inside_parallel_region = false;
+
+// The id of the morsel the thread is currently running (see
+// CurrentWorkerId); nested serial calls inherit it.
+thread_local int ambient_worker_id = 0;
+
+// This thread's task-affinity hint, stamped onto the calls it publishes.
+thread_local int caller_affinity_hint = -1;
+
+// Caller-id lease cache: re-entering the same pool skips the map lookup.
+// The generation guards against a destroyed pool's address being reused.
+struct CachedLease {
+  const void* pool = nullptr;
+  uint64_t generation = 0;
+  int id = -1;
+};
+thread_local CachedLease cached_lease;
+
+uint64_t NextPoolGeneration() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Chunks per participant the adaptive grain aims for: enough slack to
+// rebalance when chunk costs vary, few enough that claim traffic and
+// per-chunk dispatch stay negligible.
+constexpr int64_t kAdaptiveChunksPerThread = 8;
 
 }  // namespace
 
-ThreadPool::ThreadPool(int num_threads) {
-  const int workers = num_threads > 1 ? num_threads - 1 : 0;
-  workers_.reserve(workers);
+ThreadPool::ThreadPool(int num_threads)
+    : ThreadPool([num_threads] {
+        Options o;
+        o.num_threads = num_threads;
+        return o;
+      }()) {}
+
+ThreadPool::ThreadPool(Options options)
+    : options_(std::move(options)), generation_(NextPoolGeneration()) {
+  int n = options_.num_threads;
+  if (n <= 0) {
+    n = options_.core_set.empty()
+            ? static_cast<int>(std::thread::hardware_concurrency())
+            : static_cast<int>(options_.core_set.size());
+    if (n <= 0) n = 4;
+  }
+  const int workers = n > 1 ? n - 1 : 0;
+  next_caller_id_ = workers;
+  workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -25,70 +70,111 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
-  // A ParallelFor racing the destructor finishes serially on its caller
-  // (the workers are gone); wait for it to leave before the mutex dies.
+  // A call racing the destructor finishes serially on its caller (the
+  // workers are gone); wait for it to leave before the mutex dies.
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return callers_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+int ThreadPool::worker_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_caller_id_;
+}
+
+int64_t ThreadPool::AdaptiveGrainFor(int64_t range) const {
+  const int64_t target = kAdaptiveChunksPerThread * num_threads();
+  return std::max<int64_t>(1, range / target);
+}
+
+int ThreadPool::CallerIdLocked() {
+  if (cached_lease.pool == this && cached_lease.generation == generation_) {
+    return cached_lease.id;
+  }
+  auto it = caller_ids_.find(std::this_thread::get_id());
+  if (it == caller_ids_.end()) {
+    it = caller_ids_.emplace(std::this_thread::get_id(), next_caller_id_++)
+             .first;
+  }
+  cached_lease = CachedLease{this, generation_, it->second};
+  return it->second;
+}
+
+void ThreadPool::RunChunks(TaskContext* ctx, int worker_id) {
+  int64_t lo;
+  while ((lo = ctx->next.fetch_add(ctx->grain, std::memory_order_relaxed)) <
+         ctx->end) {
+    const int64_t hi = std::min(lo + ctx->grain, ctx->end);
+    ctx->fn(worker_id, lo, hi);
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker_id) {
   inside_parallel_region = true;
+  ambient_worker_id = worker_id;
+  if (!options_.core_set.empty()) {
+    PinCurrentThreadToCpu(
+        options_.core_set[static_cast<size_t>(worker_id) %
+                          options_.core_set.size()]);
+  }
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     cv_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
     if (shutdown_) return;
     // Least-loaded pick: the live task with the fewest helpers, so
     // concurrent callers split the workers instead of queuing behind the
-    // oldest call. Exhausted tasks are dropped from the list on the way
-    // (their callers do not need them listed; helpers_ tracks stragglers).
+    // oldest call. Among equally-loaded tasks, one hinted at this worker
+    // wins — a shard that always hints the same id keeps its batches on the
+    // same workers (and cores). Exhausted tasks are dropped from the list on
+    // the way (their callers do not need them listed; `helpers` tracks
+    // stragglers).
     TaskContext* task = nullptr;
+    bool task_hinted = false;
     for (size_t i = 0; i < tasks_.size();) {
       if (tasks_[i]->exhausted()) {
-        tasks_.erase(tasks_.begin() + i);
+        tasks_.erase(tasks_.begin() + static_cast<long>(i));
         continue;
       }
-      if (task == nullptr || tasks_[i]->helpers < task->helpers) {
+      const bool hinted = tasks_[i]->hint == worker_id;
+      if (task == nullptr || tasks_[i]->helpers < task->helpers ||
+          (tasks_[i]->helpers == task->helpers && hinted && !task_hinted)) {
         task = tasks_[i];
+        task_hinted = hinted;
       }
       ++i;
     }
     if (task == nullptr) continue;  // everything drained; back to sleep
     ++task->helpers;
     lock.unlock();
-    int64_t i;
-    while ((i = task->next.fetch_add(1, std::memory_order_relaxed)) <
-           task->end) {
-      (*task->fn)(i);
-    }
+    RunChunks(task, worker_id);
     lock.lock();
     if (--task->helpers == 0) done_cv_.notify_all();
   }
 }
 
-void ThreadPool::ParallelFor(int64_t begin, int64_t end,
-                             const std::function<void(int64_t)>& fn) {
+void ThreadPool::ParallelMorsel(int64_t begin, int64_t end, int64_t grain,
+                                FunctionRef<void(int, int64_t, int64_t)> fn) {
   if (begin >= end) return;
-  TaskContext ctx;
-  ctx.end = end;
-  ctx.fn = &fn;
-  ctx.next.store(begin, std::memory_order_relaxed);
+  if (grain <= 0) grain = AdaptiveGrainFor(end - begin);
+  TaskContext ctx(begin, end, grain, fn, caller_affinity_hint);
+  int caller_id;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    caller_id = CallerIdLocked();
     ++callers_;
     tasks_.push_back(&ctx);
   }
   cv_.notify_all();
-  // The caller participates in its own iteration range, so the call makes
-  // progress even when every worker is helping another caller.
+  // The caller participates in its own range, so the call makes progress
+  // even when every worker is helping another caller (or after shutdown).
   const bool was_inside = inside_parallel_region;
+  const int was_ambient = ambient_worker_id;
   inside_parallel_region = true;
-  int64_t i;
-  while ((i = ctx.next.fetch_add(1, std::memory_order_relaxed)) < end) {
-    fn(i);
-  }
+  ambient_worker_id = caller_id;
+  RunChunks(&ctx, caller_id);
+  ambient_worker_id = was_ambient;
   inside_parallel_region = was_inside;
   // Unpublish the context, then wait for helpers still executing their last
-  // claimed iteration; ctx must stay alive until the last one leaves.
+  // claimed chunk; ctx must stay alive until the last one leaves.
   std::unique_lock<std::mutex> lock(mu_);
   auto it = std::find(tasks_.begin(), tasks_.end(), &ctx);
   if (it != tasks_.end()) tasks_.erase(it);
@@ -96,17 +182,24 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   if (--callers_ == 0) done_cv_.notify_all();
 }
 
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             FunctionRef<void(int64_t)> fn) {
+  ParallelMorsel(begin, end, /*grain=*/1,
+                 [&fn](int /*worker*/, int64_t lo, int64_t hi) {
+                   for (int64_t i = lo; i < hi; ++i) fn(i);
+                 });
+}
+
 ThreadPool& GlobalPool() {
   static ThreadPool* pool = [] {
-    int n = static_cast<int>(std::thread::hardware_concurrency());
-    if (n <= 0) n = 4;
-    return new ThreadPool(n);
+    ThreadPool::Options options;
+    options.core_set = ConfiguredCoreSet();
+    return new ThreadPool(std::move(options));
   }();
   return *pool;
 }
 
-void ParallelFor(int64_t begin, int64_t end,
-                 const std::function<void(int64_t)>& fn) {
+void ParallelFor(int64_t begin, int64_t end, FunctionRef<void(int64_t)> fn) {
   if (begin >= end) return;
   if (inside_parallel_region || end - begin == 1) {
     for (int64_t i = begin; i < end; ++i) fn(i);
@@ -114,5 +207,29 @@ void ParallelFor(int64_t begin, int64_t end,
   }
   GlobalPool().ParallelFor(begin, end, fn);
 }
+
+void ParallelMorsel(int64_t begin, int64_t end, int64_t grain,
+                    FunctionRef<void(int, int64_t, int64_t)> fn) {
+  if (begin >= end) return;
+  if (inside_parallel_region) {
+    // Serial degradation preserves the chunking contract (chunks of at most
+    // `grain`) so bodies sizing scratch by the grain stay correct.
+    if (grain <= 0) {
+      fn(ambient_worker_id, begin, end);
+      return;
+    }
+    for (int64_t lo = begin; lo < end; lo += grain) {
+      fn(ambient_worker_id, lo, std::min(lo + grain, end));
+    }
+    return;
+  }
+  GlobalPool().ParallelMorsel(begin, end, grain, fn);
+}
+
+void SetParallelAffinityHint(int worker_id) {
+  caller_affinity_hint = worker_id < 0 ? -1 : worker_id;
+}
+
+int CurrentWorkerId() { return ambient_worker_id; }
 
 }  // namespace dcam

@@ -1,19 +1,42 @@
-// A minimal persistent thread pool with a parallel-for primitive.
+// Morsel-driven work scheduler with a persistent worker pool.
 //
-// Training convolutional networks on CPU dominates the runtime of every
-// experiment in this repository; the batch dimension and the k-permutation
-// loop of dCAM are embarrassingly parallel, so a static-partition
-// parallel-for recovers most of the available speedup without the complexity
-// of work stealing.
+// Training convolutional networks and the k-permutation loop of dCAM are
+// embarrassingly parallel, but the granularity varies wildly: a GEMM block
+// grid has thousands of cheap tiles, the engine's scatter has (groups × D)
+// fine-grained rows, a batch forward has a handful of fat instances. The
+// scheduler therefore hands out *morsels* — contiguous [lo, hi) chunks of
+// the iteration range, claimed by one atomic fetch-add per chunk (in the
+// style of Leis et al.'s morsel-driven parallelism) — instead of one atomic
+// per iteration. Chunk size is the `grain`: callers pick it, or pass
+// kAdaptiveGrain to size chunks so every participant claims a few (good
+// locality, bounded imbalance, negligible claim traffic).
 //
-// The pool accepts any number of concurrent external callers: each
-// ParallelFor call owns a private task context (iteration counter + helper
-// count) that lives on the caller's stack and is published on a shared task
-// list. Workers pick the live task with the fewest helpers (least-loaded),
-// so two replica schedulers issuing ParallelFor at the same time split the
-// workers between them instead of serializing on a single task slot. The
-// caller always participates in its own iteration range, so every call makes
-// progress even when all workers are busy elsewhere (or after shutdown).
+// Every participating thread carries a stable small integer worker id,
+// passed to the morsel body. Pool workers own ids [0, workers); external
+// caller threads (which always participate in their own calls, so every
+// call makes progress even with zero workers) lease the next free id on
+// first use and keep it for the pool's lifetime. Ids index per-worker state;
+// pair them with util/arena.h's ThisThreadArena for worker-local scratch.
+//
+// The pool accepts any number of concurrent external callers: each call
+// publishes a stack-owned task context on a shared list and workers pick the
+// live task with the fewest helpers (least-loaded), so two replica
+// schedulers issuing morsels at the same time split the workers instead of
+// serializing. A caller may install an *affinity hint* (its preferred worker
+// id) — among equally-loaded tasks, workers prefer tasks hinted at them,
+// which keeps one ExplainService shard's batches on the same workers (and
+// with pinning, the same cores) round after round.
+//
+// Core pinning: construct with Options::core_set (or export DCAM_CPU_SET for
+// the global pool) and workers pin themselves round-robin over the set via
+// util/affinity.h. Pinning is best-effort and changes placement only, never
+// results. A pinned pool is also *sized* by its core set, so width-derived
+// heuristics (DcamEngine's batch) follow the configured worker set rather
+// than hardware concurrency.
+//
+// Nested calls (a morsel body issuing another ParallelFor/ParallelMorsel via
+// the free functions) degrade to serial chunked execution on the calling
+// thread rather than deadlocking, exactly as before.
 
 #ifndef DCAM_UTIL_PARALLEL_H_
 #define DCAM_UTIL_PARALLEL_H_
@@ -21,24 +44,41 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
+
+#include "util/function_ref.h"
 
 namespace dcam {
 
 /// Fixed-size worker pool. One global instance (see GlobalPool()) is shared
-/// by the whole library; nested ParallelFor calls degrade to serial execution
-/// on the calling thread rather than deadlocking, and any number of external
-/// threads may call ParallelFor concurrently.
+/// by the whole library; nested free-function calls degrade to serial
+/// execution on the calling thread rather than deadlocking, and any number
+/// of external threads may call in concurrently.
 class ThreadPool {
  public:
-  explicit ThreadPool(int num_threads);
+  /// Pass as `grain` to let the pool size chunks from the range and worker
+  /// count (a few chunks per participant).
+  static constexpr int64_t kAdaptiveGrain = 0;
 
-  /// Stops the workers, then waits for any thread still inside ParallelFor
-  /// to leave (such calls finish serially on their caller) before the
-  /// members are destroyed.
+  struct Options {
+    /// Worker-set width (pool threads + the caller). 0 derives it: the core
+    /// set's size when one is configured, else hardware concurrency.
+    int num_threads = 0;
+    /// Non-empty: workers pin themselves round-robin over these cpu ids
+    /// (best-effort, see util/affinity.h). The global pool takes this from
+    /// DCAM_CPU_SET.
+    std::vector<int> core_set;
+  };
+
+  explicit ThreadPool(int num_threads);
+  explicit ThreadPool(Options options);
+
+  /// Stops the workers, then waits for any thread still inside a call to
+  /// leave (such calls finish serially on their caller) before the members
+  /// are destroyed.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -46,47 +86,91 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
-  /// Runs fn(i) for i in [begin, end). Blocks until all iterations finish.
-  /// The calling thread participates. Safe to call with begin >= end, and
-  /// safe to call from multiple threads concurrently — each call's
-  /// iterations are disjoint from every other call's.
-  void ParallelFor(int64_t begin, int64_t end,
-                   const std::function<void(int64_t)>& fn);
+  /// Ids handed out so far: pool workers plus every distinct caller thread
+  /// seen. Every worker id passed to a morsel body is in [0, worker_slots()).
+  int worker_slots() const;
+
+  /// The chunk size kAdaptiveGrain resolves to for a range of `range`
+  /// iterations (a few chunks per participant, minimum 1).
+  int64_t AdaptiveGrainFor(int64_t range) const;
+
+  /// Runs fn(worker_id, lo, hi) over disjoint chunks covering [begin, end).
+  /// Blocks until the whole range is done. Chunks are contiguous, at most
+  /// `grain` long (callers may size per-chunk scratch by it), and each is
+  /// executed exactly once; `worker_id` is the stable id of the executing
+  /// thread. The calling thread participates. Safe for any number of
+  /// concurrent callers; safe with begin >= end (no-op).
+  void ParallelMorsel(int64_t begin, int64_t end, int64_t grain,
+                      FunctionRef<void(int, int64_t, int64_t)> fn);
+
+  /// Legacy per-iteration form: runs fn(i) for i in [begin, end). A thin
+  /// shim over a grain-1 morsel — identical claiming order and therefore
+  /// identical behavior to the historical per-iteration pool.
+  void ParallelFor(int64_t begin, int64_t end, FunctionRef<void(int64_t)> fn);
 
  private:
-  // One in-flight ParallelFor. Lives on the caller's stack; the caller
-  // removes it from tasks_ once the counter is exhausted and waits for
-  // helpers_ (guarded by mu_) to drop to zero before returning.
+  // One in-flight call. Lives on the caller's stack; the caller removes it
+  // from tasks_ once the counter is exhausted and waits for helpers
+  // (guarded by mu_) to drop to zero before returning.
   struct TaskContext {
-    int64_t end = 0;
-    const std::function<void(int64_t)>* fn = nullptr;
-    std::atomic<int64_t> next{0};
-    int helpers = 0;  // workers currently running iterations (guarded by mu_)
+    TaskContext(int64_t begin, int64_t end_, int64_t grain_,
+                FunctionRef<void(int, int64_t, int64_t)> fn_, int hint_)
+        : end(end_), grain(grain_), fn(fn_), hint(hint_), next(begin) {}
+
+    const int64_t end;
+    const int64_t grain;
+    const FunctionRef<void(int, int64_t, int64_t)> fn;
+    const int hint;  // preferred worker id (-1: none); see affinity hints
+    std::atomic<int64_t> next;
+    int helpers = 0;  // workers currently running chunks (guarded by mu_)
 
     bool exhausted() const {
       return next.load(std::memory_order_relaxed) >= end;
     }
   };
 
-  void WorkerLoop();
+  void WorkerLoop(int worker_id);
+  // Claims and runs chunks of `ctx` until the range is exhausted.
+  static void RunChunks(TaskContext* ctx, int worker_id);
+  // The calling thread's stable id in this pool (mu_ held; leases one on
+  // first use).
+  int CallerIdLocked();
 
+  const Options options_;
+  const uint64_t generation_;  // distinguishes pools across address reuse
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;       // worker wake-up
   std::condition_variable done_cv_;  // caller / destructor wake-up
-  std::vector<TaskContext*> tasks_;  // live ParallelFor calls (guarded by mu_)
-  int callers_ = 0;                  // threads inside ParallelFor
+  std::vector<TaskContext*> tasks_;  // live calls (guarded by mu_)
+  std::unordered_map<std::thread::id, int> caller_ids_;  // stable leases
+  int next_caller_id_;               // == workers_.size() at construction
+  int callers_ = 0;                  // threads inside a call
   bool shutdown_ = false;
 };
 
-/// Process-wide pool sized to the hardware concurrency (minimum 1 worker).
+/// Process-wide pool. Sized and pinned by DCAM_CPU_SET when set, else sized
+/// to the hardware concurrency (minimum 1 worker).
 ThreadPool& GlobalPool();
 
-/// Convenience wrapper over GlobalPool().ParallelFor. Falls back to a plain
-/// loop when the range is tiny or when invoked from inside another
-/// ParallelFor (detected via a thread-local flag).
-void ParallelFor(int64_t begin, int64_t end,
-                 const std::function<void(int64_t)>& fn);
+/// Convenience wrappers over GlobalPool(). Both fall back to serial
+/// execution on the calling thread when invoked from inside another parallel
+/// region (detected via a thread-local flag); ParallelFor additionally skips
+/// the pool for single-iteration ranges.
+void ParallelFor(int64_t begin, int64_t end, FunctionRef<void(int64_t)> fn);
+void ParallelMorsel(int64_t begin, int64_t end, int64_t grain,
+                    FunctionRef<void(int, int64_t, int64_t)> fn);
+
+/// Installs this thread's affinity hint: subsequent calls it makes carry the
+/// hinted worker id, and equally-loaded tasks hinted at a worker win that
+/// worker's pick. ExplainService shard s hints at worker (s mod width) so a
+/// shard's batches keep landing on the same workers. -1 clears the hint.
+void SetParallelAffinityHint(int worker_id);
+
+/// The ambient worker id of the calling thread: its id while executing a
+/// morsel body (nested serial calls inherit it), 0 for threads that never
+/// entered a pool. Only meaningful relative to the pool currently executing.
+int CurrentWorkerId();
 
 }  // namespace dcam
 

@@ -11,6 +11,16 @@ A baseline record may carry its own "max_ratio" field overriding the global
 tolerance (used for the wall-clock service-throughput benches, which are
 noisier than the steady-state micro kernels).
 
+A baseline record may also declare a cross-row claim with
+
+    "min_speedup_vs": "BM_Other/shape", "min_speedup": 1.2
+
+which is checked *within the current run* (never against the baseline
+host): current_ns(BM_Other/shape) / current_ns(this row) must be at least
+min_speedup. This is how structural wins are gated — e.g. the morsel
+scatter must stay faster than per-iteration claiming on whatever machine CI
+runs on, regardless of absolute nanoseconds.
+
 Key mismatches are never silent: a baseline record missing from the current
 run, or a current record missing from the baseline, each print a WARNING line
 (typically a renamed/removed bench, or a new bench whose row still needs to
@@ -126,6 +136,37 @@ def main():
             % (op, shape, fmt_ns(base_ns), fmt_ns(cur_ns), ratio, flag)
         )
 
+    # Cross-row claims: both rows come from the *current* run, so the check
+    # is host-independent (the whole point — it gates a structural speedup,
+    # not an absolute time).
+    speedup_failures = []
+    for key in sorted(baseline):
+        ref_name = baseline[key].get("min_speedup_vs")
+        if ref_name is None or not op_re.search(key[0]):
+            continue
+        min_speedup = baseline[key].get("min_speedup", 1.0)
+        ref_key = tuple(ref_name.split("/", 1)) if "/" in ref_name else (ref_name, "")
+        cur = current.get(key)
+        ref = current.get(ref_key)
+        if cur is None or ref is None:
+            absent = key if cur is None else ref_key
+            if absent not in missing:
+                missing.append(absent)
+            continue
+        speedup = (
+            ref["ns_per_iter"] / cur["ns_per_iter"]
+            if cur["ns_per_iter"] > 0
+            else float("inf")
+        )
+        flag = ""
+        if speedup < min_speedup:
+            speedup_failures.append((key, ref_key, speedup, min_speedup))
+            flag = "  <-- BELOW MINIMUM"
+        print(
+            "%s/%s vs %s/%s: %.2fx speedup (min %.2fx)%s"
+            % (key[0], key[1], ref_key[0], ref_key[1], speedup, min_speedup, flag)
+        )
+
     new_keys = sorted(k for k in current if k not in baseline and op_re.search(k[0]))
     for key in new_keys:
         print(
@@ -153,10 +194,18 @@ def main():
             "WARNING: new benchmark %s/%s has no baseline "
             "(add its row to BENCH_dcam.json)" % key
         )
-    if failures:
-        print("FAIL: %d benchmark(s) regressed:" % len(failures))
+    if failures or speedup_failures:
+        print(
+            "FAIL: %d benchmark(s) regressed, %d cross-row claim(s) violated:"
+            % (len(failures), len(speedup_failures))
+        )
         for (op, shape), ratio, limit in failures:
             print("  %s/%s is %.2fx the baseline (limit %.2fx)" % (op, shape, ratio, limit))
+        for (op, shape), (rop, rshape), speedup, minimum in speedup_failures:
+            print(
+                "  %s/%s is only %.2fx faster than %s/%s (minimum %.2fx)"
+                % (op, shape, speedup, rop, rshape, minimum)
+            )
         return 1
     if mismatched and args.require_match:
         print("FAIL: key mismatches above and --require-match is set")
