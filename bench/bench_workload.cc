@@ -1,0 +1,369 @@
+// Dataset-scale workload harness: SF-parameterized corpora served through
+// ExplainService under open- and closed-loop traffic.
+//
+// For each corpus kind (synthetic / uea) at the requested scale factor:
+//   1. the corpus file is generated if absent (deterministic per SF, atomic
+//      write) and mmap-loaded with full checksum verification — the load
+//      bandwidth is the first measurement;
+//   2. closed loop: C clients submit back-to-back requests with Zipf-skewed
+//      key popularity and a mixed priority distribution — measures capacity;
+//   3. open loop: requests arrive on a ramping Poisson schedule (0.5x..1.5x
+//      of --rate) regardless of completion — measures latency at an offered
+//      rate, per priority class.
+//
+// Request seeds derive from the sampled key, so hot keys legitimately hit
+// the service's dedupe/result cache — that is the serving pattern skewed
+// popularity models. All phases run against Config::replicas shards.
+//
+// --json emits BENCH_dcam.json-style records. Throughput rows carry
+//   {"value": X, "unit": "rps"|"MBps", "higher_is_better": true}
+// (check_bench_regression.py inverts the ratio test for them); latency rows
+// keep the classic lower-is-better "ns_per_iter":
+//   BM_WorkloadLoad         <kind>/sfN        corpus verify+load MBps
+//   BM_WorkloadClosedRps    <kind>/sfN/cC/rR  closed-loop completions/s
+//   BM_WorkloadOpenRps      <kind>/sfN/cC/rR  open-loop completions/s
+//   BM_WorkloadOpenHighP50  <kind>/sfN/cC/rR  open-loop high-priority p50 ns
+//   BM_WorkloadOpenHighP99  <kind>/sfN/cC/rR  open-loop high-priority p99 ns
+//   BM_WorkloadOpenBatchP99 <kind>/sfN/cC/rR  open-loop batch-priority p99 ns
+//
+// Gates (exit 2), evaluated only AFTER the JSON is flushed so a failing CI
+// lane still uploads the numbers that failed it:
+//   --min-throughput X    every traffic phase's completions/s >= X
+//   --max-high-p99-ms Y   open-loop high-priority p99 <= Y
+// Any request error (the default service config is unbounded, so nothing
+// should shed) exits 1.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/store.h"
+#include "explain/service.h"
+#include "models/cnn.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "workload/workload.h"
+
+using namespace dcam;
+
+namespace {
+
+struct Options {
+  std::string corpus_dir = "corpora";
+  int sf = 1;
+  std::string kind = "both";
+  int clients = 4;
+  int requests = 96;      // closed-loop total; open loop is duration-bound
+  double duration_s = 1.5;
+  double rate = 120.0;    // open-loop ramp midpoint, requests/s
+  double zipf_s = 1.1;
+  int k = 4;
+  int replicas = 2;
+  bool generate = true;
+  std::string json_path;
+  double min_throughput = 0.0;   // 0 = report only
+  double max_high_p99_ms = 0.0;  // 0 = report only
+};
+
+struct Row {
+  std::string op;
+  std::string shape;
+  double value = 0.0;         // ns for latency rows, unit value otherwise
+  const char* unit = nullptr;  // null -> classic ns_per_iter row
+  long long iterations = 0;
+};
+
+double ParseDoubleFlag(const char* value, const char* flag) {
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "bench_workload: bad value for %s: %s\n", flag,
+                 value);
+    std::exit(1);
+  }
+  return v;
+}
+
+int ParseIntFlag(const char* value, const char* flag) {
+  const double v = ParseDoubleFlag(value, flag);
+  if (v < 1) {
+    std::fprintf(stderr, "bench_workload: %s must be >= 1\n", flag);
+    std::exit(1);
+  }
+  return static_cast<int>(v);
+}
+
+void PrintPhase(const char* label, const workload::PhaseResult& r) {
+  std::printf(
+      "  %-11s %5lld ok %3lld err in %6.2f s -> %7.1f rps"
+      " (offered %6.1f, %lld keys, %llu cache hits, %llu deduped)\n",
+      label, static_cast<long long>(r.completed),
+      static_cast<long long>(r.errors), r.wall_s, r.throughput_rps,
+      r.offered_rps, static_cast<long long>(r.distinct_keys),
+      static_cast<unsigned long long>(r.cache_hits),
+      static_cast<unsigned long long>(r.deduped));
+  static const char* kClassNames[explain::kNumPriorities] = {"high", "normal",
+                                                             "batch"};
+  for (int p = 0; p < explain::kNumPriorities; ++p) {
+    const workload::LatencyStats& s = r.by_priority[p];
+    if (s.count == 0) continue;
+    std::printf("  %-11s   %-6s p50 %8.0f us  p99 %8.0f us  (%lld)\n", "",
+                kClassNames[p], s.p50_ns / 1e3, s.p99_ns / 1e3,
+                static_cast<long long>(s.count));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_workload: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--corpus-dir") {
+      opt.corpus_dir = next("--corpus-dir");
+    } else if (arg == "--sf") {
+      opt.sf = ParseIntFlag(next("--sf"), "--sf");
+    } else if (arg == "--kind") {
+      opt.kind = next("--kind");
+    } else if (arg == "--clients") {
+      opt.clients = ParseIntFlag(next("--clients"), "--clients");
+    } else if (arg == "--requests") {
+      opt.requests = ParseIntFlag(next("--requests"), "--requests");
+    } else if (arg == "--duration") {
+      opt.duration_s = ParseDoubleFlag(next("--duration"), "--duration");
+    } else if (arg == "--rate") {
+      opt.rate = ParseDoubleFlag(next("--rate"), "--rate");
+    } else if (arg == "--zipf-s") {
+      opt.zipf_s = ParseDoubleFlag(next("--zipf-s"), "--zipf-s");
+    } else if (arg == "--k") {
+      opt.k = ParseIntFlag(next("--k"), "--k");
+    } else if (arg == "--replicas") {
+      opt.replicas = ParseIntFlag(next("--replicas"), "--replicas");
+    } else if (arg == "--no-generate") {
+      opt.generate = false;
+    } else if (arg == "--json") {
+      opt.json_path = next("--json");
+    } else if (arg == "--min-throughput") {
+      opt.min_throughput =
+          ParseDoubleFlag(next("--min-throughput"), "--min-throughput");
+    } else if (arg == "--max-high-p99-ms") {
+      opt.max_high_p99_ms =
+          ParseDoubleFlag(next("--max-high-p99-ms"), "--max-high-p99-ms");
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: bench_workload [--corpus-dir DIR] [--sf N] "
+          "[--kind synthetic|uea|both] [--clients C] [--requests N] "
+          "[--duration S] [--rate RPS] [--zipf-s S] [--k K] [--replicas R] "
+          "[--no-generate] [--json path] [--min-throughput RPS] "
+          "[--max-high-p99-ms MS]\n");
+      return 1;
+    }
+  }
+  std::vector<data::CorpusKind> kinds;
+  if (opt.kind == "synthetic" || opt.kind == "both") {
+    kinds.push_back(data::CorpusKind::kSynthetic);
+  }
+  if (opt.kind == "uea" || opt.kind == "both") {
+    kinds.push_back(data::CorpusKind::kUeaLike);
+  }
+  if (kinds.empty()) {
+    std::fprintf(stderr, "bench_workload: unknown --kind %s\n",
+                 opt.kind.c_str());
+    return 1;
+  }
+
+  std::printf(
+      "=== workload harness: SF=%d, %d clients, %d requests/phase, "
+      "open-loop %.0f rps ramp over %.1f s, zipf s=%.2f, k=%d, %d replicas, "
+      "pool=%d threads ===\n",
+      opt.sf, opt.clients, opt.requests, opt.rate, opt.duration_s, opt.zipf_s,
+      opt.k, opt.replicas, GlobalPool().num_threads());
+
+  std::vector<Row> rows;
+  bool had_errors = false;
+  struct GateSample {
+    std::string what;
+    double throughput_rps = -1.0;
+    double high_p99_ns = -1.0;
+  };
+  std::vector<GateSample> gate_samples;
+
+  for (data::CorpusKind kind : kinds) {
+    data::CorpusSpec spec;
+    spec.kind = kind;
+    spec.scale_factor = opt.sf;
+    std::string path = opt.corpus_dir + "/" + spec.FileName();
+    if (opt.generate) {
+      io::Status status = data::GenerateCorpusFile(spec, opt.corpus_dir, &path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "bench_workload: generating %s: %s\n",
+                     spec.Name().c_str(), status.ToString().c_str());
+        return 1;
+      }
+    }
+    data::SeriesStore store;
+    Stopwatch load_watch;
+    io::Status status = data::SeriesStore::Open(path, &store);
+    const double load_s = load_watch.ElapsedSeconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_workload: opening %s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    const double mbps =
+        load_s > 0 ? static_cast<double>(store.file_bytes()) / 1e6 / load_s
+                   : 0.0;
+    std::printf(
+        "%s: %lld series (D=%lld, n=%lld), %.2f MB verified+%s-loaded in "
+        "%.2f ms (%.0f MB/s)\n",
+        spec.Name().c_str(), static_cast<long long>(store.size()),
+        static_cast<long long>(store.dims()),
+        static_cast<long long>(store.length()),
+        static_cast<double>(store.file_bytes()) / 1e6,
+        store.mapped() ? "mmap" : "buffered", load_s * 1e3, mbps);
+
+    const std::string sf_shape = spec.Name();  // "<kind>_sf<N>"
+    char traffic_shape[64];
+    std::snprintf(traffic_shape, sizeof traffic_shape, "%s/c%d/r%d",
+                  sf_shape.c_str(), opt.clients, opt.replicas);
+    rows.push_back({"BM_WorkloadLoad", sf_shape, mbps, "MBps", 1});
+
+    // One service per corpus: clean stats, private cache.
+    Rng rng(7 + opt.sf);
+    models::ConvNetConfig cfg;
+    cfg.filters = {8, 8};
+    models::ConvNet model(models::InputMode::kCube,
+                          static_cast<int>(store.dims()), store.num_classes(),
+                          cfg, &rng);
+    explain::ExplainService::Config service_cfg;
+    service_cfg.replicas = opt.replicas;
+    explain::ExplainService service(service_cfg);
+    service.RegisterModel("m", &model);
+    workload::WorkloadDriver driver(&service, &store, "m");
+
+    workload::PhaseConfig closed;
+    closed.name = "closed";
+    closed.clients = opt.clients;
+    closed.total_requests = opt.requests;
+    closed.zipf_s = opt.zipf_s;
+    closed.k = opt.k;
+    closed.seed = 1000 + static_cast<uint64_t>(opt.sf);
+    const workload::PhaseResult closed_result = driver.RunClosedLoop(closed);
+    PrintPhase("closed loop", closed_result);
+    rows.push_back({"BM_WorkloadClosedRps", traffic_shape,
+                    closed_result.throughput_rps, "rps",
+                    closed_result.completed});
+    had_errors = had_errors || closed_result.errors > 0;
+    gate_samples.push_back(
+        {spec.Name() + " closed loop", closed_result.throughput_rps, -1.0});
+
+    workload::PhaseConfig open;
+    open.name = "open";
+    open.clients = opt.clients;
+    open.total_requests = opt.requests * 8;  // duration-bound in practice
+    open.duration_s = opt.duration_s;
+    open.curve = workload::RateCurve::Ramp(0.5 * opt.rate, 1.5 * opt.rate);
+    open.zipf_s = opt.zipf_s;
+    open.k = opt.k;
+    open.seed = 2000 + static_cast<uint64_t>(opt.sf);
+    const workload::PhaseResult open_result = driver.RunOpenLoop(open);
+    PrintPhase("open loop", open_result);
+    rows.push_back({"BM_WorkloadOpenRps", traffic_shape,
+                    open_result.throughput_rps, "rps", open_result.completed});
+    const workload::LatencyStats& high =
+        open_result.by_priority[static_cast<int>(explain::Priority::kHigh)];
+    const workload::LatencyStats& batch =
+        open_result.by_priority[static_cast<int>(explain::Priority::kBatch)];
+    rows.push_back(
+        {"BM_WorkloadOpenHighP50", traffic_shape, high.p50_ns, nullptr,
+         high.count});
+    rows.push_back(
+        {"BM_WorkloadOpenHighP99", traffic_shape, high.p99_ns, nullptr,
+         high.count});
+    rows.push_back(
+        {"BM_WorkloadOpenBatchP99", traffic_shape, batch.p99_ns, nullptr,
+         batch.count});
+    had_errors = had_errors || open_result.errors > 0;
+    gate_samples.push_back({spec.Name() + " open loop",
+                            open_result.throughput_rps, high.p99_ns});
+  }
+
+  // The JSON report is flushed BEFORE any gate can exit, so a failing CI
+  // lane still uploads the measurements behind the failure.
+  int exit_code = 0;
+  if (!opt.json_path.empty()) {
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_workload: cannot open %s for writing\n",
+                   opt.json_path.c_str());
+      exit_code = 1;
+    } else {
+      std::fprintf(f, "{\n  \"benchmarks\": [\n");
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const Row& row = rows[i];
+        if (row.unit != nullptr) {
+          std::fprintf(f,
+                       "    {\"op\": \"%s\", \"shape\": \"%s\", "
+                       "\"value\": %.2f, \"unit\": \"%s\", "
+                       "\"higher_is_better\": true, \"threads\": %d, "
+                       "\"iterations\": %lld}%s\n",
+                       row.op.c_str(), row.shape.c_str(), row.value, row.unit,
+                       GlobalPool().num_threads(), row.iterations,
+                       i + 1 < rows.size() ? "," : "");
+        } else {
+          std::fprintf(f,
+                       "    {\"op\": \"%s\", \"shape\": \"%s\", "
+                       "\"ns_per_iter\": %.1f, \"threads\": %d, "
+                       "\"iterations\": %lld}%s\n",
+                       row.op.c_str(), row.shape.c_str(), row.value,
+                       GlobalPool().num_threads(), row.iterations,
+                       i + 1 < rows.size() ? "," : "");
+        }
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::fprintf(stderr, "bench_workload: wrote %zu results to %s\n",
+                   rows.size(), opt.json_path.c_str());
+    }
+  }
+
+  // --- gates (JSON is already on disk) -------------------------------------
+  if (had_errors) {
+    std::fprintf(stderr,
+                 "bench_workload: FAIL request errors under an unbounded "
+                 "service config\n");
+    exit_code = std::max(exit_code, 1);
+  }
+  for (const GateSample& sample : gate_samples) {
+    if (opt.min_throughput > 0 && sample.throughput_rps >= 0 &&
+        sample.throughput_rps < opt.min_throughput) {
+      std::fprintf(stderr,
+                   "bench_workload: FAIL %s throughput %.1f rps < required "
+                   "%.1f rps (%d pool threads)\n",
+                   sample.what.c_str(), sample.throughput_rps,
+                   opt.min_throughput, GlobalPool().num_threads());
+      exit_code = 2;
+    }
+    if (opt.max_high_p99_ms > 0 && sample.high_p99_ns >= 0 &&
+        sample.high_p99_ns > opt.max_high_p99_ms * 1e6) {
+      std::fprintf(stderr,
+                   "bench_workload: FAIL %s high-priority p99 %.1f ms > "
+                   "allowed %.1f ms\n",
+                   sample.what.c_str(), sample.high_p99_ns / 1e6,
+                   opt.max_high_p99_ms);
+      exit_code = 2;
+    }
+  }
+  return exit_code;
+}

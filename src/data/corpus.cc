@@ -1,0 +1,113 @@
+#include "data/corpus.h"
+
+#include <filesystem>
+
+#include "data/store.h"
+#include "data/synthetic.h"
+#include "data/uea_like.h"
+#include "util/check.h"
+#include "util/fnv.h"
+
+namespace dcam {
+namespace data {
+namespace {
+
+// SF=1 base populations. Both kinds share (D, n) so one registered model
+// shape serves either corpus; the instance counts differ to keep the two
+// files from being byte-size twins.
+constexpr int kCorpusDims = 8;
+constexpr int kCorpusLength = 128;
+constexpr int kSyntheticPerClass = 64;   // 2 classes -> 128 instances at SF=1
+constexpr int kUeaClasses = 4;
+constexpr int kUeaPerClass = 24;         // 4 classes -> 96 instances at SF=1
+
+}  // namespace
+
+std::string CorpusKindName(CorpusKind kind) {
+  switch (kind) {
+    case CorpusKind::kSynthetic:
+      return "synthetic";
+    case CorpusKind::kUeaLike:
+      return "uea";
+  }
+  return "unknown";
+}
+
+std::string CorpusSpec::Name() const {
+  return CorpusKindName(kind) + "_sf" + std::to_string(scale_factor);
+}
+
+std::string CorpusSpec::FileName() const { return Name() + ".dcs"; }
+
+uint64_t CorpusSeed(const CorpusSpec& spec) {
+  const std::string tag = "dcam-corpus/" + CorpusKindName(spec.kind);
+  uint64_t h = Fnv1a(tag.data(), tag.size());
+  const int64_t sf = spec.scale_factor;
+  h = Fnv1a(&sf, sizeof(sf), h);
+  h = Fnv1a(&spec.seed_base, sizeof(spec.seed_base), h);
+  return h;
+}
+
+Dataset BuildCorpus(const CorpusSpec& spec) {
+  DCAM_CHECK_GE(spec.scale_factor, 1);
+  Dataset dataset;
+  switch (spec.kind) {
+    case CorpusKind::kSynthetic: {
+      // Type 2: the discriminant feature is cross-dimension co-occurrence —
+      // the regime dCAM exists for — and the builder emits the ground-truth
+      // mask, so dataset-scale Dr-acc stays measurable.
+      SyntheticSpec synthetic;
+      synthetic.seed_type = SeedType::kStarLight;
+      synthetic.type = 2;
+      synthetic.dims = kCorpusDims;
+      synthetic.length = kCorpusLength;
+      synthetic.pattern_len = 32;
+      synthetic.num_inject = 2;
+      synthetic.instances_per_class = kSyntheticPerClass * spec.scale_factor;
+      synthetic.seed = CorpusSeed(spec);
+      dataset = BuildSynthetic(synthetic);
+      break;
+    }
+    case CorpusKind::kUeaLike: {
+      UeaLikeSpec uea;
+      uea.name = spec.Name();
+      uea.classes = kUeaClasses;
+      uea.dims = kCorpusDims;
+      uea.length = kCorpusLength;
+      uea.per_class = kUeaPerClass * spec.scale_factor;
+      dataset = BuildUeaLike(uea, CorpusSeed(spec));
+      break;
+    }
+  }
+  dataset.name = spec.Name();
+  return dataset;
+}
+
+io::Status GenerateCorpusFile(const CorpusSpec& spec, const std::string& dir,
+                              std::string* out_path, bool force,
+                              bool* regenerated) {
+  const std::string path = dir + "/" + spec.FileName();
+  if (out_path != nullptr) *out_path = path;
+  if (regenerated != nullptr) *regenerated = false;
+  if (!force) {
+    // Reuse a file that opens and verifies cleanly and matches the spec's
+    // announced identity; anything else (missing, truncated by a killed job,
+    // bit rot, stale format version) falls through to regeneration.
+    SeriesStore store;
+    if (SeriesStore::Open(path, &store).ok() && store.name() == spec.Name()) {
+      return io::Status::Ok();
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return io::Status::IoError("cannot create " + dir + ": " + ec.message());
+  }
+  io::Status status = WriteSeriesStore(BuildCorpus(spec), path);
+  if (!status.ok()) return status;
+  if (regenerated != nullptr) *regenerated = true;
+  return io::Status::Ok();
+}
+
+}  // namespace data
+}  // namespace dcam

@@ -1,0 +1,69 @@
+// Scale-factor-parameterized corpora for the workload harness.
+//
+// Modeled on the TPC-H generator contract: a corpus is fully determined by
+// (kind, scale factor) — SF=1 is the CI-sized base population and every
+// instance count scales linearly with SF, so SF=100 is the same distribution
+// two orders of magnitude larger. The per-corpus RNG seed is derived by
+// hashing (kind, SF, seed base), which makes corpora deterministic across
+// machines AND distinct across scale factors — an SF=10 corpus is not a
+// prefix of SF=100, exactly as TPC-H's dbgen behaves.
+//
+// Two kinds cover the two dataset families the paper evaluates:
+//   * kSynthetic — Section 5.1.1 Type-2 injected-pattern data with a
+//     ground-truth mask (so dataset-scale Dr-acc sweeps stay possible);
+//   * kUeaLike   — the UEA-archive-style generator's background + localized
+//     class structure, mask-free, heavier per-class diversity.
+//
+// GenerateCorpusFile persists through data/store and is restart- and
+// cache-safe: a valid file under the final path is reused (the CI lane's
+// actions/cache restore), anything unreadable — including a truncated file
+// from a killed job — is regenerated, and the write itself is atomic.
+
+#ifndef DCAM_DATA_CORPUS_H_
+#define DCAM_DATA_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/series.h"
+#include "io/status.h"
+
+namespace dcam {
+namespace data {
+
+enum class CorpusKind { kSynthetic, kUeaLike };
+
+std::string CorpusKindName(CorpusKind kind);
+
+struct CorpusSpec {
+  CorpusKind kind = CorpusKind::kSynthetic;
+  /// Linear instance-count multiplier; SF=1 is the CI-sized base corpus.
+  int scale_factor = 1;
+  /// Folded into the per-corpus seed; the default is the published corpus
+  /// line — change it only to synthesize alternative universes.
+  uint64_t seed_base = 0xDCA5C0DEULL;
+
+  /// "synthetic_sf4" — also the dataset name stored in the file.
+  std::string Name() const;
+  /// Name() + ".dcs" (dcam columnar series).
+  std::string FileName() const;
+};
+
+/// The deterministic seed for this corpus (hash of kind, SF, seed base).
+uint64_t CorpusSeed(const CorpusSpec& spec);
+
+/// Builds the corpus in memory. Deterministic in `spec` alone.
+Dataset BuildCorpus(const CorpusSpec& spec);
+
+/// Ensures `dir/spec.FileName()` holds a valid store of this corpus:
+/// reuses an existing file that opens and verifies cleanly (unless `force`),
+/// otherwise builds and writes it atomically. `out_path` (optional) receives
+/// the final path, `regenerated` (optional) whether a build happened.
+io::Status GenerateCorpusFile(const CorpusSpec& spec, const std::string& dir,
+                              std::string* out_path = nullptr,
+                              bool force = false, bool* regenerated = nullptr);
+
+}  // namespace data
+}  // namespace dcam
+
+#endif  // DCAM_DATA_CORPUS_H_

@@ -1,0 +1,82 @@
+#include "io/atomic_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define DCAM_HAVE_FSYNC 1
+#else
+#define DCAM_HAVE_FSYNC 0
+#endif
+
+namespace dcam {
+namespace io {
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp") {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) Discard();
+}
+
+Status AtomicFileWriter::Open() {
+  file_ = std::fopen(temp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    failed_ = true;
+    return Status::IoError("cannot create " + temp_path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Write(const void* data, size_t n) {
+  if (failed_ || file_ == nullptr) {
+    return Status::IoError("write to failed/unopened " + temp_path_);
+  }
+  if (n != 0 && std::fwrite(data, 1, n, file_) != n) {
+    failed_ = true;
+    return Status::IoError("short write to " + temp_path_);
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (failed_ || file_ == nullptr) {
+    Discard();
+    return Status::IoError("commit of failed/unopened " + temp_path_);
+  }
+  bool ok = std::fflush(file_) == 0;
+#if DCAM_HAVE_FSYNC
+  // The rename is only atomic against a crash if the data reached the disk
+  // first; otherwise the metadata can land before the bytes.
+  ok = ok && ::fsync(::fileno(file_)) == 0;
+#endif
+  ok = std::fclose(file_) == 0 && ok;
+  file_ = nullptr;
+  if (!ok) {
+    failed_ = true;
+    Discard();
+    return Status::IoError("cannot flush " + temp_path_);
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    failed_ = true;
+    Discard();
+    return Status::IoError("cannot rename " + temp_path_ + " -> " + path_ +
+                           ": " + std::strerror(errno));
+  }
+  committed_ = true;
+  return Status::Ok();
+}
+
+void AtomicFileWriter::Discard() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::remove(temp_path_.c_str());
+}
+
+}  // namespace io
+}  // namespace dcam

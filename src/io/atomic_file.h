@@ -1,0 +1,68 @@
+// Crash-safe file replacement: write to a temp file, fsync, rename.
+//
+// The corpus generator runs inside CI jobs that can be killed at any byte
+// (timeout, runner eviction), and the generated files are restored from an
+// actions/cache across runs — so a truncated write must never be observable
+// under the final path, or a poisoned cache would feed every later run a
+// corpus that fails (or worse, silently truncates) at mmap time. The
+// writer therefore streams into `<path>.tmp` and only renames onto `path`
+// after a successful flush + fsync; a destructor without Commit() removes
+// the temp file, and a crash leaves at worst a stale `.tmp` that the next
+// writer overwrites.
+
+#ifndef DCAM_IO_ATOMIC_FILE_H_
+#define DCAM_IO_ATOMIC_FILE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "io/status.h"
+
+namespace dcam {
+namespace io {
+
+class AtomicFileWriter {
+ public:
+  /// `path` is the final destination; bytes stream into `path` + ".tmp".
+  explicit AtomicFileWriter(std::string path);
+
+  /// Removes the temp file if Commit() was never reached.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Creates (truncates) the temp file. Must be called before Write.
+  Status Open();
+
+  /// Appends `n` bytes. Errors are sticky: after a failed write every later
+  /// call, including Commit, reports failure.
+  Status Write(const void* data, size_t n);
+
+  template <typename T>
+  Status WriteScalar(T value) {
+    return Write(&value, sizeof(T));
+  }
+
+  /// Flushes, fsyncs (POSIX), closes, and renames the temp file onto the
+  /// destination. After an ok() Commit the file is durably in place; after
+  /// a failed one the destination is untouched and the temp is removed.
+  Status Commit();
+
+  const std::string& path() const { return path_; }
+  const std::string& temp_path() const { return temp_path_; }
+
+ private:
+  void Discard();
+
+  std::string path_;
+  std::string temp_path_;
+  std::FILE* file_ = nullptr;
+  bool failed_ = false;
+  bool committed_ = false;
+};
+
+}  // namespace io
+}  // namespace dcam
+
+#endif  // DCAM_IO_ATOMIC_FILE_H_

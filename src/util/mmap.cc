@@ -1,0 +1,161 @@
+#include "util/mmap.h"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DCAM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DCAM_HAVE_MMAP 0
+#endif
+
+namespace dcam {
+namespace {
+
+#if DCAM_HAVE_MMAP
+int AdviceToMadv(MappedFile::Advice advice) {
+  switch (advice) {
+    case MappedFile::Advice::kSequential:
+      return MADV_SEQUENTIAL;
+    case MappedFile::Advice::kRandom:
+      return MADV_RANDOM;
+    case MappedFile::Advice::kWillNeed:
+      return MADV_WILLNEED;
+    case MappedFile::Advice::kNormal:
+      break;
+  }
+  return MADV_NORMAL;
+}
+#endif
+
+// Buffered fallback shared by off-POSIX builds and allow_mmap = false.
+io::Status ReadWhole(const std::string& path,
+                     std::unique_ptr<unsigned char[]>* buffer, size_t* size) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) {
+    return io::Status::IoError("cannot open " + path);
+  }
+  const std::streamoff end = in.tellg();
+  if (end < 0) {
+    return io::Status::IoError("cannot stat " + path);
+  }
+  *size = static_cast<size_t>(end);
+  if (*size == 0) {
+    buffer->reset();
+    return io::Status::Ok();
+  }
+  buffer->reset(new unsigned char[*size]);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(buffer->get()),
+          static_cast<std::streamsize>(*size));
+  if (!in.good() && !in.eof()) {
+    return io::Status::IoError("short read from " + path);
+  }
+  if (static_cast<size_t>(in.gcount()) != *size) {
+    return io::Status::IoError("short read from " + path);
+  }
+  return io::Status::Ok();
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { Close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      map_base_(other.map_base_),
+      buffer_(std::move(other.buffer_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.map_base_ = nullptr;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = other.data_;
+    size_ = other.size_;
+    map_base_ = other.map_base_;
+    buffer_ = std::move(other.buffer_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.map_base_ = nullptr;
+  }
+  return *this;
+}
+
+io::Status MappedFile::Open(const std::string& path, const Options& options,
+                            MappedFile* out) {
+  out->Close();
+#if DCAM_HAVE_MMAP
+  if (options.allow_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return io::Status::IoError("cannot open " + path);
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return io::Status::IoError("cannot stat " + path);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      out->size_ = 0;
+      return io::Status::Ok();
+    }
+    // MAP_SHARED read-only: every process serving the same corpus shares one
+    // page-cache copy. The fd can be closed immediately; the mapping keeps
+    // the file alive.
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base != MAP_FAILED) {
+      out->map_base_ = base;
+      out->data_ = static_cast<const unsigned char*>(base);
+      out->size_ = size;
+      out->Advise(options.advice);
+      return io::Status::Ok();
+    }
+    // mmap can legitimately fail (e.g. a filesystem without mmap support);
+    // fall through to the buffered path rather than erroring.
+  }
+#endif
+  io::Status status = ReadWhole(path, &out->buffer_, &out->size_);
+  if (!status.ok()) {
+    out->Close();
+    return status;
+  }
+  out->data_ = out->buffer_.get();
+  return io::Status::Ok();
+}
+
+void MappedFile::Advise(Advice advice) {
+#if DCAM_HAVE_MMAP
+  if (map_base_ != nullptr && advice != Advice::kNormal) {
+    // Best-effort: a failed madvise changes performance, not correctness.
+    (void)::madvise(map_base_, size_, AdviceToMadv(advice));
+  }
+#else
+  (void)advice;
+#endif
+}
+
+void MappedFile::Close() {
+#if DCAM_HAVE_MMAP
+  if (map_base_ != nullptr) {
+    (void)::munmap(map_base_, size_);
+  }
+#endif
+  map_base_ = nullptr;
+  buffer_.reset();
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace dcam

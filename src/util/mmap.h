@@ -1,0 +1,83 @@
+// Read-only memory-mapped files.
+//
+// MappedFile is the zero-copy substrate for the on-disk series store
+// (data/store): on POSIX hosts the file is mapped MAP_SHARED | PROT_READ so
+// opening a multi-gigabyte corpus costs page-table setup, not a read into
+// heap, and the kernel's page cache is shared across every process mapping
+// the same corpus. madvise hints (sequential for the one-pass checksum
+// verification, random for point lookups under skewed traffic) are applied
+// best-effort.
+//
+// Off-POSIX builds — and callers that set Options::allow_mmap = false, which
+// the tests use to exercise the path — fall back to a plain buffered read
+// into an owned heap block. The accessor surface is identical either way;
+// mapped() reports which path was taken so benchmarks can label their
+// numbers honestly.
+
+#ifndef DCAM_UTIL_MMAP_H_
+#define DCAM_UTIL_MMAP_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "io/status.h"
+
+namespace dcam {
+
+class MappedFile {
+ public:
+  enum class Advice {
+    kNormal,      // no hint
+    kSequential,  // one front-to-back pass (checksum verification)
+    kRandom,      // point lookups (skewed-popularity serving)
+    kWillNeed,    // prefault eagerly
+  };
+
+  struct Options {
+    /// false forces the buffered-read fallback even where mmap is available.
+    bool allow_mmap = true;
+    Advice advice = Advice::kNormal;
+  };
+
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Opens `path` read-only. On success `out` exposes the file bytes (empty
+  /// files yield size() == 0 with a null pointer). Any previous contents of
+  /// `out` are released first.
+  static io::Status Open(const std::string& path, const Options& options,
+                         MappedFile* out);
+  static io::Status Open(const std::string& path, MappedFile* out) {
+    return Open(path, Options(), out);
+  }
+
+  const unsigned char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// True when the bytes are a zero-copy mmap; false when the fallback read
+  /// them into an owned buffer (or nothing is open).
+  bool mapped() const { return map_base_ != nullptr; }
+
+  /// Re-advises the kernel about the expected access pattern. Best-effort
+  /// no-op on the fallback path and off-POSIX.
+  void Advise(Advice advice);
+
+  /// Unmaps / frees. Idempotent.
+  void Close();
+
+ private:
+  const unsigned char* data_ = nullptr;
+  size_t size_ = 0;
+  void* map_base_ = nullptr;  // non-null only on the mmap path
+  std::unique_ptr<unsigned char[]> buffer_;  // non-null only on the fallback
+};
+
+}  // namespace dcam
+
+#endif  // DCAM_UTIL_MMAP_H_

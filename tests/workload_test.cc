@@ -1,0 +1,232 @@
+// Tests for the workload layer (src/workload): Zipf skew, rate curves,
+// Poisson arrival schedules, priority mixes, and the driver's closed- and
+// open-loop phases against a real ExplainService over an on-disk store.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/store.h"
+#include "data/synthetic.h"
+#include "explain/service.h"
+#include "models/cnn.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace dcam {
+namespace workload {
+namespace {
+
+TEST(ZipfSamplerTest, DeterministicPerSeed) {
+  const ZipfSampler zipf(64, 1.1);
+  Rng a(5), b(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b));
+  }
+}
+
+TEST(ZipfSamplerTest, SkewConcentratesOnLowRanks) {
+  const int64_t n = 64;
+  const ZipfSampler zipf(n, 1.1);
+  Rng rng(42);
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const int64_t key = zipf.Sample(&rng);
+    ASSERT_GE(key, 0);
+    ASSERT_LT(key, n);
+    counts[static_cast<size_t>(key)]++;
+  }
+  // Rank 0 is the mode, and the hot-8 set absorbs the majority of traffic.
+  for (int64_t r = 1; r < n; ++r) {
+    EXPECT_GE(counts[0], counts[static_cast<size_t>(r)]);
+  }
+  int hot8 = 0;
+  for (int r = 0; r < 8; ++r) hot8 += counts[r];
+  EXPECT_GT(static_cast<double>(hot8) / samples, 0.5);
+
+  // s = 0 degenerates to uniform: rank 0 stops dominating.
+  const ZipfSampler uniform(n, 0.0);
+  Rng urng(42);
+  int zero = 0;
+  for (int i = 0; i < samples; ++i) {
+    if (uniform.Sample(&urng) == 0) zero++;
+  }
+  EXPECT_LT(static_cast<double>(zero) / samples, 0.05);
+}
+
+TEST(RateCurveTest, ShapesEvaluateExactly) {
+  const RateCurve constant = RateCurve::Constant(80.0);
+  EXPECT_DOUBLE_EQ(constant.RateAt(0.0), 80.0);
+  EXPECT_DOUBLE_EQ(constant.RateAt(0.7), 80.0);
+  EXPECT_DOUBLE_EQ(constant.MeanRate(), 80.0);
+
+  const RateCurve ramp = RateCurve::Ramp(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(ramp.RateAt(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ramp.RateAt(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(ramp.RateAt(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(ramp.MaxRate(), 100.0);
+  EXPECT_DOUBLE_EQ(ramp.MeanRate(), 50.0);
+
+  const RateCurve burst = RateCurve::Burst(50.0, 250.0);
+  EXPECT_DOUBLE_EQ(burst.RateAt(0.2), 50.0);
+  EXPECT_DOUBLE_EQ(burst.RateAt(0.5), 250.0);
+  EXPECT_DOUBLE_EQ(burst.RateAt(0.9), 50.0);
+  EXPECT_DOUBLE_EQ(burst.MaxRate(), 250.0);
+  EXPECT_GT(burst.MeanRate(), 50.0);
+  EXPECT_LT(burst.MeanRate(), 250.0);
+}
+
+TEST(PoissonArrivalsTest, CountTracksMeanRateAndIsDeterministic) {
+  const RateCurve curve = RateCurve::Ramp(100.0, 300.0);  // mean 200 rps
+  const double duration = 4.0;
+  PoissonArrivals arrivals(curve, duration, 99);
+  std::vector<double> times;
+  for (double t = arrivals.Next(); t < duration; t = arrivals.Next()) {
+    ASSERT_GE(t, times.empty() ? 0.0 : times.back());
+    times.push_back(t);
+  }
+  // Expected count 800, sd ~28; 4 sd is a one-in-tens-of-thousands flake.
+  const double expected = curve.MeanRate() * duration;
+  EXPECT_NEAR(static_cast<double>(times.size()), expected,
+              4.0 * std::sqrt(expected));
+
+  PoissonArrivals replay(curve, duration, 99);
+  for (const double t : times) {
+    EXPECT_DOUBLE_EQ(replay.Next(), t);
+  }
+
+  // Arrivals thin toward the curve: the second half of a rising ramp holds
+  // more of them than the first.
+  int64_t first_half = 0;
+  for (const double t : times) {
+    if (t < duration / 2) first_half++;
+  }
+  EXPECT_LT(first_half, static_cast<int64_t>(times.size()) - first_half);
+}
+
+TEST(PriorityMixTest, SamplesMatchFractions) {
+  PriorityMix mix;
+  mix.high = 0.2;
+  mix.normal = 0.5;
+  mix.batch = 0.3;
+  Rng rng(7);
+  const int samples = 20000;
+  std::array<int, explain::kNumPriorities> counts{};
+  for (int i = 0; i < samples; ++i) {
+    counts[static_cast<int>(mix.Sample(&rng))]++;
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / samples, mix.high, 0.04);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / samples, mix.normal, 0.04);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / samples, mix.batch, 0.04);
+}
+
+class WorkloadDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticSpec spec;
+    spec.type = 2;
+    spec.dims = 3;
+    spec.length = 64;
+    spec.pattern_len = 32;
+    spec.num_inject = 2;
+    spec.instances_per_class = 8;
+    spec.seed = 23;
+    data::Dataset dataset = data::BuildSynthetic(spec);
+    dataset.name = "workload_smoke";
+    path_ = ::testing::TempDir() + "/workload_smoke.dcs";
+    ASSERT_TRUE(data::WriteSeriesStore(dataset, path_).ok());
+    ASSERT_TRUE(data::SeriesStore::Open(path_, &store_).ok());
+
+    Rng rng(3);
+    models::ConvNetConfig cfg;
+    cfg.filters = {4, 4};
+    model_ = std::make_unique<models::ConvNet>(
+        models::InputMode::kCube, static_cast<int>(store_.dims()),
+        store_.num_classes(), cfg, &rng);
+    explain::ExplainService::Config service_cfg;
+    service_cfg.replicas = 2;
+    service_ = std::make_unique<explain::ExplainService>(service_cfg);
+    service_->RegisterModel("m", model_.get());
+  }
+
+  std::string path_;
+  data::SeriesStore store_;
+  std::unique_ptr<models::ConvNet> model_;
+  std::unique_ptr<explain::ExplainService> service_;
+};
+
+TEST_F(WorkloadDriverTest, RequestsAreAPureFunctionOfTheKey) {
+  WorkloadDriver driver(service_.get(), &store_, "m");
+  const explain::ExplainRequest a =
+      driver.MakeRequest(5, explain::Priority::kHigh, 2);
+  const explain::ExplainRequest b =
+      driver.MakeRequest(5, explain::Priority::kBatch, 2);
+  EXPECT_EQ(a.model_id, "m");
+  EXPECT_EQ(a.class_idx, store_.label(5));
+  EXPECT_EQ(a.options.dcam.seed, b.options.dcam.seed);  // priority-independent
+  ASSERT_EQ(a.series.shape(), b.series.shape());
+  EXPECT_EQ(std::memcmp(a.series.data(), b.series.data(),
+                        static_cast<size_t>(a.series.size()) * sizeof(float)),
+            0);
+  const explain::ExplainRequest other =
+      driver.MakeRequest(6, explain::Priority::kHigh, 2);
+  EXPECT_NE(a.options.dcam.seed, other.options.dcam.seed);
+}
+
+TEST_F(WorkloadDriverTest, ClosedLoopCompletesEveryRequest) {
+  WorkloadDriver driver(service_.get(), &store_, "m");
+  PhaseConfig config;
+  config.clients = 2;
+  config.total_requests = 12;
+  config.zipf_s = 1.1;
+  config.k = 2;
+  config.seed = 77;
+  const PhaseResult result = driver.RunClosedLoop(config);
+  EXPECT_EQ(result.completed, config.total_requests);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_GT(result.throughput_rps, 0.0);
+  EXPECT_GE(result.distinct_keys, 1);
+  EXPECT_LE(result.distinct_keys, store_.size());
+  int64_t with_latency = 0;
+  for (const LatencyStats& stats : result.by_priority) {
+    with_latency += stats.count;
+    if (stats.count > 0) EXPECT_GT(stats.p99_ns, 0.0);
+  }
+  EXPECT_EQ(with_latency, result.completed);
+}
+
+TEST_F(WorkloadDriverTest, OpenLoopAccountsForEveryArrival) {
+  WorkloadDriver driver(service_.get(), &store_, "m");
+  PhaseConfig config;
+  config.total_requests = 24;
+  config.duration_s = 0.6;
+  config.curve = RateCurve::Constant(60.0);
+  config.zipf_s = 1.1;
+  config.k = 2;
+  config.seed = 78;
+  const PhaseResult result = driver.RunOpenLoop(config);
+  EXPECT_GT(result.completed, 0);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_LE(result.completed, config.total_requests);
+  EXPECT_GT(result.offered_rps, 0.0);
+  int64_t with_latency = 0;
+  for (const LatencyStats& stats : result.by_priority) {
+    with_latency += stats.count;
+  }
+  EXPECT_EQ(with_latency, result.completed);
+  // Hot keys under Zipf repeat, and repeats are bit-identical by design —
+  // the service either caches or dedupes them whenever any repeated.
+  if (result.distinct_keys < result.completed) {
+    EXPECT_GT(result.cache_hits + result.deduped, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace dcam

@@ -11,6 +11,17 @@ A baseline record may carry its own "max_ratio" field overriding the global
 tolerance (used for the wall-clock service-throughput benches, which are
 noisier than the steady-state micro kernels).
 
+Records where lower is NOT better — bench_workload's throughput and load-
+bandwidth rows — store their measurement as
+
+    "value": 123.4, "unit": "rps", "higher_is_better": true
+
+instead of "ns_per_iter", and the ratio test inverts: the gate fails when
+baseline / current exceeds max_ratio, i.e. when the current run's
+throughput dropped to less than 1/max_ratio of the baseline. The same
+loose-tolerance philosophy applies — these rows catch a collapsed pipeline,
+not noise.
+
 A baseline record may also declare a cross-row claim with
 
     "min_speedup_vs": "BM_Other/shape", "min_speedup": 1.2
@@ -67,6 +78,17 @@ def fmt_ns(ns):
     return "%.0fns" % ns
 
 
+def value_of(row):
+    """The row's measurement: ns_per_iter classically, "value" otherwise."""
+    return row["ns_per_iter"] if "ns_per_iter" in row else row["value"]
+
+
+def fmt_row(row):
+    if "ns_per_iter" in row:
+        return fmt_ns(row["ns_per_iter"])
+    return "%.1f%s" % (row["value"], row.get("unit", ""))
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -110,6 +132,7 @@ def main():
 
     failures = []
     missing = []
+    gated = 0
     print(
         "%-34s %-16s %12s %12s %8s" % ("op", "shape", "baseline", "current", "ratio")
     )
@@ -118,22 +141,30 @@ def main():
         op, shape = key
         if not op_re.search(op):
             continue
-        base_ns = baseline[key]["ns_per_iter"]
-        max_ratio = baseline[key].get("max_ratio", args.max_ratio)
+        gated += 1
+        base_row = baseline[key]
+        base_val = value_of(base_row)
+        higher_is_better = base_row.get("higher_is_better", False)
+        max_ratio = base_row.get("max_ratio", args.max_ratio)
         cur = current.get(key)
         if cur is None:
             missing.append(key)
-            print("%-34s %-16s %12s %12s %8s" % (op, shape, fmt_ns(base_ns), "-", "-"))
+            print("%-34s %-16s %12s %12s %8s" % (op, shape, fmt_row(base_row), "-", "-"))
             continue
-        cur_ns = cur["ns_per_iter"]
-        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        cur_val = value_of(cur)
+        # "ratio" is always degradation: time growth for lower-is-better
+        # rows, throughput shrinkage for higher-is-better ones.
+        if higher_is_better:
+            ratio = base_val / cur_val if cur_val > 0 else float("inf")
+        else:
+            ratio = cur_val / base_val if base_val > 0 else float("inf")
         flag = ""
         if ratio > max_ratio:
             failures.append((key, ratio, max_ratio))
             flag = "  <-- REGRESSION (limit %.2fx)" % max_ratio
         print(
             "%-34s %-16s %12s %12s %7.2fx%s"
-            % (op, shape, fmt_ns(base_ns), fmt_ns(cur_ns), ratio, flag)
+            % (op, shape, fmt_row(base_row), fmt_row(cur), ratio, flag)
         )
 
     # Cross-row claims: both rows come from the *current* run, so the check
@@ -154,9 +185,7 @@ def main():
                 missing.append(absent)
             continue
         speedup = (
-            ref["ns_per_iter"] / cur["ns_per_iter"]
-            if cur["ns_per_iter"] > 0
-            else float("inf")
+            value_of(ref) / value_of(cur) if value_of(cur) > 0 else float("inf")
         )
         flag = ""
         if speedup < min_speedup:
@@ -171,7 +200,7 @@ def main():
     for key in new_keys:
         print(
             "%-34s %-16s %12s %12s %8s"
-            % (key[0], key[1], "-", fmt_ns(current[key]["ns_per_iter"]), "new")
+            % (key[0], key[1], "-", fmt_row(current[key]), "new")
         )
 
     print("-" * 86)
@@ -200,7 +229,10 @@ def main():
             % (len(failures), len(speedup_failures))
         )
         for (op, shape), ratio, limit in failures:
-            print("  %s/%s is %.2fx the baseline (limit %.2fx)" % (op, shape, ratio, limit))
+            print(
+                "  %s/%s degraded %.2fx vs the baseline (limit %.2fx)"
+                % (op, shape, ratio, limit)
+            )
         for (op, shape), (rop, rshape), speedup, minimum in speedup_failures:
             print(
                 "  %s/%s is only %.2fx faster than %s/%s (minimum %.2fx)"
@@ -213,7 +245,7 @@ def main():
     print(
         "OK: %d gated benchmark(s) within tolerance%s"
         % (
-            len(baseline) - len(missing),
+            gated - len(missing),
             ", with %d key-mismatch warning(s)"
             % (len(missing) + len(new_keys) + len(duplicates))
             if mismatched
