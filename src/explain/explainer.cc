@@ -1,13 +1,16 @@
 #include "explain/explainer.h"
 
+#include <algorithm>
+#include <map>
 #include <mutex>
-#include <unordered_map>
+#include <set>
 #include <utility>
 
 #include "cam/cam.h"
 #include "cam/grad_cam.h"
 #include "core/engine.h"
 #include "models/mtex.h"
+#include "tensor/gemm.h"
 
 namespace dcam {
 namespace explain {
@@ -38,6 +41,7 @@ uint64_t HashDcamOptions(const core::DcamOptions& o, uint64_t h) {
   // so the flag cannot change an observable field of the cached result.
   h = HashPod(o.k, h);
   h = HashPod(o.seed, h);
+  h = HashPod(static_cast<uint8_t>(o.precision), h);
   return HashPod(static_cast<uint8_t>(o.include_identity), h);
 }
 
@@ -93,22 +97,38 @@ class DcamFamilyExplainer : public Explainer {
 
 class DcamExplainer : public DcamFamilyExplainer {
  public:
+  /// The ("dcam", "bf16") registration constructs with kBf16, which forces
+  /// the reduced-precision forward regardless of the request options; the
+  /// default-constructed portable explainer passes options through untouched
+  /// (a caller may still opt in per-request via DcamOptions.precision).
+  explicit DcamExplainer(gemm::Precision precision = gemm::Precision::kFloat32)
+      : precision_(precision) {}
+
   std::string name() const override { return "dcam"; }
 
   uint64_t OptionsDigest(int class_idx,
                          const ExplainOptions& options) const override {
     uint64_t h = HashString(name(), kFnvOffset);
     h = HashPod(class_idx, h);
-    return HashDcamOptions(options.dcam, h);
+    return HashDcamOptions(EffectiveOptions(options.dcam), h);
   }
 
   ExplanationResult Explain(models::Model* model, const Tensor& series,
                             int class_idx,
                             const ExplainOptions& options) override {
-    core::DcamOptions opts = options.dcam;
+    core::DcamOptions opts = EffectiveOptions(options.dcam);
     opts.keep_mbar = false;  // the uniform result only carries the map
     return FromDcamResult(EngineFor(model)->Compute(series, class_idx, opts));
   }
+
+ private:
+  core::DcamOptions EffectiveOptions(const core::DcamOptions& o) const {
+    core::DcamOptions opts = o;
+    if (precision_ == gemm::Precision::kBf16) opts.precision = precision_;
+    return opts;
+  }
+
+  gemm::Precision precision_;
 };
 
 class DcamSerialExplainer : public DcamFamilyExplainer {
@@ -441,61 +461,84 @@ class DimensionOcclusionExplainer : public Explainer {
 
 // ---- registry --------------------------------------------------------------
 
+constexpr char kPortableBackend[] = "portable";
+
 struct Registry {
   std::mutex mu;
-  std::vector<std::string> names;  // registration order
-  std::unordered_map<std::string, ExplainerFactory> factories;
+  std::vector<std::string> names;  // method registration order (unique)
+  // Keyed (method, backend). The std::map keeps ExplainerBackends sorted.
+  std::map<std::pair<std::string, std::string>, ExplainerFactory> factories;
+  // Valid backend tags: the kernel-layer names plus the dcam bf16 precision
+  // mode, extended by RegisterExplainerBackend. A request naming anything
+  // else is a spelling error and CHECK-fails instead of silently falling
+  // back to portable.
+  std::set<std::string> backends{"portable", "avx2", "bf16"};
 
-  void Add(const std::string& name, ExplainerFactory factory) {
-    names.push_back(name);
-    factories[name] = std::move(factory);
+  bool HasMethod(const std::string& name) const {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  }
+
+  void Add(const std::string& name, const std::string& backend,
+           ExplainerFactory factory) {
+    if (!HasMethod(name)) names.push_back(name);
+    backends.insert(backend);
+    factories[{name, backend}] = std::move(factory);
   }
 };
 
 Registry& GetRegistry() {
   static Registry* registry = [] {
     auto* r = new Registry();
-    r->Add("dcam", []() -> std::unique_ptr<Explainer> {
+    auto add = [r](const char* name, ExplainerFactory factory) {
+      r->Add(name, kPortableBackend, std::move(factory));
+    };
+    add("dcam", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<DcamExplainer>();
     });
-    r->Add("dcam_serial", []() -> std::unique_ptr<Explainer> {
+    add("dcam_serial", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<DcamSerialExplainer>();
     });
-    r->Add("dcam_adaptive", []() -> std::unique_ptr<Explainer> {
+    add("dcam_adaptive", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<DcamAdaptiveExplainer>();
     });
-    r->Add("dcam_contrastive", []() -> std::unique_ptr<Explainer> {
+    add("dcam_contrastive", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<DcamContrastiveExplainer>();
     });
-    r->Add("cam", []() -> std::unique_ptr<Explainer> {
+    add("cam", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<CamExplainer>();
     });
-    r->Add("gradcam", []() -> std::unique_ptr<Explainer> {
+    add("gradcam", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<GradCamExplainer>();
     });
-    r->Add("gradient", []() -> std::unique_ptr<Explainer> {
+    add("gradient", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<SimpleMapExplainer>("gradient",
                                                   &cam::InputGradient);
     });
-    r->Add("saliency", []() -> std::unique_ptr<Explainer> {
+    add("saliency", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<SimpleMapExplainer>("saliency",
                                                   &cam::GradientSaliency);
     });
-    r->Add("grad_times_input", []() -> std::unique_ptr<Explainer> {
+    add("grad_times_input", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<SimpleMapExplainer>("grad_times_input",
                                                   &cam::GradientTimesInput);
     });
-    r->Add("smoothgrad", []() -> std::unique_ptr<Explainer> {
+    add("smoothgrad", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<SmoothGradExplainer>();
     });
-    r->Add("integrated_gradients", []() -> std::unique_ptr<Explainer> {
+    add("integrated_gradients", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<IntegratedGradientsExplainer>();
     });
-    r->Add("occlusion", []() -> std::unique_ptr<Explainer> {
+    add("occlusion", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<OcclusionExplainer>();
     });
-    r->Add("dimension_occlusion", []() -> std::unique_ptr<Explainer> {
+    add("dimension_occlusion", []() -> std::unique_ptr<Explainer> {
       return std::make_unique<DimensionOcclusionExplainer>();
+    });
+    // Backend-specialized built-ins. The bf16 dcam forces the
+    // reduced-precision inference forward; its fidelity (top-1 dimension
+    // agreement, rank correlation vs float32) is gated in CI.
+    r->Add("dcam", "bf16", []() -> std::unique_ptr<Explainer> {
+      return std::make_unique<DcamExplainer>(gemm::Precision::kBf16);
     });
     return r;
   }();
@@ -531,17 +574,46 @@ uint64_t Explainer::OptionsDigest(int class_idx,
 }
 
 bool RegisterExplainer(const std::string& name, ExplainerFactory factory) {
+  return RegisterExplainerBackend(name, kPortableBackend, std::move(factory));
+}
+
+bool RegisterExplainerBackend(const std::string& name,
+                              const std::string& backend,
+                              ExplainerFactory factory) {
+  DCAM_CHECK(!backend.empty()) << "empty explainer backend name";
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
-  if (r.factories.count(name) > 0) return false;
-  r.Add(name, std::move(factory));
+  if (r.factories.count({name, backend}) > 0) return false;
+  r.Add(name, backend, std::move(factory));
   return true;
 }
 
 bool HasExplainer(const std::string& name) {
   Registry& r = GetRegistry();
   std::lock_guard<std::mutex> lock(r.mu);
-  return r.factories.count(name) > 0;
+  return r.HasMethod(name);
+}
+
+bool HasExplainerBackend(const std::string& name, const std::string& backend) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.factories.count({name, backend}) > 0;
+}
+
+bool KnownExplainerBackend(const std::string& backend) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.backends.count(backend) > 0;
+}
+
+std::vector<std::string> ExplainerBackends(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  for (const auto& kv : r.factories) {
+    if (kv.first.first == name) out.push_back(kv.first.second);
+  }
+  return out;
 }
 
 std::vector<std::string> AllExplainerNames() {
@@ -551,15 +623,31 @@ std::vector<std::string> AllExplainerNames() {
 }
 
 std::unique_ptr<Explainer> MakeExplainer(const std::string& name) {
+  return MakeExplainer(name, kPortableBackend);
+}
+
+std::unique_ptr<Explainer> MakeExplainer(const std::string& name,
+                                         const std::string& backend) {
   ExplainerFactory factory;
   {
     Registry& r = GetRegistry();
     std::lock_guard<std::mutex> lock(r.mu);
-    auto it = r.factories.find(name);
-    DCAM_CHECK(it != r.factories.end())
+    DCAM_CHECK(r.HasMethod(name))
         << "unknown explainer \"" << name
         << "\" (probe with HasExplainer; AllExplainerNames lists the "
            "registered methods)";
+    DCAM_CHECK(r.backends.count(backend) > 0)
+        << "unknown explainer backend \"" << backend << "\" for method \""
+        << name
+        << "\" (expected \"portable\", \"avx2\", \"bf16\", or a name seen by "
+           "RegisterExplainerBackend; probe with KnownExplainerBackend)";
+    auto it = r.factories.find({name, backend});
+    if (it == r.factories.end()) {
+      it = r.factories.find({name, kPortableBackend});
+    }
+    DCAM_CHECK(it != r.factories.end())
+        << "explainer \"" << name << "\" has no \"" << backend
+        << "\" registration and no portable fallback";
     factory = it->second;
   }
   std::unique_ptr<Explainer> explainer = factory();

@@ -28,6 +28,16 @@
 //   integrated_gradients  integrated gradients       cam/saliency.h  §5.2
 //   occlusion             windowed occlusion map     cam/occlusion.h §2.3
 //   dimension_occlusion   per-dimension occlusion    cam/occlusion.h Fig 13(c)
+//
+// The registry is keyed (method, backend): variants of a method specialized
+// for a kernel backend register under the same method name with a backend tag
+// ("portable", "avx2", "bf16", or externally registered names). Every
+// built-in above lives under "portable"; ("dcam", "bf16") additionally maps
+// to the reduced-precision inference forward (gemm::Precision::kBf16).
+// Lookup falls back to the method's "portable" entry when the requested
+// backend has no specialized registration, so asking for ("cam", "avx2") is
+// valid and returns the portable implementation — the ISA dispatch for pure
+// float32 methods already happens inside tensor/gemm.cc.
 
 #ifndef DCAM_EXPLAIN_EXPLAINER_H_
 #define DCAM_EXPLAIN_EXPLAINER_H_
@@ -124,21 +134,47 @@ class Explainer {
 
 using ExplainerFactory = std::function<std::unique_ptr<Explainer>()>;
 
-/// Registers a factory under `name`. Returns false (and ignores the call)
-/// when the name is already taken. Thread-safe. Built-in methods are
-/// registered on first registry access.
+/// Registers a factory under (`name`, "portable"). Returns false (and
+/// ignores the call) when that slot is already taken. Thread-safe. Built-in
+/// methods are registered on first registry access.
 bool RegisterExplainer(const std::string& name, ExplainerFactory factory);
 
-/// True when `name` is registered.
+/// Registers a backend-specialized factory under (`name`, `backend`).
+/// Returns false when the pair is already taken. A previously unseen
+/// `backend` string becomes a known backend name for validation purposes.
+bool RegisterExplainerBackend(const std::string& name,
+                              const std::string& backend,
+                              ExplainerFactory factory);
+
+/// True when `name` is registered under any backend.
 bool HasExplainer(const std::string& name);
+
+/// True when the exact (`name`, `backend`) pair is registered (no portable
+/// fallback — use this to probe whether a specialization exists).
+bool HasExplainerBackend(const std::string& name, const std::string& backend);
+
+/// True when `backend` is a valid backend name: one of the built-in tags
+/// ("portable", "avx2", "bf16") or a name seen by RegisterExplainerBackend.
+bool KnownExplainerBackend(const std::string& backend);
+
+/// Backends registered for `name`, lexicographically sorted. Empty when the
+/// method is unknown.
+std::vector<std::string> ExplainerBackends(const std::string& name);
 
 /// All registered names: built-ins in the file-comment order, then external
 /// registrations in registration order.
 std::vector<std::string> AllExplainerNames();
 
-/// Instantiates the named method. CHECK-fails on unknown names (HasExplainer
-/// is the non-fatal probe).
+/// Instantiates the named method's "portable" registration. CHECK-fails on
+/// unknown names (HasExplainer is the non-fatal probe).
 std::unique_ptr<Explainer> MakeExplainer(const std::string& name);
+
+/// Instantiates (`name`, `backend`), falling back to (`name`, "portable")
+/// when the backend has no specialized registration for this method.
+/// CHECK-fails on unknown method names and on backend strings that are not
+/// known backend names (KnownExplainerBackend is the non-fatal probe).
+std::unique_ptr<Explainer> MakeExplainer(const std::string& name,
+                                         const std::string& backend);
 
 /// One-shot convenience: MakeExplainer(method)->Explain(...). Callers
 /// explaining many instances should hold the Explainer (or use

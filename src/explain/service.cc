@@ -6,6 +6,7 @@
 
 #include "core/engine.h"
 #include "io/serialize.h"
+#include "tensor/gemm.h"
 #include "util/affinity.h"
 #include "util/parallel.h"
 
@@ -42,6 +43,7 @@ size_t ExplainService::CacheKeyHash::operator()(const CacheKey& k) const {
   uint64_t h = kFnvOffset;
   h = HashBytes(k.model_id.data(), k.model_id.size(), h);
   h = HashBytes(k.method.data(), k.method.size(), h);
+  h = HashBytes(k.backend.data(), k.backend.size(), h);
   h = HashBytes(&k.series_hash, sizeof k.series_hash, h);
   h = HashBytes(&k.options_digest, sizeof k.options_digest, h);
   return static_cast<size_t>(h);
@@ -264,14 +266,37 @@ void ExplainService::SubmitAsync(ExplainRequest request, CompletionQueue* cq,
 void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
   DCAM_CHECK_EQ(request.series.rank(), 2)
       << "request series must be a (D, n) tensor";
+  // Resolve the backend on the submitting thread: a misspelled backend is a
+  // programming error and must not take a scheduler down. A known backend
+  // with no specialization for this method computes the same bits as
+  // portable, so it resolves to (and caches/dedupes as) "portable".
+  DCAM_CHECK(request.backend.empty() ||
+             KnownExplainerBackend(request.backend))
+      << "unknown backend \"" << request.backend
+      << "\" in ExplainRequest (expected \"portable\", \"avx2\", \"bf16\", "
+         "or a registered backend; probe with KnownExplainerBackend)";
+  const std::string resolved =
+      !request.backend.empty() &&
+              HasExplainerBackend(request.method, request.backend)
+          ? request.backend
+          : std::string("portable");
+  if (resolved == "bf16") {
+    // The bf16 dcam path coalesces through the same ComputeMany groups as
+    // float32 requests, so the precision rides in the per-request options
+    // (folded before the digest below — the cache must key on what is
+    // actually computed).
+    request.options.dcam.precision = gemm::Precision::kBf16;
+  }
   Explainer* proto;
   {
+    const std::pair<std::string, std::string> proto_key{request.method,
+                                                        resolved};
     std::lock_guard<std::mutex> lock(prototypes_mu_);
-    auto it = prototypes_.find(request.method);
+    auto it = prototypes_.find(proto_key);
     if (it == prototypes_.end()) {
       // CHECK-fails on unknown method names, on the submitting thread.
       it = prototypes_
-               .emplace(request.method, MakeExplainer(request.method))
+               .emplace(proto_key, MakeExplainer(request.method, resolved))
                .first;
     }
     proto = it->second.get();
@@ -316,6 +341,7 @@ void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
   p.cacheable = p.dedupable && config_.cache_capacity > 0;
   p.key.model_id = p.request.model_id;
   p.key.method = p.request.method;
+  p.key.backend = resolved;
   p.key.series_hash = HashTensor(p.request.series);
   p.key.options_digest =
       proto->OptionsDigest(p.request.class_idx, p.request.options);
@@ -575,11 +601,13 @@ void ExplainService::SchedulerLoop(int shard_idx) {
 
 Explainer* ExplainService::ExplainerFor(Shard* shard,
                                         const std::string& method,
+                                        const std::string& backend,
                                         models::Model* model) {
-  auto key = std::make_pair(method, model);
+  auto key = std::make_tuple(method, backend, model);
   auto it = shard->workers.find(key);
   if (it == shard->workers.end()) {
-    it = shard->workers.emplace(std::move(key), MakeExplainer(method)).first;
+    it = shard->workers.emplace(std::move(key), MakeExplainer(method, backend))
+             .first;
   }
   return it->second.get();
 }
@@ -777,7 +805,7 @@ void ExplainService::Process(
   for (Pending* p : singles) {
     models::Model* model = models.at(p->request.model_id);
     const ExplanationResult result =
-        ExplainerFor(shard, p->request.method, model)
+        ExplainerFor(shard, p->request.method, p->key.backend, model)
             ->Explain(model, p->request.series, p->request.class_idx,
                       p->request.options);
     complete(p, result);

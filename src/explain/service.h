@@ -130,7 +130,14 @@ inline constexpr int kNumPriorities = 3;
 struct ExplainRequest {
   std::string model_id;  // as passed to RegisterModel
   std::string method;    // registry name, e.g. "dcam"
-  Tensor series;         // (D, n)
+  /// Requested kernel backend ("portable", "avx2", "bf16", or an externally
+  /// registered name); empty means "portable". Submission resolves it
+  /// against the (method, backend) registry: a known backend with no
+  /// specialized registration for this method falls back to "portable"
+  /// (same computation, same cache key), while a name that is not a known
+  /// backend at all CHECK-fails on the submitting thread.
+  std::string backend;
+  Tensor series;  // (D, n)
   int class_idx = 0;
   ExplainOptions options;
   Priority priority = Priority::kNormal;
@@ -303,13 +310,14 @@ class ExplainService {
   struct CacheKey {
     std::string model_id;
     std::string method;
+    std::string backend;  // resolved: "portable" unless a specialization ran
     uint64_t series_hash = 0;
     uint64_t options_digest = 0;  // includes class_idx
 
     bool operator==(const CacheKey& o) const {
       return series_hash == o.series_hash &&
              options_digest == o.options_digest && model_id == o.model_id &&
-             method == o.method;
+             method == o.method && backend == o.backend;
     }
   };
   struct CacheKeyHash {
@@ -357,8 +365,8 @@ class ExplainService {
   };
 
   // One scheduler shard: a queue slice (guarded by the service mutex) plus
-  // scheduler-thread-only working state — per-(method, model) explainers and
-  // per-model engines whose scratch persists across requests.
+  // scheduler-thread-only working state — per-(method, backend, model)
+  // explainers and per-model engines whose scratch persists across requests.
   struct Shard {
     /// Priority-ordered queue: one FIFO vector per Priority class, drained
     /// high -> normal -> batch each scheduler round (guarded by mu_).
@@ -366,7 +374,8 @@ class ExplainService {
     uint64_t in_flight = 0;      // drained, not yet fulfilled (guarded by mu_)
     std::condition_variable cv;  // this shard's scheduler wake-up (on mu_):
                                  // Submit wakes only the shard it enqueued on
-    std::map<std::pair<std::string, models::Model*>, std::unique_ptr<Explainer>>
+    std::map<std::tuple<std::string, std::string, models::Model*>,
+             std::unique_ptr<Explainer>>
         workers;
     std::unordered_map<models::Model*, std::unique_ptr<core::DcamEngine>>
         engines;
@@ -387,7 +396,7 @@ class ExplainService {
   /// Re-copies weights into this shard's clones of models flagged dirty.
   void SyncDirtyReplicas(int shard_idx);
   Explainer* ExplainerFor(Shard* shard, const std::string& method,
-                          models::Model* model);
+                          const std::string& backend, models::Model* model);
   /// Shared Submit/SubmitAsync tail: validation, admission, routing,
   /// enqueue. `p` arrives with its delivery sink already attached.
   void SubmitInternal(ExplainRequest request, Pending p);
@@ -437,11 +446,13 @@ class ExplainService {
   std::mutex cache_mu_;
   LruCache<CacheKey, CacheEntry, CacheKeyHash> cache_;
 
-  // One digest/Supports prototype per method (used by Submit on client
-  // threads — OptionsDigest is const and stateless, so concurrent use is
-  // safe), plus memoized Supports verdicts: the dCAM probe builds a
+  // One digest/Supports prototype per (method, resolved backend) — used by
+  // Submit on client threads; OptionsDigest is const and stateless, so
+  // concurrent use is safe. Supports verdicts are memoized per method only
+  // (backend variants share Supports): the dCAM probe builds a
   // (1, D, D, n) cube, which must not run per Submit.
-  std::unordered_map<std::string, std::unique_ptr<Explainer>> prototypes_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Explainer>>
+      prototypes_;
   using SupportsKey = std::tuple<std::string, models::Model*, int64_t, int64_t>;
   std::map<SupportsKey, bool> supports_;
   std::mutex prototypes_mu_;  // guards prototypes_ and supports_

@@ -5,6 +5,7 @@
 
 #include "util/arena.h"
 #include "util/check.h"
+#include "util/cpu.h"
 #include "util/parallel.h"
 
 namespace dcam {
@@ -151,6 +152,48 @@ void MicroKernel(int64_t kc, const float* pa, const float* pb, float* c,
   WriteTile(tile, c, ldc, rows, cols, beta);
 }
 
+// m-remainder edge variant: the row count is a compile-time constant, so a
+// thin tail (dCAM's 8-output-channel conv GEMMs leave a 2-row tail every
+// kMc block) runs ROWS rank-1 update rows instead of always paying the full
+// kMr. Per-row arithmetic is the exact expression sequence of MicroKernel —
+// rows accumulate independently, so the surviving rows are bit-identical to
+// what the full kernel would have written.
+template <int ROWS>
+void MicroKernelEdge(int64_t kc, const float* pa, const float* pb, float* c,
+                     int64_t ldc, int64_t rows, int64_t cols, float beta) {
+  (void)rows;  // == ROWS by construction of the dispatch table
+#if defined(DCAM_GEMM_VECTOR_EXT)
+  v4f acc[ROWS][2] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMr;
+    const v4f b0 = LoadV4(pb + p * kNr);
+    const v4f b1 = LoadV4(pb + p * kNr + 4);
+    for (int64_t i = 0; i < ROWS; ++i) {
+      const float av = ap[i];
+      const v4f a = {av, av, av, av};
+      acc[i][0] += a * b0;
+      acc[i][1] += a * b1;
+    }
+  }
+  float tile[ROWS * kNr];
+  for (int64_t i = 0; i < ROWS; ++i) {
+    __builtin_memcpy(tile + i * kNr, &acc[i][0], sizeof(v4f));
+    __builtin_memcpy(tile + i * kNr + 4, &acc[i][1], sizeof(v4f));
+  }
+#else
+  float tile[ROWS * kNr] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMr;
+    const float* bp = pb + p * kNr;
+    for (int64_t i = 0; i < ROWS; ++i) {
+      const float av = ap[i];
+      for (int64_t j = 0; j < kNr; ++j) tile[i * kNr + j] += av * bp[j];
+    }
+  }
+#endif
+  WriteTile(tile, c, ldc, ROWS, cols, beta);
+}
+
 #if defined(DCAM_GEMM_VECTOR_EXT) && defined(__x86_64__)
 #define DCAM_GEMM_X86_DISPATCH 1
 
@@ -195,12 +238,100 @@ __attribute__((target("avx2,fma"))) void MicroKernel6x16Avx2(
   }
 }
 
-bool HasAvx2Fma() {
-  static const bool ok =
-      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-  return ok;
+// m-remainder edge variant of the 16-wide kernel (see MicroKernelEdge for
+// the contract): ROWS compile-time rows, bit-identical per surviving row.
+template <int ROWS>
+__attribute__((target("avx2,fma"))) void MicroKernelEdge6x16Avx2(
+    int64_t kc, const float* pa, const float* pb0, const float* pb1, float* c,
+    int64_t ldc, int64_t rows, float beta) {
+  (void)rows;  // == ROWS by construction of the dispatch table
+  typedef float v8f __attribute__((vector_size(32)));
+  v8f acc[ROWS][2] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMr;
+    v8f b0, b1;
+    __builtin_memcpy(&b0, pb0 + p * kNr, sizeof(v8f));
+    __builtin_memcpy(&b1, pb1 + p * kNr, sizeof(v8f));
+    for (int64_t i = 0; i < ROWS; ++i) {
+      const float av = ap[i];
+      const v8f a = {av, av, av, av, av, av, av, av};
+      acc[i][0] += a * b0;
+      acc[i][1] += a * b1;
+    }
+  }
+  float tile[ROWS][16];
+  for (int64_t i = 0; i < ROWS; ++i) {
+    __builtin_memcpy(&tile[i][0], &acc[i][0], sizeof(v8f));
+    __builtin_memcpy(&tile[i][8], &acc[i][1], sizeof(v8f));
+  }
+  if (beta == 0.0f) {
+    for (int64_t i = 0; i < ROWS; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < 16; ++j) crow[j] = tile[i][j];
+    }
+  } else {
+    for (int64_t i = 0; i < ROWS; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < 16; ++j) {
+        crow[j] = beta * crow[j] + tile[i][j];
+      }
+    }
+  }
 }
 #endif  // DCAM_GEMM_X86_DISPATCH
+
+// The per-backend microkernel dispatch table, selected once per process by
+// util/cpu's ActiveKernelBackend(). full8 runs complete kMr-row tiles over
+// one packed-B panel; edge8[r] (r in [1, kMr)) is its r-row specialization
+// for the block's row tail. full16/edge16 are the paired-panel 16-column
+// kernels, null when the backend has no wide lane. The avx2 set keeps the
+// PORTABLE 8-column kernels for remainder columns — exactly what the
+// pre-dispatch code did, which keeps default float32 results bit-identical.
+using Kernel8Fn = void (*)(int64_t kc, const float* pa, const float* pb,
+                           float* c, int64_t ldc, int64_t rows, int64_t cols,
+                           float beta);
+using Kernel16Fn = void (*)(int64_t kc, const float* pa, const float* pb0,
+                            const float* pb1, float* c, int64_t ldc,
+                            int64_t rows, float beta);
+
+struct KernelSet {
+  Kernel8Fn full8;
+  Kernel8Fn edge8[kMr];  // indexed by rows; [0] never consulted
+  Kernel16Fn full16;
+  Kernel16Fn edge16[kMr];
+};
+
+constexpr KernelSet kPortableKernels = {
+    MicroKernel,
+    {nullptr, MicroKernelEdge<1>, MicroKernelEdge<2>, MicroKernelEdge<3>,
+     MicroKernelEdge<4>, MicroKernelEdge<5>},
+    nullptr,
+    {nullptr, nullptr, nullptr, nullptr, nullptr, nullptr},
+};
+
+#if defined(DCAM_GEMM_X86_DISPATCH)
+constexpr KernelSet kAvx2Kernels = {
+    MicroKernel,
+    {nullptr, MicroKernelEdge<1>, MicroKernelEdge<2>, MicroKernelEdge<3>,
+     MicroKernelEdge<4>, MicroKernelEdge<5>},
+    MicroKernel6x16Avx2,
+    {nullptr, MicroKernelEdge6x16Avx2<1>, MicroKernelEdge6x16Avx2<2>,
+     MicroKernelEdge6x16Avx2<3>, MicroKernelEdge6x16Avx2<4>,
+     MicroKernelEdge6x16Avx2<5>},
+};
+#endif
+
+const KernelSet& ActiveKernels() {
+  static const KernelSet* const kernels = [] {
+#if defined(DCAM_GEMM_X86_DISPATCH)
+    if (ActiveKernelBackend() == KernelBackend::kAvx2) return &kAvx2Kernels;
+#else
+    (void)ActiveKernelBackend();  // still resolves + logs the choice once
+#endif
+    return &kPortableKernels;
+  }();
+  return *kernels;
+}
 
 void ScaleC(int64_t m, int64_t n, float beta, float* c, int64_t ldc) {
   for (int64_t i = 0; i < m; ++i) {
@@ -250,6 +381,7 @@ void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
     return;
   }
 
+  const KernelSet& ks = ActiveKernels();
   const int64_t iblocks = (m + kMc - 1) / kMc;
   const int64_t jblocks = (n + kNc - 1) / kNc;
   // Morsel grain over the C-block grid: a chunk is a contiguous run of
@@ -286,27 +418,28 @@ void Sgemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
         }
         PackB(b, ldb, trans_b, pc, j0, kc, nc, pack_b);
         int64_t jr = 0;
-#if defined(DCAM_GEMM_X86_DISPATCH)
-        if (HasAvx2Fma()) {
+        if (ks.full16 != nullptr) {
           for (; jr + 2 * kNr <= nc; jr += 2 * kNr) {
             const float* pb0 = pack_b + (jr / kNr) * kNr * kc;
             const float* pb1 = pb0 + kNr * kc;
             for (int64_t ir = 0; ir < mc; ir += kMr) {
               const float* pa = pack_a + (ir / kMr) * kMr * kc;
-              MicroKernel6x16Avx2(kc, pa, pb0, pb1,
-                                  c + (i0 + ir) * ldc + j0 + jr, ldc,
-                                  std::min(kMr, mc - ir), beta_eff);
+              const int64_t rows = std::min(kMr, mc - ir);
+              const Kernel16Fn k16 =
+                  rows == kMr ? ks.full16 : ks.edge16[rows];
+              k16(kc, pa, pb0, pb1, c + (i0 + ir) * ldc + j0 + jr, ldc, rows,
+                  beta_eff);
             }
           }
         }
-#endif
         for (; jr < nc; jr += kNr) {
           const float* pb = pack_b + (jr / kNr) * kNr * kc;
           for (int64_t ir = 0; ir < mc; ir += kMr) {
             const float* pa = pack_a + (ir / kMr) * kMr * kc;
-            MicroKernel(kc, pa, pb, c + (i0 + ir) * ldc + j0 + jr, ldc,
-                        std::min(kMr, mc - ir), std::min(kNr, nc - jr),
-                        beta_eff);
+            const int64_t rows = std::min(kMr, mc - ir);
+            const Kernel8Fn k8 = rows == kMr ? ks.full8 : ks.edge8[rows];
+            k8(kc, pa, pb, c + (i0 + ir) * ldc + j0 + jr, ldc, rows,
+               std::min(kNr, nc - jr), beta_eff);
           }
         }
       }
@@ -394,6 +527,23 @@ void Col2Im1d(const float* col, int64_t C, int64_t L, int64_t K, int64_t P,
   Col2Im2d(col, C, /*H=*/1, /*W=*/L, /*KH=*/1, /*KW=*/K, /*PH=*/0, /*PW=*/P,
            in);
 }
+
+namespace {
+// Per-thread because requests of different precisions run concurrently on
+// different shard schedulers against the same model instance.
+thread_local Precision g_precision = Precision::kFloat32;
+}  // namespace
+
+Precision CurrentGemmPrecision() { return g_precision; }
+
+ScopedGemmPrecision::ScopedGemmPrecision(Precision precision)
+    : prev_(g_precision) {
+  g_precision = precision;
+}
+
+ScopedGemmPrecision::~ScopedGemmPrecision() { g_precision = prev_; }
+
+const char* BackendName() { return ActiveKernelBackendName(); }
 
 }  // namespace gemm
 }  // namespace dcam

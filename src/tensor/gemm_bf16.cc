@@ -1,0 +1,821 @@
+#include "tensor/gemm_bf16.h"
+
+#include <algorithm>
+
+#include "util/arena.h"
+#include "util/check.h"
+#include "util/cpu.h"
+#include "util/parallel.h"
+
+namespace dcam {
+namespace gemm {
+namespace {
+
+// Identical blocking to tensor/gemm.cc: the bf16 path is the same Goto/BLIS
+// decomposition with 16-bit B panels, so the float32 constants (sized for
+// L1/L2 residency of the packed panels) stay valid — the bf16 B block is
+// simply half the bytes.
+constexpr int64_t kMr = 6;
+constexpr int64_t kNr = 8;
+constexpr int64_t kMc = 96;
+constexpr int64_t kKc = 256;
+constexpr int64_t kNc = 256;
+constexpr int64_t kSmallFlops = 32 * 1024;
+
+inline float AtA(const float* a, int64_t lda, bool trans, int64_t i,
+                 int64_t p) {
+  return trans ? a[p * lda + i] : a[i * lda + p];
+}
+inline float AtB(const float* b, int64_t ldb, bool trans, int64_t p,
+                 int64_t j) {
+  return trans ? b[j * ldb + p] : b[p * ldb + j];
+}
+
+// Packs the (mc x kc) block of op(A) into kMr-row float32 panels with each
+// element rounded to its nearest bf16 value before the alpha scale — A
+// panels stay float32 (they are re-read kNc/kNr times per pack, so the
+// rounding, not the storage width, is what matters on this side).
+void PackABf16(const float* a, int64_t lda, bool trans, float alpha,
+               int64_t i0, int64_t p0, int64_t mc, int64_t kc, float* dst) {
+  for (int64_t ir = 0; ir < mc; ir += kMr) {
+    const int64_t rows = std::min(kMr, mc - ir);
+    float* panel = dst + (ir / kMr) * kMr * kc;
+    for (int64_t p = 0; p < kc; ++p) {
+      float* out = panel + p * kMr;
+      for (int64_t r = 0; r < rows; ++r) {
+        out[r] = alpha * Bf16Round(AtA(a, lda, trans, i0 + ir + r, p0 + p));
+      }
+      for (int64_t r = rows; r < kMr; ++r) out[r] = 0.0f;
+    }
+  }
+}
+
+// Packs the (kc x nc) block of op(B) from a float32 source into kNr-column
+// bf16 panels (zero padding is 0x0000 == +0.0 in bf16).
+void PackBBf16FromF32(const float* b, int64_t ldb, bool trans, int64_t p0,
+                      int64_t j0, int64_t kc, int64_t nc, uint16_t* dst) {
+  for (int64_t jr = 0; jr < nc; jr += kNr) {
+    const int64_t cols = std::min(kNr, nc - jr);
+    uint16_t* panel = dst + (jr / kNr) * kNr * kc;
+    for (int64_t p = 0; p < kc; ++p) {
+      uint16_t* out = panel + p * kNr;
+      for (int64_t c = 0; c < cols; ++c) {
+        out[c] = Bf16FromFloat(AtB(b, ldb, trans, p0 + p, j0 + jr + c));
+      }
+      for (int64_t c = cols; c < kNr; ++c) out[c] = 0;
+    }
+  }
+}
+
+// Same, from a source that is already row-major bf16 (never transposed):
+// full panels are straight 16-byte row copies.
+void PackBBf16FromU16(const uint16_t* b, int64_t ldb, int64_t p0, int64_t j0,
+                      int64_t kc, int64_t nc, uint16_t* dst) {
+  for (int64_t jr = 0; jr < nc; jr += kNr) {
+    const int64_t cols = std::min(kNr, nc - jr);
+    uint16_t* panel = dst + (jr / kNr) * kNr * kc;
+    if (cols == kNr) {
+      for (int64_t p = 0; p < kc; ++p) {
+        std::memcpy(panel + p * kNr, b + (p0 + p) * ldb + j0 + jr,
+                    kNr * sizeof(uint16_t));
+      }
+      continue;
+    }
+    for (int64_t p = 0; p < kc; ++p) {
+      uint16_t* out = panel + p * kNr;
+      const uint16_t* src = b + (p0 + p) * ldb + j0 + jr;
+      for (int64_t c = 0; c < cols; ++c) out[c] = src[c];
+      for (int64_t c = cols; c < kNr; ++c) out[c] = 0;
+    }
+  }
+}
+
+inline void WriteTile(const float* acc, float* c, int64_t ldc, int64_t rows,
+                      int64_t cols, float beta) {
+  if (beta == 0.0f) {
+    for (int64_t i = 0; i < rows; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < cols; ++j) crow[j] = acc[i * kNr + j];
+    }
+  } else {
+    for (int64_t i = 0; i < rows; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < cols; ++j) {
+        crow[j] = beta * crow[j] + acc[i * kNr + j];
+      }
+    }
+  }
+}
+
+#if defined(__GNUC__)
+#define DCAM_BF16_VECTOR_EXT 1
+typedef float v4f __attribute__((vector_size(16)));
+typedef uint16_t v4u16 __attribute__((vector_size(8)));
+typedef uint32_t v4u32 __attribute__((vector_size(16)));
+
+// Widens four packed bf16 words to float32 lanes: zero-extend to 32 bits,
+// shift into the high half, bitcast. Exact (bf16 is a float32 prefix).
+inline v4f WidenBf16V4(const uint16_t* p) {
+  v4u16 raw;
+  __builtin_memcpy(&raw, p, sizeof(raw));
+  const v4u32 wide = __builtin_convertvector(raw, v4u32) << 16;
+  v4f f;
+  __builtin_memcpy(&f, &wide, sizeof(f));
+  return f;
+}
+#endif
+
+// Portable widening microkernel: float32 A panel x bf16 B panel, float32
+// accumulators. Structure mirrors gemm.cc's MicroKernel.
+void Bf16MicroKernel(int64_t kc, const float* pa, const uint16_t* pb,
+                     float* c, int64_t ldc, int64_t rows, int64_t cols,
+                     float beta) {
+#if defined(DCAM_BF16_VECTOR_EXT)
+  v4f acc[kMr][2] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMr;
+    const v4f b0 = WidenBf16V4(pb + p * kNr);
+    const v4f b1 = WidenBf16V4(pb + p * kNr + 4);
+    for (int64_t i = 0; i < kMr; ++i) {
+      const float av = ap[i];
+      const v4f a = {av, av, av, av};
+      acc[i][0] += a * b0;
+      acc[i][1] += a * b1;
+    }
+  }
+  float tile[kMr * kNr];
+  for (int64_t i = 0; i < kMr; ++i) {
+    __builtin_memcpy(tile + i * kNr, &acc[i][0], sizeof(v4f));
+    __builtin_memcpy(tile + i * kNr + 4, &acc[i][1], sizeof(v4f));
+  }
+#else
+  float tile[kMr * kNr] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMr;
+    const uint16_t* bp = pb + p * kNr;
+    for (int64_t i = 0; i < kMr; ++i) {
+      const float av = ap[i];
+      for (int64_t j = 0; j < kNr; ++j) {
+        tile[i * kNr + j] += av * FloatFromBf16(bp[j]);
+      }
+    }
+  }
+#endif
+  WriteTile(tile, c, ldc, rows, cols, beta);
+}
+
+// m-remainder edge variant (see gemm.cc's MicroKernelEdge for the contract).
+template <int ROWS>
+void Bf16MicroKernelEdge(int64_t kc, const float* pa, const uint16_t* pb,
+                         float* c, int64_t ldc, int64_t rows, int64_t cols,
+                         float beta) {
+  (void)rows;
+#if defined(DCAM_BF16_VECTOR_EXT)
+  v4f acc[ROWS][2] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMr;
+    const v4f b0 = WidenBf16V4(pb + p * kNr);
+    const v4f b1 = WidenBf16V4(pb + p * kNr + 4);
+    for (int64_t i = 0; i < ROWS; ++i) {
+      const float av = ap[i];
+      const v4f a = {av, av, av, av};
+      acc[i][0] += a * b0;
+      acc[i][1] += a * b1;
+    }
+  }
+  float tile[ROWS * kNr];
+  for (int64_t i = 0; i < ROWS; ++i) {
+    __builtin_memcpy(tile + i * kNr, &acc[i][0], sizeof(v4f));
+    __builtin_memcpy(tile + i * kNr + 4, &acc[i][1], sizeof(v4f));
+  }
+#else
+  float tile[ROWS * kNr] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMr;
+    const uint16_t* bp = pb + p * kNr;
+    for (int64_t i = 0; i < ROWS; ++i) {
+      const float av = ap[i];
+      for (int64_t j = 0; j < kNr; ++j) {
+        tile[i * kNr + j] += av * FloatFromBf16(bp[j]);
+      }
+    }
+  }
+#endif
+  WriteTile(tile, c, ldc, ROWS, cols, beta);
+}
+
+#if defined(DCAM_BF16_VECTOR_EXT) && defined(__x86_64__)
+#define DCAM_BF16_X86_DISPATCH 1
+
+// 16-wide AVX2+FMA widening kernel over two adjacent full bf16 B panels:
+// one 128-bit load per panel per k step widens to eight float32 lanes (the
+// float32 kernel needs a 256-bit load for the same lanes — this halved
+// B-panel traffic is where the bf16 speedup comes from).
+__attribute__((target("avx2,fma"))) void Bf16MicroKernel6x16Avx2(
+    int64_t kc, const float* pa, const uint16_t* pb0, const uint16_t* pb1,
+    float* c, int64_t ldc, int64_t rows, float beta) {
+  typedef float v8f __attribute__((vector_size(32)));
+  typedef uint16_t v8u16 __attribute__((vector_size(16)));
+  typedef uint32_t v8u32 __attribute__((vector_size(32)));
+  v8f acc[kMr][2] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMr;
+    v8u16 r0, r1;
+    __builtin_memcpy(&r0, pb0 + p * kNr, sizeof(r0));
+    __builtin_memcpy(&r1, pb1 + p * kNr, sizeof(r1));
+    const v8u32 w0 = __builtin_convertvector(r0, v8u32) << 16;
+    const v8u32 w1 = __builtin_convertvector(r1, v8u32) << 16;
+    v8f b0, b1;
+    __builtin_memcpy(&b0, &w0, sizeof(b0));
+    __builtin_memcpy(&b1, &w1, sizeof(b1));
+    for (int64_t i = 0; i < kMr; ++i) {
+      const float av = ap[i];
+      const v8f a = {av, av, av, av, av, av, av, av};
+      acc[i][0] += a * b0;
+      acc[i][1] += a * b1;
+    }
+  }
+  float tile[kMr][16];
+  for (int64_t i = 0; i < kMr; ++i) {
+    __builtin_memcpy(&tile[i][0], &acc[i][0], sizeof(v8f));
+    __builtin_memcpy(&tile[i][8], &acc[i][1], sizeof(v8f));
+  }
+  if (beta == 0.0f) {
+    for (int64_t i = 0; i < rows; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < 16; ++j) crow[j] = tile[i][j];
+    }
+  } else {
+    for (int64_t i = 0; i < rows; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < 16; ++j) {
+        crow[j] = beta * crow[j] + tile[i][j];
+      }
+    }
+  }
+}
+
+template <int ROWS>
+__attribute__((target("avx2,fma"))) void Bf16MicroKernelEdge6x16Avx2(
+    int64_t kc, const float* pa, const uint16_t* pb0, const uint16_t* pb1,
+    float* c, int64_t ldc, int64_t rows, float beta) {
+  (void)rows;
+  typedef float v8f __attribute__((vector_size(32)));
+  typedef uint16_t v8u16 __attribute__((vector_size(16)));
+  typedef uint32_t v8u32 __attribute__((vector_size(32)));
+  v8f acc[ROWS][2] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* ap = pa + p * kMr;
+    v8u16 r0, r1;
+    __builtin_memcpy(&r0, pb0 + p * kNr, sizeof(r0));
+    __builtin_memcpy(&r1, pb1 + p * kNr, sizeof(r1));
+    const v8u32 w0 = __builtin_convertvector(r0, v8u32) << 16;
+    const v8u32 w1 = __builtin_convertvector(r1, v8u32) << 16;
+    v8f b0, b1;
+    __builtin_memcpy(&b0, &w0, sizeof(b0));
+    __builtin_memcpy(&b1, &w1, sizeof(b1));
+    for (int64_t i = 0; i < ROWS; ++i) {
+      const float av = ap[i];
+      const v8f a = {av, av, av, av, av, av, av, av};
+      acc[i][0] += a * b0;
+      acc[i][1] += a * b1;
+    }
+  }
+  float tile[ROWS][16];
+  for (int64_t i = 0; i < ROWS; ++i) {
+    __builtin_memcpy(&tile[i][0], &acc[i][0], sizeof(v8f));
+    __builtin_memcpy(&tile[i][8], &acc[i][1], sizeof(v8f));
+  }
+  if (beta == 0.0f) {
+    for (int64_t i = 0; i < ROWS; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < 16; ++j) crow[j] = tile[i][j];
+    }
+  } else {
+    for (int64_t i = 0; i < ROWS; ++i) {
+      float* crow = c + i * ldc;
+      for (int64_t j = 0; j < 16; ++j) {
+        crow[j] = beta * crow[j] + tile[i][j];
+      }
+    }
+  }
+}
+#endif  // DCAM_BF16_X86_DISPATCH
+
+// Dispatch table mirroring gemm.cc's KernelSet, selected by the same
+// process-wide backend (DCAM_FORCE_BACKEND=portable forces the scalar/
+// vector-extension widening kernels here too).
+using Bf16Kernel8Fn = void (*)(int64_t kc, const float* pa,
+                               const uint16_t* pb, float* c, int64_t ldc,
+                               int64_t rows, int64_t cols, float beta);
+using Bf16Kernel16Fn = void (*)(int64_t kc, const float* pa,
+                                const uint16_t* pb0, const uint16_t* pb1,
+                                float* c, int64_t ldc, int64_t rows,
+                                float beta);
+
+struct Bf16KernelSet {
+  Bf16Kernel8Fn full8;
+  Bf16Kernel8Fn edge8[kMr];
+  Bf16Kernel16Fn full16;
+  Bf16Kernel16Fn edge16[kMr];
+};
+
+constexpr Bf16KernelSet kPortableBf16Kernels = {
+    Bf16MicroKernel,
+    {nullptr, Bf16MicroKernelEdge<1>, Bf16MicroKernelEdge<2>,
+     Bf16MicroKernelEdge<3>, Bf16MicroKernelEdge<4>, Bf16MicroKernelEdge<5>},
+    nullptr,
+    {nullptr, nullptr, nullptr, nullptr, nullptr, nullptr},
+};
+
+#if defined(DCAM_BF16_X86_DISPATCH)
+constexpr Bf16KernelSet kAvx2Bf16Kernels = {
+    Bf16MicroKernel,
+    {nullptr, Bf16MicroKernelEdge<1>, Bf16MicroKernelEdge<2>,
+     Bf16MicroKernelEdge<3>, Bf16MicroKernelEdge<4>, Bf16MicroKernelEdge<5>},
+    Bf16MicroKernel6x16Avx2,
+    {nullptr, Bf16MicroKernelEdge6x16Avx2<1>, Bf16MicroKernelEdge6x16Avx2<2>,
+     Bf16MicroKernelEdge6x16Avx2<3>, Bf16MicroKernelEdge6x16Avx2<4>,
+     Bf16MicroKernelEdge6x16Avx2<5>},
+};
+#endif
+
+const Bf16KernelSet& ActiveBf16Kernels() {
+  static const Bf16KernelSet* const kernels = [] {
+#if defined(DCAM_BF16_X86_DISPATCH)
+    if (ActiveKernelBackend() == KernelBackend::kAvx2) {
+      return &kAvx2Bf16Kernels;
+    }
+#else
+    (void)ActiveKernelBackend();
+#endif
+    return &kPortableBf16Kernels;
+  }();
+  return *kernels;
+}
+
+// ---- float32 -> bf16 span conversion ---------------------------------------
+//
+// Every im2col column of a reduced-precision forward funnels through this,
+// so it has to stay a small fraction of the GEMM cost: the scalar RNE round
+// per element is what made the first bf16 cut *slower* than float32. The
+// AVX2 form rounds eight lanes per step with a branchless NaN blend and is
+// bit-identical to Bf16FromFloat on every input (NaN quieting included).
+
+void ConvertSpanPortable(const float* src, uint16_t* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = Bf16FromFloat(src[i]);
+}
+
+#if defined(DCAM_BF16_X86_DISPATCH)
+__attribute__((target("avx2"))) void ConvertSpanAvx2(const float* src,
+                                                     uint16_t* dst,
+                                                     int64_t n) {
+  typedef float v8f __attribute__((vector_size(32)));
+  typedef uint32_t v8u32 __attribute__((vector_size(32)));
+  typedef int32_t v8i32 __attribute__((vector_size(32)));
+  typedef uint16_t v8u16 __attribute__((vector_size(16)));
+  const auto round8 = [](const float* s) {
+    v8f x;
+    std::memcpy(&x, s, sizeof(x));
+    v8u32 u;
+    std::memcpy(&u, &x, sizeof(u));
+    const v8u32 rounded = u + 0x7FFFu + ((u >> 16) & 1u);
+    const v8u32 quieted = u | 0x00400000u;
+    const v8i32 unordered = x != x;  // all-ones lanes exactly where x is NaN
+    v8u32 nan_mask;
+    std::memcpy(&nan_mask, &unordered, sizeof(nan_mask));
+    const v8u32 sel = (nan_mask & quieted) | (~nan_mask & rounded);
+    return __builtin_convertvector(sel >> 16, v8u16);
+  };
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const v8u16 lo = round8(src + i);
+    const v8u16 hi = round8(src + i + 8);
+    std::memcpy(dst + i, &lo, sizeof(lo));
+    std::memcpy(dst + i + 8, &hi, sizeof(hi));
+  }
+  for (; i + 8 <= n; i += 8) {
+    const v8u16 packed = round8(src + i);
+    std::memcpy(dst + i, &packed, sizeof(packed));
+  }
+  for (; i < n; ++i) dst[i] = Bf16FromFloat(src[i]);
+}
+#endif  // DCAM_BF16_X86_DISPATCH
+
+using ConvertSpanFn = void (*)(const float*, uint16_t*, int64_t);
+
+ConvertSpanFn ActiveConvertSpan() {
+  static const ConvertSpanFn fn = [] {
+#if defined(DCAM_BF16_X86_DISPATCH)
+    if (ActiveKernelBackend() == KernelBackend::kAvx2) {
+      return static_cast<ConvertSpanFn>(ConvertSpanAvx2);
+    }
+#endif
+    return static_cast<ConvertSpanFn>(ConvertSpanPortable);
+  }();
+  return fn;
+}
+
+// ---- thin fast path (m <= 8, AVX2 only) ------------------------------------
+//
+// The dCAM conv forwards are thin and wide: m = Cout (typically 8 filters)
+// against n = Hout*Wout im2col columns in the thousands. The generic blocking
+// pays a full B pack pass and then streams the packed slab once per kMr-row
+// panel — twice for m in (kMr, 2*kMr]. With m <= 8 an entire 8-column C chunk
+// fits in eight ymm accumulators, so this path holds C in registers across
+// the whole k loop and reads each bf16 B row exactly once, directly from the
+// row-major source: no pack pass, no second stream. A is pre-packed once as a
+// k x m column panel (alpha and bf16 rounding applied) and stays L1-resident.
+// Accumulation is a straight p = 0..k-1 sum for every element, identical for
+// the float32-source and bf16-source loaders, so SgemmBf16 and
+// SgemmBf16PackedB stay bitwise-equal on this path too.
+
+constexpr int64_t kThinMaxRows = 8;
+// Bounds the k x m packed-A panel (and the B cache-line span each column
+// chunk walks) so the panel stays cache-resident: 8 * 2048 * 4B = 64 KiB.
+constexpr int64_t kThinMaxK = 2048;
+
+bool UseThinBf16(int64_t m, int64_t n, int64_t k) {
+#if defined(DCAM_BF16_X86_DISPATCH)
+  return ActiveKernelBackend() == KernelBackend::kAvx2 &&
+         m <= kThinMaxRows && n >= kNr && k <= kThinMaxK;
+#else
+  (void)m;
+  (void)n;
+  (void)k;
+  return false;
+#endif
+}
+
+// A packed as k x m, row p holding alpha * Bf16Round(op(A)(0..m, p)).
+void PackAThinBf16(const float* a, int64_t lda, bool trans, float alpha,
+                   int64_t m, int64_t k, float* dst) {
+  for (int64_t p = 0; p < k; ++p) {
+    float* out = dst + p * m;
+    for (int64_t i = 0; i < m; ++i) {
+      out[i] = alpha * Bf16Round(AtA(a, lda, trans, i, p));
+    }
+  }
+}
+
+// Scalar tail for the final n % kNr columns; `b_at(p, j)` is the widened
+// bf16 value of B(p, jtail + j), matching the vector kernels' order.
+template <typename BAt>
+void Bf16ThinTail(int64_t m, int64_t k, const float* pa, float* c,
+                  int64_t ldc, int64_t cols, float beta, const BAt& b_at) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    for (int64_t j = 0; j < cols; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += pa[p * m + i] * b_at(p, j);
+      crow[j] = acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+#if defined(DCAM_BF16_X86_DISPATCH)
+// One 8-column chunk, M <= 8 rows, B read in place (row-major bf16, ldb).
+template <int M>
+__attribute__((target("avx2,fma"))) void Bf16ThinKernelU16(
+    int64_t k, const float* pa, const uint16_t* b, int64_t ldb, float* c,
+    int64_t ldc, float beta) {
+  typedef float v8f __attribute__((vector_size(32)));
+  typedef uint16_t v8u16 __attribute__((vector_size(16)));
+  typedef uint32_t v8u32 __attribute__((vector_size(32)));
+  v8f acc[M] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    v8u16 raw;
+    std::memcpy(&raw, b + p * ldb, sizeof(raw));
+    const v8u32 wide = __builtin_convertvector(raw, v8u32) << 16;
+    v8f bv;
+    std::memcpy(&bv, &wide, sizeof(bv));
+    const float* ap = pa + p * M;
+    for (int i = 0; i < M; ++i) {
+      const float av = ap[i];
+      const v8f a = {av, av, av, av, av, av, av, av};
+      acc[i] += a * bv;
+    }
+  }
+  for (int i = 0; i < M; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::memcpy(crow, &acc[i], sizeof(v8f));
+    } else {
+      v8f prev;
+      std::memcpy(&prev, crow, sizeof(prev));
+      const v8f out = acc[i] + prev * beta;
+      std::memcpy(crow, &out, sizeof(out));
+    }
+  }
+}
+
+// Same chunk from a float32 B row: eight lanes are rounded to bf16
+// in-register (bit-identical to Bf16FromFloat, NaN quieting included) and
+// widened back, so the result matches the bf16-source kernel exactly.
+template <int M>
+__attribute__((target("avx2,fma"))) void Bf16ThinKernelF32(
+    int64_t k, const float* pa, const float* b, int64_t ldb, float* c,
+    int64_t ldc, float beta) {
+  typedef float v8f __attribute__((vector_size(32)));
+  typedef uint32_t v8u32 __attribute__((vector_size(32)));
+  typedef int32_t v8i32 __attribute__((vector_size(32)));
+  v8f acc[M] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    v8f x;
+    std::memcpy(&x, b + p * ldb, sizeof(x));
+    v8u32 u;
+    std::memcpy(&u, &x, sizeof(u));
+    const v8u32 rounded = u + 0x7FFFu + ((u >> 16) & 1u);
+    const v8u32 quieted = u | 0x00400000u;
+    const v8i32 unordered = x != x;
+    v8u32 nan_mask;
+    std::memcpy(&nan_mask, &unordered, sizeof(nan_mask));
+    const v8u32 wide =
+        ((nan_mask & quieted) | (~nan_mask & rounded)) & 0xFFFF0000u;
+    v8f bv;
+    std::memcpy(&bv, &wide, sizeof(bv));
+    const float* ap = pa + p * M;
+    for (int i = 0; i < M; ++i) {
+      const float av = ap[i];
+      const v8f a = {av, av, av, av, av, av, av, av};
+      acc[i] += a * bv;
+    }
+  }
+  for (int i = 0; i < M; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::memcpy(crow, &acc[i], sizeof(v8f));
+    } else {
+      v8f prev;
+      std::memcpy(&prev, crow, sizeof(prev));
+      const v8f out = acc[i] + prev * beta;
+      std::memcpy(crow, &out, sizeof(out));
+    }
+  }
+}
+
+using Bf16ThinU16Fn = void (*)(int64_t, const float*, const uint16_t*,
+                               int64_t, float*, int64_t, float);
+using Bf16ThinF32Fn = void (*)(int64_t, const float*, const float*, int64_t,
+                               float*, int64_t, float);
+
+constexpr Bf16ThinU16Fn kThinU16[kThinMaxRows + 1] = {
+    nullptr,
+    Bf16ThinKernelU16<1>, Bf16ThinKernelU16<2>, Bf16ThinKernelU16<3>,
+    Bf16ThinKernelU16<4>, Bf16ThinKernelU16<5>, Bf16ThinKernelU16<6>,
+    Bf16ThinKernelU16<7>, Bf16ThinKernelU16<8>,
+};
+constexpr Bf16ThinF32Fn kThinF32[kThinMaxRows + 1] = {
+    nullptr,
+    Bf16ThinKernelF32<1>, Bf16ThinKernelF32<2>, Bf16ThinKernelF32<3>,
+    Bf16ThinKernelF32<4>, Bf16ThinKernelF32<5>, Bf16ThinKernelF32<6>,
+    Bf16ThinKernelF32<7>, Bf16ThinKernelF32<8>,
+};
+
+// Shared driver: packs A once on the calling thread, then morsels the
+// 8-column chunks across the pool (each chunk is an independent C stripe).
+template <typename KernelFn, typename BPtr, typename BAt>
+void ThinBf16(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+              int64_t lda, bool trans_a, float beta, float* c, int64_t ldc,
+              KernelFn kernel, BPtr b, int64_t ldb, const BAt& b_at) {
+  Arena& arena = ThisThreadArena();
+  ArenaScope scope(&arena);
+  float* pa = arena.AllocateFloats(static_cast<size_t>(k * m));
+  PackAThinBf16(a, lda, trans_a, alpha, m, k, pa);
+  const int64_t chunks = n / kNr;
+  const int64_t grain =
+      std::max<int64_t>(1, GlobalPool().AdaptiveGrainFor(chunks));
+  ParallelMorsel(0, chunks, grain,
+                 [&](int /*worker*/, int64_t lo, int64_t hi) {
+                   for (int64_t t = lo; t < hi; ++t) {
+                     const int64_t j0 = t * kNr;
+                     kernel(k, pa, b + j0, ldb, c + j0, ldc, beta);
+                   }
+                 });
+  const int64_t jtail = chunks * kNr;
+  if (jtail < n) {
+    Bf16ThinTail(m, k, pa, c + jtail, ldc, n - jtail, beta,
+                 [&](int64_t p, int64_t j) { return b_at(p, jtail + j); });
+  }
+}
+#endif  // DCAM_BF16_X86_DISPATCH
+
+void ScaleC(int64_t m, int64_t n, float beta, float* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      std::memset(crow, 0, static_cast<size_t>(n) * sizeof(float));
+    } else if (beta != 1.0f) {
+      for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+}
+
+// Unblocked fallback; `b_at(p, j)` yields the already-widened bf16 value of
+// op(B)(p, j) so the float32-source and bf16-source entry points stay
+// bit-identical (same values, same accumulation order).
+template <typename BAt>
+void SmallBf16(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+               int64_t lda, bool trans_a, float beta, float* c, int64_t ldc,
+               const BAt& b_at) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += alpha * Bf16Round(AtA(a, lda, trans_a, i, p)) * b_at(p, j);
+      }
+      crow[j] = acc + (beta == 0.0f ? 0.0f : beta * crow[j]);
+    }
+  }
+}
+
+// Shared blocked driver; `pack_b_fn(p0, j0, kc, nc, dst)` fills the bf16
+// B panels for the current (k-slab, column-block).
+template <typename PackBFn>
+void BlockedBf16(int64_t m, int64_t n, int64_t k, float alpha, const float* a,
+                 int64_t lda, bool trans_a, float beta, float* c, int64_t ldc,
+                 const PackBFn& pack_b_fn) {
+  const Bf16KernelSet& ks = ActiveBf16Kernels();
+  const int64_t iblocks = (m + kMc - 1) / kMc;
+  const int64_t jblocks = (n + kNc - 1) / kNc;
+  const int64_t grid = iblocks * jblocks;
+  const int64_t grain = std::min(
+      jblocks, std::max<int64_t>(2, GlobalPool().AdaptiveGrainFor(grid)));
+  for (int64_t pc = 0; pc < k; pc += kKc) {
+    const int64_t kc = std::min(kKc, k - pc);
+    const float beta_eff = pc == 0 ? beta : 1.0f;
+    ParallelMorsel(0, grid, grain, [&](int /*worker*/, int64_t lo,
+                                       int64_t hi) {
+      Arena& arena = ThisThreadArena();
+      ArenaScope scope(&arena);
+      float* pack_a = arena.AllocateFloats(static_cast<size_t>(kMc * kKc));
+      uint16_t* pack_b = static_cast<uint16_t*>(
+          arena.Allocate(static_cast<size_t>(kKc * kNc) * sizeof(uint16_t)));
+      int64_t packed_i0 = -1;
+      for (int64_t t = lo; t < hi; ++t) {
+        const int64_t i0 = (t / jblocks) * kMc;
+        const int64_t j0 = (t % jblocks) * kNc;
+        const int64_t mc = std::min(kMc, m - i0);
+        const int64_t nc = std::min(kNc, n - j0);
+        if (i0 != packed_i0) {
+          PackABf16(a, lda, trans_a, alpha, i0, pc, mc, kc, pack_a);
+          packed_i0 = i0;
+        }
+        pack_b_fn(pc, j0, kc, nc, pack_b);
+        int64_t jr = 0;
+        if (ks.full16 != nullptr) {
+          for (; jr + 2 * kNr <= nc; jr += 2 * kNr) {
+            const uint16_t* pb0 = pack_b + (jr / kNr) * kNr * kc;
+            const uint16_t* pb1 = pb0 + kNr * kc;
+            for (int64_t ir = 0; ir < mc; ir += kMr) {
+              const float* pa = pack_a + (ir / kMr) * kMr * kc;
+              const int64_t rows = std::min(kMr, mc - ir);
+              const Bf16Kernel16Fn k16 =
+                  rows == kMr ? ks.full16 : ks.edge16[rows];
+              k16(kc, pa, pb0, pb1, c + (i0 + ir) * ldc + j0 + jr, ldc, rows,
+                  beta_eff);
+            }
+          }
+        }
+        for (; jr < nc; jr += kNr) {
+          const uint16_t* pb = pack_b + (jr / kNr) * kNr * kc;
+          for (int64_t ir = 0; ir < mc; ir += kMr) {
+            const float* pa = pack_a + (ir / kMr) * kMr * kc;
+            const int64_t rows = std::min(kMr, mc - ir);
+            const Bf16Kernel8Fn k8 = rows == kMr ? ks.full8 : ks.edge8[rows];
+            k8(kc, pa, pb, c + (i0 + ir) * ldc + j0 + jr, ldc, rows,
+               std::min(kNr, nc - jr), beta_eff);
+          }
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void ConvertToBf16(const float* src, int64_t n, uint16_t* dst) {
+  ActiveConvertSpan()(src, dst, n);
+}
+
+void SgemmBf16(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               float alpha, const float* a, int64_t lda, const float* b,
+               int64_t ldb, float beta, float* c, int64_t ldc) {
+  DCAM_CHECK_GE(m, 0);
+  DCAM_CHECK_GE(n, 0);
+  DCAM_CHECK_GE(k, 0);
+  DCAM_CHECK_GE(lda, trans_a ? m : k);
+  DCAM_CHECK_GE(ldb, trans_b ? k : n);
+  DCAM_CHECK_GE(ldc, n);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    ScaleC(m, n, beta, c, ldc);
+    return;
+  }
+  if (m * n * k <= kSmallFlops) {
+    SmallBf16(m, n, k, alpha, a, lda, trans_a, beta, c, ldc,
+              [&](int64_t p, int64_t j) {
+                return Bf16Round(AtB(b, ldb, trans_b, p, j));
+              });
+    return;
+  }
+#if defined(DCAM_BF16_X86_DISPATCH)
+  if (!trans_b && UseThinBf16(m, n, k)) {
+    ThinBf16(m, n, k, alpha, a, lda, trans_a, beta, c, ldc, kThinF32[m], b,
+             ldb,
+             [&](int64_t p, int64_t j) { return Bf16Round(b[p * ldb + j]); });
+    return;
+  }
+#endif
+  BlockedBf16(m, n, k, alpha, a, lda, trans_a, beta, c, ldc,
+              [&](int64_t p0, int64_t j0, int64_t kc, int64_t nc,
+                  uint16_t* dst) {
+                PackBBf16FromF32(b, ldb, trans_b, p0, j0, kc, nc, dst);
+              });
+}
+
+void SgemmBf16PackedB(int64_t m, int64_t n, int64_t k, float alpha,
+                      const float* a, int64_t lda, const uint16_t* b,
+                      int64_t ldb, float beta, float* c, int64_t ldc) {
+  DCAM_CHECK_GE(m, 0);
+  DCAM_CHECK_GE(n, 0);
+  DCAM_CHECK_GE(k, 0);
+  DCAM_CHECK_GE(lda, k);
+  DCAM_CHECK_GE(ldb, n);
+  DCAM_CHECK_GE(ldc, n);
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    ScaleC(m, n, beta, c, ldc);
+    return;
+  }
+  if (m * n * k <= kSmallFlops) {
+    SmallBf16(m, n, k, alpha, a, lda, /*trans_a=*/false, beta, c, ldc,
+              [&](int64_t p, int64_t j) {
+                return FloatFromBf16(b[p * ldb + j]);
+              });
+    return;
+  }
+#if defined(DCAM_BF16_X86_DISPATCH)
+  if (UseThinBf16(m, n, k)) {
+    ThinBf16(m, n, k, alpha, a, lda, /*trans_a=*/false, beta, c, ldc,
+             kThinU16[m], b, ldb, [&](int64_t p, int64_t j) {
+               return FloatFromBf16(b[p * ldb + j]);
+             });
+    return;
+  }
+#endif
+  BlockedBf16(m, n, k, alpha, a, lda, /*trans_a=*/false, beta, c, ldc,
+              [&](int64_t p0, int64_t j0, int64_t kc, int64_t nc,
+                  uint16_t* dst) {
+                PackBBf16FromU16(b, ldb, p0, j0, kc, nc, dst);
+              });
+}
+
+void Im2Col2dBf16(const float* in, int64_t C, int64_t H, int64_t W,
+                  int64_t KH, int64_t KW, int64_t PH, int64_t PW,
+                  uint16_t* col) {
+  const int64_t Hout = H + 2 * PH - KH + 1;
+  const int64_t Wout = W + 2 * PW - KW + 1;
+  DCAM_CHECK_GT(Hout, 0);
+  DCAM_CHECK_GT(Wout, 0);
+  const ConvertSpanFn convert = ActiveConvertSpan();
+  for (int64_t ci = 0; ci < C; ++ci) {
+    const float* iplane = in + ci * H * W;
+    for (int64_t kh = 0; kh < KH; ++kh) {
+      const int64_t ylo = std::min(Hout, std::max<int64_t>(0, PH - kh));
+      const int64_t yhi = std::max(ylo, std::min<int64_t>(Hout, H + PH - kh));
+      for (int64_t kw = 0; kw < KW; ++kw) {
+        uint16_t* crow = col + ((ci * KH + kh) * KW + kw) * Hout * Wout;
+        const int64_t xlo = std::min(Wout, std::max<int64_t>(0, PW - kw));
+        const int64_t xhi =
+            std::max(xlo, std::min<int64_t>(Wout, W + PW - kw));
+        if (ylo > 0) {
+          std::memset(crow, 0,
+                      static_cast<size_t>(ylo * Wout) * sizeof(uint16_t));
+        }
+        for (int64_t y = ylo; y < yhi; ++y) {
+          uint16_t* dst = crow + y * Wout;
+          for (int64_t x = 0; x < xlo; ++x) dst[x] = 0;
+          const float* src = iplane + (y + kh - PH) * W + kw - PW;
+          convert(src + xlo, dst + xlo, xhi - xlo);
+          for (int64_t x = xhi; x < Wout; ++x) dst[x] = 0;
+        }
+        if (yhi < Hout) {
+          std::memset(crow + yhi * Wout, 0,
+                      static_cast<size_t>((Hout - yhi) * Wout) *
+                          sizeof(uint16_t));
+        }
+      }
+    }
+  }
+}
+
+void Im2Col1dBf16(const float* in, int64_t C, int64_t L, int64_t K, int64_t P,
+                  uint16_t* col) {
+  Im2Col2dBf16(in, C, /*H=*/1, /*W=*/L, /*KH=*/1, /*KW=*/K, /*PH=*/0,
+               /*PW=*/P, col);
+}
+
+}  // namespace gemm
+}  // namespace dcam

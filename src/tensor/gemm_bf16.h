@@ -1,0 +1,90 @@
+// bf16-storage / float32-accumulate GEMM path for the inference forwards.
+//
+// dCAM only needs the final dimension *ranking* to be right, so the
+// k-permutation forward passes can trade operand precision for memory
+// bandwidth: both operands are rounded to bfloat16 (8-bit exponent — same
+// dynamic range as float32 — and a 7-bit mantissa) at pack time, packed B
+// panels and im2col columns are stored as 16-bit words (half the panel
+// traffic of the float32 path), and every accumulation still happens in
+// float32 registers. The result is NOT bit-identical to the float32 path;
+// its fidelity is gated by the ranking-agreement test (top-1 dimension
+// match + Spearman threshold, tests/bf16_fidelity_test.cc) and the
+// BM_DcamBf16 precision-vs-speed row in BENCH_dcam.json.
+//
+// Layout, blocking, and threading mirror tensor/gemm.cc exactly (kKc-deep
+// slabs, packed kMr-row / kNr-column panels, morsel-parallel block grid,
+// per-worker arenas), and the microkernels dispatch through the same
+// util/cpu backend choice (portable widening kernels, or AVX2+FMA 16-wide
+// ones). Results are deterministic for a given problem and backend.
+
+#ifndef DCAM_TENSOR_GEMM_BF16_H_
+#define DCAM_TENSOR_GEMM_BF16_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace dcam {
+namespace gemm {
+
+/// Round-to-nearest-even float32 -> bf16 truncation. NaN payloads are
+/// squashed to a quiet NaN (rounding a signalling payload could otherwise
+/// carry into the exponent and turn NaN into infinity); infinities and
+/// zeros pass through exactly.
+inline uint16_t Bf16FromFloat(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  // Branchless select keeps this inlinable into auto-vectorized loops: the
+  // NaN test compiles to a cmov (scalar) or a lane blend (vector).
+  const uint32_t rounded = u + 0x7FFFu + ((u >> 16) & 1u);
+  const uint32_t quieted = u | 0x00400000u;
+  const bool is_nan = (u & 0x7FFFFFFFu) > 0x7F800000u;
+  return static_cast<uint16_t>((is_nan ? quieted : rounded) >> 16);
+}
+
+/// bf16 -> float32 widening (exact: bf16 is a prefix of float32).
+inline float FloatFromBf16(uint16_t v) {
+  const uint32_t u = static_cast<uint32_t>(v) << 16;
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+/// The float32 value nearest-representable in bf16 (round-trip).
+inline float Bf16Round(float v) { return FloatFromBf16(Bf16FromFloat(v)); }
+
+/// Rounds `n` contiguous floats into `dst`.
+void ConvertToBf16(const float* src, int64_t n, uint16_t* dst);
+
+/// C (m x n, ldc) = alpha * op(A) * op(B) + beta * C with both operands
+/// bf16-rounded at pack time and float32 accumulation. Same operand
+/// conventions as Sgemm (row-major, explicit leading dims, trans flags);
+/// alpha is applied in float32 after rounding A. Thread-safe, morsel-
+/// parallel, deterministic per (problem, backend).
+void SgemmBf16(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+               float alpha, const float* a, int64_t lda, const float* b,
+               int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// SgemmBf16 with B already stored as bf16 (row-major k x n, leading dim
+/// ldb, not transposed) — the conv layers build their im2col columns
+/// directly in bf16 (Im2Col2dBf16) so the lowered input is written and
+/// re-read at half width. Bit-identical to SgemmBf16 on the float32
+/// widening of `b`.
+void SgemmBf16PackedB(int64_t m, int64_t n, int64_t k, float alpha,
+                      const float* a, int64_t lda, const uint16_t* b,
+                      int64_t ldb, float beta, float* c, int64_t ldc);
+
+/// Im2Col2d emitting bf16 columns: identical lowering to gemm::Im2Col2d
+/// with every copied element rounded via Bf16FromFloat (padding stays
+/// +0.0, which is all-zero bits in bf16 too).
+void Im2Col2dBf16(const float* in, int64_t C, int64_t H, int64_t W,
+                  int64_t KH, int64_t KW, int64_t PH, int64_t PW,
+                  uint16_t* col);
+
+/// 1-D wrapper: in (C, L) -> col (C*K, Lout), Lout = L + 2*P - K + 1.
+void Im2Col1dBf16(const float* in, int64_t C, int64_t L, int64_t K, int64_t P,
+                  uint16_t* col);
+
+}  // namespace gemm
+}  // namespace dcam
+
+#endif  // DCAM_TENSOR_GEMM_BF16_H_

@@ -1,0 +1,79 @@
+#include "util/cpu.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace dcam {
+namespace {
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DCAM_CPU_CAN_PROBE 1
+#else
+#define DCAM_CPU_CAN_PROBE 0
+#endif
+
+CpuFeatures ProbeHost() {
+  CpuFeatures f;
+#if DCAM_CPU_CAN_PROBE
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = ProbeHost();
+  return features;
+}
+
+const char* KernelBackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kPortable:
+      return "portable";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "portable";
+}
+
+KernelBackend ResolveKernelBackend(const CpuFeatures& features,
+                                   const std::string& forced) {
+  if (forced.empty()) {
+    return features.avx2 && features.fma ? KernelBackend::kAvx2
+                                         : KernelBackend::kPortable;
+  }
+  if (forced == "portable") return KernelBackend::kPortable;
+  if (forced == "avx2") {
+    DCAM_CHECK(features.avx2 && features.fma)
+        << "DCAM_FORCE_BACKEND=avx2 but this host lacks AVX2+FMA";
+    return KernelBackend::kAvx2;
+  }
+  DCAM_CHECK(false) << "unknown DCAM_FORCE_BACKEND \"" << forced
+                    << "\" (expected \"portable\" or \"avx2\")";
+  return KernelBackend::kPortable;
+}
+
+KernelBackend ActiveKernelBackend() {
+  static const KernelBackend backend = [] {
+    const char* env = std::getenv("DCAM_FORCE_BACKEND");
+    const std::string forced = env == nullptr ? "" : env;
+    const KernelBackend chosen =
+        ResolveKernelBackend(HostCpuFeatures(), forced);
+    std::fprintf(stderr, "dcam: gemm backend %s%s\n",
+                 KernelBackendName(chosen),
+                 forced.empty() ? "" : " (forced via DCAM_FORCE_BACKEND)");
+    return chosen;
+  }();
+  return backend;
+}
+
+const char* ActiveKernelBackendName() {
+  return KernelBackendName(ActiveKernelBackend());
+}
+
+}  // namespace dcam

@@ -1,0 +1,151 @@
+// Ranking-fidelity gate for the bf16 dCAM forward: the reduced-precision
+// path is NOT bit-identical to float32 by design, so what this suite pins is
+// the property dCAM actually sells — the *ranking* of dimensions by
+// attributed importance. On a trained dCNN over Type-1 synthetic data (known
+// injected discriminant dimensions), the bf16 dCAM must (a) agree with
+// float32 on the top-1 dimension for every tested series and (b) keep the
+// Spearman rank correlation of the per-dimension importance scores at or
+// above 0.98. These are the same thresholds the CI multicore lane enforces;
+// loosening them is a visible contract change, not noise tuning.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/dcam.h"
+#include "data/synthetic.h"
+#include "eval/ranking.h"
+#include "eval/trainer.h"
+#include "models/cnn.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace {
+
+constexpr int kDims = 6;
+constexpr double kMinSpearman = 0.98;
+
+data::Dataset MakeData(uint64_t seed, int per_class) {
+  data::SyntheticSpec spec;
+  spec.type = 1;
+  spec.dims = kDims;
+  spec.length = 96;
+  spec.pattern_len = 32;
+  spec.num_inject = 2;
+  spec.instances_per_class = per_class;
+  spec.seed = seed;
+  return data::BuildSynthetic(spec);
+}
+
+// Per-dimension importance: the dCAM map (D, n) summed over time. This is
+// the score dCAM's dimension ranking (Section 5 of the paper) is built on.
+std::vector<double> DimensionScores(const Tensor& dcam) {
+  std::vector<double> scores(static_cast<size_t>(dcam.dim(0)), 0.0);
+  for (int64_t d = 0; d < dcam.dim(0); ++d) {
+    for (int64_t t = 0; t < dcam.dim(1); ++t) {
+      scores[static_cast<size_t>(d)] += dcam[d * dcam.dim(1) + t];
+    }
+  }
+  return scores;
+}
+
+double Spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::vector<double> ra = eval::RankRow(a);
+  const std::vector<double> rb = eval::RankRow(b);
+  const double n = static_cast<double>(ra.size());
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < ra.size(); ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  if (va == 0.0 || vb == 0.0) return 1.0;  // constant ranks: no disagreement
+  return cov / std::sqrt(va * vb);
+}
+
+size_t ArgMax(const std::vector<double>& v) {
+  return static_cast<size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+TEST(Bf16FidelityTest, RankingAgreesWithFloat32OnTrainedModel) {
+  // Fixed seeds end to end: data, init, training, and the dCAM permutation
+  // sample are all deterministic, so this gate cannot flake.
+  data::Dataset train = MakeData(41, /*per_class=*/16);
+  Rng rng(42);
+  models::ConvNetConfig cfg;
+  cfg.filters = {8, 8};
+  models::ConvNet model(models::InputMode::kCube, kDims, 2, cfg, &rng);
+  eval::TrainConfig tc;
+  tc.max_epochs = 15;
+  tc.batch_size = 8;
+  tc.lr = 3e-3f;
+  tc.patience = 15;
+  eval::Train(&model, train, tc);
+
+  data::Dataset test = MakeData(43, /*per_class=*/3);
+  core::DcamOptions f32_opts;
+  f32_opts.k = 40;
+  f32_opts.seed = 7;
+  core::DcamOptions bf16_opts = f32_opts;
+  bf16_opts.precision = gemm::Precision::kBf16;
+
+  int checked = 0;
+  for (int64_t i = 0; i < test.size(); ++i) {
+    if (test.y[static_cast<size_t>(i)] != 1) continue;  // class with pattern
+    const Tensor series = test.Instance(i);
+    const core::DcamResult f32 =
+        core::ComputeDcam(&model, series, 1, f32_opts);
+    const core::DcamResult b16 =
+        core::ComputeDcam(&model, series, 1, bf16_opts);
+
+    const std::vector<double> s32 = DimensionScores(f32.dcam);
+    const std::vector<double> s16 = DimensionScores(b16.dcam);
+    SCOPED_TRACE("series " + std::to_string(i));
+    EXPECT_EQ(ArgMax(s16), ArgMax(s32)) << "top-1 dimension flipped";
+    const double rho = Spearman(s16, s32);
+    EXPECT_GE(rho, kMinSpearman) << "rank agreement degraded";
+    ++checked;
+  }
+  ASSERT_GE(checked, 3) << "test split produced too few class-1 series";
+}
+
+// The fidelity contract is about ranking, not bits — but the bf16 scores
+// must still be numerically close in absolute terms, or the ranking
+// agreement would be an accident of a particular model.
+TEST(Bf16FidelityTest, ScoresStayCloseOnUntrainedModel) {
+  Rng rng(44);
+  models::ConvNetConfig cfg;
+  cfg.filters = {4, 4};
+  models::ConvNet model(models::InputMode::kCube, kDims, 2, cfg, &rng);
+  Tensor series({kDims, 64});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  core::DcamOptions opts;
+  opts.k = 24;
+  opts.seed = 3;
+  const core::DcamResult f32 = core::ComputeDcam(&model, series, 0, opts);
+  opts.precision = gemm::Precision::kBf16;
+  const core::DcamResult b16 = core::ComputeDcam(&model, series, 0, opts);
+  ASSERT_EQ(b16.dcam.shape(), f32.dcam.shape());
+  double max_abs = 0.0;
+  for (int64_t i = 0; i < f32.dcam.size(); ++i) {
+    max_abs = std::max(max_abs, static_cast<double>(std::abs(f32.dcam[i])));
+  }
+  for (int64_t i = 0; i < f32.dcam.size(); ++i) {
+    EXPECT_NEAR(b16.dcam[i], f32.dcam[i], 0.05 * max_abs + 1e-4)
+        << "flat index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dcam

@@ -1,0 +1,331 @@
+// The bf16-storage GEMM path (tensor/gemm_bf16.h): rounding semantics of the
+// float32 -> bf16 conversion, equivalence of the blocked/thin/small kernels
+// against a double-accumulator reference on pre-rounded operands, bitwise
+// agreement between the float32-source and bf16-source entry points, the bf16
+// im2col lowering, and the engine/serial/training contracts of the
+// reduced-precision dCAM forward.
+
+#include "tensor/gemm_bf16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/dcam.h"
+#include "core/engine.h"
+#include "models/cnn.h"
+#include "tensor/gemm.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace gemm {
+namespace {
+
+uint32_t BitsOf(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+float FloatOf(uint32_t u) {
+  float v;
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+// ---- Bf16FromFloat rounding ------------------------------------------------
+
+TEST(Bf16ConvertTest, ExactValuesPassThrough) {
+  EXPECT_EQ(Bf16FromFloat(0.0f), 0x0000);
+  EXPECT_EQ(Bf16FromFloat(-0.0f), 0x8000);
+  EXPECT_EQ(Bf16FromFloat(1.0f), 0x3F80);
+  EXPECT_EQ(Bf16FromFloat(-2.0f), 0xC000);
+  EXPECT_EQ(Bf16FromFloat(FloatOf(0x7F800000u)), 0x7F80);  // +inf
+  EXPECT_EQ(Bf16FromFloat(FloatOf(0xFF800000u)), 0xFF80);  // -inf
+}
+
+TEST(Bf16ConvertTest, RoundsToNearestEven) {
+  // 0x3F808000 is exactly halfway between 0x3F80 and 0x3F81; the kept low
+  // bit is even, so ties-to-even keeps it.
+  EXPECT_EQ(Bf16FromFloat(FloatOf(0x3F808000u)), 0x3F80);
+  // 0x3F818000 is halfway with an odd kept bit: rounds up to even 0x3F82.
+  EXPECT_EQ(Bf16FromFloat(FloatOf(0x3F818000u)), 0x3F82);
+  // Just above/below halfway round to nearest regardless of parity.
+  EXPECT_EQ(Bf16FromFloat(FloatOf(0x3F808001u)), 0x3F81);
+  EXPECT_EQ(Bf16FromFloat(FloatOf(0x3F807FFFu)), 0x3F80);
+}
+
+TEST(Bf16ConvertTest, NanStaysNanAndIsQuieted) {
+  // A signalling NaN payload that naive round-to-nearest would carry into
+  // the exponent (turning it into +inf).
+  const uint16_t snan = Bf16FromFloat(FloatOf(0x7F800001u));
+  EXPECT_EQ(snan & 0x7F80, 0x7F80);  // exponent still all-ones
+  EXPECT_NE(snan & 0x007F, 0);       // mantissa nonzero: still NaN
+  const uint16_t qnan = Bf16FromFloat(std::nanf(""));
+  EXPECT_TRUE(std::isnan(FloatFromBf16(qnan)));
+  EXPECT_TRUE(std::isnan(FloatFromBf16(Bf16FromFloat(FloatOf(0xFFC00001u)))));
+}
+
+TEST(Bf16ConvertTest, RoundTripIsIdentityOnBf16Values) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = Bf16Round(static_cast<float>(rng.Normal()) * 100.0f);
+    EXPECT_EQ(Bf16Round(v), v);
+    EXPECT_EQ(FloatFromBf16(Bf16FromFloat(v)), v);
+  }
+}
+
+// ConvertToBf16 may dispatch to a vectorized span kernel; it must agree with
+// the scalar conversion bit-for-bit at every length (vector body, 8-wide
+// epilogue, scalar tail) and on special values.
+TEST(Bf16ConvertTest, SpanConversionMatchesScalarBitwise) {
+  Rng rng(6);
+  for (int64_t n = 0; n <= 67; ++n) {
+    std::vector<float> src(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      switch (i % 7) {
+        case 0: src[i] = static_cast<float>(rng.Normal()) * 1e6f; break;
+        case 1: src[i] = FloatOf(0x7F800001u); break;  // sNaN
+        case 2: src[i] = FloatOf(0x7F800000u); break;  // +inf
+        case 3: src[i] = -0.0f; break;
+        case 4: src[i] = FloatOf(0x00000001u); break;  // denormal
+        default: src[i] = static_cast<float>(rng.Normal());
+      }
+    }
+    std::vector<uint16_t> got(static_cast<size_t>(n) + 1, 0xABCD);
+    ConvertToBf16(src.data(), n, got.data());
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], Bf16FromFloat(src[i]))
+          << "n=" << n << " element " << i;
+    }
+    EXPECT_EQ(got[static_cast<size_t>(n)], 0xABCD) << "overwrote past n=" << n;
+  }
+}
+
+// ---- SgemmBf16 -------------------------------------------------------------
+
+std::vector<float> RandomVec(int64_t n, Rng* rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng->Normal());
+  return v;
+}
+
+// Reference on the bf16-rounded operands with double accumulation — the
+// kernels' float32 accumulation must stay within summation-order tolerance.
+std::vector<float> RefGemmBf16(int64_t m, int64_t n, int64_t k, float alpha,
+                               const std::vector<float>& a,
+                               const std::vector<float>& b, float beta,
+                               const std::vector<float>& c_in) {
+  std::vector<float> c = c_in;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(
+                   alpha * Bf16Round(a[static_cast<size_t>(i * k + p)])) *
+               Bf16Round(b[static_cast<size_t>(p * n + j)]);
+      }
+      const size_t idx = static_cast<size_t>(i * n + j);
+      c[idx] = static_cast<float>(acc) + (beta == 0.0f ? 0.0f : beta * c[idx]);
+    }
+  }
+  return c;
+}
+
+// Shapes straddling every path split: the small-problem fallback, the thin
+// (m <= 8) register-resident path including its scalar column tail, and the
+// generic blocked path with m-remainder panels.
+struct Shape {
+  int64_t m, n, k;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 8, 3},     {6, 8, 4},    {7, 9, 5},    {5, 17, 33},
+    {8, 640, 9},  {7, 333, 20},  {3, 1024, 7}, {8, 96, 257}, {13, 40, 7},
+    {96, 8, 16},  {97, 260, 3},  {64, 64, 64}, {40, 96, 257}};
+
+TEST(SgemmBf16Test, MatchesRoundedReference) {
+  Rng rng(7);
+  for (const Shape& s : kShapes) {
+    SCOPED_TRACE("m=" + std::to_string(s.m) + " n=" + std::to_string(s.n) +
+                 " k=" + std::to_string(s.k));
+    const auto a = RandomVec(s.m * s.k, &rng);
+    const auto b = RandomVec(s.k * s.n, &rng);
+    const auto c0 = RandomVec(s.m * s.n, &rng);
+    for (const float beta : {0.0f, 1.0f, 0.5f}) {
+      std::vector<float> c = c0;
+      SgemmBf16(false, false, s.m, s.n, s.k, 1.25f, a.data(), s.k, b.data(),
+                s.n, beta, c.data(), s.n);
+      const auto want = RefGemmBf16(s.m, s.n, s.k, 1.25f, a, b, beta, c0);
+      const double tol = 1e-4 * std::sqrt(static_cast<double>(s.k) + 1.0);
+      for (size_t i = 0; i < c.size(); ++i) {
+        ASSERT_NEAR(c[i], want[i], tol + 1e-2 * std::abs(want[i]))
+            << "beta=" << beta << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(SgemmBf16Test, DeterministicAcrossRuns) {
+  Rng rng(8);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(s.m * s.k, &rng);
+    const auto b = RandomVec(s.k * s.n, &rng);
+    std::vector<float> c1(static_cast<size_t>(s.m * s.n), 0.0f);
+    std::vector<float> c2 = c1;
+    SgemmBf16(false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(), s.n,
+              0.0f, c1.data(), s.n);
+    SgemmBf16(false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(), s.n,
+              0.0f, c2.data(), s.n);
+    ASSERT_EQ(c1, c2) << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+// The conv layers feed B to the GEMM as pre-converted bf16 (im2col writes
+// 16-bit columns); that entry point must be bitwise-equal to handing the
+// float32 source to SgemmBf16, on every path.
+TEST(SgemmBf16Test, PackedBBitwiseEqualsFloat32Source) {
+  Rng rng(9);
+  for (const Shape& s : kShapes) {
+    const auto a = RandomVec(s.m * s.k, &rng);
+    const auto b = RandomVec(s.k * s.n, &rng);
+    std::vector<uint16_t> b16(b.size());
+    ConvertToBf16(b.data(), static_cast<int64_t>(b.size()), b16.data());
+    std::vector<float> c1(static_cast<size_t>(s.m * s.n), 0.5f);
+    std::vector<float> c2 = c1;
+    SgemmBf16(false, false, s.m, s.n, s.k, 1.0f, a.data(), s.k, b.data(), s.n,
+              1.0f, c1.data(), s.n);
+    SgemmBf16PackedB(s.m, s.n, s.k, 1.0f, a.data(), s.k, b16.data(), s.n,
+                     1.0f, c2.data(), s.n);
+    ASSERT_EQ(c1, c2) << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+  }
+}
+
+// ---- Im2Col2dBf16 ----------------------------------------------------------
+
+TEST(Im2ColBf16Test, MatchesFloat32LoweringPlusConversion) {
+  Rng rng(10);
+  struct Case {
+    int64_t C, H, W, KH, KW, PH, PW;
+  };
+  const Case cases[] = {{1, 1, 8, 1, 3, 0, 1},
+                        {3, 5, 7, 3, 3, 1, 1},
+                        {2, 4, 37, 2, 5, 0, 2},
+                        {4, 1, 64, 1, 3, 0, 1}};
+  for (const Case& t : cases) {
+    const int64_t Hout = t.H + 2 * t.PH - t.KH + 1;
+    const int64_t Wout = t.W + 2 * t.PW - t.KW + 1;
+    const int64_t rows = t.C * t.KH * t.KW;
+    const auto in = RandomVec(t.C * t.H * t.W, &rng);
+    std::vector<float> col32(static_cast<size_t>(rows * Hout * Wout));
+    Im2Col2d(in.data(), t.C, t.H, t.W, t.KH, t.KW, t.PH, t.PW, col32.data());
+    std::vector<uint16_t> want(col32.size());
+    ConvertToBf16(col32.data(), static_cast<int64_t>(col32.size()),
+                  want.data());
+    std::vector<uint16_t> got(col32.size(), 0xFFFF);
+    Im2Col2dBf16(in.data(), t.C, t.H, t.W, t.KH, t.KW, t.PH, t.PW,
+                 got.data());
+    ASSERT_EQ(got, want) << "C=" << t.C << " H=" << t.H << " W=" << t.W;
+  }
+}
+
+TEST(Im2ColBf16Test, OneDWrapperMatchesTwoD) {
+  Rng rng(11);
+  const int64_t C = 3, L = 29, K = 5, P = 2;
+  const int64_t Lout = L + 2 * P - K + 1;
+  const auto in = RandomVec(C * L, &rng);
+  std::vector<uint16_t> a(static_cast<size_t>(C * K * Lout), 1);
+  std::vector<uint16_t> b(a.size(), 2);
+  Im2Col1dBf16(in.data(), C, L, K, P, a.data());
+  Im2Col2dBf16(in.data(), C, 1, L, 1, K, 0, P, b.data());
+  EXPECT_EQ(a, b);
+}
+
+// ---- engine / layer contracts ----------------------------------------------
+
+std::unique_ptr<models::ConvNet> TinyDcnn(int dims, Rng* rng) {
+  models::ConvNetConfig cfg;
+  cfg.filters = {4, 4};
+  return std::make_unique<models::ConvNet>(models::InputMode::kCube, dims, 2,
+                                           cfg, rng);
+}
+
+// Training forwards must ignore the thread's bf16 scope entirely — gradients
+// only ever see the float32 path.
+TEST(Bf16PrecisionTest, TrainingForwardUnaffectedByBf16Scope) {
+  Rng rng(12);
+  auto model = TinyDcnn(4, &rng);
+  Tensor input({2, 4, 4, 16});
+  input.FillNormal(&rng, 0.0f, 1.0f);
+  const Tensor want = model->Forward(input, /*training=*/true);
+  Tensor got;
+  {
+    ScopedGemmPrecision scope(Precision::kBf16);
+    got = model->Forward(input, /*training=*/true);
+  }
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "flat index " << i;
+  }
+}
+
+// Inference under bf16 must actually differ from float32 (it is a different
+// computation — if it were bitwise equal, the precision plumbing is dead).
+TEST(Bf16PrecisionTest, InferenceForwardUsesReducedPrecision) {
+  Rng rng(13);
+  auto model = TinyDcnn(4, &rng);
+  Tensor input({1, 4, 4, 16});
+  input.FillNormal(&rng, 0.0f, 1.0f);
+  const Tensor f32 = model->Forward(input, /*training=*/false);
+  Tensor b16;
+  {
+    ScopedGemmPrecision scope(Precision::kBf16);
+    b16 = model->Forward(input, /*training=*/false);
+  }
+  ASSERT_EQ(b16.shape(), f32.shape());
+  bool any_diff = false;
+  for (int64_t i = 0; i < f32.size() && !any_diff; ++i) {
+    any_diff = b16[i] != f32[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// The batched engine's bit-identity contract holds at reduced precision too:
+// engine(bf16) == serial(bf16) for every batch size, including after a
+// same-slot precision switch.
+TEST(Bf16PrecisionTest, EngineBitIdenticalToSerialUnderBf16) {
+  Rng rng(14);
+  const int D = 5, n = 16;
+  auto model = TinyDcnn(D, &rng);
+  Tensor series({D, n});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  core::DcamOptions opts;
+  opts.k = 19;
+  opts.seed = 77;
+  opts.precision = Precision::kBf16;
+  const core::DcamResult serial =
+      core::ComputeDcamSerial(model.get(), series, 1, opts);
+  for (int batch : {1, 7, 32}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    core::DcamEngine::Config cfg;
+    cfg.batch = batch;
+    core::DcamEngine engine(model.get(), cfg);
+    // Interleave a float32 pass through the same engine to exercise the
+    // flush-on-precision-change path before the bf16 compute.
+    core::DcamOptions f32_opts = opts;
+    f32_opts.precision = Precision::kFloat32;
+    (void)engine.Compute(series, 1, f32_opts);
+    const core::DcamResult batched = engine.Compute(series, 1, opts);
+    ASSERT_EQ(batched.dcam.shape(), serial.dcam.shape());
+    for (int64_t i = 0; i < serial.dcam.size(); ++i) {
+      ASSERT_EQ(batched.dcam[i], serial.dcam[i]) << "flat index " << i;
+    }
+    EXPECT_EQ(batched.num_correct, serial.num_correct);
+  }
+}
+
+}  // namespace
+}  // namespace gemm
+}  // namespace dcam

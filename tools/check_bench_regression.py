@@ -83,6 +83,12 @@ def value_of(row):
     return row["ns_per_iter"] if "ns_per_iter" in row else row["value"]
 
 
+def backend_of(row):
+    """The kernel backend the row was measured with ("portable"/"avx2"/
+    "bf16"); older baselines predate the field and print "-"."""
+    return row.get("backend", "-")
+
+
 def fmt_row(row):
     if "ns_per_iter" in row:
         return fmt_ns(row["ns_per_iter"])
@@ -134,9 +140,10 @@ def main():
     missing = []
     gated = 0
     print(
-        "%-34s %-16s %12s %12s %8s" % ("op", "shape", "baseline", "current", "ratio")
+        "%-34s %-16s %-9s %12s %12s %8s"
+        % ("op", "shape", "backend", "baseline", "current", "ratio")
     )
-    print("-" * 86)
+    print("-" * 96)
     for key in sorted(baseline):
         op, shape = key
         if not op_re.search(op):
@@ -149,7 +156,10 @@ def main():
         cur = current.get(key)
         if cur is None:
             missing.append(key)
-            print("%-34s %-16s %12s %12s %8s" % (op, shape, fmt_row(base_row), "-", "-"))
+            print(
+                "%-34s %-16s %-9s %12s %12s %8s"
+                % (op, shape, backend_of(base_row), fmt_row(base_row), "-", "-")
+            )
             continue
         cur_val = value_of(cur)
         # "ratio" is always degradation: time growth for lower-is-better
@@ -163,8 +173,9 @@ def main():
             failures.append((key, ratio, max_ratio))
             flag = "  <-- REGRESSION (limit %.2fx)" % max_ratio
         print(
-            "%-34s %-16s %12s %12s %7.2fx%s"
-            % (op, shape, fmt_row(base_row), fmt_row(cur), ratio, flag)
+            "%-34s %-16s %-9s %12s %12s %7.2fx%s"
+            % (op, shape, backend_of(cur), fmt_row(base_row), fmt_row(cur),
+               ratio, flag)
         )
 
     # Cross-row claims: both rows come from the *current* run, so the check
@@ -199,11 +210,12 @@ def main():
     new_keys = sorted(k for k in current if k not in baseline and op_re.search(k[0]))
     for key in new_keys:
         print(
-            "%-34s %-16s %12s %12s %8s"
-            % (key[0], key[1], "-", fmt_row(current[key]), "new")
+            "%-34s %-16s %-9s %12s %12s %8s"
+            % (key[0], key[1], backend_of(current[key]), "-",
+               fmt_row(current[key]), "new")
         )
 
-    print("-" * 86)
+    print("-" * 96)
     mismatched = False
     for key in duplicates:
         mismatched = True
