@@ -26,6 +26,11 @@
 //     per-request submit->completion latency per class. Priority-ordered
 //     drains should hold the high-priority p99 far under the batch p99.
 //
+// --streaming adds the anytime phase: each request goes through
+// SubmitStreaming with a tick cadence of k/4 permutations, measuring
+// time-to-first-tick (how quickly a client holds a usable partial map)
+// against the request's full-completion latency.
+//
 // Pass `--json <path>` to emit BENCH_dcam.json-style records:
 //   BM_ServiceDcamDirect      sequential direct Explainer calls (baseline)
 //   BM_ServiceDcamCoalesced   concurrent clients through a 1-replica service
@@ -35,6 +40,8 @@
 //   BM_ServiceAsyncCq         (--async) completion-queue clients
 //   BM_ServicePriorityHighP99 / BM_ServicePriorityBatchP99
 //                             (--async) p99 latency per priority class, ns
+//   BM_ServiceFirstTick       (--streaming) mean submit -> first-kTick
+//                             latency of a streamed request, ns
 // ns_per_iter is wall time per request (or the p99 latency for the priority
 // rows); shape is D/n/k/clientsxper_client, with /rN appended on rows served
 // by an N-replica service.
@@ -42,9 +49,10 @@
 // Gates (exit 2 on violation) — evaluated only AFTER the JSON report is
 // flushed, so the CI artifact upload always sees the measurements that
 // produced a failure:
-//   --min-replica-speedup X   coalesced/sharded >= X
-//   --min-async-speedup X     blocking/async-cq >= X
-//   --max-high-p99-ratio Y    high-priority p99 <= Y * batch-priority p99
+//   --min-replica-speedup X     coalesced/sharded >= X
+//   --min-async-speedup X       blocking/async-cq >= X
+//   --max-high-p99-ratio Y      high-priority p99 <= Y * batch-priority p99
+//   --max-first-tick-ratio Y    first-tick latency <= Y * full completion
 
 #include <algorithm>
 #include <chrono>
@@ -78,9 +86,11 @@ struct Options {
   int len = 64;
   int replicas = 2;
   bool async = false;
-  double min_replica_speedup = 0.0;  // 0 = report only, no gate
-  double min_async_speedup = 0.0;    // 0 = report only, no gate
-  double max_high_p99_ratio = 0.0;   // 0 = report only, no gate
+  bool streaming = false;
+  double min_replica_speedup = 0.0;   // 0 = report only, no gate
+  double min_async_speedup = 0.0;     // 0 = report only, no gate
+  double max_high_p99_ratio = 0.0;    // 0 = report only, no gate
+  double max_first_tick_ratio = 0.0;  // 0 = report only, no gate
   std::string json_path;
 };
 
@@ -139,7 +149,7 @@ double RunClients(explain::ExplainService* service,
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      std::vector<std::future<explain::ExplanationResult>> futures;
+      std::vector<explain::Ticket> futures;
       const int base = c * per_client;
       for (int r = 0; r < per_client; ++r) {
         futures.push_back(service->Submit(requests[base + r]));
@@ -259,6 +269,11 @@ int main(int argc, char** argv) {
           static_cast<int>(ParseIntFlag(next("--replicas"), "--replicas"));
     } else if (arg == "--async") {
       opt.async = true;
+    } else if (arg == "--streaming") {
+      opt.streaming = true;
+    } else if (arg == "--max-first-tick-ratio") {
+      opt.max_first_tick_ratio = ParseDoubleFlag(next("--max-first-tick-ratio"),
+                                                 "--max-first-tick-ratio");
     } else if (arg == "--min-replica-speedup") {
       opt.min_replica_speedup = ParseDoubleFlag(
           next("--min-replica-speedup"), "--min-replica-speedup");
@@ -272,13 +287,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_service [--clients N] [--requests M] [--k K] "
                    "[--dims D] [--len n] [--replicas R] [--async] "
-                   "[--min-replica-speedup X] [--min-async-speedup X] "
-                   "[--max-high-p99-ratio Y] [--json path]\n"
+                   "[--streaming] [--min-replica-speedup X] "
+                   "[--min-async-speedup X] [--max-high-p99-ratio Y] "
+                   "[--max-first-tick-ratio Y] [--json path]\n"
                    "--min-replica-speedup gates sharded-vs-1-replica scaling, "
                    "--min-async-speedup gates async-vs-blocking throughput; "
                    "both only meaningful on a multi-core host. "
                    "--max-high-p99-ratio gates high-vs-batch priority p99 "
-                   "latency under the --async overload phase\n");
+                   "latency under the --async overload phase; "
+                   "--max-first-tick-ratio gates first-tick-vs-completion "
+                   "latency under the --streaming phase\n");
       return 1;
     }
   }
@@ -455,6 +473,63 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- streaming phase (--streaming): time-to-first-tick vs completion -----
+  // Sequential streamed requests against a cold (cache-off) sharded service:
+  // a client that streams should hold a usable partial map well before the
+  // full-k result lands. Measured per request because the anytime property
+  // is a per-client latency contract, not a throughput one.
+  double first_tick_ns = 0.0;
+  double stream_complete_ns = 0.0;
+  long long stream_ticks = 0;
+  int n_stream = 0;
+  if (opt.streaming) {
+    explain::ExplainService::Config scfg;
+    scfg.replicas = opt.replicas;
+    scfg.cache_capacity = 0;  // every request must actually compute
+    scfg.stream_tick_k = std::max(1, opt.k / 4);
+    explain::ExplainService stream_service(scfg);
+    stream_service.RegisterModel("dcnn", &model);
+    const auto clock = RealClock::Get();
+    n_stream = std::min(total, 16);
+    double first_sum_ns = 0.0;
+    double complete_sum_ns = 0.0;
+    for (int i = 0; i < n_stream; ++i) {
+      explain::ExplainRequest req = requests[i % requests.size()];
+      req.options.dcam.seed = 30000 + i;
+      explain::CompletionQueue cq;
+      const auto submitted = clock->Now();
+      (void)stream_service.SubmitStreaming(std::move(req), &cq, nullptr);
+      explain::CompletionQueue::Completion done;
+      bool saw_first = false;
+      while (cq.Next(&done)) {
+        const double elapsed_ns = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock->Now() -
+                                                                 submitted)
+                .count());
+        if (done.tick()) {
+          ++stream_ticks;
+          if (!saw_first) {
+            saw_first = true;
+            first_sum_ns += elapsed_ns;
+          }
+          continue;
+        }
+        complete_sum_ns += elapsed_ns;
+        if (!saw_first) first_sum_ns += elapsed_ns;  // 0-tick request: no win
+        break;
+      }
+      cq.Shutdown();
+    }
+    first_tick_ns = n_stream > 0 ? first_sum_ns / n_stream : 0.0;
+    stream_complete_ns = n_stream > 0 ? complete_sum_ns / n_stream : 0.0;
+    std::printf("streaming (anytime) : first tick %7.0f us, completion "
+                "%7.0f us (%.2fx, %lld ticks over %d requests, tick_k=%d)\n",
+                first_tick_ns / 1e3, stream_complete_ns / 1e3,
+                stream_complete_ns > 0 ? first_tick_ns / stream_complete_ns
+                                       : 0.0,
+                stream_ticks, n_stream, scfg.stream_tick_k);
+  }
+
   std::printf("stats: %llu+%llu engine passes (largest %llu requests), "
               "%llu cache hits, %llu deduped; per-request maps %s\n",
               static_cast<unsigned long long>(stats.coalesced_batches),
@@ -497,6 +572,10 @@ int main(int argc, char** argv) {
                         high_p99_ns, per_class_count});
         rows.push_back({"BM_ServicePriorityBatchP99", sharded_shape,
                         batch_p99_ns, per_class_count});
+      }
+      if (opt.streaming) {
+        rows.push_back({"BM_ServiceFirstTick", sharded_shape, first_tick_ns,
+                        n_stream});
       }
       std::fprintf(f, "{\n  \"benchmarks\": [\n");
       for (size_t i = 0; i < rows.size(); ++i) {
@@ -543,6 +622,22 @@ int main(int argc, char** argv) {
                  high_p99_ns / 1e3, opt.max_high_p99_ratio,
                  batch_p99_ns / 1e3);
     exit_code = 2;
+  }
+  if (opt.streaming && opt.max_first_tick_ratio > 0) {
+    if (stream_ticks == 0) {
+      std::fprintf(stderr,
+                   "bench_service: FAIL streaming phase delivered zero ticks "
+                   "(%d requests, k=%d) — anytime surface inert\n",
+                   n_stream, opt.k);
+      exit_code = 2;
+    } else if (first_tick_ns > opt.max_first_tick_ratio * stream_complete_ns) {
+      std::fprintf(stderr,
+                   "bench_service: FAIL first-tick latency %.0f us > %.2fx "
+                   "full-completion latency %.0f us\n",
+                   first_tick_ns / 1e3, opt.max_first_tick_ratio,
+                   stream_complete_ns / 1e3);
+      exit_code = 2;
+    }
   }
   return exit_code;
 }

@@ -57,8 +57,17 @@ struct DcamResult {
   Tensor mu;
   /// Number of permutations classified as the target class (n_g).
   int num_correct = 0;
-  /// Number of permutations evaluated (k).
+  /// Number of permutations evaluated (k). For a request stopped early by a
+  /// ComputeManyChunked tick callback this is the count actually
+  /// accumulated, and dcam/mu are the partial map at that point.
   int k = 0;
+  /// True when a ComputeManyChunked tick callback returned kCancel before
+  /// the full permutation budget was spent.
+  bool cancelled = false;
+  /// Relative L2 change of the final map vs the last emitted partial map
+  /// (ComputeManyChunked with emit_partial only; 0 otherwise). The anytime
+  /// convergence score a streaming client saw at its final tick.
+  double convergence = 0.0;
 
   /// n_g / k, the paper's explanation-quality proxy (Section 5.6).
   double CorrectRatio() const {

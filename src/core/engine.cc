@@ -6,6 +6,7 @@
 
 #include "cam/cam.h"
 #include "core/cube.h"
+#include "core/variants.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -282,6 +283,158 @@ std::vector<DcamResult> DcamEngine::ComputeMany(
   }
   Flush();
   finalize_through(N);
+  return results;
+}
+
+std::vector<DcamResult> DcamEngine::ComputeManyChunked(
+    const std::vector<Tensor>& series, const std::vector<int>& class_idx,
+    const std::vector<DcamOptions>& options, const ChunkedConfig& chunked,
+    const DcamTickFn& on_tick) {
+  const size_t N = series.size();
+  DCAM_CHECK_EQ(class_idx.size(), N);
+  DCAM_CHECK_EQ(options.size(), N);
+  DCAM_CHECK(chunked.emit_partial.empty() || chunked.emit_partial.size() == N)
+      << "emit_partial must be empty or match the request count";
+  DCAM_CHECK_GE(chunked.tick_every, 0);
+  DCAM_CHECK_EQ(pending_count_, 0)
+      << "ComputeManyChunked may not be re-entered";
+  std::vector<DcamResult> results(N);
+  if (N == 0) return results;
+
+  for (size_t i = 0; i < N; ++i) {
+    DCAM_CHECK_EQ(series[i].rank(), 2)
+        << "series " << i << " must be a (D, n) tensor";
+    DCAM_CHECK_GT(options[i].k, 0)
+        << "DcamOptions.k must be a positive permutation count";
+    DCAM_CHECK_GE(class_idx[i], 0);
+    DCAM_CHECK_LT(class_idx[i], model_->num_classes());
+  }
+  const int tick_every =
+      chunked.tick_every > 0 ? chunked.tick_every : config_.batch;
+
+  // The permutation cursor of one request: its private Rng stream plus the
+  // partial-map scratch of the emit path. Unlike ComputeMany's streaming
+  // finalize, every accumulator stays live until its request retires —
+  // round-robin refinement touches all of them each round.
+  struct Cursor {
+    Rng rng;
+    int drawn = 0;
+    bool live = true;
+    Tensor partial;      // msum / k_done, reused across ticks
+    Tensor partial_map;  // extracted (D, n) map handed to the callback
+    Tensor partial_mu;
+    Tensor prev_map;     // previous tick's map, for the delta
+    explicit Cursor(uint64_t seed) : rng(seed) {}
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(N);
+  for (size_t i = 0; i < N; ++i) {
+    cursors.emplace_back(options[i].seed);
+    results[i].mbar = Tensor({series[i].dim(0), series[i].dim(0),
+                              series[i].dim(1)});
+  }
+
+  const auto finalize = [&](size_t i, bool cancelled) {
+    DcamResult& r = results[i];
+    Cursor& c = cursors[i];
+    c.live = false;
+    r.cancelled = cancelled;
+    r.k = c.drawn;
+    const float inv = 1.0f / static_cast<float>(r.k);
+    float* m = r.mbar.data();
+    for (int64_t j = 0; j < r.mbar.size(); ++j) m[j] *= inv;
+    ExtractDcam(r.mbar, &r.dcam, &r.mu);
+    if (!c.prev_map.empty()) {
+      r.convergence = RelativeL2Delta(r.dcam, c.prev_map);
+    }
+    if (!options[i].keep_mbar) r.mbar = Tensor();
+  };
+
+  size_t live_count = N;
+  while (live_count > 0) {
+    // Draw phase: up to tick_every permutations per live request, packed
+    // into shared forward batches with the same shape/precision flush
+    // boundaries as ComputeMany. The end-of-round Flush is the tick
+    // barrier — every drawn permutation is accumulated before any callback
+    // observes a cursor.
+    for (size_t i = 0; i < N; ++i) {
+      Cursor& c = cursors[i];
+      if (!c.live) continue;
+      if (pending_count_ > 0 &&
+          (pending_[0].series->shape() != series[i].shape() ||
+           pending_[0].precision != options[i].precision)) {
+        Flush();
+      }
+      const int take = std::min(tick_every, options[i].k - c.drawn);
+      for (int j = 0; j < take; ++j) {
+        Slot* slot = NextSlot();
+        slot->series = &series[i];
+        slot->class_idx = class_idx[i];
+        slot->msum = &results[i].mbar;
+        slot->num_correct = &results[i].num_correct;
+        slot->precision = options[i].precision;
+        if (c.drawn == 0 && options[i].include_identity) {
+          const int64_t D = series[i].dim(0);
+          slot->perm.resize(static_cast<size_t>(D));
+          std::iota(slot->perm.begin(), slot->perm.end(), 0);
+        } else {
+          c.rng.PermutationInto(static_cast<int>(series[i].dim(0)),
+                                &slot->perm);
+        }
+        ++c.drawn;
+        if (pending_count_ == config_.batch) Flush();
+      }
+    }
+    Flush();
+
+    // Tick phase. Requests whose budget completed this round return their
+    // terminal result instead of a tick; everyone else reports its cursor
+    // and may be cancelled at this boundary.
+    for (size_t i = 0; i < N; ++i) {
+      Cursor& c = cursors[i];
+      if (!c.live) continue;
+      if (c.drawn >= options[i].k) {
+        finalize(i, /*cancelled=*/false);
+        --live_count;
+        continue;
+      }
+      DcamTick tick;
+      tick.index = i;
+      tick.k_done = c.drawn;
+      tick.k_target = options[i].k;
+      tick.num_correct = results[i].num_correct;
+      const bool emit = !chunked.emit_partial.empty() &&
+                        chunked.emit_partial[i] != 0;
+      if (emit) {
+        // Partial M-bar = msum / k_done — the same estimator the terminal
+        // path averages, at a smaller sample.
+        EnsureTensorShape(&c.partial, results[i].mbar.shape());
+        const float inv = 1.0f / static_cast<float>(c.drawn);
+        const float* src = results[i].mbar.data();
+        float* dst = c.partial.data();
+        for (int64_t j = 0; j < c.partial.size(); ++j) dst[j] = src[j] * inv;
+        ExtractDcam(c.partial, &c.partial_map, &c.partial_mu);
+        tick.map = &c.partial_map;
+        tick.mu = &c.partial_mu;
+        tick.delta = c.prev_map.empty()
+                         ? 1.0
+                         : RelativeL2Delta(c.partial_map, c.prev_map);
+      }
+      const TickAction action =
+          on_tick ? on_tick(tick) : TickAction::kContinue;
+      if (emit) {
+        // Keep this tick's map for the next delta; the moved-from slot is
+        // re-allocated by the next ExtractDcam, so the callback's pointer
+        // was never aliased by prev_map while it could still be read.
+        c.prev_map = std::move(c.partial_map);
+        c.partial_map = Tensor();
+      }
+      if (action == TickAction::kCancel) {
+        finalize(i, /*cancelled=*/true);
+        --live_count;
+      }
+    }
+  }
   return results;
 }
 

@@ -32,6 +32,7 @@
 #define DCAM_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/dcam.h"
@@ -40,6 +41,39 @@
 
 namespace dcam {
 namespace core {
+
+/// One refinement checkpoint of a ComputeManyChunked request: its
+/// permutation cursor after a tick round, plus — when the request was asked
+/// to emit partials — the anytime dCAM map at that cursor. Ticks exist
+/// because the k-loop is an anytime algorithm: mbar at k_done < k_target is
+/// the same estimator at a smaller sample, so the partial map is meaningful
+/// the whole way down.
+struct DcamTick {
+  /// Position of the request in the ComputeManyChunked argument arrays.
+  size_t index = 0;
+  /// Permutations accumulated so far (> 0) and the request's full budget.
+  int k_done = 0;
+  int k_target = 0;
+  /// n_g over the k_done permutations evaluated so far.
+  int num_correct = 0;
+  /// Partial dCAM map (D, n) and temporal filter mu (n) at k_done. Null
+  /// unless ChunkedConfig::emit_partial[index]; points at engine-owned
+  /// scratch that is only valid during the callback (clone to keep).
+  const Tensor* map = nullptr;
+  const Tensor* mu = nullptr;
+  /// Convergence score: relative L2 change of the partial map vs the
+  /// previous tick's (1.0 at the first tick, when there is no previous map;
+  /// 0.0 when partials are not emitted for this request).
+  double delta = 0.0;
+};
+
+/// Verdict of a tick callback: keep refining, or stop this request now. A
+/// cancelled request's DcamResult carries the partial state at the boundary
+/// (k = k_done, cancelled = true); its remaining permutation budget is never
+/// drawn, so batch-mates stop sharing forward batches with it immediately.
+enum class TickAction { kContinue, kCancel };
+
+using DcamTickFn = std::function<TickAction(const DcamTick&)>;
 
 class DcamEngine {
  public:
@@ -88,6 +122,40 @@ class DcamEngine {
   std::vector<DcamResult> ComputeMany(const std::vector<Tensor>& series,
                                       const std::vector<int>& class_idx,
                                       const DcamOptions& options = {});
+
+  /// Tick-granular ComputeMany for the anytime/streaming path. Requests
+  /// advance round-robin: each round draws up to `tick_every` permutations
+  /// per live request (packed into shared forward batches exactly like
+  /// ComputeMany), then `on_tick` fires once per still-unfinished request
+  /// with its cursor — and, for requests flagged in `emit_partial`, the
+  /// partial map plus the convergence delta. Returning kCancel retires the
+  /// request at that boundary; its unspent budget is simply never drawn, so
+  /// the remaining rounds pack only live requests.
+  ///
+  /// Determinism: per-request accumulation order depends only on that
+  /// request's own permutation order, and per-instance forwards/CAMs are
+  /// batch-composition-independent, so an uncancelled request's terminal
+  /// result is bit-identical to ComputeMany at the same seed — regardless of
+  /// tick_every, of cancellations among batch-mates, and of how rounds
+  /// interleave requests. (Verified by engine_test.)
+  ///
+  /// Ticks never fire for a request whose budget completed during the round
+  /// (terminal results are returned, not ticked), so a request with
+  /// k <= tick_every sees zero ticks. Unlike ComputeMany, all N (D, D, n)
+  /// accumulators are live for the whole call — callers bound N (the
+  /// service chunks groups at Config::max_coalesce).
+  struct ChunkedConfig {
+    /// Permutations drawn per request per tick round; 0 = the engine batch
+    /// width (one full forward batch per round per live request).
+    int tick_every = 0;
+    /// Per-request: emit the partial map (and delta) on each tick. Costs a
+    /// (D, D, n) clone + extraction per tick. Empty = all false.
+    std::vector<uint8_t> emit_partial;
+  };
+  std::vector<DcamResult> ComputeManyChunked(
+      const std::vector<Tensor>& series, const std::vector<int>& class_idx,
+      const std::vector<DcamOptions>& options, const ChunkedConfig& chunked,
+      const DcamTickFn& on_tick);
 
   models::GapModel* model() const { return model_; }
   int batch() const { return config_.batch; }

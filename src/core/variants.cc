@@ -25,6 +25,8 @@ Tensor ComputeMu(const Tensor& mbar) {
   return mu;
 }
 
+}  // namespace
+
 double RelativeL2Delta(const Tensor& a, const Tensor& b) {
   double num = 0.0, den = 0.0;
   for (int64_t i = 0; i < a.size(); ++i) {
@@ -35,8 +37,6 @@ double RelativeL2Delta(const Tensor& a, const Tensor& b) {
   if (den == 0.0) return num == 0.0 ? 0.0 : 1.0;
   return std::sqrt(num / den);
 }
-
-}  // namespace
 
 std::string ExtractionRuleName(ExtractionRule rule) {
   switch (rule) {

@@ -45,6 +45,11 @@ const std::vector<ExtractionRule>& AllExtractionRules();
 /// Extracts a (D, n) map from `mbar` under `rule`.
 Tensor ExtractWithRule(const Tensor& mbar, ExtractionRule rule);
 
+/// Relative L2 change sqrt(|a - b|^2 / |b|^2) between two same-shaped maps —
+/// the convergence score of the adaptive-k stopping rule and of the
+/// streaming (anytime) tick path. |b| == 0 yields 0 when a == b, 1 otherwise.
+double RelativeL2Delta(const Tensor& a, const Tensor& b);
+
 struct AdaptiveDcamOptions {
   /// Permutations evaluated between convergence checks.
   int batch = 10;

@@ -48,6 +48,22 @@ void CompletionQueue::Push(Completion c) {
   consumer_cv_.notify_one();
 }
 
+void CompletionQueue::PushTick(Completion c) {
+  std::unique_lock<std::mutex> lock(mu_);
+  DCAM_CHECK_GT(pending_, 0u) << "PushTick without a matching BeginOp";
+  if (capacity_ > 0) {
+    producer_cv_.wait(
+        lock, [&] { return shutdown_ || buffer_.size() < capacity_; });
+  }
+  // A tick after Shutdown is dropped outright: the pending slot stays with
+  // the terminal Push (which delivers kShutdown), and a consumer that
+  // stopped listening must not wade through stale partial maps to find it.
+  if (shutdown_) return;
+  c.status = Status::kTick;
+  buffer_.push_back(std::move(c));
+  consumer_cv_.notify_one();  // under the lock, as in Push
+}
+
 bool CompletionQueue::Next(Completion* out) {
   std::unique_lock<std::mutex> lock(mu_);
   consumer_cv_.wait(lock, [&] {

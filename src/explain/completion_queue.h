@@ -16,7 +16,13 @@
 // Lifecycle contract:
 //   * Every SubmitAsync(cq, tag) produces exactly one Completion on `cq` —
 //     kOk with the result, or kError carrying the exception a future-based
-//     Submit would have thrown (ServiceOverloadError, DeadlineExceededError).
+//     Submit would have thrown (ServiceOverloadError, DeadlineExceededError,
+//     CancelledError).
+//   * A SubmitStreaming(cq, tag) op additionally delivers zero or more kTick
+//     completions (partial map + convergence at k_done permutations) under
+//     the same tag *before* its single terminal completion. Ticks do not
+//     consume the op's pending slot; a tag is finished exactly when a
+//     non-kTick completion arrives for it.
 //   * Shutdown() stops the queue: ops already submitted still deliver their
 //     tags (so per-op client state can always be reclaimed), but as kShutdown
 //     — results that finish after Shutdown are dropped, not handed out.
@@ -48,20 +54,28 @@ namespace explain {
 class CompletionQueue {
  public:
   enum class Status {
-    kOk,        // `result` is valid
+    kOk,        // `result` is valid; the op's terminal completion
     kError,     // `error` holds the exception Submit's future would throw
     kShutdown,  // op was pending across Shutdown(); result dropped
+    kTick,      // streaming refinement: `result` holds the partial map at
+                // result.k permutations with result.convergence; the op is
+                // still in flight and will deliver more ticks and/or a
+                // terminal kOk/kError/kShutdown under the same tag
   };
 
-  /// One finished (or abandoned) async op. `tag` is returned verbatim from
-  /// the SubmitAsync that started the op.
+  /// One finished (or abandoned) async op — or, for SubmitStreaming ops, one
+  /// refinement tick of an op still in flight. `tag` is returned verbatim
+  /// from the submit call that started the op.
   struct Completion {
     void* tag = nullptr;
     Status status = Status::kOk;
-    ExplanationResult result;    // kOk only
+    ExplanationResult result;    // kOk and kTick
     std::exception_ptr error;    // kError only
 
     bool ok() const { return status == Status::kOk; }
+    /// True for a non-terminal streaming tick: more completions follow for
+    /// this tag.
+    bool tick() const { return status == Status::kTick; }
   };
 
   /// capacity = 0: unbounded. capacity > 0: Push blocks while that many
@@ -101,6 +115,15 @@ class CompletionQueue {
   /// (unless shut down). After Shutdown the completion is delivered with
   /// Status::kShutdown and its payload cleared.
   void Push(Completion c);
+
+  /// Delivers one streaming refinement tick (forced to Status::kTick) for an
+  /// op begun with BeginOp — the op's pending slot is NOT consumed; the
+  /// terminal Push still follows. Blocks on a full bounded queue exactly
+  /// like Push (tick backpressure throttles the producing scheduler). After
+  /// Shutdown ticks are dropped entirely, with no kShutdown placeholder:
+  /// only the terminal completion speaks for the tag once the consumer has
+  /// stopped listening.
+  void PushTick(Completion c);
 
  private:
   const size_t capacity_;

@@ -86,6 +86,11 @@ struct ExplanationResult {
   int num_correct = 0;
   /// Whether the adaptive-k stopping rule fired before max_k.
   bool converged = false;
+  /// Anytime convergence score: relative L2 change of the map vs the
+  /// previous streaming tick's map (core::RelativeL2Delta). Set on kTick
+  /// completions (1.0 at the first tick) and on the terminal result of a
+  /// streamed request; 0 for non-streamed requests.
+  double convergence = 0.0;
 
   /// n_g / k, the paper's label-free explanation-quality proxy (§5.6).
   double CorrectRatio() const {

@@ -33,11 +33,12 @@ uint64_t ElapsedNs(MonotonicClock::time_point from,
       std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
 }
 
-bool HasDeadline(MonotonicClock::time_point deadline) {
-  return deadline != MonotonicClock::time_point{};
-}
-
 }  // namespace
+
+bool Ticket::Cancel() {
+  if (state_ == nullptr || state_->terminal.load()) return false;
+  return state_->service->CancelRequest(state_);
+}
 
 size_t ExplainService::CacheKeyHash::operator()(const CacheKey& k) const {
   uint64_t h = kFnvOffset;
@@ -134,6 +135,10 @@ int ExplainService::LeastLoadedLocked(const ModelEntry& entry) const {
 }
 
 void ExplainService::Deliver(Pending* p, ExplanationResult result) {
+  // Terminal-first: once the sink is engaged a racing Ticket::Cancel must
+  // see the request as finished (the flag is what keeps a post-shutdown
+  // Cancel from dereferencing the service).
+  if (p->ticket != nullptr) p->ticket->terminal.store(true);
   if (p->cq != nullptr) {
     CompletionQueue::Completion c;
     c.tag = p->tag;
@@ -150,6 +155,7 @@ void ExplainService::Deliver(Pending* p, ExplanationResult result) {
 }
 
 void ExplainService::DeliverError(Pending* p, std::exception_ptr error) {
+  if (p->ticket != nullptr) p->ticket->terminal.store(true);
   if (p->cq != nullptr) {
     CompletionQueue::Completion c;
     c.tag = p->tag;
@@ -181,16 +187,95 @@ void ExplainService::Reject(Pending* p, const std::string& why) {
   DeliverError(p, std::make_exception_ptr(ServiceOverloadError(why)));
 }
 
-void ExplainService::Expire(Pending* p) {
+void ExplainService::Expire(Pending* p, const char* where) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.deadline_expired;
     if (p->has_key_ref) DropKeyRefLocked(*p);
+    p->has_key_ref = false;
   }
+  p->done = true;
   DeliverError(p, std::make_exception_ptr(DeadlineExceededError(
-                      "request deadline passed while queued (method \"" +
-                      p->request.method + "\", model \"" +
+                      std::string("request deadline passed ") + where +
+                      " (method \"" + p->request.method + "\", model \"" +
                       p->request.model_id + "\")")));
+}
+
+bool ExplainService::CancelRequest(
+    const std::shared_ptr<internal::TicketState>& state) {
+  Pending victim;
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state->terminal.load()) return false;
+    // The flag alone cancels a running request: every scheduler re-checks
+    // it at dequeue, before a non-tickable compute, and at each engine tick
+    // boundary. Setting it under mu_ orders it against the dequeue scan —
+    // a request is either still findable in a queue here, or its scheduler
+    // will observe the flag.
+    state->cancel_requested.store(true);
+    for (auto& shard : shards_) {
+      for (auto& queue : shard->queues) {
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+          if (it->ticket == state) {
+            victim = std::move(*it);
+            queue.erase(it);
+            --queued_total_;
+            queued_bytes_ -= SeriesBytes(victim.request.series);
+            if (victim.has_key_ref) DropKeyRefLocked(victim);
+            ++stats_.cancelled;
+            // The whole budget was unspent: this request never reached an
+            // engine pass.
+            if (victim.request.method == "dcam") {
+              stats_.reclaimed_k +=
+                  static_cast<uint64_t>(victim.request.options.dcam.k);
+            }
+            queued = true;
+            break;
+          }
+        }
+        if (queued) break;
+      }
+      if (queued) break;
+    }
+    // Queue removal bypasses the scheduler rounds, so a blocked Drain()
+    // must re-check its predicate (same as admission-control eviction).
+    if (queued) drained_cv_.notify_all();
+  }
+  if (queued) {
+    DeliverError(&victim,
+                 std::make_exception_ptr(CancelledError(
+                     "request cancelled while queued (Ticket::Cancel)")));
+  }
+  return true;
+}
+
+void ExplainService::CancelInFlight(Pending* p, const char* where) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cancelled;
+    if (p->has_key_ref) DropKeyRefLocked(*p);
+    p->has_key_ref = false;
+  }
+  p->done = true;
+  DeliverError(p, std::make_exception_ptr(CancelledError(
+                      std::string("request cancelled ") + where +
+                      " (Ticket::Cancel)")));
+}
+
+void ExplainService::DeliverTick(Pending* p, const core::DcamTick& tick) {
+  CompletionQueue::Completion c;
+  c.tag = p->tag;
+  c.status = CompletionQueue::Status::kTick;
+  // A private clone per waiter, as in Fulfill: the engine reuses its tick
+  // scratch, and Tensor copies share storage.
+  c.result.map = tick.map->Clone();
+  c.result.k = tick.k_done;
+  c.result.num_correct = tick.num_correct;
+  c.result.convergence = tick.delta;
+  p->cq->PushTick(std::move(c));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.streamed_ticks;
 }
 
 void ExplainService::ShedForLocked(const Pending& arrival, size_t cost,
@@ -218,8 +303,8 @@ void ExplainService::ShedForLocked(const Pending& arrival, size_t cost,
       for (auto& shard : shards_) {
         if (shard->queues[cls].empty()) continue;
         if (from == nullptr ||
-            shard->queues[cls].back().enqueued >
-                from->queues[cls].back().enqueued) {
+            shard->queues[cls].back().ctx.enqueued >
+                from->queues[cls].back().ctx.enqueued) {
           from = shard.get();
         }
       }
@@ -236,89 +321,70 @@ void ExplainService::ShedForLocked(const Pending& arrival, size_t cost,
   }
 }
 
-std::future<ExplanationResult> ExplainService::Submit(ExplainRequest request) {
-  Pending p;
-  std::future<ExplanationResult> future = p.promise.get_future();
-  SubmitInternal(std::move(request), std::move(p));
-  return future;
-}
-
-void ExplainService::SubmitAsync(ExplainRequest request,
-                                 ExplainCallback callback) {
-  DCAM_CHECK(callback) << "SubmitAsync requires a callable callback";
-  Pending p;
-  p.callback = std::move(callback);
-  SubmitInternal(std::move(request), std::move(p));
-}
-
-void ExplainService::SubmitAsync(ExplainRequest request, CompletionQueue* cq,
-                                 void* tag) {
-  DCAM_CHECK(cq != nullptr) << "SubmitAsync requires a CompletionQueue";
-  // Begin the op before admission: even a synchronously-shed request must
-  // deliver its tag on the queue exactly once.
-  cq->BeginOp();
-  Pending p;
-  p.cq = cq;
-  p.tag = tag;
-  SubmitInternal(std::move(request), std::move(p));
-}
-
-void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
-  DCAM_CHECK_EQ(request.series.rank(), 2)
-      << "request series must be a (D, n) tensor";
-  // Resolve the backend on the submitting thread: a misspelled backend is a
-  // programming error and must not take a scheduler down. A known backend
-  // with no specialization for this method computes the same bits as
-  // portable, so it resolves to (and caches/dedupes as) "portable".
-  DCAM_CHECK(request.backend.empty() ||
-             KnownExplainerBackend(request.backend))
-      << "unknown backend \"" << request.backend
-      << "\" in ExplainRequest (expected \"portable\", \"avx2\", \"bf16\", "
-         "or a registered backend; probe with KnownExplainerBackend)";
-  const std::string resolved =
-      !request.backend.empty() &&
-              HasExplainerBackend(request.method, request.backend)
-          ? request.backend
-          : std::string("portable");
-  if (resolved == "bf16") {
-    // The bf16 dcam path coalesces through the same ComputeMany groups as
-    // float32 requests, so the precision rides in the per-request options
-    // (folded before the digest below — the cache must key on what is
-    // actually computed).
-    request.options.dcam.precision = gemm::Precision::kBf16;
+Explainer* ExplainService::ResolveRequest(const ExplainRequest& request,
+                                          std::string* resolved) {
+  // A known backend with no specialization for this method computes the same
+  // bits as portable, so it resolves to (and caches/dedupes as) "portable".
+  *resolved = !request.backend.empty() &&
+                      HasExplainerBackend(request.method, request.backend)
+                  ? request.backend
+                  : std::string("portable");
+  const std::pair<std::string, std::string> proto_key{request.method,
+                                                      *resolved};
+  std::lock_guard<std::mutex> lock(prototypes_mu_);
+  auto it = prototypes_.find(proto_key);
+  if (it == prototypes_.end()) {
+    // The caller vetted the method name, so this cannot CHECK-fail.
+    it = prototypes_.emplace(proto_key, MakeExplainer(request.method, *resolved))
+             .first;
   }
-  Explainer* proto;
-  {
-    const std::pair<std::string, std::string> proto_key{request.method,
-                                                        resolved};
-    std::lock_guard<std::mutex> lock(prototypes_mu_);
-    auto it = prototypes_.find(proto_key);
-    if (it == prototypes_.end()) {
-      // CHECK-fails on unknown method names, on the submitting thread.
-      it = prototypes_
-               .emplace(proto_key, MakeExplainer(request.method, resolved))
-               .first;
-    }
-    proto = it->second.get();
-  }
+  return it->second.get();
+}
 
-  // Reject unsupported (method, model) pairings here, on the submitting
-  // thread — a CHECK on a scheduler thread would take every other client's
-  // in-flight request down with it. Supports is const and reads only
-  // immutable model configuration, so probing while a scheduler forwards
-  // the same model is safe; the verdict is memoized per (method, model,
-  // series shape) because the dCAM probe materializes a (1, D, D, n) cube,
-  // far too expensive for the per-request path. Replicas are architecture
-  // copies, so the source model's verdict covers the whole group.
+void ExplainService::ValidateRequest(const ExplainRequest& request) {
+  // Thrown, not CHECKed: a bad request must fail its caller synchronously,
+  // never take a scheduler (and every other client's in-flight work) down.
+  if (request.model_id.empty()) {
+    throw std::invalid_argument("ExplainRequest.model_id must be non-empty");
+  }
+  if (request.method.empty()) {
+    throw std::invalid_argument("ExplainRequest.method must be non-empty");
+  }
+  if (!HasExplainer(request.method)) {
+    throw std::invalid_argument("unknown explainer method \"" +
+                                request.method +
+                                "\" (probe with HasExplainer)");
+  }
+  if (!request.backend.empty() && !KnownExplainerBackend(request.backend)) {
+    throw std::invalid_argument(
+        "unknown backend \"" + request.backend +
+        "\" in ExplainRequest (expected \"portable\", \"avx2\", \"bf16\", or "
+        "a registered backend; probe with KnownExplainerBackend)");
+  }
+  if (request.series.rank() != 2) {
+    throw std::invalid_argument(
+        "ExplainRequest.series must be a (D, n) tensor, got " +
+        ShapeToString(request.series.shape()));
+  }
   models::Model* model = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = models_.find(request.model_id);
-    DCAM_CHECK(it != models_.end()) << "unknown model id \""
-                                    << request.model_id
-                                    << "\" (RegisterModel first)";
+    if (it == models_.end()) {
+      throw std::invalid_argument("unknown model id \"" + request.model_id +
+                                  "\" (RegisterModel first)");
+    }
     model = it->second.source;
   }
+  // Reject unsupported (method, model) pairings here, on the submitting
+  // thread. Supports is const and reads only immutable model configuration,
+  // so probing while a scheduler forwards the same model is safe; the
+  // verdict is memoized per (method, model, series shape) because the dCAM
+  // probe materializes a (1, D, D, n) cube, far too expensive for the
+  // per-request path. Replicas are architecture copies, so the source
+  // model's verdict covers the whole group.
+  std::string resolved;
+  Explainer* proto = ResolveRequest(request, &resolved);
   bool supported;
   {
     const SupportsKey key{request.method, model, request.series.dim(0),
@@ -331,12 +397,95 @@ void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
     }
     supported = it->second;
   }
-  DCAM_CHECK(supported)
-      << "method \"" << request.method << "\" does not support model \""
-      << request.model_id << "\" (" << model->name() << ") for a ("
-      << request.series.dim(0) << ", " << request.series.dim(1) << ") series";
+  if (!supported) {
+    throw std::invalid_argument(
+        "method \"" + request.method + "\" does not support model \"" +
+        request.model_id + "\" (" + model->name() + ") for a (" +
+        std::to_string(request.series.dim(0)) + ", " +
+        std::to_string(request.series.dim(1)) + ") series");
+  }
+}
+
+Ticket ExplainService::MakeTicket(Pending* p,
+                                  MonotonicClock::time_point deadline) {
+  p->ticket = std::make_shared<internal::TicketState>();
+  p->ticket->service = this;
+  Ticket t;
+  t.state_ = p->ticket;
+  t.deadline_ = deadline;
+  return t;
+}
+
+Ticket ExplainService::Submit(ExplainRequest request) {
+  ValidateRequest(request);
+  Pending p;
+  std::future<ExplanationResult> future = p.promise.get_future();
+  Ticket t = MakeTicket(&p, request.deadline);
+  t.future_ = std::move(future);
+  SubmitInternal(std::move(request), std::move(p));
+  return t;
+}
+
+Ticket ExplainService::SubmitAsync(ExplainRequest request,
+                                   ExplainCallback callback) {
+  DCAM_CHECK(callback) << "SubmitAsync requires a callable callback";
+  ValidateRequest(request);
+  Pending p;
+  p.callback = std::move(callback);
+  Ticket t = MakeTicket(&p, request.deadline);
+  SubmitInternal(std::move(request), std::move(p));
+  return t;
+}
+
+Ticket ExplainService::SubmitAsync(ExplainRequest request, CompletionQueue* cq,
+                                   void* tag) {
+  DCAM_CHECK(cq != nullptr) << "SubmitAsync requires a CompletionQueue";
+  // Validate before BeginOp: an invalid request throws to the caller and
+  // must leave the queue's pending count untouched (its tag never existed).
+  ValidateRequest(request);
+  // Begin the op before admission: even a synchronously-shed request must
+  // deliver its tag on the queue exactly once.
+  cq->BeginOp();
+  Pending p;
+  p.cq = cq;
+  p.tag = tag;
+  Ticket t = MakeTicket(&p, request.deadline);
+  SubmitInternal(std::move(request), std::move(p));
+  return t;
+}
+
+Ticket ExplainService::SubmitStreaming(ExplainRequest request,
+                                       CompletionQueue* cq, void* tag) {
+  DCAM_CHECK(cq != nullptr) << "SubmitStreaming requires a CompletionQueue";
+  ValidateRequest(request);
+  cq->BeginOp();
+  Pending p;
+  p.cq = cq;
+  p.tag = tag;
+  p.streaming = true;
+  Ticket t = MakeTicket(&p, request.deadline);
+  SubmitInternal(std::move(request), std::move(p));
+  return t;
+}
+
+void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
+  // Precondition: the public surface already ran ValidateRequest, so the
+  // method/model/backend names and the series shape are vetted and the
+  // request cannot throw past an engaged sink from here on.
+  std::string resolved;
+  Explainer* proto = ResolveRequest(request, &resolved);
+  if (resolved == "bf16") {
+    // The bf16 dcam path coalesces through the same ComputeMany groups as
+    // float32 requests, so the precision rides in the per-request options
+    // (folded before the digest below — the cache must key on what is
+    // actually computed).
+    request.options.dcam.precision = gemm::Precision::kBf16;
+  }
 
   p.request = std::move(request);
+  p.ctx.priority = p.request.priority;
+  p.ctx.deadline = p.request.deadline;
+  p.ctx.backend = resolved;
   p.dedupable = proto->Deterministic();
   p.cacheable = p.dedupable && config_.cache_capacity > 0;
   p.key.model_id = p.request.model_id;
@@ -395,8 +544,8 @@ void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
     }
     if (!reject) {
       auto model_it = models_.find(p.request.model_id);
-      p.epoch = model_it->second.epoch;
-      p.enqueued = clock_->Now();
+      p.ctx.epoch = model_it->second.epoch;
+      p.ctx.enqueued = clock_->Now();
       // Key-affinity routing: repeats of an in-flight dedupable key pin to
       // its shard (where the per-batch dedupe or the shared cache merges
       // them); fresh keys — and non-dedupable requests — go least-loaded.
@@ -559,7 +708,7 @@ void ExplainService::SchedulerLoop(int shard_idx) {
       const auto now = clock_->Now();
       for (const Pending& p : batch) {
         queued_bytes_ -= SeriesBytes(p.request.series);
-        const uint64_t delay = ElapsedNs(p.enqueued, now);
+        const uint64_t delay = ElapsedNs(p.ctx.enqueued, now);
         stats_.queue_delay_ns += delay;
         stats_.queue_delay_ns_by_priority[p.priority_class()] += delay;
         ++stats_.drained_by_priority[p.priority_class()];
@@ -631,7 +780,8 @@ void ExplainService::Fulfill(Pending* p, const ExplanationResult& result) {
 
 void ExplainService::ProcessDcamGroup(Shard* shard, models::Model* model,
                                       std::vector<Pending*>* group,
-                                      const CompleteFn& complete) {
+                                      const CompleteFn& complete,
+                                      const GroupTickFn& on_tick) {
   auto* gap = dynamic_cast<models::GapModel*>(model);
   DCAM_CHECK(gap != nullptr)
       << "\"dcam\" requests need a GAP-headed d-architecture model, got "
@@ -648,7 +798,10 @@ void ExplainService::ProcessDcamGroup(Shard* shard, models::Model* model,
   core::DcamEngine* engine = engine_it->second.get();
 
   // Chunks bound the number of live (D, D, n) accumulators; within a chunk
-  // ComputeMany packs permutation batches across the requests.
+  // the engine packs permutation batches across the requests. The chunked
+  // entry point draws each request's permutations in the same per-request
+  // order as ComputeMany, so the terminal maps are bit-identical to the
+  // blocking path — ticks only add observation points.
   const size_t n = group->size();
   for (size_t begin = 0; begin < n;
        begin += static_cast<size_t>(config_.max_coalesce)) {
@@ -657,6 +810,9 @@ void ExplainService::ProcessDcamGroup(Shard* shard, models::Model* model,
     std::vector<Tensor> series;
     std::vector<int> classes;
     std::vector<core::DcamOptions> options;
+    core::DcamEngine::ChunkedConfig chunked;
+    chunked.tick_every = config_.stream_tick_k;
+    chunked.emit_partial.assign(end - begin, 0);
     series.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
       Pending* p = (*group)[i];
@@ -665,9 +821,13 @@ void ExplainService::ProcessDcamGroup(Shard* shard, models::Model* model,
       core::DcamOptions opts = p->request.options.dcam;
       opts.keep_mbar = false;  // match the "dcam" adapter exactly
       options.push_back(opts);
+      chunked.emit_partial[i - begin] = p->wants_ticks ? 1 : 0;
     }
-    const std::vector<core::DcamResult> results =
-        engine->ComputeMany(series, classes, options);
+    const std::vector<core::DcamResult> results = engine->ComputeManyChunked(
+        series, classes, options, chunked,
+        [&](const core::DcamTick& tick) {
+          return on_tick((*group)[begin + tick.index], tick);
+        });
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.coalesced_batches;
@@ -677,10 +837,15 @@ void ExplainService::ProcessDcamGroup(Shard* shard, models::Model* model,
     }
     for (size_t i = begin; i < end; ++i) {
       Pending* p = (*group)[i];
+      const core::DcamResult& r = results[i - begin];
+      // A cancelled pass produced no terminal: every waiter already got its
+      // CancelledError / DeadlineExceededError at the stopping boundary.
+      if (r.cancelled) continue;
       ExplanationResult out;
-      out.map = results[i - begin].dcam;
-      out.k = results[i - begin].k;
-      out.num_correct = results[i - begin].num_correct;
+      out.map = r.dcam;
+      out.k = r.k;
+      out.num_correct = r.num_correct;
+      out.convergence = r.convergence;
       complete(p, out);
     }
   }
@@ -695,17 +860,28 @@ void ExplainService::Process(
   // decide what a client receives. The cache is shared across shards, so a
   // result computed by any replica answers repeats routed here.
   //
-  // Before either: deadline expiry at dequeue. A request whose deadline
-  // passed while it sat queued fails with DeadlineExceededError — nobody is
-  // waiting, so neither a cache probe nor compute is spent on it. Expiry is
-  // per-request and runs before the dedupe map is built, so an expired
-  // leader simply cedes leadership to its next unexpired duplicate.
+  // Before either: cancellation and deadline expiry at dequeue. A request
+  // cancelled or expired while it sat queued fails with CancelledError /
+  // DeadlineExceededError — nobody is waiting, so neither a cache probe nor
+  // compute is spent on it (a cancelled "dcam" request's whole permutation
+  // budget is reclaimed). Both checks are per-request and run before the
+  // dedupe map is built, so a dead leader simply cedes leadership to its
+  // next live duplicate.
   const auto drained_at = clock_->Now();
   std::vector<Pending*> misses;
   std::unordered_map<CacheKey, std::vector<Pending*>, CacheKeyHash> dupes;
   for (Pending& p : batch) {
-    if (HasDeadline(p.request.deadline) && drained_at > p.request.deadline) {
-      Expire(&p);
+    if (p.ticket->cancel_requested.load()) {
+      if (p.request.method == "dcam") {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.reclaimed_k +=
+            static_cast<uint64_t>(p.request.options.dcam.k);
+      }
+      CancelInFlight(&p, "at dequeue");
+      continue;
+    }
+    if (p.ctx.has_deadline() && drained_at > p.ctx.deadline) {
+      Expire(&p, "while queued");
       continue;
     }
     if (p.cacheable) {
@@ -747,6 +923,57 @@ void ExplainService::Process(
     misses.push_back(&p);
   }
 
+  // Tick fan-out wiring: a computation emits partial maps exactly when at
+  // least one of its waiters is a streaming sink (leader or follower — a
+  // deduped streaming follower turns its leader's ticks on).
+  for (Pending* p : misses) p->wants_ticks = p->streaming;
+  for (auto& [key, waiters] : dupes) {
+    for (Pending* w : waiters) {
+      if (w->streaming) waiters.front()->wants_ticks = true;
+    }
+  }
+
+  // Per-round tick handler: the engine checkpoints every live "dcam" request
+  // at each stream_tick_k boundary; this fans the checkpoint out to the
+  // request's whole waiter list. Order per waiter matters — cancel beats the
+  // tick (a cancelling client wants no more data), but deadline expiry
+  // delivers the boundary's tick first, then the terminal (the anytime
+  // contract: an expiring client keeps the best map computed in its budget).
+  // When no waiter is left alive the engine pass stops and the undrawn
+  // permutations are reclaimed.
+  const GroupTickFn on_tick = [&](Pending* leader,
+                                  const core::DcamTick& tick) {
+    auto it = dupes.find(leader->key);
+    const bool leads_list = it != dupes.end() && !it->second.empty() &&
+                            it->second.front() == leader;
+    size_t alive = 0;
+    auto visit = [&](Pending* w) {
+      if (w->done) return;
+      if (w->ticket->cancel_requested.load()) {
+        CancelInFlight(w, "at a tick boundary");
+        return;
+      }
+      if (w->streaming && tick.map != nullptr) DeliverTick(w, tick);
+      if (w->ctx.has_deadline() && clock_->Now() > w->ctx.deadline) {
+        Expire(w, "at a tick boundary");
+        return;
+      }
+      ++alive;
+    };
+    if (leads_list) {
+      for (Pending* w : it->second) visit(w);
+    } else {
+      visit(leader);
+    }
+    if (alive == 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.reclaimed_k +=
+          static_cast<uint64_t>(tick.k_target - tick.k_done);
+      return core::TickAction::kCancel;
+    }
+    return core::TickAction::kContinue;
+  };
+
   // 2. Coalesce "dcam" misses per model into shared engine passes; serve
   // every other method through its per-(method, model) registry explainer.
   // Leaders with followers also record their result locally — the LRU alone
@@ -765,10 +992,13 @@ void ExplainService::Process(
       {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = models_.find(p->request.model_id);
-        current = it != models_.end() && it->second.epoch == p->epoch;
+        current = it != models_.end() && it->second.epoch == p->ctx.epoch;
       }
       if (current) {
         CacheEntry entry{r, p->request.series.Clone()};
+        // The cache stores the canonical (non-streamed) form: hits must look
+        // the same whichever surface computed the entry.
+        entry.result.convergence = 0.0;
         std::lock_guard<std::mutex> lock(cache_mu_);
         cache_.Put(p->key, std::move(entry));
       }
@@ -780,7 +1010,10 @@ void ExplainService::Process(
         it->second.front() == p) {
       computed.emplace(p->key, r);
     }
-    Fulfill(p, r);
+    // A leader cancelled/expired mid-stream got its terminal at the tick
+    // boundary, but its result still reaches the cache and its followers
+    // (they may be alive) — only the delivery is skipped.
+    if (!p->done) Fulfill(p, r);
   };
   std::vector<std::pair<models::Model*, std::vector<Pending*>>> dcam_groups;
   std::vector<Pending*> singles;
@@ -800,23 +1033,28 @@ void ExplainService::Process(
     }
   }
   for (auto& [model, group] : dcam_groups) {
-    ProcessDcamGroup(shard, model, &group, complete);
+    ProcessDcamGroup(shard, model, &group, complete, on_tick);
   }
   for (Pending* p : singles) {
     models::Model* model = models.at(p->request.model_id);
     const ExplanationResult result =
-        ExplainerFor(shard, p->request.method, p->key.backend, model)
+        ExplainerFor(shard, p->request.method, p->ctx.backend, model)
             ->Explain(model, p->request.series, p->request.class_idx,
                       p->request.options);
     complete(p, result);
   }
 
-  // 3. Fulfill the deduped followers from their leaders' results.
+  // 3. Fulfill the deduped followers from their leaders' results. A missing
+  // computed entry means the whole waiter list died mid-stream (the engine
+  // pass was cancelled before producing a terminal) — every waiter already
+  // received its terminal error at the tick boundary.
   for (auto& [key, waiters] : dupes) {
     if (waiters.size() <= 1) continue;
     auto it = computed.find(key);
-    DCAM_CHECK(it != computed.end());
-    for (size_t i = 1; i < waiters.size(); ++i) Fulfill(waiters[i], it->second);
+    if (it == computed.end()) continue;
+    for (size_t i = 1; i < waiters.size(); ++i) {
+      if (!waiters[i]->done) Fulfill(waiters[i], it->second);
+    }
   }
 }
 

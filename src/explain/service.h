@@ -20,16 +20,28 @@
 // with private weight storage — so dCAM throughput scales with cores beyond
 // one engine's batch width:
 //
-//   clients --Submit()--> [admission: depth/byte bounds -> reject/degrade-k]
-//                |
+//   clients --Submit*() -> Ticket--> [validate (throws std::invalid_argument)]
+//                |                   [admission: depth/byte bounds ->
+//                |                    reject/degrade-k]
 //                v  route: same key -> same shard; else least-loaded in group
 //        shard 0 queue        shard 1 queue        ...   (one thread each)
-//                |                  |
-//                v                  v
+//                |                  |        <- Ticket::Cancel dequeues here
+//                v                  v           (immediate CancelledError)
 //         [cache probe]      [cache probe]        (one cache, shared)
 //                |  miss            |  miss
 //                v                  v
-//         coalesce "dcam" per model -> ComputeMany; other methods 1-at-a-time
+//         coalesce "dcam" per model -> ComputeManyChunked; others 1-at-a-time
+//                |
+//                |  every `stream_tick_k` permutations, per request:
+//                |    - streaming sinks get Completion{kTick: partial map,
+//                |      convergence, k_done} on their CompletionQueue
+//                |    - Ticket::Cancel / deadline expiry observed -> terminal
+//                |      CancelledError / DeadlineExceededError at the tick
+//                |      boundary; when no waiter is left the engine stops and
+//                |      the unspent permutation budget is reclaimed
+//                v
+//         terminal completion -> promise | callback | cq  (full-k results
+//                                 only; the only ones the cache stores)
 //
 // The result cache and the in-flight key table are global, so a result
 // computed by one shard answers repeats routed anywhere; identical in-flight
@@ -59,12 +71,20 @@
 // Duplicates split across rounds don't share a batch — the later copy is
 // served by the result cache, or recomputes when caching is disabled.
 //
-// Three client surfaces share one request lifecycle (admission, routing,
-// priorities, deadlines, stats are identical across them):
-//   * Submit(request)            -> std::future   (one blocked thread each)
+// Four client surfaces share one request lifecycle (validation, admission,
+// routing, priorities, deadlines, cancellation, stats are identical across
+// them), and every one returns the same Ticket handle:
+//   * Submit(request)            -> Ticket::get()  (one blocked thread each)
 //   * SubmitAsync(request, cb)   -> callback on a scheduler thread
-//   * SubmitAsync(request, cq, tag) -> tagged Completion on a
+//   * SubmitAsync(request, cq, tag) -> tagged terminal Completion on a
 //     CompletionQueue; one client thread drives N in-flight requests.
+//   * SubmitStreaming(request, cq, tag) -> zero or more kTick Completions
+//     (partial map + convergence score after each permutation batch of the
+//     anytime k-loop), then exactly one terminal Completion.
+// The Ticket is the cancel handle: Cancel() fails a still-queued request
+// immediately with CancelledError, and flags a running one to stop at its
+// next tick boundary — the scheduler reclaims the unspent permutation
+// budget (stats().reclaimed_k) once no waiter is left on the computation.
 //
 // Determinism: every request carries its own options (and hence its own
 // seed), which ComputeMany applies per instance, so batching, caching, and
@@ -86,6 +106,7 @@
 #define DCAM_EXPLAIN_SERVICE_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -112,6 +133,8 @@
 namespace dcam {
 namespace core {
 class DcamEngine;
+struct DcamTick;
+enum class TickAction;
 }  // namespace core
 
 namespace explain {
@@ -135,7 +158,8 @@ struct ExplainRequest {
   /// against the (method, backend) registry: a known backend with no
   /// specialized registration for this method falls back to "portable"
   /// (same computation, same cache key), while a name that is not a known
-  /// backend at all CHECK-fails on the submitting thread.
+  /// backend at all makes ValidateRequest throw std::invalid_argument on
+  /// the submitting thread.
   std::string backend;
   Tensor series;  // (D, n)
   int class_idx = 0;
@@ -143,22 +167,38 @@ struct ExplainRequest {
   Priority priority = Priority::kNormal;
   /// Absolute monotonic deadline; the default (epoch) means none. A request
   /// still queued when its deadline passes fails with DeadlineExceededError
-  /// at dequeue — compute already started is never cancelled. Measured
-  /// against Config::clock, so build deadlines from that clock's Now().
+  /// at dequeue; a "dcam" request already computing observes expiry at its
+  /// next tick boundary — a streaming sink receives that boundary's tick
+  /// first, then the DeadlineExceededError terminal. Measured against
+  /// Config::clock, so build deadlines from that clock's Now().
   MonotonicClock::time_point deadline{};
 };
 
-/// Thrown through the future of a request refused by admission control.
-struct ServiceOverloadError : std::runtime_error {
-  explicit ServiceOverloadError(const std::string& what)
-      : std::runtime_error(what) {}
+/// Base of every load-/lifecycle-dependent failure a submitted request can
+/// deliver through its sink; catch this to handle all of them uniformly.
+/// (Caller errors — bad names, malformed shapes — are std::invalid_argument
+/// from ValidateRequest instead, thrown synchronously at submit.)
+struct ServiceError : std::runtime_error {
+  explicit ServiceError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Thrown through the future of a request whose deadline passed while it
-/// was queued.
-struct DeadlineExceededError : std::runtime_error {
+/// Delivered for a request refused by admission control.
+struct ServiceOverloadError : ServiceError {
+  explicit ServiceOverloadError(const std::string& what)
+      : ServiceError(what) {}
+};
+
+/// Delivered for a request whose deadline passed while it was queued, or —
+/// for in-flight "dcam" requests — at a tick boundary mid-compute.
+struct DeadlineExceededError : ServiceError {
   explicit DeadlineExceededError(const std::string& what)
-      : std::runtime_error(what) {}
+      : ServiceError(what) {}
+};
+
+/// Delivered for a request cancelled via Ticket::Cancel before its terminal
+/// result was produced.
+struct CancelledError : ServiceError {
+  explicit CancelledError(const std::string& what) : ServiceError(what) {}
 };
 
 /// Outcome handed to a SubmitAsync callback: exactly one of result / error
@@ -172,6 +212,80 @@ struct AsyncResult {
 };
 
 using ExplainCallback = std::function<void(AsyncResult)>;
+
+class ExplainService;
+
+namespace internal {
+
+/// Shared cancel/lifecycle state between a Ticket and the service. The
+/// atomics are the cross-thread signal; arbitration (queued vs running vs
+/// already terminal) happens under the service mutex in CancelRequest.
+struct TicketState {
+  std::atomic<bool> cancel_requested{false};
+  /// Set just before the request's terminal outcome is handed to its sink.
+  std::atomic<bool> terminal{false};
+  ExplainService* service = nullptr;  // non-owning; for queued-cancel removal
+};
+
+}  // namespace internal
+
+/// The one client handle every submit surface returns: it identifies the
+/// request across its whole lifecycle and carries the cancel token (the
+/// CancelHandle role), the deadline the request was submitted with, and —
+/// for the blocking Submit path — the result future. Move-only.
+///
+/// Cancel() is best-effort-exact: a request still queued fails immediately
+/// with CancelledError through its sink; a request already computing is
+/// stopped at its next tick boundary (dCAM's per-batch checkpoint). A
+/// cancel that races terminal delivery may still see the result — Cancel()
+/// returns false once the outcome was already delivered. Tickets must not
+/// outlive the service (same non-owning contract as CompletionQueue);
+/// Cancel() after every outcome was delivered is safe, because a terminal
+/// ticket never touches the service.
+class Ticket {
+ public:
+  Ticket() = default;
+  Ticket(Ticket&&) = default;
+  Ticket& operator=(Ticket&&) = default;
+
+  /// False for a default-constructed (empty) handle.
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the request's terminal outcome (result or error) has been
+  /// handed to its delivery sink.
+  bool done() const { return state_ != nullptr && state_->terminal.load(); }
+
+  /// Requests cancellation; returns true when the request had not yet
+  /// reached terminal delivery (the cancel was accepted — a queued request
+  /// fails now, a running one at its next tick boundary), false when the
+  /// outcome was already delivered and the cancel is a no-op.
+  bool Cancel();
+
+  /// The deadline the request was submitted with (epoch = none).
+  MonotonicClock::time_point deadline() const { return deadline_; }
+
+  /// Blocking-path accessors, valid only for Tickets from Submit() (async
+  /// surfaces deliver through their callback/queue sink instead; calling
+  /// get() on their Tickets throws std::future_error). get() returns the
+  /// result or rethrows the request's ServiceError, exactly like the
+  /// std::future Submit used to return.
+  ExplanationResult get() { return future_.get(); }
+  void wait() const { future_.wait(); }
+  template <class Rep, class Period>
+  std::future_status wait_for(
+      const std::chrono::duration<Rep, Period>& timeout) const {
+    return future_.wait_for(timeout);
+  }
+
+ private:
+  friend class ExplainService;
+  std::shared_ptr<internal::TicketState> state_;
+  std::future<ExplanationResult> future_;
+  MonotonicClock::time_point deadline_{};
+};
+
+/// Vocabulary alias: the Ticket *is* the cancel handle.
+using CancelHandle = Ticket;
 
 class ExplainService {
  public:
@@ -204,6 +318,12 @@ class ExplainService {
     /// The k that degraded "dcam" requests compute with. Requests already at
     /// or below it are rejected instead (degrading would be a no-op).
     int min_degraded_k = 8;
+    /// Permutations per request between streaming ticks (and cancel /
+    /// deadline checkpoints) of the "dcam" engine path; 0 = the engine
+    /// batch width, which costs no forward-batch underfill. Smaller values
+    /// buy finer tick granularity at the price of partially-filled
+    /// forwards.
+    int stream_tick_k = 0;
     /// Time source for deadlines and queue-delay accounting. Null = the real
     /// steady clock; tests inject a ManualClock to make deadline expiry
     /// deterministic. Non-owning; must outlive the service.
@@ -224,7 +344,16 @@ class ExplainService {
     uint64_t queue_delay_ns = 0;    // cumulative Submit -> drain wait
     uint64_t peak_queue_depth = 0;  // largest queued-request count observed
     uint64_t invalidations = 0;     // cache entries dropped by InvalidateModel
-    uint64_t deadline_expired = 0;  // failed at dequeue, deadline passed
+    uint64_t deadline_expired = 0;  // deadline passed: at dequeue, or at a
+                                    // tick boundary mid-compute
+    uint64_t cancelled = 0;         // requests failed by Ticket::Cancel
+    /// Unspent dCAM permutations reclaimed by cancellation/expiry: the full
+    /// k of a request cancelled while queued, plus k_target - k_done of
+    /// every engine pass stopped early because no waiter was left. The
+    /// scheduler's freed budget — those permutations are never drawn, so
+    /// the remaining rounds pack only live batch-mates.
+    uint64_t reclaimed_k = 0;
+    uint64_t streamed_ticks = 0;    // kTick completions delivered
     /// Rejections broken down by the shed request's priority class (indexed
     /// by Priority); sums to shed_rejected. Under lowest-priority-first
     /// shedding the victim may be a queued request, not the arrival.
@@ -265,30 +394,57 @@ class ExplainService {
   /// cached across the invalidation).
   void InvalidateModel(const std::string& id);
 
-  /// Enqueues a request and returns the future result. CHECK-fails on an
-  /// unknown model id or method, or a non-(D, n) series — submission-time
-  /// errors are programming errors, not load-dependent conditions. Under
-  /// admission-control overload the future throws ServiceOverloadError
-  /// (kReject / hard cap) or resolves to a smaller-k result (kDegradeK); a
-  /// deadline that passes while queued throws DeadlineExceededError.
-  std::future<ExplanationResult> Submit(ExplainRequest request);
+  /// Validates `request` on the calling thread; throws std::invalid_argument
+  /// on an empty model id or method, an unknown method / model id / backend
+  /// name, a malformed (non-rank-2) series, or a (method, model) pairing
+  /// the method's Supports rejects. A bad request must fail the caller,
+  /// never a scheduler — every submit surface runs this before engaging any
+  /// delivery sink, so an invalid request throws synchronously and its
+  /// callback / completion queue is never touched. (Non-const only because
+  /// the Supports verdict is memoized.)
+  void ValidateRequest(const ExplainRequest& request);
 
-  /// Async variant: instead of a future, `callback` is invoked exactly once
-  /// with the result or the error Submit's future would have thrown.
-  /// Admission, routing, priorities, and deadlines behave identically to
-  /// Submit; at the same seed the delivered result is bit-identical. The
-  /// callback runs on a scheduler thread (or on the submitting thread for
+  /// Enqueues a request; the returned Ticket's get() blocks for the result.
+  /// Throws std::invalid_argument synchronously for invalid requests (see
+  /// ValidateRequest). Under admission-control overload get() throws
+  /// ServiceOverloadError (kReject / hard cap) or returns a smaller-k
+  /// result (kDegradeK); a deadline that passes while queued throws
+  /// DeadlineExceededError, and Ticket::Cancel makes it throw
+  /// CancelledError.
+  Ticket Submit(ExplainRequest request);
+
+  /// Async variant: `callback` is invoked exactly once with the result or
+  /// the error Submit's get() would have thrown. Admission, routing,
+  /// priorities, deadlines, and cancellation behave identically to Submit;
+  /// at the same seed the delivered result is bit-identical. The callback
+  /// runs on a scheduler thread (or on the submitting thread for
   /// synchronous rejects), with no service lock held — it may SubmitAsync
   /// further requests, but must not block: a stalled callback stalls its
   /// shard.
-  void SubmitAsync(ExplainRequest request, ExplainCallback callback);
+  Ticket SubmitAsync(ExplainRequest request, ExplainCallback callback);
 
   /// Completion-queue variant: delivers exactly one tagged Completion on
   /// `cq` (kOk with the result, or kError carrying the exception). `cq` is
   /// non-owning and must outlive the op — one client thread can hold many
   /// requests in flight and drive them all with cq->Next(). See
   /// completion_queue.h for the shutdown/drain contract.
-  void SubmitAsync(ExplainRequest request, CompletionQueue* cq, void* tag);
+  Ticket SubmitAsync(ExplainRequest request, CompletionQueue* cq, void* tag);
+
+  /// Streaming variant: like SubmitAsync(cq, tag), but before the terminal
+  /// Completion the tag receives a kTick Completion after each
+  /// Config::stream_tick_k permutations of the "dcam" engine pass — the
+  /// partial map (result.map at result.k = k_done permutations) plus the
+  /// anytime convergence score (result.convergence, the relative L2 change
+  /// vs the previous tick). The terminal kOk carries the full-k result,
+  /// bit-identical to what blocking Submit returns at the same seed — only
+  /// terminal full-k results enter the cache. Deduped followers of one
+  /// computation receive the same tick sequence as their leader; a cache
+  /// hit (or a non-"dcam" method, which has no permutation loop) delivers
+  /// zero ticks and just the terminal. Cancel mid-stream stops at the next
+  /// tick; deadline expiry mid-stream delivers that boundary's tick, then
+  /// the DeadlineExceededError terminal.
+  Ticket SubmitStreaming(ExplainRequest request, CompletionQueue* cq,
+                         void* tag);
 
   /// Submit + wait. The calling thread blocks until the scheduler serves
   /// the request (or its cache hit); throws ServiceOverloadError when the
@@ -307,6 +463,8 @@ class ExplainService {
   int replicas() const { return static_cast<int>(shards_.size()); }
 
  private:
+  friend class Ticket;  // Ticket::Cancel calls CancelRequest
+
   struct CacheKey {
     std::string model_id;
     std::string method;
@@ -332,16 +490,41 @@ class ExplainService {
     Tensor series;
   };
 
+  /// Post-validation request attributes, resolved once in SubmitInternal
+  /// and carried by Pending from then on: everything admission, routing,
+  /// scheduling, and expiry consult lives here instead of being re-plumbed
+  /// through parallel argument lists.
+  struct RequestContext {
+    Priority priority = Priority::kNormal;
+    MonotonicClock::time_point deadline{};
+    std::string backend;  // resolved: "portable" unless a specialization ran
+    uint64_t epoch = 0;   // model epoch at admission; stale results skip
+                          // the cache (see InvalidateModel)
+    MonotonicClock::time_point enqueued;
+
+    int priority_class() const { return static_cast<int>(priority); }
+    bool has_deadline() const {
+      return deadline != MonotonicClock::time_point{};
+    }
+  };
+
   struct Pending {
     ExplainRequest request;
+    RequestContext ctx;
     CacheKey key;
     bool dedupable = false;  // deterministic: identical in-flight requests merge
     bool cacheable = false;  // dedupable and the result cache is enabled
     bool has_key_ref = false;  // holds a reference in active_keys_; dropped
-                               // on fulfilment, eviction, or expiry
-    uint64_t epoch = 0;      // model epoch at admission; stale results skip
-                             // the cache (see InvalidateModel)
-    MonotonicClock::time_point enqueued;
+                               // on fulfilment, eviction, expiry, or cancel
+    bool streaming = false;    // sink wants kTick completions (SubmitStreaming)
+    // Scheduler-side flags, meaningful only while a drained batch is
+    // processed: `done` marks a waiter whose terminal outcome (cancel /
+    // expiry) was already delivered mid-stream; `wants_ticks` marks a
+    // dedupe leader at least one of whose waiters is streaming.
+    bool done = false;
+    bool wants_ticks = false;
+    // Shared with the client's Ticket; never null for admitted requests.
+    std::shared_ptr<internal::TicketState> ticket;
     // Exactly one delivery sink: the completion queue if `cq` is set, else
     // `callback` if set, else the promise (the blocking Submit path).
     std::promise<ExplanationResult> promise;
@@ -349,7 +532,7 @@ class ExplainService {
     CompletionQueue* cq = nullptr;
     void* tag = nullptr;
 
-    int priority_class() const { return static_cast<int>(request.priority); }
+    int priority_class() const { return ctx.priority_class(); }
   };
 
   // One registered model and its replica materialization. `source` is the
@@ -386,28 +569,58 @@ class ExplainService {
   /// promise fulfilment.
   using CompleteFn = std::function<void(Pending*, const ExplanationResult&)>;
 
+  /// Tick fan-out hook, built per scheduler round in Process (it needs the
+  /// round's dedupe map): receives the group leader plus the engine tick
+  /// and decides whether the computation continues.
+  using GroupTickFn =
+      std::function<core::TickAction(Pending*, const core::DcamTick&)>;
+
   void SchedulerLoop(int shard_idx);
   void Process(Shard* shard, std::vector<Pending> batch,
                const std::unordered_map<std::string, models::Model*>& models);
-  /// Serves a group of same-model "dcam" misses through one ComputeMany.
+  /// Serves a group of same-model "dcam" misses through one chunked engine
+  /// pass, ticking `on_tick` at every stream_tick_k boundary.
   void ProcessDcamGroup(Shard* shard, models::Model* model,
                         std::vector<Pending*>* group,
-                        const CompleteFn& complete);
+                        const CompleteFn& complete,
+                        const GroupTickFn& on_tick);
   /// Re-copies weights into this shard's clones of models flagged dirty.
   void SyncDirtyReplicas(int shard_idx);
   Explainer* ExplainerFor(Shard* shard, const std::string& method,
                           const std::string& backend, models::Model* model);
-  /// Shared Submit/SubmitAsync tail: validation, admission, routing,
-  /// enqueue. `p` arrives with its delivery sink already attached.
+  /// Attaches a fresh TicketState to `p` and returns the client handle
+  /// (carrying `deadline` for Ticket::deadline()).
+  Ticket MakeTicket(Pending* p, MonotonicClock::time_point deadline);
+  /// Resolves the request's backend string (portable fallback) and returns
+  /// the memoized (method, backend) prototype explainer.
+  Explainer* ResolveRequest(const ExplainRequest& request,
+                            std::string* resolved);
+  /// Shared Submit/SubmitAsync/SubmitStreaming tail: validation, admission,
+  /// routing, enqueue. `p` arrives with its delivery sink (and ticket)
+  /// already attached.
   void SubmitInternal(ExplainRequest request, Pending p);
   void Fulfill(Pending* p, const ExplanationResult& result);
   /// Hands `result`/`error` to the request's sink (promise, callback, or
-  /// completion queue). Must be called with no service lock held.
+  /// completion queue). Must be called with no service lock held; both mark
+  /// the request's Ticket terminal first.
   void Deliver(Pending* p, ExplanationResult result);
   void DeliverError(Pending* p, std::exception_ptr error);
   void Reject(Pending* p, const std::string& why);
-  /// Fails a drained request whose deadline has passed.
-  void Expire(Pending* p);
+  /// Fails a drained request whose deadline has passed; `where` names the
+  /// boundary for the error message ("while queued" / "at a tick boundary").
+  void Expire(Pending* p, const char* where);
+  /// Ticket::Cancel back-end: arbitration under mu_. A still-queued request
+  /// is removed and failed immediately (its full dCAM k is reclaimed); a
+  /// running one is flagged for its next tick boundary. Returns false when
+  /// the request already reached terminal delivery.
+  bool CancelRequest(const std::shared_ptr<internal::TicketState>& state);
+  /// Fails an in-flight waiter with CancelledError and marks it done;
+  /// `where` names the observation point for the error message ("at
+  /// dequeue" / "at a tick boundary").
+  void CancelInFlight(Pending* p, const char* where);
+  /// Delivers one kTick completion (partial map + convergence) to a
+  /// streaming waiter's CompletionQueue.
+  void DeliverTick(Pending* p, const core::DcamTick& tick);
   /// Drops `p`'s reference in the in-flight key table (mu_ held).
   void DropKeyRefLocked(const Pending& p);
   /// Lowest-priority-first shedding (mu_ held): evicts queued requests of

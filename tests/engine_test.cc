@@ -351,6 +351,131 @@ TEST(CamBatchedTest, MatchesPerInstanceCam) {
   }
 }
 
+// ---- ComputeManyChunked: the anytime/streaming entry point -----------------
+
+TEST(DcamEngineChunkedTest, TerminalBitIdenticalToComputeMany) {
+  // Round-robin chunked accumulation must not change a single bit of the
+  // terminal results: each request's permutations are drawn from its own Rng
+  // stream in the same order, whatever the tick cadence.
+  Rng rng(31);
+  const int D = 4, n = 12;
+  auto model = TinyDcnn(D, &rng, 3);
+  std::vector<Tensor> series;
+  std::vector<int> classes;
+  std::vector<DcamOptions> options;
+  for (int i = 0; i < 4; ++i) {
+    Tensor s({D, n});
+    s.FillNormal(&rng, 0.0f, 1.0f);
+    series.push_back(s);
+    classes.push_back(i % 3);
+    DcamOptions o;
+    o.k = 7 + 3 * i;  // distinct budgets: requests retire on different rounds
+    o.seed = 500 + i;
+    options.push_back(o);
+  }
+  DcamEngine::Config cfg;
+  cfg.batch = 8;
+  DcamEngine engine(model.get(), cfg);
+  const std::vector<DcamResult> want =
+      engine.ComputeMany(series, classes, options);
+  for (int tick_every : {0, 1, 3, 8, 100}) {
+    SCOPED_TRACE("tick_every=" + std::to_string(tick_every));
+    DcamEngine::ChunkedConfig chunked;
+    chunked.tick_every = tick_every;
+    const std::vector<DcamResult> got =
+        engine.ComputeManyChunked(series, classes, options, chunked, nullptr);
+    for (size_t i = 0; i < series.size(); ++i) {
+      SCOPED_TRACE("series " + std::to_string(i));
+      EXPECT_FALSE(got[i].cancelled);
+      ExpectBitIdentical(want[i], got[i]);
+    }
+  }
+}
+
+TEST(DcamEngineChunkedTest, TicksAreMonotoneAndPartialMapsExact) {
+  Rng rng(32);
+  const int D = 4, n = 12;
+  auto model = TinyDcnn(D, &rng);
+  Tensor series({D, n});
+  series.FillNormal(&rng, 0.0f, 1.0f);
+  DcamOptions opts;
+  opts.k = 10;
+  opts.seed = 77;
+  DcamEngine::Config cfg;
+  cfg.batch = 4;
+  DcamEngine engine(model.get(), cfg);
+
+  DcamEngine::ChunkedConfig chunked;
+  chunked.tick_every = 3;
+  chunked.emit_partial = {1};
+  std::vector<int> k_seen;
+  std::vector<double> deltas;
+  std::vector<Tensor> maps;
+  engine.ComputeManyChunked(
+      {series}, {0}, {opts}, chunked,
+      [&](const DcamTick& tick) -> TickAction {
+        EXPECT_EQ(tick.index, 0u);
+        EXPECT_EQ(tick.k_target, 10);
+        EXPECT_NE(tick.map, nullptr);
+        k_seen.push_back(tick.k_done);
+        deltas.push_back(tick.delta);
+        maps.push_back(tick.map->Clone());
+        return TickAction::kContinue;
+      });
+  // k = 10, cadence 3: ticks at 3, 6, 9; permutation 10 completes the round
+  // that would have ticked at 12, so it finalizes instead.
+  ASSERT_EQ(k_seen, (std::vector<int>{3, 6, 9}));
+  EXPECT_EQ(deltas[0], 1.0);  // no previous map at the first tick
+  for (size_t t = 1; t < deltas.size(); ++t) EXPECT_GE(deltas[t], 0.0);
+  // Anytime property: the partial map at k_done is the very estimator a
+  // full run with k = k_done produces — bit-identical, same seed.
+  for (size_t t = 0; t < k_seen.size(); ++t) {
+    SCOPED_TRACE("tick at k=" + std::to_string(k_seen[t]));
+    DcamOptions small = opts;
+    small.k = k_seen[t];
+    const DcamResult ref = engine.Compute(series, 0, small);
+    ASSERT_EQ(maps[t].shape(), ref.dcam.shape());
+    for (int64_t j = 0; j < ref.dcam.size(); ++j) {
+      ASSERT_EQ(maps[t][j], ref.dcam[j]) << "flat index " << j;
+    }
+  }
+}
+
+TEST(DcamEngineChunkedTest, CancelStopsOneRequestOthersExact) {
+  Rng rng(33);
+  const int D = 4, n = 12;
+  auto model = TinyDcnn(D, &rng);
+  std::vector<Tensor> series;
+  for (int i = 0; i < 2; ++i) {
+    Tensor s({D, n});
+    s.FillNormal(&rng, 0.0f, 1.0f);
+    series.push_back(s);
+  }
+  std::vector<DcamOptions> options(2);
+  options[0].k = 12;
+  options[0].seed = 41;
+  options[1].k = 12;
+  options[1].seed = 42;
+  DcamEngine::Config cfg;
+  cfg.batch = 4;
+  DcamEngine engine(model.get(), cfg);
+
+  DcamEngine::ChunkedConfig chunked;
+  chunked.tick_every = 4;
+  const std::vector<DcamResult> got = engine.ComputeManyChunked(
+      series, {0, 1}, options, chunked, [&](const DcamTick& tick) {
+        // Cancel request 0 at its first boundary; request 1 runs to budget.
+        return tick.index == 0 ? TickAction::kCancel : TickAction::kContinue;
+      });
+  EXPECT_TRUE(got[0].cancelled);
+  EXPECT_EQ(got[0].k, 4);  // the permutations accumulated before the stop
+  ASSERT_FALSE(got[0].dcam.empty());  // partial map still extracted
+  EXPECT_FALSE(got[1].cancelled);
+  // The survivor is bit-identical to a solo full-budget run: a batch-mate's
+  // cancellation reclaims budget, it never redistributes it.
+  ExpectBitIdentical(engine.Compute(series[1], 1, options[1]), got[1]);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace dcam

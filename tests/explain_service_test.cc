@@ -216,7 +216,7 @@ TEST(ExplainServiceTest, CoalescesConcurrentDcamRequests) {
   // Submit everything before the scheduler can drain (it is busy with the
   // first request's engine pass at the latest), then check stats show at
   // least one multi-request ComputeMany group.
-  std::vector<std::future<ExplanationResult>> futures;
+  std::vector<Ticket> futures;
   for (int i = 0; i < kRequests; ++i) {
     ExplainRequest req;
     req.model_id = "m";
@@ -279,7 +279,7 @@ TEST(ExplainServiceTest, ConcurrencyStressBitIdentical) {
   for (int t = 0; t < kThreads; ++t) {
     clients.emplace_back([&, t] {
       for (int round = 0; round < kRounds; ++round) {
-        std::vector<std::future<ExplanationResult>> futures;
+        std::vector<Ticket> futures;
         for (const Case& c : cases) {
           ExplainRequest req;
           req.model_id = "m";
@@ -325,7 +325,7 @@ TEST(ExplainServiceTest, DrainWaitsForSubmittedWork) {
   auto model = TinyDcnn(&rng);
   ExplainService service;
   service.RegisterModel("m", model.get());
-  std::vector<std::future<ExplanationResult>> futures;
+  std::vector<Ticket> futures;
   for (int i = 0; i < 5; ++i) {
     ExplainRequest req;
     req.model_id = "m";

@@ -233,7 +233,7 @@ TEST(ForcedPortableServiceTest, RoundTripBitIdenticalToDirectExplain) {
 }
 
 // Requesting a known-but-unregistered backend falls back to portable and
-// shares its cache key; an unknown name dies on the submitting thread.
+// shares its cache key; an unknown name throws on the submitting thread.
 TEST(ForcedPortableServiceTest, BackendFallbackSharesCacheKey) {
   Rng rng(19);
   auto model = TinyDcnn(&rng);
@@ -252,23 +252,24 @@ TEST(ForcedPortableServiceTest, BackendFallbackSharesCacheKey) {
   EXPECT_EQ(service.stats().cache_hits, 1u);
 }
 
-TEST(ForcedPortableServiceDeathTest, UnknownRequestBackendAborts) {
+// An unknown backend name is a caller error: ValidateRequest throws
+// std::invalid_argument on the submitting thread instead of CHECK-failing a
+// scheduler (which would take every other client's in-flight work down).
+TEST(ForcedPortableServiceTest, UnknownRequestBackendThrows) {
   Rng rng(20);
   auto model = TinyDcnn(&rng);
   Tensor series({4, 12});
   series.FillNormal(&rng, 0.0f, 1.0f);
-  EXPECT_DEATH(
-      {
-        explain::ExplainService service;
-        service.RegisterModel("m", model.get());
-        explain::ExplainRequest req;
-        req.model_id = "m";
-        req.method = "dcam";
-        req.series = series;
-        req.backend = "tpu";
-        (void)service.Explain(req);
-      },
-      "unknown backend");
+  explain::ExplainService service;
+  service.RegisterModel("m", model.get());
+  explain::ExplainRequest req;
+  req.model_id = "m";
+  req.method = "dcam";
+  req.series = series;
+  req.backend = "tpu";
+  EXPECT_THROW((void)service.Explain(req), std::invalid_argument);
+  // The failed submit engaged no sink and queued nothing.
+  EXPECT_EQ(service.stats().requests, 0u);
 }
 
 }  // namespace

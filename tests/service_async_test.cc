@@ -451,7 +451,7 @@ TEST(ServicePriorityTest, BatchDrainsHighBeforeNormalBeforeBatch) {
   const Priority kOrder[] = {Priority::kBatch,  Priority::kBatch,
                              Priority::kNormal, Priority::kHigh,
                              Priority::kNormal, Priority::kHigh};
-  std::vector<std::future<ExplanationResult>> futures;
+  std::vector<Ticket> futures;
   for (int i = 0; i < 6; ++i) {
     ExplainRequest req;
     req.model_id = "m";

@@ -152,7 +152,7 @@ TEST(ServiceReplicaTest, ShardedBitIdenticalToSingleReplica) {
     ExplainService service(config);
     service.RegisterModel("m", model.get());
     ASSERT_EQ(service.replicas(), replicas);
-    std::vector<std::future<ExplanationResult>> futures;
+    std::vector<Ticket> futures;
     for (const ExplainRequest& req : requests) {
       futures.push_back(service.Submit(req));
     }
@@ -189,7 +189,7 @@ TEST(ServiceReplicaTest, ConcurrentClientsOnShardedServiceBitIdentical) {
   for (int t = 0; t < kThreads; ++t) {
     clients.emplace_back([&, t] {
       for (int round = 0; round < kRounds; ++round) {
-        std::vector<std::future<ExplanationResult>> futures;
+        std::vector<Ticket> futures;
         for (int i = 0; i < kCases; ++i) {
           ExplainRequest req;
           req.model_id = "m";
@@ -495,7 +495,7 @@ TEST(ServiceAdmissionTest, RejectsBeyondDepthBound) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   // Two fit the bound; the rest must be refused.
-  std::vector<std::future<ExplanationResult>> accepted;
+  std::vector<Ticket> accepted;
   accepted.push_back(service.Submit(gated()));
   accepted.push_back(service.Submit(gated()));
   int rejections = 0;
@@ -596,7 +596,7 @@ TEST(ServiceAdmissionTest, ByteBoundShedsBurstWithoutDeadlock) {
   std::vector<std::thread> clients;
   for (int c = 0; c < 4; ++c) {
     clients.emplace_back([&, c] {
-      std::vector<std::future<ExplanationResult>> futures;
+      std::vector<Ticket> futures;
       for (int i = 0; i < 8; ++i) {
         ExplainRequest req;
         req.model_id = "m";
