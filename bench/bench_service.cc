@@ -42,6 +42,11 @@
 //                             (--async) p99 latency per priority class, ns
 //   BM_ServiceFirstTick       (--streaming) mean submit -> first-kTick
 //                             latency of a streamed request, ns
+//   BM_ServiceWarmRestart     the workload re-served by a brand-new service
+//                             process over the persistent cache directory a
+//                             previous service populated — every request must
+//                             come back from the on-disk tier (zero engine
+//                             passes), bit-identical to the direct baseline
 // ns_per_iter is wall time per request (or the p99 latency for the priority
 // rows); shape is D/n/k/clientsxper_client, with /rN appended on rows served
 // by an N-replica service.
@@ -53,6 +58,9 @@
 //   --min-async-speedup X       blocking/async-cq >= X
 //   --max-high-p99-ratio Y      high-priority p99 <= Y * batch-priority p99
 //   --max-first-tick-ratio Y    first-tick latency <= Y * full completion
+// The warm-restart phase carries a built-in gate: when it runs (POSIX hosts)
+// the restarted service must log tier-2 hits and zero engine passes, or the
+// bench exits 2. --cache-dir overrides the default mkdtemp'd tier directory.
 
 #include <algorithm>
 #include <chrono>
@@ -63,6 +71,11 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
 
 #include "util/clock.h"
 
@@ -92,6 +105,7 @@ struct Options {
   double max_high_p99_ratio = 0.0;    // 0 = report only, no gate
   double max_first_tick_ratio = 0.0;  // 0 = report only, no gate
   std::string json_path;
+  std::string cache_dir;  // warm-restart tier directory; "" = fresh temp dir
 };
 
 struct Measurement {
@@ -253,6 +267,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--json") {
       opt.json_path = next("--json");
+    } else if (arg == "--cache-dir") {
+      opt.cache_dir = next("--cache-dir");
     } else if (arg == "--clients") {
       opt.clients = static_cast<int>(ParseIntFlag(next("--clients"), "--clients"));
     } else if (arg == "--requests") {
@@ -289,7 +305,8 @@ int main(int argc, char** argv) {
                    "[--dims D] [--len n] [--replicas R] [--async] "
                    "[--streaming] [--min-replica-speedup X] "
                    "[--min-async-speedup X] [--max-high-p99-ratio Y] "
-                   "[--max-first-tick-ratio Y] [--json path]\n"
+                   "[--max-first-tick-ratio Y] [--cache-dir dir] "
+                   "[--json path]\n"
                    "--min-replica-speedup gates sharded-vs-1-replica scaling, "
                    "--min-async-speedup gates async-vs-blocking throughput; "
                    "both only meaningful on a multi-core host. "
@@ -328,7 +345,7 @@ int main(int argc, char** argv) {
 
   // --- concurrent clients through a single-replica service ----------------
   explain::ExplainService service;
-  service.RegisterModel("dcnn", &model);
+  service.RegisterModel(explain::ModelSpec("dcnn", &model));
   std::vector<Tensor> service_maps(requests.size());
   const double service_s = RunClients(&service, requests, opt.clients,
                                       opt.per_client, &service_maps);
@@ -337,7 +354,7 @@ int main(int argc, char** argv) {
   explain::ExplainService::Config sharded_cfg;
   sharded_cfg.replicas = opt.replicas;
   explain::ExplainService sharded(sharded_cfg);
-  sharded.RegisterModel("dcnn", &model);
+  sharded.RegisterModel(explain::ModelSpec("dcnn", &model));
   std::vector<Tensor> sharded_maps(requests.size());
   const double sharded_s = RunClients(&sharded, requests, opt.clients,
                                       opt.per_client, &sharded_maps);
@@ -378,6 +395,70 @@ int main(int argc, char** argv) {
   std::printf("service (cache hit) : %7.1f ms total, %8.0f us/request\n",
               cache_s * 1e3, cache_s * 1e6 / total);
 
+  // --- warm-restart phase: the persistent tier across a process restart ---
+  // A service with a persistent cache directory computes the workload once
+  // (writing every terminal result through to the on-disk tier) and is torn
+  // down; a brand-new service over the same directory then re-serves the
+  // identical requests. The restart must be invisible: every map comes back
+  // from the tier-2 segments — zero engine passes — and bit-identical.
+  double warm_s = 0.0;
+  unsigned long long warm_tier2_hits = 0;
+  unsigned long long warm_engine_passes = 0;
+  bool warm_ran = false;
+#if defined(__unix__) || defined(__APPLE__)
+  {
+    std::string cache_dir = opt.cache_dir;
+    if (cache_dir.empty()) {
+      char tmpl[] = "/tmp/bench_dcam_warm_XXXXXX";
+      if (::mkdtemp(tmpl) == nullptr) {
+        std::fprintf(stderr,
+                     "bench_service: mkdtemp failed, skipping warm phase\n");
+      } else {
+        cache_dir = tmpl;
+      }
+    }
+    if (!cache_dir.empty()) {
+      explain::ExplainService::Config wcfg;
+      wcfg.replicas = opt.replicas;
+      wcfg.cache.persistent_dir = cache_dir;
+      {
+        explain::ExplainService cold(wcfg);
+        cold.RegisterModel(explain::ModelSpec("dcnn", &model));
+        std::vector<Tensor> cold_maps(requests.size());
+        (void)RunClients(&cold, requests, opt.clients, opt.per_client,
+                         &cold_maps);
+        mismatches += CountMismatches(cold_maps, direct_maps);
+      }  // teardown flushes the buffered tier-2 records to segment files
+      explain::ExplainService warm(wcfg);
+      warm.RegisterModel(explain::ModelSpec("dcnn", &model));
+      std::vector<Tensor> warm_maps(requests.size());
+      warm_s = RunClients(&warm, requests, opt.clients, opt.per_client,
+                          &warm_maps);
+      mismatches += CountMismatches(warm_maps, direct_maps);
+      const explain::ExplainService::Stats warm_stats = warm.stats();
+      warm_tier2_hits =
+          static_cast<unsigned long long>(warm_stats.cache_tier2_hits);
+      warm_engine_passes =
+          static_cast<unsigned long long>(warm_stats.coalesced_batches);
+      warm_ran = true;
+      std::printf("service (warm boot) : %7.1f ms total, %8.0f us/request "
+                  "(%llu tier-2 hits, %llu engine passes after restart)\n",
+                  warm_s * 1e3, warm_s * 1e6 / total, warm_tier2_hits,
+                  warm_engine_passes);
+      if (opt.cache_dir.empty()) {
+        if (DIR* d = ::opendir(cache_dir.c_str())) {
+          while (dirent* e = ::readdir(d)) {
+            if (e->d_name[0] == '.') continue;
+            (void)::unlink((cache_dir + "/" + e->d_name).c_str());
+          }
+          ::closedir(d);
+        }
+        (void)::rmdir(cache_dir.c_str());
+      }
+    }
+  }
+#endif
+
   // --- async phases (--async): blocking vs completion-queue clients, and
   // --- mixed-priority overload latency -------------------------------------
   double blocking_s = 0.0;
@@ -391,7 +472,7 @@ int main(int argc, char** argv) {
       explain::ExplainService::Config acfg;
       acfg.replicas = opt.replicas;
       explain::ExplainService blocking_service(acfg);
-      blocking_service.RegisterModel("dcnn", &model);
+      blocking_service.RegisterModel(explain::ModelSpec("dcnn", &model));
       std::vector<Tensor> blocking_maps(requests.size());
       blocking_s = RunBlockingClients(&blocking_service, requests, opt.clients,
                                       opt.per_client, &blocking_maps);
@@ -401,7 +482,7 @@ int main(int argc, char** argv) {
       explain::ExplainService::Config acfg;
       acfg.replicas = opt.replicas;
       explain::ExplainService async_service(acfg);
-      async_service.RegisterModel("dcnn", &model);
+      async_service.RegisterModel(explain::ModelSpec("dcnn", &model));
       std::vector<Tensor> async_maps(requests.size());
       async_s = RunCqClients(&async_service, requests, opt.clients,
                              opt.per_client, &async_maps);
@@ -427,7 +508,7 @@ int main(int argc, char** argv) {
       pcfg.replicas = opt.replicas;
       pcfg.max_coalesce = 2;
       explain::ExplainService pservice(pcfg);
-      pservice.RegisterModel("dcnn", &model);
+      pservice.RegisterModel(explain::ModelSpec("dcnn", &model));
       explain::CompletionQueue cq;
       const auto clock = RealClock::Get();
       const size_t n_priority = requests.size() * 2;
@@ -485,10 +566,10 @@ int main(int argc, char** argv) {
   if (opt.streaming) {
     explain::ExplainService::Config scfg;
     scfg.replicas = opt.replicas;
-    scfg.cache_capacity = 0;  // every request must actually compute
+    scfg.cache.capacity_entries = 0;  // every request must actually compute
     scfg.stream_tick_k = std::max(1, opt.k / 4);
     explain::ExplainService stream_service(scfg);
-    stream_service.RegisterModel("dcnn", &model);
+    stream_service.RegisterModel(explain::ModelSpec("dcnn", &model));
     const auto clock = RealClock::Get();
     n_stream = std::min(total, 16);
     double first_sum_ns = 0.0;
@@ -577,6 +658,10 @@ int main(int argc, char** argv) {
         rows.push_back({"BM_ServiceFirstTick", sharded_shape, first_tick_ns,
                         n_stream});
       }
+      if (warm_ran) {
+        rows.push_back({"BM_ServiceWarmRestart", sharded_shape,
+                        warm_s * 1e9 / total, total});
+      }
       std::fprintf(f, "{\n  \"benchmarks\": [\n");
       for (size_t i = 0; i < rows.size(); ++i) {
         std::fprintf(f,
@@ -596,6 +681,14 @@ int main(int argc, char** argv) {
 
   // --- gates (JSON is already on disk) -------------------------------------
   if (mismatches != 0) exit_code = std::max(exit_code, 1);
+  if (warm_ran && (warm_tier2_hits == 0 || warm_engine_passes != 0)) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL warm restart served %llu tier-2 hits "
+                 "with %llu engine passes — the restarted service must answer "
+                 "the whole workload from the persistent tier\n",
+                 warm_tier2_hits, warm_engine_passes);
+    exit_code = 2;
+  }
   if (opt.min_replica_speedup > 0 &&
       replica_speedup < opt.min_replica_speedup) {
     std::fprintf(stderr,

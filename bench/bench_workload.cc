@@ -25,11 +25,24 @@
 //   BM_WorkloadOpenHighP50  <kind>/sfN/cC/rR  open-loop high-priority p50 ns
 //   BM_WorkloadOpenHighP99  <kind>/sfN/cC/rR  open-loop high-priority p99 ns
 //   BM_WorkloadOpenBatchP99 <kind>/sfN/cC/rR  open-loop batch-priority p99 ns
+//   BM_WorkloadWarmClosedRps (--restart) the closed-loop phase replayed by a
+//                           brand-new service over the persistent cache
+//                           directory the first service populated — repeat
+//                           traffic after a restart, served at hit latency
+//
+// --restart gives the service a persistent result-cache directory
+// (--cache-dir, default <corpus-dir>/warm_cache/<corpus>; cleared first so
+// the run always measures a true cold -> restart round trip), tears the
+// service down after the traffic phases, boots a fresh one over the same
+// directory, and replays the closed-loop phase against it.
 //
 // Gates (exit 2), evaluated only AFTER the JSON is flushed so a failing CI
 // lane still uploads the numbers that failed it:
-//   --min-throughput X    every traffic phase's completions/s >= X
-//   --max-high-p99-ms Y   open-loop high-priority p99 <= Y
+//   --min-throughput X      every traffic phase's completions/s >= X
+//   --max-high-p99-ms Y     open-loop high-priority p99 <= Y
+//   --min-warm-hit-rate X   (--restart) warm-phase (cache hits + tier-2 hits
+//                           + deduped) / completed >= X; the warm phase must
+//                           also log at least one tier-2 hit
 // Any request error (the default service config is unbounded, so nothing
 // should shed) exits 1.
 
@@ -37,6 +50,11 @@
 #include <cstdlib>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
 
 #include "data/corpus.h"
 #include "data/store.h"
@@ -66,6 +84,9 @@ struct Options {
   std::string json_path;
   double min_throughput = 0.0;   // 0 = report only
   double max_high_p99_ms = 0.0;  // 0 = report only
+  bool restart = false;           // replay closed loop after a service restart
+  std::string cache_dir;          // persistent tier root; "" = under corpora
+  double min_warm_hit_rate = 0.0;  // 0 = report only
 };
 
 struct Row {
@@ -94,6 +115,22 @@ int ParseIntFlag(const char* value, const char* flag) {
     std::exit(1);
   }
   return static_cast<int>(v);
+}
+
+// Unlinks every regular entry in `dir` (segment files from a previous run),
+// so a --restart run always measures a true cold -> restart round trip.
+void ClearDirectory(const std::string& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      if (e->d_name[0] == '.') continue;
+      (void)::unlink((dir + "/" + e->d_name).c_str());
+    }
+    ::closedir(d);
+  }
+#else
+  (void)dir;
+#endif
 }
 
 void PrintPhase(const char* label, const workload::PhaseResult& r) {
@@ -159,6 +196,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-high-p99-ms") {
       opt.max_high_p99_ms =
           ParseDoubleFlag(next("--max-high-p99-ms"), "--max-high-p99-ms");
+    } else if (arg == "--restart") {
+      opt.restart = true;
+    } else if (arg == "--cache-dir") {
+      opt.cache_dir = next("--cache-dir");
+    } else if (arg == "--min-warm-hit-rate") {
+      opt.min_warm_hit_rate =
+          ParseDoubleFlag(next("--min-warm-hit-rate"), "--min-warm-hit-rate");
     } else {
       std::fprintf(
           stderr,
@@ -166,7 +210,8 @@ int main(int argc, char** argv) {
           "[--kind synthetic|uea|both] [--clients C] [--requests N] "
           "[--duration S] [--rate RPS] [--zipf-s S] [--k K] [--replicas R] "
           "[--no-generate] [--json path] [--min-throughput RPS] "
-          "[--max-high-p99-ms MS]\n");
+          "[--max-high-p99-ms MS] [--restart] [--cache-dir DIR] "
+          "[--min-warm-hit-rate X]\n");
       return 1;
     }
   }
@@ -198,6 +243,12 @@ int main(int argc, char** argv) {
     double high_p99_ns = -1.0;
   };
   std::vector<GateSample> gate_samples;
+  struct WarmSample {
+    std::string what;
+    double hit_rate = 0.0;
+    unsigned long long tier2_hits = 0;
+  };
+  std::vector<WarmSample> warm_samples;
 
   for (data::CorpusKind kind : kinds) {
     data::CorpusSpec spec;
@@ -248,8 +299,15 @@ int main(int argc, char** argv) {
                           cfg, &rng);
     explain::ExplainService::Config service_cfg;
     service_cfg.replicas = opt.replicas;
+    if (opt.restart) {
+      const std::string root =
+          opt.cache_dir.empty() ? opt.corpus_dir + "/warm_cache"
+                                : opt.cache_dir;
+      service_cfg.cache.persistent_dir = root + "/" + spec.Name();
+      ClearDirectory(service_cfg.cache.persistent_dir);
+    }
     explain::ExplainService service(service_cfg);
-    service.RegisterModel("m", &model);
+    service.RegisterModel(explain::ModelSpec("m", &model));
     workload::WorkloadDriver driver(&service, &store, "m");
 
     workload::PhaseConfig closed;
@@ -297,6 +355,44 @@ int main(int argc, char** argv) {
     had_errors = had_errors || open_result.errors > 0;
     gate_samples.push_back({spec.Name() + " open loop",
                             open_result.throughput_rps, high.p99_ns});
+
+    // --- restart phase (--restart): replay the closed loop against a brand-
+    // new service booted over the persistent tier the phases above wrote.
+    // The restart must be invisible to repeat traffic: the identical request
+    // stream is answered from the on-disk segments (promoted into tier 1 and
+    // deduped as usual) instead of recomputed.
+    if (opt.restart) {
+      service.Shutdown();  // flushes the buffered tier-2 records to disk
+      explain::ExplainService warm_service(service_cfg);
+      warm_service.RegisterModel(explain::ModelSpec("m", &model));
+      workload::WorkloadDriver warm_driver(&warm_service, &store, "m");
+      workload::PhaseConfig warm = closed;
+      warm.name = "warm";
+      const workload::PhaseResult warm_result = warm_driver.RunClosedLoop(warm);
+      PrintPhase("warm closed", warm_result);
+      const explain::ExplainService::Stats warm_stats = warm_service.stats();
+      const double warm_hit_rate =
+          warm_result.completed > 0
+              ? static_cast<double>(warm_stats.cache_hits +
+                                    warm_stats.cache_tier2_hits +
+                                    warm_stats.deduped) /
+                    static_cast<double>(warm_result.completed)
+              : 0.0;
+      std::printf("  %-11s %llu tier-2 hits after restart; warm hit rate "
+                  "%.3f\n",
+                  "",
+                  static_cast<unsigned long long>(warm_stats.cache_tier2_hits),
+                  warm_hit_rate);
+      rows.push_back({"BM_WorkloadWarmClosedRps", traffic_shape,
+                      warm_result.throughput_rps, "rps",
+                      warm_result.completed});
+      had_errors = had_errors || warm_result.errors > 0;
+      gate_samples.push_back({spec.Name() + " warm closed loop",
+                              warm_result.throughput_rps, -1.0});
+      warm_samples.push_back({spec.Name(), warm_hit_rate,
+                              static_cast<unsigned long long>(
+                                  warm_stats.cache_tier2_hits)});
+    }
   }
 
   // The JSON report is flushed BEFORE any gate can exit, so a failing CI
@@ -362,6 +458,22 @@ int main(int argc, char** argv) {
                    "allowed %.1f ms\n",
                    sample.what.c_str(), sample.high_p99_ns / 1e6,
                    opt.max_high_p99_ms);
+      exit_code = 2;
+    }
+  }
+  for (const WarmSample& warm : warm_samples) {
+    if (warm.tier2_hits == 0) {
+      std::fprintf(stderr,
+                   "bench_workload: FAIL %s warm phase served zero tier-2 "
+                   "hits — the persistent cache did not survive the restart\n",
+                   warm.what.c_str());
+      exit_code = 2;
+    }
+    if (opt.min_warm_hit_rate > 0 && warm.hit_rate < opt.min_warm_hit_rate) {
+      std::fprintf(stderr,
+                   "bench_workload: FAIL %s warm hit rate %.3f < required "
+                   "%.3f\n",
+                   warm.what.c_str(), warm.hit_rate, opt.min_warm_hit_rate);
       exit_code = 2;
     }
   }

@@ -1,5 +1,5 @@
-// A small least-recently-used map, the result cache behind
-// explain::ExplainService.
+// A small least-recently-used map, the in-memory tier of the result cache
+// behind explain::ExplainService.
 //
 // Explanation requests in a serving setting repeat heavily — the same
 // (model, method, series, options) tuple arrives from many clients — and
@@ -7,6 +7,15 @@
 // request can be answered from memory instead of re-running k forward
 // passes. Header-only and dependency-free; NOT internally synchronized (the
 // service guards it with a dedicated mutex shared by its scheduler shards).
+//
+// Eviction is byte-weighted: each entry carries the byte cost the caller
+// declares at Put (a cached explanation owns its map *and* the series stored
+// for collision verification, so entries differ by orders of magnitude), and
+// the cache evicts least-recent entries while either bound — entry count or
+// total bytes — is exceeded. Entries may also carry an absolute expiry
+// timestamp; expiry is lazy, charged to the probe that touches the stale
+// entry (there is no sweeper thread), which is exactly when staleness
+// matters.
 
 #ifndef DCAM_EXPLAIN_LRU_CACHE_H_
 #define DCAM_EXPLAIN_LRU_CACHE_H_
@@ -22,43 +31,78 @@
 namespace dcam {
 namespace explain {
 
-/// Fixed-capacity key -> value map with least-recently-used eviction.
-/// Get promotes; Put inserts (or overwrites) as most-recent and evicts the
-/// least-recent entry beyond capacity. A capacity of 0 disables the cache:
-/// Put drops the value and Get always misses.
+/// Bounded key -> value map with least-recently-used eviction.
+/// Get promotes; Put inserts (or overwrites) as most-recent and evicts
+/// least-recent entries while over either bound. `capacity` bounds the entry
+/// count (0 disables the cache: Put drops the value and Get always misses);
+/// `capacity_bytes` bounds the sum of per-entry byte weights (0 = no byte
+/// bound, every entry weighs whatever the caller said).
 template <typename K, typename V, typename Hash = std::hash<K>>
 class LruCache {
  public:
-  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+  explicit LruCache(size_t capacity, size_t capacity_bytes = 0)
+      : capacity_(capacity), capacity_bytes_(capacity_bytes) {}
 
   /// Pointer to the cached value (valid until the next non-const call), or
-  /// nullptr on miss. A hit becomes the most-recently-used entry.
-  const V* Get(const K& key) {
+  /// nullptr on miss. A hit becomes the most-recently-used entry. `now_ns`
+  /// is the probe time on whatever clock the caller stamped expiries with:
+  /// an entry whose expiry has passed is erased here (counted in expired(),
+  /// not evictions()) and reported as a miss. now_ns = 0 skips the expiry
+  /// check — callers that never set expiries need no clock.
+  const V* Get(const K& key, uint64_t now_ns = 0) {
     auto it = index_.find(key);
     if (it == index_.end()) return nullptr;
+    if (now_ns != 0 && it->second->expires_ns != 0 &&
+        now_ns >= it->second->expires_ns) {
+      bytes_ -= it->second->bytes;
+      order_.erase(it->second);
+      index_.erase(it);
+      ++expired_;
+      return nullptr;
+    }
     order_.splice(order_.begin(), order_, it->second);
-    return &it->second->second;
+    return &it->second->value;
   }
 
-  /// Inserts or overwrites `key` as the most-recently-used entry.
-  void Put(const K& key, V value) {
+  /// Inserts or overwrites `key` as the most-recently-used entry. `bytes` is
+  /// the entry's eviction weight (defaults to 1: pure entry-count LRU);
+  /// `expires_ns` an absolute lazy-expiry timestamp (0 = never expires). An
+  /// entry that alone exceeds capacity_bytes is not cached — admitting it
+  /// would evict the whole working set for a value too large to keep.
+  void Put(const K& key, V value, size_t bytes = 1, uint64_t expires_ns = 0) {
     if (capacity_ == 0) return;
     auto it = index_.find(key);
-    if (it != index_.end()) {
-      it->second->second = std::move(value);
-      order_.splice(order_.begin(), order_, it->second);
+    if (capacity_bytes_ != 0 && bytes > capacity_bytes_) {
+      if (it != index_.end()) {
+        bytes_ -= it->second->bytes;
+        order_.erase(it->second);
+        index_.erase(it);
+      }
       return;
     }
-    order_.emplace_front(key, std::move(value));
-    index_.emplace(key, order_.begin());
-    if (index_.size() > capacity_) {
-      index_.erase(order_.back().first);
+    if (it != index_.end()) {
+      bytes_ -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      it->second->expires_ns = expires_ns;
+      bytes_ += bytes;
+      order_.splice(order_.begin(), order_, it->second);
+    } else {
+      order_.push_front(Entry{key, std::move(value), bytes, expires_ns});
+      index_.emplace(key, order_.begin());
+      bytes_ += bytes;
+    }
+    while (index_.size() > capacity_ ||
+           (capacity_bytes_ != 0 && bytes_ > capacity_bytes_)) {
+      bytes_ -= order_.back().bytes;
+      index_.erase(order_.back().key);
       order_.pop_back();
       ++evictions_;
     }
   }
 
-  /// True when `key` is cached. Does not affect recency.
+  /// True when `key` is cached (expired-but-unprobed entries included).
+  /// Does not affect recency.
   bool Contains(const K& key) const { return index_.count(key) > 0; }
 
   /// Drops every entry whose key satisfies `pred` (recency of survivors is
@@ -68,8 +112,9 @@ class LruCache {
   size_t EraseIf(Pred pred) {
     size_t erased = 0;
     for (auto it = order_.begin(); it != order_.end();) {
-      if (pred(it->first)) {
-        index_.erase(it->first);
+      if (pred(it->key)) {
+        bytes_ -= it->bytes;
+        index_.erase(it->key);
         it = order_.erase(it);
         ++erased;
       } else {
@@ -81,19 +126,35 @@ class LruCache {
 
   size_t size() const { return index_.size(); }
   size_t capacity() const { return capacity_; }
+  /// Sum of the byte weights of the cached entries.
+  size_t bytes() const { return bytes_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
 
-  /// Number of entries dropped by capacity eviction since construction.
+  /// Number of entries dropped by capacity (count or byte) eviction since
+  /// construction.
   uint64_t evictions() const { return evictions_; }
+
+  /// Number of entries dropped because a probe found them past their expiry.
+  uint64_t expired() const { return expired_; }
 
   void Clear() {
     order_.clear();
     index_.clear();
+    bytes_ = 0;
   }
 
  private:
-  using Entry = std::pair<K, V>;
+  struct Entry {
+    K key;
+    V value;
+    size_t bytes = 1;
+    uint64_t expires_ns = 0;  // absolute, caller's clock; 0 = never
+  };
   size_t capacity_;
+  size_t capacity_bytes_;
+  size_t bytes_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t expired_ = 0;
   std::list<Entry> order_;  // front = most recent
   std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index_;
 };

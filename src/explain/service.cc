@@ -1,6 +1,7 @@
 #include "explain/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -15,12 +16,9 @@ namespace explain {
 namespace {
 
 // Content equality of two (D, n) series; the guard that makes the 64-bit
-// series hash in CacheKey collision-proof.
+// series hash in CacheKey collision-proof. Shared with the persistent tier.
 bool SameSeries(const Tensor& a, const Tensor& b) {
-  if (a.data() == b.data()) return a.shape() == b.shape();
-  if (a.shape() != b.shape()) return false;
-  return std::memcmp(a.data(), b.data(),
-                     static_cast<size_t>(a.size()) * sizeof(float)) == 0;
+  return SameSeriesBytes(a, b);
 }
 
 size_t SeriesBytes(const Tensor& series) {
@@ -40,26 +38,32 @@ bool Ticket::Cancel() {
   return state_->service->CancelRequest(state_);
 }
 
-size_t ExplainService::CacheKeyHash::operator()(const CacheKey& k) const {
-  uint64_t h = kFnvOffset;
-  h = HashBytes(k.model_id.data(), k.model_id.size(), h);
-  h = HashBytes(k.method.data(), k.method.size(), h);
-  h = HashBytes(k.backend.data(), k.backend.size(), h);
-  h = HashBytes(&k.series_hash, sizeof k.series_hash, h);
-  h = HashBytes(&k.options_digest, sizeof k.options_digest, h);
-  return static_cast<size_t>(h);
-}
-
 ExplainService::ExplainService() : ExplainService(Config()) {}
 
 ExplainService::ExplainService(Config config)
     : config_(config),
       clock_(config.clock != nullptr ? config.clock : RealClock::Get()),
-      cache_(config.cache_capacity) {
+      cache_(config.cache.capacity_entries, config.cache.capacity_bytes) {
   DCAM_CHECK_GE(config_.engine_batch, 0);
   DCAM_CHECK_GE(config_.max_coalesce, 1);
   DCAM_CHECK_GE(config_.replicas, 1);
-  DCAM_CHECK_GE(config_.min_degraded_k, 1);
+  DCAM_CHECK_GE(config_.admission.min_degraded_k, 1);
+  if (!config_.cache.persistent_dir.empty() &&
+      config_.cache.capacity_entries > 0) {
+    PersistentCacheTier::Options topts;
+    topts.ttl = config_.cache.ttl;
+    topts.verify_on_read = config_.cache.verify_on_read;
+    topts.flush_bytes = config_.cache.flush_bytes;
+    const io::Status status =
+        PersistentCacheTier::Open(config_.cache.persistent_dir, topts, &tier2_);
+    if (!status.ok()) {
+      // Degrade, don't die: a broken cache directory costs warmth, not
+      // serving. tier2_ stays null and every probe goes tier 1 -> compute.
+      std::fprintf(stderr,
+                   "ExplainService: persistent cache tier disabled: %s\n",
+                   status.ToString().c_str());
+    }
+  }
   shards_.reserve(config_.replicas);
   for (int s = 0; s < config_.replicas; ++s) {
     shards_.push_back(std::make_unique<Shard>());
@@ -67,30 +71,58 @@ ExplainService::ExplainService(Config config)
   for (int s = 0; s < config_.replicas; ++s) {
     shards_[s]->scheduler = std::thread([this, s] { SchedulerLoop(s); });
   }
+  if (config_.elasticity_tick.count() > 0) {
+    controller_ = std::thread([this] { ControllerLoop(); });
+  }
 }
 
 ExplainService::~ExplainService() { Shutdown(); }
 
+void ExplainService::RegisterModel(ModelSpec spec) {
+  DCAM_CHECK(spec.model != nullptr);
+  DCAM_CHECK(!spec.id.empty()) << "model id must be non-empty";
+  DCAM_CHECK_GE(spec.replicas, 0);
+  const int shards = static_cast<int>(shards_.size());
+  ElasticityConfig elastic = spec.elasticity;
+  if (elastic.enabled()) {
+    elastic.min_replicas = std::max(1, std::min(elastic.min_replicas, shards));
+    elastic.max_replicas =
+        std::max(elastic.min_replicas, std::min(elastic.max_replicas, shards));
+  }
+  int group = spec.replicas == 0
+                  ? (elastic.enabled() ? elastic.min_replicas : shards)
+                  : std::min(spec.replicas, shards);
+  if (elastic.enabled()) {
+    group = std::max(elastic.min_replicas,
+                     std::min(group, elastic.max_replicas));
+  }
+  const int first =
+      spec.placement_hint >= 0 ? spec.placement_hint % shards : 0;
+  // Clones are built outside the lock — a weight copy of a large model must
+  // not stall Submit. The group's first shard serves the caller's model
+  // directly, so a single-shard group never requires CloneArchitecture
+  // support (until elasticity grows it).
+  ModelEntry entry;
+  entry.source = spec.model;
+  entry.elastic = elastic;
+  entry.replicas.reserve(static_cast<size_t>(group));
+  for (int i = 0; i < group; ++i) {
+    Replica r;
+    r.shard = (first + i) % shards;
+    if (i > 0) r.clone = spec.model->Clone();
+    entry.replicas.push_back(std::move(r));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.last_activity = clock_->Now();
+  entry.last_scale = entry.last_activity;
+  DCAM_CHECK_EQ(models_.count(spec.id), 0u)
+      << "model id \"" << spec.id << "\" already registered";
+  models_.emplace(std::move(spec.id), std::move(entry));
+}
+
 void ExplainService::RegisterModel(const std::string& id, models::Model* model,
                                    int replicas) {
-  DCAM_CHECK(model != nullptr);
-  DCAM_CHECK(!id.empty()) << "model id must be non-empty";
-  DCAM_CHECK_GE(replicas, 0);
-  const int group =
-      replicas == 0 ? static_cast<int>(shards_.size())
-                    : std::min(replicas, static_cast<int>(shards_.size()));
-  // Clones are built outside the lock — a weight copy of a large model must
-  // not stall Submit. Shard 0 serves the caller's model directly, so a
-  // single-shard group never requires CloneArchitecture support.
-  ModelEntry entry;
-  entry.source = model;
-  entry.group = group;
-  entry.dirty.assign(shards_.size(), 0);
-  for (int s = 1; s < group; ++s) entry.clones.push_back(model->Clone());
-  std::lock_guard<std::mutex> lock(mu_);
-  DCAM_CHECK_EQ(models_.count(id), 0u)
-      << "model id \"" << id << "\" already registered";
-  models_.emplace(id, std::move(entry));
+  RegisterModel(ModelSpec(id, model).Replicas(replicas));
 }
 
 void ExplainService::InvalidateModel(const std::string& id) {
@@ -102,7 +134,9 @@ void ExplainService::InvalidateModel(const std::string& id) {
     // The epoch fence keeps results computed against the old weights out of
     // the cache even when their compute finishes after this call.
     ++it->second.epoch;
-    for (int s = 1; s < it->second.group; ++s) it->second.dirty[s] = 1;
+    for (Replica& r : it->second.replicas) {
+      if (r.clone != nullptr) r.dirty = 1;
+    }
   }
   size_t dropped = 0;
   {
@@ -110,8 +144,17 @@ void ExplainService::InvalidateModel(const std::string& id) {
     dropped = cache_.EraseIf(
         [&](const CacheKey& key) { return key.model_id == id; });
   }
+  if (tier2_ != nullptr) dropped += tier2_->EraseModel(id);
   std::lock_guard<std::mutex> lock(mu_);
   stats_.invalidations += dropped;
+}
+
+int ExplainService::ModelReplicas(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(id);
+  DCAM_CHECK(it != models_.end())
+      << "unknown model id \"" << id << "\" (RegisterModel first)";
+  return static_cast<int>(it->second.replicas.size());
 }
 
 size_t ExplainService::QueuedLocked(const Shard& shard) const {
@@ -121,13 +164,13 @@ size_t ExplainService::QueuedLocked(const Shard& shard) const {
 }
 
 int ExplainService::LeastLoadedLocked(const ModelEntry& entry) const {
-  int best = 0;
+  int best = entry.replicas.front().shard;
   size_t best_load = static_cast<size_t>(-1);
-  for (int s = 0; s < entry.group; ++s) {
-    const size_t load =
-        QueuedLocked(*shards_[s]) + static_cast<size_t>(shards_[s]->in_flight);
-    if (load < best_load) {
-      best = s;
+  for (const Replica& r : entry.replicas) {
+    const size_t load = QueuedLocked(*shards_[r.shard]) +
+                        static_cast<size_t>(shards_[r.shard]->in_flight);
+    if (load < best_load || (load == best_load && r.shard < best)) {
+      best = r.shard;
       best_load = load;
     }
   }
@@ -287,14 +330,15 @@ void ExplainService::ShedForLocked(const Pending& arrival, size_t cost,
   // arrival falls through to the ordinary reject/degrade/hard-cap handling
   // with the queue intact (depth pressure, which eviction always relieves,
   // is still shed for).
+  const AdmissionConfig& adm = config_.admission;
   const bool bytes_shedable =
-      config_.max_queue_bytes == 0 || cost <= config_.max_queue_bytes;
+      adm.max_queue_bytes == 0 || cost <= adm.max_queue_bytes;
   for (int cls = kNumPriorities - 1; cls > limit; --cls) {
     for (;;) {
-      const bool over_depth = config_.max_queue_depth > 0 &&
-                              queued_total_ >= config_.max_queue_depth;
-      const bool over_bytes = bytes_shedable && config_.max_queue_bytes > 0 &&
-                              queued_bytes_ + cost > config_.max_queue_bytes;
+      const bool over_depth =
+          adm.max_queue_depth > 0 && queued_total_ >= adm.max_queue_depth;
+      const bool over_bytes = bytes_shedable && adm.max_queue_bytes > 0 &&
+                              queued_bytes_ + cost > adm.max_queue_bytes;
       if (!over_depth && !over_bytes) return;
       // The newest queued request of this class across all shards: shedding
       // newest-first keeps the surviving FIFO order intact and takes the
@@ -487,7 +531,7 @@ void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
   p.ctx.deadline = p.request.deadline;
   p.ctx.backend = resolved;
   p.dedupable = proto->Deterministic();
-  p.cacheable = p.dedupable && config_.cache_capacity > 0;
+  p.cacheable = p.dedupable && config_.cache.capacity_entries > 0;
   p.key.model_id = p.request.model_id;
   p.key.method = p.request.method;
   p.key.backend = resolved;
@@ -501,34 +545,33 @@ void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     DCAM_CHECK(!stop_) << "Submit after Shutdown";
+    const AdmissionConfig& adm = config_.admission;
     bool over_depth =
-        config_.max_queue_depth > 0 && queued_total_ >= config_.max_queue_depth;
+        adm.max_queue_depth > 0 && queued_total_ >= adm.max_queue_depth;
     bool over_bytes =
-        config_.max_queue_bytes > 0 &&
-        queued_bytes_ + cost > config_.max_queue_bytes;
+        adm.max_queue_bytes > 0 && queued_bytes_ + cost > adm.max_queue_bytes;
     if (over_depth || over_bytes) {
       // Shed lowest-priority-first: before this arrival is refused or
       // degraded, queued requests of strictly lower priority give up their
       // slots (their errors are delivered after the lock drops).
       ShedForLocked(p, cost, &victims);
-      over_depth = config_.max_queue_depth > 0 &&
-                   queued_total_ >= config_.max_queue_depth;
-      over_bytes = config_.max_queue_bytes > 0 &&
-                   queued_bytes_ + cost > config_.max_queue_bytes;
+      over_depth =
+          adm.max_queue_depth > 0 && queued_total_ >= adm.max_queue_depth;
+      over_bytes =
+          adm.max_queue_bytes > 0 && queued_bytes_ + cost > adm.max_queue_bytes;
     }
     if (over_depth || over_bytes) {
       // The hard cap (twice each bound) rejects regardless of policy, so a
       // sustained burst cannot grow the queue without limit even when every
       // request is degradable.
-      const bool hard_depth = config_.max_queue_depth > 0 &&
-                              queued_total_ >= 2 * config_.max_queue_depth;
-      const bool hard_bytes =
-          config_.max_queue_bytes > 0 &&
-          queued_bytes_ + cost > 2 * config_.max_queue_bytes;
+      const bool hard_depth = adm.max_queue_depth > 0 &&
+                              queued_total_ >= 2 * adm.max_queue_depth;
+      const bool hard_bytes = adm.max_queue_bytes > 0 &&
+                              queued_bytes_ + cost > 2 * adm.max_queue_bytes;
       const bool degradable =
-          config_.overload == Config::Overload::kDegradeK &&
+          adm.overload == AdmissionConfig::Overload::kDegradeK &&
           p.request.method == "dcam" &&
-          p.request.options.dcam.k > config_.min_degraded_k;
+          p.request.options.dcam.k > adm.min_degraded_k;
       if (hard_depth || hard_bytes || !degradable) {
         reject = true;
       } else {
@@ -536,7 +579,7 @@ void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
         // loop is the cost (Figure 10), so clamping k keeps the queue
         // drainable. The digest is recomputed — the degraded result is
         // cached under the options actually computed.
-        p.request.options.dcam.k = config_.min_degraded_k;
+        p.request.options.dcam.k = adm.min_degraded_k;
         p.key.options_digest =
             proto->OptionsDigest(p.request.class_idx, p.request.options);
         ++stats_.shed_degraded;
@@ -546,6 +589,8 @@ void ExplainService::SubmitInternal(ExplainRequest request, Pending p) {
       auto model_it = models_.find(p.request.model_id);
       p.ctx.epoch = model_it->second.epoch;
       p.ctx.enqueued = clock_->Now();
+      // Elasticity's idle signal: the last time anyone asked for this model.
+      model_it->second.last_activity = p.ctx.enqueued;
       // Key-affinity routing: repeats of an in-flight dedupable key pin to
       // its shard (where the per-batch dedupe or the shared cache merges
       // them); fresh keys — and non-dedupable requests — go least-loaded.
@@ -613,10 +658,17 @@ void ExplainService::Shutdown() {
         claimed.push_back(std::move(shard->scheduler));
       }
     }
+    if (controller_.joinable()) claimed.push_back(std::move(controller_));
   }
   for (auto& shard : shards_) shard->cv.notify_all();
+  controller_cv_.notify_all();
   if (!claimed.empty()) {
     for (auto& t : claimed) t.join();
+    // The schedulers are gone, so nothing writes the cache tiers anymore:
+    // spill the tier-2 buffer while we can still report nothing (the
+    // destructor path would flush too, but here every entry computed this
+    // lifetime becomes durable before Shutdown returns).
+    if (tier2_ != nullptr) tier2_->Flush();
     // Notify under the lock: a losing racer may be the destructor, and a
     // spurious wakeup could let it observe the predicate and free the
     // condition variable before an unlocked notify_all touched it.
@@ -632,19 +684,34 @@ void ExplainService::Shutdown() {
 }
 
 ExplainService::Stats ExplainService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+  }
+  // The cache tiers keep their own counters under their own locks; fold them
+  // in here so callers see one coherent Stats. Max-merge for evictions: the
+  // scheduler rounds also publish that counter into stats_.evictions, and
+  // the two snapshots race.
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    snapshot.evictions = std::max(snapshot.evictions, cache_.evictions());
+    snapshot.cache_expired = cache_.expired();
+  }
+  if (tier2_ != nullptr) snapshot.cache_expired += tier2_->expired();
+  return snapshot;
 }
 
 void ExplainService::SyncDirtyReplicas(int shard_idx) {
-  if (shard_idx == 0) return;  // shard 0 serves the source model itself
   std::vector<std::pair<models::Model*, models::Model*>> pairs;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [id, entry] : models_) {
-      if (shard_idx < entry.group && entry.dirty[shard_idx]) {
-        entry.dirty[shard_idx] = 0;
-        pairs.emplace_back(entry.source, entry.clones[shard_idx - 1].get());
+      for (Replica& r : entry.replicas) {
+        if (r.shard == shard_idx && r.clone != nullptr && r.dirty) {
+          r.dirty = 0;
+          pairs.emplace_back(entry.source, r.clone.get());
+        }
       }
     }
   }
@@ -655,6 +722,207 @@ void ExplainService::SyncDirtyReplicas(int shard_idx) {
     const io::Status status = io::CopyModelWeights(source, clone);
     DCAM_CHECK(status.ok())
         << "replica weight re-sync failed: " << status.message();
+  }
+}
+
+uint64_t ExplainService::CacheNowNs() const {
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock_->Now().time_since_epoch())
+          .count());
+  // 0 tells the LRU to skip the expiry check; a clock reading exactly its
+  // epoch must still expire entries, so it reports 1ns instead.
+  return now == 0 ? 1 : now;
+}
+
+uint64_t ExplainService::CacheExpiryNs() const {
+  if (config_.cache.ttl.count() <= 0) return 0;
+  return CacheNowNs() + static_cast<uint64_t>(config_.cache.ttl.count());
+}
+
+size_t ExplainService::EntryBytes(const CacheEntry& entry) {
+  // The two tensors dominate; the struct itself stands in for the map/list
+  // node overhead.
+  return static_cast<size_t>(entry.result.map.size()) * sizeof(float) +
+         static_cast<size_t>(entry.series.size()) * sizeof(float) +
+         sizeof(CacheEntry);
+}
+
+bool ExplainService::ProbeTier2(const Pending& p, ExplanationResult* out) {
+  if (tier2_ == nullptr) return false;
+  if (!tier2_->Get(p.key, p.request.series, out)) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.cache_tier2_hits;
+  }
+  // Promote into tier 1: repeats of a warm-restart key hit at memory
+  // latency from the second probe on.
+  CacheEntry entry{*out, p.request.series.Clone()};
+  const size_t bytes = EntryBytes(entry);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.Put(p.key, std::move(entry), bytes, CacheExpiryNs());
+  return true;
+}
+
+void ExplainService::ControllerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    controller_cv_.wait_for(lock, config_.elasticity_tick,
+                            [&] { return stop_; });
+    if (stop_) break;
+    EvaluateElasticityLocked(&lock);
+  }
+}
+
+void ExplainService::TickElasticity() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) return;
+  EvaluateElasticityLocked(&lock);
+}
+
+bool ExplainService::ScaleUpPressureLocked(
+    const std::string& id, const ModelEntry& entry,
+    MonotonicClock::time_point now) const {
+  for (const Replica& r : entry.replicas) {
+    for (const auto& queue : shards_[r.shard]->queues) {
+      for (const Pending& p : queue) {
+        if (p.request.model_id == id &&
+            now - p.ctx.enqueued >= entry.elastic.scale_up_queue_delay) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void ExplainService::EvaluateElasticityLocked(
+    std::unique_lock<std::mutex>* lock) {
+  // Snapshot the elastic ids first: scale-up releases the lock around the
+  // weight copy, and a concurrent RegisterModel may rehash models_ under an
+  // iterator held across that gap.
+  std::vector<std::string> ids;
+  ids.reserve(models_.size());
+  for (const auto& [id, entry] : models_) {
+    if (entry.elastic.enabled()) ids.push_back(id);
+  }
+  for (const std::string& id : ids) {
+    auto it = models_.find(id);
+    if (it == models_.end()) continue;
+    ModelEntry& entry = it->second;
+    const auto now = clock_->Now();
+    if (entry.scaling) continue;  // a clone is being built for this model
+    if (now - entry.last_scale < entry.elastic.cooldown) continue;
+    const int group = static_cast<int>(entry.replicas.size());
+
+    // Scale up: a queued request for the model has aged past the delay
+    // bound, so the current group is not absorbing the load. The clone is a
+    // full weight copy — built outside the lock, like RegisterModel's, so a
+    // large model never stalls Submit; `scaling` keeps concurrent
+    // evaluations (background tick vs TickElasticity) off the model, and
+    // the epoch re-check on attach catches an InvalidateModel that landed
+    // mid-copy (the new replica then re-syncs before serving).
+    if (group < entry.elastic.max_replicas &&
+        ScaleUpPressureLocked(id, entry, now)) {
+      int target = -1;
+      size_t best_load = static_cast<size_t>(-1);
+      for (int s = 0; s < static_cast<int>(shards_.size()); ++s) {
+        if (entry.InGroup(s)) continue;
+        const size_t load = QueuedLocked(*shards_[s]) +
+                            static_cast<size_t>(shards_[s]->in_flight);
+        if (load < best_load) {
+          target = s;
+          best_load = load;
+        }
+      }
+      if (target < 0) continue;  // group already spans every shard
+      entry.scaling = true;
+      const uint64_t epoch0 = entry.epoch;
+      models::Model* source = entry.source;
+      lock->unlock();
+      std::unique_ptr<models::Model> clone = source->Clone();
+      lock->lock();
+      auto re = models_.find(id);
+      if (re == models_.end()) continue;
+      ModelEntry& fresh = re->second;
+      Replica r;
+      r.shard = target;
+      r.clone = std::move(clone);
+      r.dirty = fresh.epoch != epoch0 ? 1 : 0;
+      fresh.replicas.push_back(std::move(r));
+      fresh.scaling = false;
+      fresh.last_scale = clock_->Now();
+      ++stats_.scale_up_events;
+      shards_[target]->cv.notify_one();
+      continue;
+    }
+
+    // Scale down: nothing has been submitted for the model in
+    // scale_down_idle. The candidate is always the group's youngest replica
+    // (replicas[0] serves the caller's model and is never retired). First
+    // its queued requests — stragglers admitted before the idle window —
+    // are re-routed to surviving replicas with their dedupe pins updated;
+    // then the clone is parked on its shard's `retired` list for the owning
+    // scheduler to free, but only once that shard has nothing in flight and
+    // no in-flight dedupe key for the model is pinned to it (otherwise the
+    // model stays at its current size until a later tick).
+    if (group > std::max(1, entry.elastic.min_replicas) &&
+        now - entry.last_activity >= entry.elastic.scale_down_idle) {
+      Replica& cand = entry.replicas.back();
+      const int s = cand.shard;
+      Shard& from = *shards_[s];
+      for (int cls = 0; cls < kNumPriorities; ++cls) {
+        auto& queue = from.queues[cls];
+        for (auto qit = queue.begin(); qit != queue.end();) {
+          if (qit->request.model_id != id) {
+            ++qit;
+            continue;
+          }
+          Pending p = std::move(*qit);
+          qit = queue.erase(qit);
+          // Duplicates of one in-flight key must land on one shard: a key
+          // already re-pinned off `s` (by an earlier duplicate in this
+          // sweep) keeps that pin; otherwise least-loaded survivor.
+          auto kit =
+              p.has_key_ref ? active_keys_.find(p.key) : active_keys_.end();
+          int target;
+          if (kit != active_keys_.end() && kit->second.first != s) {
+            target = kit->second.first;
+          } else {
+            target = entry.replicas.front().shard;
+            size_t least = static_cast<size_t>(-1);
+            for (const Replica& r : entry.replicas) {
+              if (r.shard == s) continue;
+              const size_t load =
+                  QueuedLocked(*shards_[r.shard]) +
+                  static_cast<size_t>(shards_[r.shard]->in_flight);
+              if (load < least) {
+                target = r.shard;
+                least = load;
+              }
+            }
+            if (kit != active_keys_.end()) kit->second.first = target;
+          }
+          shards_[target]->queues[cls].push_back(std::move(p));
+          shards_[target]->cv.notify_one();
+        }
+      }
+      bool busy = from.in_flight != 0;
+      if (!busy) {
+        for (const auto& [key, pin] : active_keys_) {
+          if (pin.first == s && key.model_id == id) {
+            busy = true;
+            break;
+          }
+        }
+      }
+      if (busy) continue;
+      from.retired.push_back(std::move(cand.clone));
+      entry.replicas.pop_back();
+      entry.last_scale = now;
+      ++stats_.scale_down_events;
+      from.cv.notify_one();  // wake the shard to collect the retired clone
+    }
   }
 }
 
@@ -676,13 +944,19 @@ void ExplainService::SchedulerLoop(int shard_idx) {
   Shard& shard = *shards_[shard_idx];
   for (;;) {
     std::vector<Pending> batch;
+    std::vector<std::unique_ptr<models::Model>> retired;
+    bool exit = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      shard.cv.wait(lock,
-                    [&] { return stop_ || QueuedLocked(shard) != 0; });
+      shard.cv.wait(lock, [&] {
+        return stop_ || QueuedLocked(shard) != 0 || !shard.retired.empty();
+      });
+      // Claim any clones scale-down parked on this shard: they are freed on
+      // this thread (below, outside the lock) because the shard's engine and
+      // worker maps key thread-local state by the clone's raw address.
+      retired.swap(shard.retired);
       if (QueuedLocked(shard) == 0) {
-        if (stop_) return;
-        continue;
+        exit = stop_;
       }
       // Drain priority-ordered: every queued high request ahead of every
       // normal, normal ahead of batch, FIFO within a class. Everything
@@ -714,20 +988,37 @@ void ExplainService::SchedulerLoop(int shard_idx) {
         ++stats_.drained_by_priority[p.priority_class()];
       }
     }
+    if (!retired.empty()) {
+      // Purge the per-clone scheduler state before the clone is freed: both
+      // maps key by raw Model*, and a later scale-up could reuse the address.
+      // Safe without the lock — `workers` and `engines` are touched only by
+      // this thread.
+      for (const std::unique_ptr<models::Model>& m : retired) {
+        shard.engines.erase(m.get());
+        for (auto it = shard.workers.begin(); it != shard.workers.end();) {
+          if (std::get<2>(it->first) == m.get()) {
+            it = shard.workers.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      retired.clear();
+    }
+    if (exit) return;
+    if (batch.empty()) continue;
     SyncDirtyReplicas(shard_idx);
-    // Resolve this shard's replica of every registered model (the registry
-    // only grows; group membership is fixed at registration). Requests are
-    // only routed to shards inside their model's group, so the replica this
-    // shard needs always exists.
+    // Resolve this shard's current replica of every registered model.
+    // Requests are only routed to shards inside their model's group, and
+    // scale-down cannot retire a replica while this shard has the batch in
+    // flight (retirement waits for in_flight == 0 under mu_), so the replica
+    // a drained request needs always resolves.
     std::unordered_map<std::string, models::Model*> models;
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (auto& [id, entry] : models_) {
-        if (shard_idx == 0) {
-          models[id] = entry.source;
-        } else if (shard_idx < entry.group) {
-          models[id] = entry.clones[shard_idx - 1].get();
-        }
+        models::Model* m = entry.ModelForShard(shard_idx);
+        if (m != nullptr) models[id] = m;
       }
     }
     Process(&shard, std::move(batch), models);
@@ -889,7 +1180,7 @@ void ExplainService::Process(
       ExplanationResult cached;
       {
         std::lock_guard<std::mutex> lock(cache_mu_);
-        const CacheEntry* entry = cache_.Get(p.key);
+        const CacheEntry* entry = cache_.Get(p.key, CacheNowNs());
         if (entry != nullptr && SameSeries(entry->series, p.request.series)) {
           // A shallow copy pins the result's storage past the lock (Tensor
           // copies share storage); Fulfill clones per client as usual.
@@ -902,6 +1193,12 @@ void ExplainService::Process(
           std::lock_guard<std::mutex> lock(mu_);
           ++stats_.cache_hits;
         }
+        Fulfill(&p, cached);
+        continue;
+      }
+      // Tier-1 miss: probe the persistent tier (checksum- and stored-series-
+      // verified; a hit is promoted into tier 1) before spending compute.
+      if (ProbeTier2(p, &cached)) {
         Fulfill(&p, cached);
         continue;
       }
@@ -999,8 +1296,14 @@ void ExplainService::Process(
         // The cache stores the canonical (non-streamed) form: hits must look
         // the same whichever surface computed the entry.
         entry.result.convergence = 0.0;
+        // Write-through to the persistent tier under the same epoch guard
+        // (tier 2 is internally synchronized; no service lock is held).
+        if (tier2_ != nullptr) {
+          tier2_->Put(p->key, entry.series, entry.result);
+        }
+        const size_t bytes = EntryBytes(entry);
         std::lock_guard<std::mutex> lock(cache_mu_);
-        cache_.Put(p->key, std::move(entry));
+        cache_.Put(p->key, std::move(entry), bytes, CacheExpiryNs());
       }
     }
     auto it = dupes.find(p->key);

@@ -51,6 +51,31 @@
 // registry Explainer directly, no matter which replica served it (enforced
 // by explain_service_test and service_replica_test).
 //
+// The cache is two-tiered. Tier 1 is the in-memory LRU (lru_cache.h), now
+// byte-weighted (a cached entry owns its map and the series stored for
+// collision verification) with lazy TTL expiry. Tier 2, enabled by
+// CacheConfig::persistent_dir, spills warm entries to mmap'd on-disk
+// segments (cache_tier.h): a miss probes tier 1, then tier 2 (checksum +
+// stored-series verified; a hit is promoted into tier 1), then computes —
+// so a restarted service over the same directory answers repeat traffic at
+// cache-hit latency from its first request.
+//
+// Replica groups are elastic. A model registered with an enabled
+// ElasticityConfig starts at its initial group size and a controller (a
+// lightweight tick thread; TickElasticity() runs one evaluation on demand)
+// grows the group toward max_replicas when the model's queued requests age
+// past scale_up_queue_delay, and shrinks it toward min_replicas after
+// scale_down_idle without a submission. Scale-up builds the Model::Clone()
+// outside the lock and re-checks the InvalidateModel epoch before attaching
+// (a mid-scale invalidation marks the new replica dirty, so it re-syncs
+// before serving). Scale-down re-routes the retiring shard's queued
+// requests for the model (re-pinning their dedupe keys) and only retires
+// when the shard has nothing in flight and no in-flight dedupe key for the
+// model is pinned to it; the retired clone is freed on its own scheduler
+// thread, which also purges the engine/worker state keyed by the clone's
+// address. Results stay bit-identical to a fixed-replica service — scaling
+// only changes where a request computes, never what it computes.
+//
 // Admission control bounds the queue: past `max_queue_depth`/`max_queue_bytes`
 // a request is rejected (its future throws ServiceOverloadError) or — for
 // "dcam" requests under Overload::kDegradeK — admitted with k clamped down to
@@ -123,6 +148,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "explain/cache_tier.h"
 #include "explain/completion_queue.h"
 #include "explain/explainer.h"
 #include "explain/lru_cache.h"
@@ -287,46 +313,142 @@ class Ticket {
 /// Vocabulary alias: the Ticket *is* the cancel handle.
 using CancelHandle = Ticket;
 
+/// Result-cache configuration (both tiers). The cache is shared by every
+/// shard, so any replica's result answers repeats service-wide.
+struct CacheConfig {
+  /// Tier-1 (in-memory LRU) entry bound; 0 disables caching entirely —
+  /// including the persistent tier, which only ever receives tier-1 spills.
+  size_t capacity_entries = 256;
+  /// Tier-1 byte bound over the entries' real weight (attribution map +
+  /// stored series); 0 = no byte bound. Both bounds evict LRU-first.
+  size_t capacity_bytes = size_t{64} << 20;
+  /// Entry lifetime; 0 = entries never expire. Tier 1 measures it on the
+  /// service clock (Config::clock) and expires lazily on probe; tier 2
+  /// measures it on a wall clock so it holds across restarts — the
+  /// staleness bound for models retrained while no service was running.
+  std::chrono::nanoseconds ttl{0};
+  /// Non-empty enables the persistent tier over this directory (created if
+  /// missing): terminal results are written through, warm entries load at
+  /// startup, and a tier-2 hit is verified then promoted into tier 1. An
+  /// unusable directory logs one warning and runs memory-only.
+  std::string persistent_dir;
+  /// Re-verify tier-2 record checksums on every probe (bit-rot guard); the
+  /// stored-series byte compare always runs regardless.
+  bool verify_on_read = true;
+  /// Tier-2 spill-buffer size that triggers an automatic segment flush
+  /// (also flushed on Shutdown).
+  size_t flush_bytes = size_t{1} << 20;
+};
+
+/// Admission-control configuration: bounds over requests queued but not yet
+/// drained by a scheduler; 0 = unbounded. Depth counts requests, bytes
+/// counts their series payloads. Breaching a bound triggers `overload`
+/// handling; a hard cap at twice the bound always rejects, so memory stays
+/// bounded even under Overload::kDegradeK.
+struct AdmissionConfig {
+  size_t max_queue_depth = 0;
+  size_t max_queue_bytes = 0;
+  enum class Overload {
+    kReject,    // refuse: the request's future throws ServiceOverloadError
+    kDegradeK,  // "dcam" requests are admitted with k -> min_degraded_k;
+                // everything else (and the hard cap) rejects
+  };
+  Overload overload = Overload::kReject;
+  /// The k that degraded "dcam" requests compute with. Requests already at
+  /// or below it are rejected instead (degrading would be a no-op).
+  int min_degraded_k = 8;
+};
+
+/// Per-model elastic replica-group policy. Disabled by default
+/// (max_replicas = 0): the group stays at its registration size. Enabled,
+/// the controller grows the group by one when a queued request for the
+/// model has waited at least scale_up_queue_delay (load the current group
+/// is not absorbing), and shrinks it by one after scale_down_idle without a
+/// submission for the model. `cooldown` is the minimum gap between two
+/// scale events of one model, damping oscillation. All durations are
+/// measured on the service clock (Config::clock).
+struct ElasticityConfig {
+  int min_replicas = 1;
+  /// Upper bound on the group (clamped to Config::replicas). 0 disables
+  /// elasticity for this model.
+  int max_replicas = 0;
+  std::chrono::nanoseconds scale_up_queue_delay = std::chrono::milliseconds(20);
+  std::chrono::nanoseconds scale_down_idle = std::chrono::milliseconds(500);
+  std::chrono::nanoseconds cooldown = std::chrono::milliseconds(50);
+
+  bool enabled() const { return max_replicas > 0; }
+};
+
+/// Everything RegisterModel needs to know about one model, builder-style:
+///
+///   ElasticityConfig elastic;
+///   elastic.min_replicas = 1;
+///   elastic.max_replicas = 4;
+///   service.RegisterModel(
+///       ModelSpec("m", &model).Replicas(1).Elastic(elastic).Placement(2));
+///
+/// replaces the old positional RegisterModel(id, model, replicas) surface
+/// (kept as a deprecated shim).
+struct ModelSpec {
+  ModelSpec() = default;
+  ModelSpec(std::string model_id, models::Model* m)
+      : id(std::move(model_id)), model(m) {}
+
+  /// Registry key; non-empty, unique per service.
+  std::string id;
+  /// Non-owning; must outlive the service. Served directly by the group's
+  /// first shard; every other group shard gets a Model::Clone().
+  models::Model* model = nullptr;
+  /// Initial replica-group size, clamped to Config::replicas. 0 = the full
+  /// shard count for a fixed group, min_replicas for an elastic one.
+  int replicas = 0;
+  /// Elastic group policy; default-disabled (fixed group).
+  ElasticityConfig elasticity;
+  /// Preferred first shard of the group (the one serving `model` itself);
+  /// the group occupies consecutive shards from it, wrapping. -1 = shard 0.
+  /// A placement hint spreads single-replica models across shards instead
+  /// of piling them all onto shard 0.
+  int placement_hint = -1;
+
+  ModelSpec& Id(std::string v) { id = std::move(v); return *this; }
+  ModelSpec& Model(models::Model* v) { model = v; return *this; }
+  ModelSpec& Replicas(int v) { replicas = v; return *this; }
+  ModelSpec& Elastic(ElasticityConfig v) { elasticity = v; return *this; }
+  ModelSpec& Placement(int v) { placement_hint = v; return *this; }
+};
+
 class ExplainService {
  public:
   struct Config {
-    /// LRU result-cache entries; 0 disables caching. One cache is shared by
-    /// every shard, so any replica's result answers repeats service-wide.
-    size_t cache_capacity = 256;
+    /// Result-cache knobs (both tiers); see CacheConfig.
+    CacheConfig cache;
+    /// Admission-control bounds and overload policy; see AdmissionConfig.
+    AdmissionConfig admission;
     /// Forwarded to DcamEngine::Config::batch (0 = adapt to the machine).
     int engine_batch = 0;
     /// At most this many dCAM requests are folded into one ComputeMany call
     /// — bounds the number of live (D, D, n) accumulators per shard.
     int max_coalesce = 64;
-    /// Scheduler shards (model replicas). 1 keeps the single-scheduler
-    /// behavior; N > 1 runs N schedulers, each owning a private weight copy
-    /// of every model whose replica group covers it.
+    /// Scheduler shards. 1 keeps the single-scheduler behavior; N > 1 runs
+    /// N schedulers. A model's replica group covers a (possibly elastic)
+    /// subset of the shards; each group shard owns a private weight copy.
     int replicas = 1;
-    /// Admission bounds over requests queued but not yet drained by a
-    /// scheduler; 0 = unbounded. Depth counts requests, bytes counts their
-    /// series payloads. Breaching a bound triggers `overload` handling; a
-    /// hard cap at twice the bound always rejects, so memory stays bounded
-    /// even under Overload::kDegradeK.
-    size_t max_queue_depth = 0;
-    size_t max_queue_bytes = 0;
-    enum class Overload {
-      kReject,    // refuse: the request's future throws ServiceOverloadError
-      kDegradeK,  // "dcam" requests are admitted with k -> min_degraded_k;
-                  // everything else (and the hard cap) rejects
-    };
-    Overload overload = Overload::kReject;
-    /// The k that degraded "dcam" requests compute with. Requests already at
-    /// or below it are rejected instead (degrading would be a no-op).
-    int min_degraded_k = 8;
     /// Permutations per request between streaming ticks (and cancel /
     /// deadline checkpoints) of the "dcam" engine path; 0 = the engine
     /// batch width, which costs no forward-batch underfill. Smaller values
     /// buy finer tick granularity at the price of partially-filled
     /// forwards.
     int stream_tick_k = 0;
-    /// Time source for deadlines and queue-delay accounting. Null = the real
-    /// steady clock; tests inject a ManualClock to make deadline expiry
-    /// deterministic. Non-owning; must outlive the service.
+    /// Cadence of the elasticity controller thread; 0 disables the thread
+    /// (elastic groups then only move when TickElasticity() is called —
+    /// what the deterministic tests do). The cadence is real time; the
+    /// *decisions* measure durations on `clock`, so a test can drive a
+    /// ManualClock and tick explicitly.
+    std::chrono::nanoseconds elasticity_tick = std::chrono::milliseconds(5);
+    /// Time source for deadlines, queue-delay accounting, tier-1 cache TTL,
+    /// and elasticity decisions. Null = the real steady clock; tests inject
+    /// a ManualClock to make expiry/scaling deterministic. Non-owning; must
+    /// outlive the service.
     const MonotonicClock* clock = nullptr;
   };
 
@@ -354,6 +476,11 @@ class ExplainService {
     /// the remaining rounds pack only live batch-mates.
     uint64_t reclaimed_k = 0;
     uint64_t streamed_ticks = 0;    // kTick completions delivered
+    uint64_t scale_up_events = 0;   // elastic replicas attached
+    uint64_t scale_down_events = 0; // elastic replicas retired
+    uint64_t cache_tier2_hits = 0;  // served from the persistent tier
+    uint64_t cache_expired = 0;     // entries dropped on probe past their TTL
+                                    // (both tiers)
     /// Rejections broken down by the shed request's priority class (indexed
     /// by Priority); sums to shed_rejected. Under lowest-priority-first
     /// shedding the victim may be a queued request, not the arrival.
@@ -374,13 +501,18 @@ class ExplainService {
   ExplainService(const ExplainService&) = delete;
   ExplainService& operator=(const ExplainService&) = delete;
 
-  /// Registers `model` (non-owning; must outlive the service) under `id`.
-  /// Re-registering an id CHECK-fails. Safe to call while serving; requests
-  /// naming `id` may be submitted as soon as this returns. `replicas`
-  /// chooses the model's replica-group size (clamped to Config::replicas;
-  /// 0 = the full shard count): shard 0 serves `model` itself, every other
-  /// group shard a Model::Clone() made here, so the model class must
-  /// implement CloneArchitecture when the group spans more than one shard.
+  /// Registers `spec.model` (non-owning; must outlive the service) under
+  /// `spec.id`. Re-registering an id CHECK-fails. Safe to call while
+  /// serving; requests naming the id may be submitted as soon as this
+  /// returns. The group's first shard (spec.placement_hint, default 0)
+  /// serves the model itself; every other group shard a Model::Clone() made
+  /// here — so the model class must implement CloneArchitecture when the
+  /// group can ever span more than one shard (including via elasticity).
+  void RegisterModel(ModelSpec spec);
+
+  /// Deprecated positional shim for the pre-ModelSpec surface; forwards to
+  /// RegisterModel(ModelSpec). Prefer the spec — it is the only way to
+  /// reach elasticity and placement.
   void RegisterModel(const std::string& id, models::Model* model,
                      int replicas = 0);
 
@@ -458,6 +590,16 @@ class ExplainService {
   /// Idempotent; also run by the destructor.
   void Shutdown();
 
+  /// Runs one elasticity-controller evaluation on the calling thread (the
+  /// same pass the background tick runs). Deterministic tests set
+  /// Config::elasticity_tick = 0 and call this after advancing a
+  /// ManualClock; calling it alongside the background controller is safe.
+  void TickElasticity();
+
+  /// Current replica-group size of a registered model (CHECK-fails on an
+  /// unknown id). Moves over time for elastic models.
+  int ModelReplicas(const std::string& id) const;
+
   Stats stats() const;
 
   int replicas() const { return static_cast<int>(shards_.size()); }
@@ -465,22 +607,10 @@ class ExplainService {
  private:
   friend class Ticket;  // Ticket::Cancel calls CancelRequest
 
-  struct CacheKey {
-    std::string model_id;
-    std::string method;
-    std::string backend;  // resolved: "portable" unless a specialization ran
-    uint64_t series_hash = 0;
-    uint64_t options_digest = 0;  // includes class_idx
-
-    bool operator==(const CacheKey& o) const {
-      return series_hash == o.series_hash &&
-             options_digest == o.options_digest && model_id == o.model_id &&
-             method == o.method && backend == o.backend;
-    }
-  };
-  struct CacheKeyHash {
-    size_t operator()(const CacheKey& k) const;
-  };
+  // The content address lives at namespace scope (cache_tier.h) so both
+  // cache tiers and the service share one definition.
+  using CacheKey = ResultCacheKey;
+  using CacheKeyHash = ResultCacheKeyHash;
 
   // A cached result keeps the series it was computed for: the 64-bit series
   // hash in the key is not collision-proof, so a hit is only served after
@@ -535,16 +665,46 @@ class ExplainService {
     int priority_class() const { return ctx.priority_class(); }
   };
 
-  // One registered model and its replica materialization. `source` is the
-  // caller's model, served by shard 0; clones[s - 1] is shard s's private
-  // copy. `dirty[s]` asks shard s to re-copy weights from `source` before
-  // its next batch; `epoch` fences the result cache across invalidations.
+  // One shard's materialization of a model: the shard it lives on and —
+  // for every group position but the first — the private weight copy served
+  // there. `dirty` asks the shard to re-copy weights from the source before
+  // its next batch.
+  struct Replica {
+    int shard = 0;
+    std::unique_ptr<models::Model> clone;  // null: this shard serves `source`
+    uint8_t dirty = 0;
+  };
+
+  // One registered model and its (possibly elastic) replica group. The
+  // group is an ordered shard list: replicas[0] always serves `source`
+  // itself and is never retired; elasticity appends/pops at the back.
+  // `epoch` fences the result cache across invalidations; `last_activity` /
+  // `last_scale` drive the controller; `scaling` marks a scale-up whose
+  // clone is being built outside the lock (the controller skips the model
+  // until it lands).
   struct ModelEntry {
     models::Model* source = nullptr;
-    std::vector<std::unique_ptr<models::Model>> clones;
-    int group = 1;  // shards 0..group-1 serve this model
-    std::vector<uint8_t> dirty;
+    std::vector<Replica> replicas;
+    ElasticityConfig elastic;
     uint64_t epoch = 0;
+    MonotonicClock::time_point last_activity{};
+    MonotonicClock::time_point last_scale{};
+    bool scaling = false;
+
+    bool InGroup(int shard) const {
+      for (const Replica& r : replicas) {
+        if (r.shard == shard) return true;
+      }
+      return false;
+    }
+    models::Model* ModelForShard(int shard) const {
+      for (const Replica& r : replicas) {
+        if (r.shard == shard) {
+          return r.clone != nullptr ? r.clone.get() : source;
+        }
+      }
+      return nullptr;
+    }
   };
 
   // One scheduler shard: a queue slice (guarded by the service mutex) plus
@@ -562,6 +722,13 @@ class ExplainService {
         workers;
     std::unordered_map<models::Model*, std::unique_ptr<core::DcamEngine>>
         engines;
+    /// Clones popped from a replica group by scale-down, parked here
+    /// (guarded by mu_) for the owning scheduler to free: `workers` and
+    /// `engines` key scheduler-thread-local state by raw Model*, so the
+    /// clone must outlive any round that could still touch it and its map
+    /// entries must be purged on this thread before the address can be
+    /// reused by a later scale-up.
+    std::vector<std::unique_ptr<models::Model>> retired;
     std::thread scheduler;
   };
 
@@ -635,6 +802,31 @@ class ExplainService {
   /// Routing fallback for keys not already in flight: the least-loaded
   /// shard of the model's replica group (ties go to the lowest index).
   int LeastLoadedLocked(const ModelEntry& entry) const;
+  /// Elasticity controller thread body: sleeps Config::elasticity_tick
+  /// between evaluations, woken early by Shutdown.
+  void ControllerLoop();
+  /// One controller evaluation over every elastic model. May release and
+  /// re-acquire *lock around a Model::Clone() (scale-up); the `scaling`
+  /// flag keeps concurrent evaluations off a mid-scale model.
+  void EvaluateElasticityLocked(std::unique_lock<std::mutex>* lock);
+  /// True when some queued request for `id` has aged past the model's
+  /// scale_up_queue_delay — the signal the current group is not absorbing
+  /// its load.
+  bool ScaleUpPressureLocked(const std::string& id, const ModelEntry& entry,
+                             MonotonicClock::time_point now) const;
+  /// Probes tier 2 for `p`'s key (verified); on a hit promotes the entry
+  /// into tier 1 and returns it. Counts stats_.cache_tier2_hits.
+  bool ProbeTier2(const Pending& p, ExplanationResult* out);
+  /// Byte weight of a cache entry (map + stored series), the tier-1
+  /// eviction cost.
+  static size_t EntryBytes(const CacheEntry& entry);
+  /// Tier-1 expiry timestamp for an entry inserted now (0 = never), on the
+  /// service clock.
+  uint64_t CacheExpiryNs() const;
+  /// The service clock's current reading as the uint64 ns key the tier-1
+  /// TTL probe compares against (monotonic; 0 only before the clock's
+  /// epoch, which RealClock/ManualClock never report).
+  uint64_t CacheNowNs() const;
 
   const Config config_;
   const MonotonicClock* const clock_;  // config_.clock or the real clock
@@ -654,10 +846,18 @@ class ExplainService {
   bool stop_ = false;
   int schedulers_exited_ = 0;  // counted by the Shutdown call that joined
 
-  // The result cache is shared by every shard; cache_mu_ guards it (and only
-  // it — never taken together with mu_).
-  std::mutex cache_mu_;
+  // The in-memory result cache (tier 1) is shared by every shard; cache_mu_
+  // guards it (and only it — never taken together with mu_). Mutable so the
+  // const stats() snapshot can fold in the cache's own counters.
+  mutable std::mutex cache_mu_;
   LruCache<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  // Tier 2 (null unless CacheConfig::persistent_dir is set); internally
+  // synchronized, so no service lock is held around its calls.
+  std::unique_ptr<PersistentCacheTier> tier2_;
+
+  // Elasticity controller (joined by Shutdown alongside the schedulers).
+  std::condition_variable controller_cv_;  // on mu_; Shutdown wakes it
+  std::thread controller_;
 
   // One digest/Supports prototype per (method, resolved backend) — used by
   // Submit on client threads; OptionsDigest is const and stateless, so

@@ -195,16 +195,36 @@ PhaseResult WorkloadDriver::RunClosedLoop(const PhaseConfig& config) {
   std::vector<ClientTally> tallies(config.clients);
   std::atomic<int> next{0};
 
+  // The request schedule (key + priority per slot) is pre-drawn from one
+  // generator, so the multiset of requests is a pure function of the seed:
+  // clients race only for slot indices, never for samples. Replay phases —
+  // bench_workload's --restart warm pass re-running the same config against
+  // a restarted service — depend on drawing the identical key set.
+  struct Slot {
+    int64_t key;
+    explain::Priority priority;
+  };
+  std::vector<Slot> schedule(
+      static_cast<size_t>(std::max(config.total_requests, 0)));
+  {
+    Rng rng(config.seed);
+    for (Slot& slot : schedule) {
+      slot.key = zipf.Sample(&rng);
+      slot.priority = config.mix.Sample(&rng);
+    }
+  }
+
   Stopwatch watch;
   std::vector<std::thread> clients;
   for (int c = 0; c < config.clients; ++c) {
     clients.emplace_back([&, c] {
-      Rng rng(config.seed + 0x9E37u * static_cast<uint64_t>(c + 1));
       ClientTally& tally = tallies[c];
-      while (next.fetch_add(1, std::memory_order_relaxed) <
-             config.total_requests) {
-        const int64_t key = zipf.Sample(&rng);
-        const explain::Priority priority = config.mix.Sample(&rng);
+      for (int idx;
+           (idx = next.fetch_add(1, std::memory_order_relaxed)) <
+           config.total_requests;) {
+        const int64_t key = schedule[static_cast<size_t>(idx)].key;
+        const explain::Priority priority =
+            schedule[static_cast<size_t>(idx)].priority;
         tally.keys.insert(key);
         const auto t0 = SteadyClock::now();
         try {

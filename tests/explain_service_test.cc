@@ -132,7 +132,7 @@ TEST(ExplainServiceTest, ResultsBitIdenticalToDirectCalls) {
   }
 
   ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   for (size_t i = 0; i < methods.size(); ++i) {
     SCOPED_TRACE(methods[i]);
     ExplainRequest req;
@@ -148,11 +148,27 @@ TEST(ExplainServiceTest, ResultsBitIdenticalToDirectCalls) {
   EXPECT_EQ(stats.completed, methods.size());
 }
 
+TEST(ExplainServiceTest, DeprecatedPositionalRegisterModelStillWorks) {
+  // The pre-ModelSpec surface forwards to RegisterModel(ModelSpec); it must
+  // keep serving until external callers have migrated.
+  Rng rng(31);
+  auto model = TinyDcnn(&rng);
+  ExplainService service;
+  service.RegisterModel("m", model.get(), /*replicas=*/1);
+  ExplainRequest req;
+  req.model_id = "m";
+  req.method = "dcam";
+  req.series = RandomSeries(&rng);
+  req.options.dcam.k = 4;
+  ExpectSameMap(service.Explain(req).map,
+                Explain("dcam", model.get(), req.series, 0, req.options).map);
+}
+
 TEST(ExplainServiceTest, RepeatedRequestHitsTheCache) {
   Rng rng(32);
   auto model = TinyDcnn(&rng);
   ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   ExplainRequest req;
   req.model_id = "m";
@@ -178,9 +194,9 @@ TEST(ExplainServiceTest, CacheCapacityZeroStillServes) {
   Rng rng(33);
   auto model = TinyDcnn(&rng);
   ExplainService::Config config;
-  config.cache_capacity = 0;
+  config.cache.capacity_entries = 0;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   ExplainRequest req;
   req.model_id = "m";
@@ -212,7 +228,7 @@ TEST(ExplainServiceTest, CoalescesConcurrentDcamRequests) {
   }
 
   ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   // Submit everything before the scheduler can drain (it is busy with the
   // first request's engine pass at the latest), then check stats show at
   // least one multi-request ComputeMany group.
@@ -271,7 +287,7 @@ TEST(ExplainServiceTest, ConcurrencyStressBitIdentical) {
   }
 
   ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   const int kThreads = 4;
   const int kRounds = 3;  // every thread submits every case, thrice
   std::vector<std::thread> clients;
@@ -324,7 +340,7 @@ TEST(ExplainServiceTest, DrainWaitsForSubmittedWork) {
   Rng rng(36);
   auto model = TinyDcnn(&rng);
   ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   std::vector<Ticket> futures;
   for (int i = 0; i < 5; ++i) {
     ExplainRequest req;
@@ -347,7 +363,7 @@ TEST(ExplainServiceTest, ShutdownDrainsAndIsIdempotent) {
   Rng rng(37);
   auto model = TinyDcnn(&rng);
   ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   ExplainRequest req;
   req.model_id = "m";
   req.method = "saliency";
@@ -363,9 +379,9 @@ TEST(ExplainServiceTest, LruEvictionForcesRecompute) {
   Rng rng(38);
   auto model = TinyDcnn(&rng);
   ExplainService::Config config;
-  config.cache_capacity = 2;
+  config.cache.capacity_entries = 2;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   std::vector<ExplainRequest> reqs;
   for (int i = 0; i < 3; ++i) {

@@ -216,7 +216,7 @@ TEST(ForcedPortableServiceTest, RoundTripBitIdenticalToDirectExplain) {
   ExpectSameMap(direct.map, serial.dcam);
 
   explain::ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(explain::ModelSpec("m", model.get()));
   explain::ExplainRequest req;
   req.model_id = "m";
   req.method = "dcam";
@@ -240,7 +240,7 @@ TEST(ForcedPortableServiceTest, BackendFallbackSharesCacheKey) {
   Tensor series({4, 12});
   series.FillNormal(&rng, 0.0f, 1.0f);
   explain::ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(explain::ModelSpec("m", model.get()));
   explain::ExplainRequest req;
   req.model_id = "m";
   req.method = "dcam";
@@ -261,7 +261,7 @@ TEST(ForcedPortableServiceTest, UnknownRequestBackendThrows) {
   Tensor series({4, 12});
   series.FillNormal(&rng, 0.0f, 1.0f);
   explain::ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(explain::ModelSpec("m", model.get()));
   explain::ExplainRequest req;
   req.model_id = "m";
   req.method = "dcam";

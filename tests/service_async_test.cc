@@ -295,14 +295,14 @@ TEST(ServiceAsyncTest, CallbackBitIdenticalToBlockingSubmit) {
   std::vector<Tensor> want;
   {
     ExplainService service;
-    service.RegisterModel("m", model.get());
+    service.RegisterModel(ModelSpec("m", model.get()));
     for (const auto& req : requests) want.push_back(service.Explain(req).map);
   }
 
   ExplainService::Config config;
-  config.cache_capacity = 0;  // force recompute: identity must not rely on it
+  config.cache.capacity_entries = 0;  // force recompute: identity must not rely on it
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   std::mutex mu;
   std::vector<Tensor> got(kCases);
   int delivered = 0;
@@ -338,7 +338,7 @@ TEST(ServiceAsyncTest, OneThreadDrivesManyInFlightThroughCompletionQueue) {
   }
 
   ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   CompletionQueue cq;
   // One client thread, every request in flight at once — the thread-per-
   // request pattern the async API exists to remove.
@@ -373,10 +373,10 @@ TEST(ServiceAsyncTest, RejectedAsyncRequestsDeliverErrors) {
   Rng rng(53);
   auto model = TinyDcnn(&rng);
   ExplainService::Config config;
-  config.max_queue_depth = 1;
-  config.overload = ExplainService::Config::Overload::kReject;
+  config.admission.max_queue_depth = 1;
+  config.admission.overload = AdmissionConfig::Overload::kReject;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -429,7 +429,7 @@ TEST(ServicePriorityTest, BatchDrainsHighBeforeNormalBeforeBatch) {
   ExplainService::Config config;
   config.replicas = 1;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -488,10 +488,10 @@ TEST(ServicePriorityTest, AdmissionShedsLowestPriorityFirst) {
   auto model = TinyDcnn(&rng);
   ExplainService::Config config;
   config.replicas = 1;
-  config.max_queue_depth = 2;
-  config.overload = ExplainService::Config::Overload::kReject;
+  config.admission.max_queue_depth = 2;
+  config.admission.overload = AdmissionConfig::Overload::kReject;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -541,10 +541,10 @@ TEST(ServicePriorityTest, ByteBoundEvictsLowerPriorityForBytes) {
   const size_t series_bytes = kDims * kLen * sizeof(float);
   ExplainService::Config config;
   config.replicas = 1;
-  config.max_queue_bytes = 2 * series_bytes;
-  config.overload = ExplainService::Config::Overload::kReject;
+  config.admission.max_queue_bytes = 2 * series_bytes;
+  config.admission.overload = AdmissionConfig::Overload::kReject;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -586,10 +586,10 @@ TEST(ServicePriorityTest, OversizedArrivalDoesNotEvictQueuedWork) {
   const size_t series_bytes = kDims * kLen * sizeof(float);
   ExplainService::Config config;
   config.replicas = 1;
-  config.max_queue_bytes = series_bytes;
-  config.overload = ExplainService::Config::Overload::kReject;
+  config.admission.max_queue_bytes = series_bytes;
+  config.admission.overload = AdmissionConfig::Overload::kReject;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -640,7 +640,7 @@ TEST(ServiceDeadlineTest, ExpiresPastDeadlineRequestsAtDequeue) {
   config.replicas = 1;
   config.clock = &clock;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -699,7 +699,7 @@ TEST(ServiceDeadlineTest, ExpiredCompletionQueueOpDeliversDeadlineError) {
   config.replicas = 1;
   config.clock = &clock;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -746,9 +746,9 @@ TEST(ServiceAsyncTest, AllThreeSubmitPathsAgreeBitIdentically) {
   std::vector<Tensor> blocking(kCases), callback(kCases), queued(kCases);
   for (int round = 0; round < 3; ++round) {
     ExplainService::Config config;
-    config.cache_capacity = 0;
+    config.cache.capacity_entries = 0;
     ExplainService service(config);
-    service.RegisterModel("m", model.get());
+    service.RegisterModel(ModelSpec("m", model.get()));
     if (round == 0) {
       for (int i = 0; i < kCases; ++i) {
         blocking[i] = service.Explain(requests[i]).map;

@@ -1,0 +1,321 @@
+// Elastic replica groups of explain::ExplainService: a model registered with
+// an ElasticityConfig must grow its group when queued requests age past the
+// scale-up delay (new work then computes on the fresh replica while the old
+// shard is still busy), must NOT retire a replica that still has work in
+// flight or an in-flight dedupe key pinned to it, must re-route a retiring
+// shard's queued requests to surviving replicas, and must keep every result
+// bit-identical to what a fixed-replica service computes — scaling moves
+// where a request runs, never what it returns. All tests drive a ManualClock
+// and call TickElasticity() with the background controller disabled
+// (elasticity_tick = 0), so every scale decision is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explain/explainer.h"
+#include "explain/service.h"
+#include "models/cnn.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace dcam {
+namespace explain {
+namespace {
+
+constexpr int kDims = 4;
+constexpr int kLen = 12;
+
+std::unique_ptr<models::ConvNet> TinyDcnn(Rng* rng, int num_classes = 2) {
+  models::ConvNetConfig cfg;
+  cfg.filters = {4, 4};
+  return std::make_unique<models::ConvNet>(models::InputMode::kCube, kDims,
+                                           num_classes, cfg, rng);
+}
+
+Tensor RandomSeries(Rng* rng) {
+  Tensor series({kDims, kLen});
+  series.FillNormal(rng, 0.0f, 1.0f);
+  return series;
+}
+
+void ExpectSameMap(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (int64_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "maps differ at flat index " << i;
+  }
+}
+
+ExplainRequest DcamRequest(const std::string& model_id, const Tensor& series,
+                           int class_idx, int k, uint64_t seed) {
+  ExplainRequest req;
+  req.model_id = model_id;
+  req.method = "dcam";
+  req.series = series;
+  req.class_idx = class_idx;
+  req.options.dcam.k = k;
+  req.options.dcam.seed = seed;
+  return req;
+}
+
+// Latch-gated explanation methods (the service_replica_test idiom): Explain
+// blocks until the gate opens, so a test can hold chosen shards busy while
+// it inspects scaling decisions. The non-deterministic variant never dedupes
+// or caches; the deterministic one exercises the in-flight key pinning that
+// scale-down must respect.
+std::atomic<bool> g_gate_open{false};
+std::atomic<int> g_gate_entered{0};
+
+void WaitForEntered(int n) {
+  while (g_gate_entered.load() < n) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+class GatedElasticExplainer : public Explainer {
+ public:
+  std::string name() const override { return "gated_elastic"; }
+  bool Supports(const models::Model&, const Tensor&) const override {
+    return true;
+  }
+  bool Deterministic() const override { return false; }
+  ExplanationResult Explain(models::Model*, const Tensor& series, int,
+                            const ExplainOptions&) override {
+    g_gate_entered.fetch_add(1);
+    while (!g_gate_open.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ExplanationResult out;
+    out.map = series.Clone();
+    return out;
+  }
+};
+
+class GatedDedupExplainer : public Explainer {
+ public:
+  std::string name() const override { return "gated_elastic_dedup"; }
+  bool Supports(const models::Model&, const Tensor&) const override {
+    return true;
+  }
+  bool Deterministic() const override { return true; }
+  ExplanationResult Explain(models::Model*, const Tensor& series, int,
+                            const ExplainOptions&) override {
+    g_gate_entered.fetch_add(1);
+    while (!g_gate_open.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ExplanationResult out;
+    out.map = series.Clone();
+    return out;
+  }
+};
+
+const bool g_gated_registered =
+    RegisterExplainer("gated_elastic",
+                      [] { return std::make_unique<GatedElasticExplainer>(); }) &&
+    RegisterExplainer("gated_elastic_dedup", [] {
+      return std::make_unique<GatedDedupExplainer>();
+    });
+
+ExplainRequest GatedRequest(const std::string& method, const Tensor& series) {
+  ExplainRequest req;
+  req.model_id = "m";
+  req.method = method;
+  req.series = series;
+  return req;
+}
+
+TEST(ServiceElasticTest, ScalesUpUnderQueueDelayPressure) {
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(71);
+  auto model = TinyDcnn(&rng);
+  ManualClock clock;
+  ExplainService::Config config;
+  config.replicas = 3;
+  config.elasticity_tick = std::chrono::nanoseconds(0);  // tick by hand
+  config.clock = &clock;
+  ExplainService service(config);
+
+  ElasticityConfig elastic;
+  elastic.min_replicas = 1;
+  elastic.max_replicas = 3;
+  elastic.scale_up_queue_delay = std::chrono::milliseconds(10);
+  elastic.scale_down_idle = std::chrono::hours(1);  // never shrinks here
+  elastic.cooldown = std::chrono::nanoseconds(0);
+  service.RegisterModel(ModelSpec("m", model.get()).Elastic(elastic));
+  EXPECT_EQ(service.ModelReplicas("m"), 1);  // elastic start = min_replicas
+
+  // Hold the group's only shard busy, with a dCAM request queued behind the
+  // gate; nothing ages -> no scale-up yet.
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  auto blocker = service.Submit(GatedRequest("gated_elastic",
+                                             RandomSeries(&rng)));
+  WaitForEntered(1);
+  const ExplainRequest r1 = DcamRequest("m", RandomSeries(&rng), 0, 5, 7100);
+  auto t1 = service.Submit(r1);
+  service.TickElasticity();
+  EXPECT_EQ(service.ModelReplicas("m"), 1);
+  EXPECT_EQ(service.stats().scale_up_events, 0u);
+
+  // Age the queued request past the delay bound: the next tick must attach
+  // a second replica.
+  clock.Advance(std::chrono::milliseconds(20));
+  service.TickElasticity();
+  EXPECT_EQ(service.ModelReplicas("m"), 2);
+  EXPECT_EQ(service.stats().scale_up_events, 1u);
+
+  // New work routes to the fresh replica and completes while the original
+  // shard is still gated — the elastic replica is actually serving.
+  const ExplainRequest r2 = DcamRequest("m", RandomSeries(&rng), 1, 5, 7101);
+  auto t2 = service.Submit(r2);
+  ASSERT_EQ(t2.wait_for(std::chrono::seconds(60)), std::future_status::ready);
+  const Tensor map2 = t2.get().map;
+
+  g_gate_open.store(true);
+  (void)blocker.get();
+  const Tensor map1 = t1.get().map;
+  service.Drain();
+
+  // Bit-identity: whichever replica served, the maps equal the direct
+  // registry computation on the caller's model.
+  ExpectSameMap(map1,
+                Explain("dcam", model.get(), r1.series, 0, r1.options).map);
+  ExpectSameMap(map2,
+                Explain("dcam", model.get(), r2.series, 1, r2.options).map);
+}
+
+TEST(ServiceElasticTest, ScaleDownWaitsForInFlightAndPinnedKeys) {
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(72);
+  auto model = TinyDcnn(&rng);
+  ManualClock clock;
+  ExplainService::Config config;
+  config.replicas = 2;
+  config.elasticity_tick = std::chrono::nanoseconds(0);
+  config.clock = &clock;
+  ExplainService service(config);
+
+  ElasticityConfig elastic;
+  elastic.min_replicas = 1;
+  elastic.max_replicas = 2;
+  elastic.scale_up_queue_delay = std::chrono::hours(1);  // never grows here
+  elastic.scale_down_idle = std::chrono::milliseconds(100);
+  elastic.cooldown = std::chrono::nanoseconds(0);
+  service.RegisterModel(
+      ModelSpec("m", model.get()).Replicas(2).Elastic(elastic));
+  EXPECT_EQ(service.ModelReplicas("m"), 2);
+
+  // Occupy shard 0 with a non-dedupable gated request, then put a dedupable
+  // gated request in flight on shard 1 — the scale-down candidate — and a
+  // duplicate of it in shard 1's queue, pinned there by key affinity.
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  auto blocker = service.Submit(GatedRequest("gated_elastic",
+                                             RandomSeries(&rng)));
+  WaitForEntered(1);
+  const ExplainRequest leader_req =
+      GatedRequest("gated_elastic_dedup", RandomSeries(&rng));
+  auto leader = service.Submit(leader_req);
+  WaitForEntered(2);
+  auto dup = service.Submit(leader_req);
+
+  // Idle long past the bound: the tick re-routes the queued duplicate to a
+  // surviving replica but must NOT retire the shard — its leader is still
+  // in flight (and its dedupe key pinned).
+  clock.Advance(std::chrono::milliseconds(300));
+  service.TickElasticity();
+  EXPECT_EQ(service.ModelReplicas("m"), 2);
+  EXPECT_EQ(service.stats().scale_down_events, 0u);
+
+  g_gate_open.store(true);
+  const Tensor want = leader_req.series;
+  (void)blocker.get();
+  ExpectSameMap(leader.get().map, want);
+  ExpectSameMap(dup.get().map, want);  // the re-routed duplicate still lands
+  service.Drain();
+  EXPECT_EQ(service.stats().completed, 3u);
+
+  // Nothing in flight, nothing pinned: the idle replica now retires.
+  clock.Advance(std::chrono::milliseconds(300));
+  service.TickElasticity();
+  EXPECT_EQ(service.ModelReplicas("m"), 1);
+  EXPECT_EQ(service.stats().scale_down_events, 1u);
+
+  // The shrunken group still serves (on the surviving shard).
+  const ExplainRequest after = DcamRequest("m", RandomSeries(&rng), 0, 4, 7200);
+  const Tensor got = service.Explain(after).map;
+  ExpectSameMap(
+      got, Explain("dcam", model.get(), after.series, 0, after.options).map);
+}
+
+TEST(ServiceElasticTest, ReroutedQueuedRequestStaysBitIdentical) {
+  ASSERT_TRUE(g_gated_registered);
+  Rng rng(73);
+  auto model = TinyDcnn(&rng);
+  ManualClock clock;
+  ExplainService::Config config;
+  config.replicas = 2;
+  config.elasticity_tick = std::chrono::nanoseconds(0);
+  config.clock = &clock;
+  ExplainService service(config);
+
+  ElasticityConfig elastic;
+  elastic.min_replicas = 1;
+  elastic.max_replicas = 2;
+  elastic.scale_up_queue_delay = std::chrono::hours(1);
+  elastic.scale_down_idle = std::chrono::milliseconds(100);
+  elastic.cooldown = std::chrono::nanoseconds(0);
+  service.RegisterModel(
+      ModelSpec("m", model.get()).Replicas(2).Elastic(elastic));
+
+  // Gate both shards, then queue a dCAM request on shard 1 (the scale-down
+  // candidate): submitted last, it lands on the less-loaded gated shard.
+  g_gate_open.store(false);
+  g_gate_entered.store(0);
+  auto blocker_a = service.Submit(GatedRequest("gated_elastic",
+                                               RandomSeries(&rng)));
+  WaitForEntered(1);
+  auto blocker_b = service.Submit(GatedRequest("gated_elastic",
+                                               RandomSeries(&rng)));
+  WaitForEntered(2);
+  auto blocker_c = service.Submit(GatedRequest("gated_elastic",
+                                               RandomSeries(&rng)));
+  const ExplainRequest r = DcamRequest("m", RandomSeries(&rng), 1, 6, 7300);
+  auto t = service.Submit(r);
+
+  // The idle tick re-routes the queued dCAM request off the retiring shard
+  // (retirement itself waits: both shards still have gated work in flight).
+  clock.Advance(std::chrono::milliseconds(300));
+  service.TickElasticity();
+  EXPECT_EQ(service.stats().scale_down_events, 0u);
+  EXPECT_EQ(service.ModelReplicas("m"), 2);
+
+  g_gate_open.store(true);
+  (void)blocker_a.get();
+  (void)blocker_b.get();
+  (void)blocker_c.get();
+  const Tensor map = t.get().map;
+  service.Drain();
+
+  // The mid-queue rebalance is invisible in the bits.
+  ExpectSameMap(map,
+                Explain("dcam", model.get(), r.series, 1, r.options).map);
+
+  // With everything drained and idle, the candidate retires on the next
+  // tick and the group settles at min_replicas.
+  clock.Advance(std::chrono::milliseconds(300));
+  service.TickElasticity();
+  EXPECT_EQ(service.stats().scale_down_events, 1u);
+  EXPECT_EQ(service.ModelReplicas("m"), 1);
+  EXPECT_EQ(service.stats().completed, 4u);
+}
+
+}  // namespace
+}  // namespace explain
+}  // namespace dcam

@@ -150,7 +150,7 @@ TEST(ServiceReplicaTest, ShardedBitIdenticalToSingleReplica) {
     ExplainService::Config config;
     config.replicas = replicas;
     ExplainService service(config);
-    service.RegisterModel("m", model.get());
+    service.RegisterModel(ModelSpec("m", model.get()));
     ASSERT_EQ(service.replicas(), replicas);
     std::vector<Ticket> futures;
     for (const ExplainRequest& req : requests) {
@@ -181,7 +181,7 @@ TEST(ServiceReplicaTest, ConcurrentClientsOnShardedServiceBitIdentical) {
   ExplainService::Config config;
   config.replicas = 3;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   const int kThreads = 4;
   const int kRounds = 3;
   std::vector<std::thread> clients;
@@ -238,7 +238,7 @@ TEST(ServiceReplicaTest, SingleShardGroupOnShardedService) {
   ExplainService::Config config;
   config.replicas = 3;
   ExplainService service(config);
-  service.RegisterModel("m", model.get(), /*replicas=*/1);
+  service.RegisterModel(ModelSpec("m", model.get()).Replicas(1));
   ExplainRequest req;
   req.model_id = "m";
   req.method = "dcam";
@@ -257,7 +257,7 @@ TEST(ServiceReplicaTest, InvalidateModelRefusesStaleCams) {
   ExplainService::Config config;
   config.replicas = 2;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   ExplainRequest req;
   req.model_id = "m";
@@ -359,7 +359,7 @@ TEST(ServiceReplicaTest, ShardedCompletionQueueBitIdenticalAcrossPriorities) {
   ExplainService::Config config;
   config.replicas = 3;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   CompletionQueue cq;
   for (int i = 0; i < kCases; ++i) {
     service.SubmitAsync(requests[i], &cq,
@@ -401,10 +401,10 @@ TEST(ServiceReplicaTest, EvictedDedupableRequestLeavesKeyTableClean) {
   auto model = TinyDcnn(&rng);
   ExplainService::Config config;
   config.replicas = 2;
-  config.max_queue_depth = 1;
-  config.overload = ExplainService::Config::Overload::kReject;
+  config.admission.max_queue_depth = 1;
+  config.admission.overload = AdmissionConfig::Overload::kReject;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -474,10 +474,10 @@ TEST(ServiceAdmissionTest, RejectsBeyondDepthBound) {
   auto model = TinyDcnn(&rng);
   ExplainService::Config config;
   config.replicas = 1;
-  config.max_queue_depth = 2;
-  config.overload = ExplainService::Config::Overload::kReject;
+  config.admission.max_queue_depth = 2;
+  config.admission.overload = AdmissionConfig::Overload::kReject;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -525,12 +525,12 @@ TEST(ServiceAdmissionTest, DegradesDcamKThenHardCaps) {
   auto model = TinyDcnn(&rng);
   ExplainService::Config config;
   config.replicas = 1;
-  config.max_queue_depth = 1;
-  config.overload = ExplainService::Config::Overload::kDegradeK;
-  config.min_degraded_k = 3;
-  config.cache_capacity = 0;  // keep every submission an actual compute
+  config.admission.max_queue_depth = 1;
+  config.admission.overload = AdmissionConfig::Overload::kDegradeK;
+  config.admission.min_degraded_k = 3;
+  config.cache.capacity_entries = 0;  // keep every submission an actual compute
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -579,10 +579,10 @@ TEST(ServiceAdmissionTest, ByteBoundShedsBurstWithoutDeadlock) {
   const size_t series_bytes = kDims * kLen * sizeof(float);
   ExplainService::Config config;
   config.replicas = 2;
-  config.max_queue_bytes = 3 * series_bytes;
-  config.overload = ExplainService::Config::Overload::kReject;
+  config.admission.max_queue_bytes = 3 * series_bytes;
+  config.admission.overload = AdmissionConfig::Overload::kReject;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);

@@ -112,7 +112,7 @@ TEST(ServiceStreamingTest, DeliversMonotoneTicksThenBitIdenticalTerminal) {
   Tensor want;
   {
     ExplainService service;
-    service.RegisterModel("m", model.get());
+    service.RegisterModel(ModelSpec("m", model.get()));
     want = service.Explain(DcamRequest("m", series, 1, 12, 7100)).map;
   }
 
@@ -120,7 +120,7 @@ TEST(ServiceStreamingTest, DeliversMonotoneTicksThenBitIdenticalTerminal) {
   config.engine_batch = 4;
   config.stream_tick_k = 4;  // k = 12: ticks at 4 and 8, then the terminal
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   CompletionQueue cq;
   Ticket t = service.SubmitStreaming(DcamRequest("m", series, 1, 12, 7100),
                                      &cq, reinterpret_cast<void*>(1));
@@ -166,7 +166,7 @@ TEST(ServiceStreamingTest, CacheHitAndNonDcamDeliverZeroTicks) {
   ExplainService::Config config;
   config.stream_tick_k = 2;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   // Warm the cache through the blocking path, then stream the same request:
   // a hit has no permutation loop left to observe, so the tag receives just
@@ -206,7 +206,7 @@ TEST(ServiceCancelTest, CancelWhileQueuedFailsImmediatelyAndReclaimsFullK) {
   ExplainService::Config config;
   config.replicas = 1;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -241,7 +241,7 @@ TEST(ServiceCancelTest, CancelMidStreamStopsAtTickBoundaryAndReclaims) {
   config.engine_batch = 4;
   config.stream_tick_k = 4;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   // A capacity-1 queue makes the cancel point deterministic enough to
   // assert on: the scheduler cannot run more than one tick past the one the
@@ -291,7 +291,7 @@ TEST(ServiceStreamingTest, DeadlineExpiryMidStreamDeliversTickThenTerminal) {
   config.stream_tick_k = 4;
   config.clock = &clock;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   auto req = DcamRequest("m", RandomSeries(&rng), 1, 20, 7500);
   req.deadline = clock.Now() + std::chrono::hours(1);
@@ -339,7 +339,7 @@ TEST(ServiceStreamingTest, DedupedFollowerGetsLeaderTickSequence) {
   config.engine_batch = 4;
   config.stream_tick_k = 4;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
 
   g_gate_open.store(false);
   g_gate_entered.store(0);
@@ -400,7 +400,7 @@ TEST(ServiceValidateTest, CallerErrorsThrowSynchronouslyWithoutTouchingSinks) {
   Rng rng(77);
   auto model = TinyDcnn(&rng);
   ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   const Tensor series = RandomSeries(&rng);
   CompletionQueue cq;
 
@@ -433,7 +433,7 @@ TEST(ServiceValidateTest, CallerErrorsThrowSynchronouslyWithoutTouchingSinks) {
   models::ConvNetConfig cfg;
   cfg.filters = {4, 4};
   models::ConvNet flat(models::InputMode::kStandard, kDims, 2, cfg, &rng);
-  service.RegisterModel("flat", &flat);
+  service.RegisterModel(ModelSpec("flat", &flat));
   req = DcamRequest("flat", series, 0, 5, 7700);
   expect_invalid(req);
 
@@ -456,7 +456,7 @@ TEST(ServiceErrorTest, LoadAndLifecycleErrorsShareOneBase) {
   ExplainService::Config config;
   config.replicas = 1;
   ExplainService service(config);
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   g_gate_open.store(false);
   g_gate_entered.store(0);
   Ticket blocker = service.Submit(GatedRequest("m", &rng));
@@ -481,7 +481,7 @@ TEST(ServiceTicketTest, TicketLifecycleAcrossSurfaces) {
   Rng rng(79);
   auto model = TinyDcnn(&rng);
   ExplainService service;
-  service.RegisterModel("m", model.get());
+  service.RegisterModel(ModelSpec("m", model.get()));
   const auto req = DcamRequest("m", RandomSeries(&rng), 0, 5, 7900);
 
   Ticket t = service.Submit(req);

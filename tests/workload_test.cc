@@ -152,7 +152,7 @@ class WorkloadDriverTest : public ::testing::Test {
     explain::ExplainService::Config service_cfg;
     service_cfg.replicas = 2;
     service_ = std::make_unique<explain::ExplainService>(service_cfg);
-    service_->RegisterModel("m", model_.get());
+    service_->RegisterModel(explain::ModelSpec("m", model_.get()));
   }
 
   std::string path_;
